@@ -1,0 +1,80 @@
+// E10 — §7's OR operator: for `T1.A1 = 5 OR T1.A2 = (SELECT ...)`, "the
+// FILTER operator, if applied first, cannot just discard a tuple which
+// does not satisfy the predicate. Instead it must be handed over to the
+// JOIN operator for further consideration. For this, we have designed an
+// additional OR operator ... [that] does not require any change to the
+// operators used to evaluate the predicate terms."
+//
+// The routed evaluation means the subquery branch only runs for tuples
+// the cheap branch rejected. We sweep the cheap branch's selectivity and
+// count subquery evaluations; we also flip the branch order to show the
+// routing (not the operators) determines the cost.
+
+#include "bench_util.h"
+
+using namespace starburst;
+using namespace starburst::bench;
+
+int main() {
+  const int kRows = 4000;
+  std::printf("E10: OR with a subquery disjunct, %d rows\n", kRows);
+  std::printf("%12s | %9s | %12s %10s | %12s %10s\n", "cheap sel", "rows",
+              "cheap-first", "subq evals", "subq-first", "subq evals");
+
+  for (double sel : {0.99, 0.9, 0.5, 0.1, 0.0}) {
+    Database db;
+    MustExec(&db, "CREATE TABLE t1 (a1 INT, a2 INT)");
+    MustExec(&db, "CREATE TABLE t2 (b1 INT, b2 INT)");
+    std::mt19937 rng(9);
+    int threshold = static_cast<int>(sel * 1000);
+    for (int base = 0; base < kRows; base += 500) {
+      std::string sql = "INSERT INTO t1 VALUES ";
+      for (int i = base; i < base + 500; ++i) {
+        if (i > base) sql += ", ";
+        // a1 < threshold with probability `sel`; a2 varies per row so the
+        // correlated-free subquery branch cannot be answer-cached away:
+        // we use a *parameterized* inner predicate via a2 mod.
+        sql += "(" + std::to_string(static_cast<int>(rng() % 1000)) + ", " +
+               std::to_string(i) + ")";
+      }
+      MustExec(&db, sql);
+    }
+    MustExec(&db, "INSERT INTO t2 VALUES (16, 42)");
+    if (!db.AnalyzeAll().ok()) return 1;
+    // Defeat the memo for the measurement: evaluation counts come from
+    // the none-cache mode, so every routed branch invocation is visible.
+    db.options().exec.cache_mode = exec::SubqueryCacheMode::kNone;
+
+    // The expensive disjunct is *correlated*, so it stays a per-tuple
+    // evaluate-on-demand subquery (an uncorrelated one would be lifted
+    // into a scalar-subquery join by the optimizer and evaluated once).
+    std::string cheap = "t1.a1 < " + std::to_string(threshold);
+    std::string pricey = "t1.a2 = (SELECT b2 FROM t2 WHERE t2.b1 = t1.a1)";
+
+    size_t rows = 0;
+    uint64_t evals_cheap_first = 0, evals_subq_first = 0;
+    double us_cheap_first = MedianUs([&] {
+      rows = MustRows(&db, "SELECT a1 FROM t1 WHERE " + cheap + " OR " + pricey);
+      evals_cheap_first = db.last_metrics().exec_stats.subquery_evaluations;
+    });
+    size_t rows2 = 0;
+    double us_subq_first = MedianUs([&] {
+      rows2 = MustRows(&db, "SELECT a1 FROM t1 WHERE " + pricey + " OR " + cheap);
+      evals_subq_first = db.last_metrics().exec_stats.subquery_evaluations;
+    });
+    if (rows != rows2) {
+      std::fprintf(stderr, "ANSWER MISMATCH: %zu vs %zu\n", rows, rows2);
+      return 1;
+    }
+    std::printf("%12.2f | %9zu | %12.0f %10llu | %12.0f %10llu\n", sel, rows,
+                us_cheap_first,
+                static_cast<unsigned long long>(evals_cheap_first),
+                us_subq_first,
+                static_cast<unsigned long long>(evals_subq_first));
+  }
+  std::printf("\nShape check: with the cheap branch first, subquery "
+              "evaluations equal the rows the cheap branch rejected; with "
+              "the subquery first, every row pays. Same answers either "
+              "way — routing, not operator changes (§7).\n");
+  return 0;
+}

@@ -1,0 +1,156 @@
+// E9 — §2: "Recursion can be expressed by forming cyclic references to
+// named table expressions. ... one can also express path algebra
+// computations"; §5 adds that the group has "been adding rewrite rules
+// for recursive queries". This bench measures the fixpoint evaluator on
+// the classic workloads (transitive closure over chains, trees, random
+// graphs) and ablates semi-naive vs. naive iteration — the standard
+// implementation choice the recursion literature of the era debated.
+
+#include "bench_util.h"
+
+using namespace starburst;
+using namespace starburst::bench;
+
+namespace {
+
+void LoadEdges(Database* db, const std::vector<std::pair<int, int>>& edges) {
+  MustExec(db, "CREATE TABLE edges (src INT, dst INT)");
+  for (size_t base = 0; base < edges.size(); base += 500) {
+    std::string sql = "INSERT INTO edges VALUES ";
+    size_t hi = std::min(base + 500, edges.size());
+    for (size_t i = base; i < hi; ++i) {
+      if (i > base) sql += ", ";
+      sql += "(" + std::to_string(edges[i].first) + ", " +
+             std::to_string(edges[i].second) + ")";
+    }
+    MustExec(db, sql);
+  }
+  if (!db->AnalyzeAll().ok()) std::exit(1);
+}
+
+std::vector<std::pair<int, int>> Chain(int n) {
+  std::vector<std::pair<int, int>> edges;
+  for (int i = 0; i < n; ++i) edges.push_back({i, i + 1});
+  return edges;
+}
+
+std::vector<std::pair<int, int>> BinaryTree(int nodes) {
+  std::vector<std::pair<int, int>> edges;
+  for (int i = 1; i < nodes; ++i) edges.push_back({(i - 1) / 2, i});
+  return edges;
+}
+
+std::vector<std::pair<int, int>> RandomGraph(int nodes, int edges_count,
+                                             uint32_t seed) {
+  std::mt19937 rng(seed);
+  std::vector<std::pair<int, int>> edges;
+  for (int i = 0; i < edges_count; ++i) {
+    edges.push_back({static_cast<int>(rng() % nodes),
+                     static_cast<int>(rng() % nodes)});
+  }
+  return edges;
+}
+
+const char* kReachability =
+    "WITH RECURSIVE reach(n) AS (SELECT 0 UNION "
+    "SELECT e.dst FROM reach r, edges e WHERE e.src = r.n) "
+    "SELECT COUNT(*) FROM reach";
+
+}  // namespace
+
+int main() {
+  std::printf("E9: transitive closure via recursive table expressions\n");
+  std::printf("%-18s | %9s %10s | %9s %10s | %9s\n", "graph", "semi: us",
+              "iterations", "naive: us", "iterations", "reached");
+
+  struct Workload {
+    std::string label;
+    std::vector<std::pair<int, int>> edges;
+  } workloads[] = {
+      {"chain n=100", Chain(100)},
+      {"chain n=1000", Chain(1000)},
+      {"tree n=4095", BinaryTree(4095)},
+      {"random 2k/6k", RandomGraph(2000, 6000, 5)},
+      {"random 5k/20k", RandomGraph(5000, 20000, 6)},
+  };
+
+  for (const Workload& w : workloads) {
+    Database db;
+    LoadEdges(&db, w.edges);
+    size_t reached = 0;
+
+    db.options().exec.semi_naive_recursion = true;
+    uint64_t semi_iters = 0;
+    double semi_us = MedianUs([&] {
+      Result<std::vector<Row>> rows = db.Query(kReachability);
+      if (!rows.ok()) std::exit(1);
+      reached = static_cast<size_t>((*rows)[0][0].int_value());
+      semi_iters = db.last_metrics().exec_stats.recursion_iterations;
+    });
+
+    db.options().exec.semi_naive_recursion = false;
+    uint64_t naive_iters = 0;
+    size_t reached_naive = 0;
+    double naive_us = MedianUs([&] {
+      Result<std::vector<Row>> rows = db.Query(kReachability);
+      if (!rows.ok()) std::exit(1);
+      reached_naive = static_cast<size_t>((*rows)[0][0].int_value());
+      naive_iters = db.last_metrics().exec_stats.recursion_iterations;
+    });
+    if (reached != reached_naive) {
+      std::fprintf(stderr, "ANSWER MISMATCH on %s\n", w.label.c_str());
+      return 1;
+    }
+    std::printf("%-18s | %9.0f %10llu | %9.0f %10llu | %9zu\n",
+                w.label.c_str(), semi_us,
+                static_cast<unsigned long long>(semi_iters), naive_us,
+                static_cast<unsigned long long>(naive_iters), reached);
+  }
+  // E9b: §5's magic-sets direction — selection push-down into the
+  // recursion over invariant columns. The all-pairs closure of a chain is
+  // O(n^2) tuples; with the consumer's src=0 filter pushed into the base,
+  // the fixpoint explores only the single-source chain, O(n).
+  std::printf("\nE9b: selection into recursion (magic-sets special case), "
+              "all-pairs closure filtered to one source\n");
+  std::printf("%10s | %12s %10s | %12s %10s | %8s\n", "chain n",
+              "rule off: us", "tuples", "rule on: us", "tuples", "speedup");
+  const char* kFiltered =
+      "WITH RECURSIVE reach(src, dst) AS (SELECT src, dst FROM edges UNION "
+      "SELECT r.src, e.dst FROM reach r, edges e WHERE e.src = r.dst) "
+      "SELECT COUNT(*) FROM reach WHERE src = 0";
+  for (int n : {50, 100, 200, 400}) {
+    Database db;
+    LoadEdges(&db, Chain(n));
+    // Off: run every rule class except the recursion rules.
+    db.options().rewrite.enabled_classes = {"merge", "subquery",
+                                            "predicate_migration",
+                                            "projection", "misc"};
+    size_t tuples_off = 0;
+    double off_us = MedianUs([&] {
+      Result<std::vector<Row>> rows = db.Query(kFiltered);
+      if (!rows.ok()) std::exit(1);
+      tuples_off = static_cast<size_t>((*rows)[0][0].int_value());
+    });
+    db.options().rewrite.enabled_classes.clear();
+    size_t tuples_on = 0;
+    double on_us = MedianUs([&] {
+      Result<std::vector<Row>> rows = db.Query(kFiltered);
+      if (!rows.ok()) std::exit(1);
+      tuples_on = static_cast<size_t>((*rows)[0][0].int_value());
+    });
+    if (tuples_on != tuples_off) {
+      std::fprintf(stderr, "ANSWER MISMATCH: %zu vs %zu\n", tuples_off,
+                   tuples_on);
+      return 1;
+    }
+    std::printf("%10d | %12.0f %10zu | %12.0f %10zu | %7.1fx\n", n, off_us,
+                tuples_off, on_us, tuples_on,
+                off_us / std::max(on_us, 1.0));
+  }
+
+  std::printf("\nShape check: same answers and iteration counts; semi-naive "
+              "time scales with the delta (big wins on deep chains), naive "
+              "re-derives the whole closure every iteration; the pushed "
+              "selection turns O(n^2) closures into O(n).\n");
+  return 0;
+}

@@ -1,0 +1,119 @@
+// E3 — §5's rule engine controls: sequential / priority / statistical
+// control strategies, depth-first vs breadth-first QGM search, and the
+// budget ("When the budget is exhausted, the processing stops at a
+// consistent state (of QGM)").
+//
+// Workload: a tower of n nested table expressions, each a mergeable
+// SELECT with a pushable predicate — every level gives the engine a merge
+// and fold opportunity, so firings scale with n.
+
+#include "bench_util.h"
+#include "parser/parser.h"
+#include "qgm/binder.h"
+#include "rewrite/rule_engine.h"
+
+using namespace starburst;
+using namespace starburst::bench;
+using rewrite::RuleEngine;
+
+namespace {
+
+std::string NestedQuery(int depth) {
+  // SELECT k, v FROM (... (SELECT k, v FROM base WHERE v > 0) ...) WHERE ...
+  std::string sql = "SELECT k, v FROM base WHERE v > 0";
+  for (int level = 1; level < depth; ++level) {
+    sql = "SELECT k, v FROM (" + sql + ") l" + std::to_string(level) +
+          " WHERE v > " + std::to_string(level);
+  }
+  return sql;
+}
+
+}  // namespace
+
+int main() {
+  Catalog catalog;
+  TableDef base;
+  base.name = "base";
+  base.schema =
+      TableSchema({{"k", DataType::Int(), false}, {"v", DataType::Int(), true}});
+  (void)catalog.CreateTable(base);
+  RuleEngine engine = rewrite::MakeDefaultRuleEngine();
+
+  auto bind = [&](int depth) {
+    auto parsed = Parser::ParseQueryText(NestedQuery(depth));
+    qgm::Binder binder(&catalog);
+    auto graph = binder.BindQuery(**parsed);
+    if (!graph.ok()) std::exit(1);
+    return std::move(*graph);
+  };
+
+  std::printf("E3a: firings and time vs. nesting depth (sequential, DFS)\n");
+  std::printf("%6s %8s %8s %12s %10s\n", "depth", "fired", "passes",
+              "conditions", "time us");
+  for (int depth : {2, 4, 8, 16, 32}) {
+    auto graph = bind(depth);
+    Timer t;
+    auto stats = engine.Run(graph.get(), &catalog, RuleEngine::Options{});
+    double us = t.ElapsedUs();
+    if (!stats.ok()) return 1;
+    std::printf("%6d %8d %8d %12d %10.0f\n", depth, stats->rules_fired,
+                stats->passes, stats->conditions_evaluated, us);
+  }
+
+  std::printf("\nE3b: control strategies (depth 16) — same fixpoint, "
+              "different rule-selection overhead\n");
+  std::printf("%-12s %8s %12s %10s\n", "strategy", "fired", "conditions",
+              "time us");
+  struct {
+    const char* name;
+    RuleEngine::ControlStrategy control;
+  } strategies[] = {
+      {"sequential", RuleEngine::ControlStrategy::kSequential},
+      {"priority", RuleEngine::ControlStrategy::kPriority},
+      {"statistical", RuleEngine::ControlStrategy::kStatistical},
+  };
+  for (const auto& s : strategies) {
+    auto graph = bind(16);
+    RuleEngine::Options options;
+    options.control = s.control;
+    options.seed = 1234;
+    Timer t;
+    auto stats = engine.Run(graph.get(), &catalog, options);
+    double us = t.ElapsedUs();
+    if (!stats.ok()) return 1;
+    std::printf("%-12s %8d %12d %10.0f\n", s.name, stats->rules_fired,
+                stats->conditions_evaluated, us);
+  }
+
+  std::printf("\nE3c: search order (depth 16)\n");
+  std::printf("%-14s %8s %8s\n", "search", "fired", "passes");
+  for (auto [name, order] :
+       {std::pair<const char*, RuleEngine::SearchOrder>{
+            "depth-first", RuleEngine::SearchOrder::kDepthFirst},
+        {"breadth-first", RuleEngine::SearchOrder::kBreadthFirst}}) {
+    auto graph = bind(16);
+    RuleEngine::Options options;
+    options.search = order;
+    auto stats = engine.Run(graph.get(), &catalog, options);
+    if (!stats.ok()) return 1;
+    std::printf("%-14s %8d %8d\n", name, stats->rules_fired, stats->passes);
+  }
+
+  std::printf("\nE3d: budget — partial rewriting, always consistent\n");
+  std::printf("%8s %8s %11s %12s\n", "budget", "fired", "exhausted",
+              "QGM valid");
+  for (int budget : {0, 1, 2, 4, 8, 16, 64, -1}) {
+    auto graph = bind(16);
+    RuleEngine::Options options;
+    options.budget = budget;
+    auto stats = engine.Run(graph.get(), &catalog, options);
+    if (!stats.ok()) return 1;
+    std::printf("%8d %8d %11s %12s\n", budget, stats->rules_fired,
+                stats->budget_exhausted ? "yes" : "no",
+                graph->Validate().ok() ? "yes" : "NO");
+  }
+  std::printf("\nShape check: firings grow linearly with depth; all "
+              "strategies reach the fixpoint; every budget cut-off leaves "
+              "a consistent QGM.\n");
+  return 0;
+}

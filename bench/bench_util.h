@@ -1,0 +1,133 @@
+#ifndef STARBURST_BENCH_BENCH_UTIL_H_
+#define STARBURST_BENCH_BENCH_UTIL_H_
+
+// Shared helpers for the reproduction harness. Each bench binary
+// regenerates one artifact or quantified claim from the paper (see
+// DESIGN.md's per-experiment index) and prints a small table whose
+// *shape* — who wins, where the crossover falls — is the result.
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <functional>
+#include <memory>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "engine/database.h"
+
+namespace starburst::bench {
+
+class Timer {
+ public:
+  Timer() : start_(std::chrono::steady_clock::now()) {}
+  double ElapsedUs() const {
+    return std::chrono::duration<double, std::micro>(
+               std::chrono::steady_clock::now() - start_)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// Median wall time of `fn` over `reps` runs, in microseconds.
+inline double MedianUs(const std::function<void()>& fn, int reps = 3) {
+  std::vector<double> times;
+  for (int i = 0; i < reps; ++i) {
+    Timer t;
+    fn();
+    times.push_back(t.ElapsedUs());
+  }
+  std::sort(times.begin(), times.end());
+  return times[times.size() / 2];
+}
+
+inline void Must(const Result<ResultSet>& r, const char* what) {
+  if (!r.ok()) {
+    std::fprintf(stderr, "FATAL (%s): %s\n", what, r.status().ToString().c_str());
+    std::exit(1);
+  }
+}
+
+inline void MustExec(Database* db, const std::string& sql) {
+  Result<ResultSet> r = db->Execute(sql);
+  if (!r.ok()) {
+    std::fprintf(stderr, "FATAL: %s\n  in: %s\n", r.status().ToString().c_str(),
+                 sql.c_str());
+    std::exit(1);
+  }
+}
+
+inline size_t MustRows(Database* db, const std::string& sql) {
+  Result<std::vector<Row>> r = db->Query(sql);
+  if (!r.ok()) {
+    std::fprintf(stderr, "FATAL: %s\n  in: %s\n", r.status().ToString().c_str(),
+                 sql.c_str());
+    std::exit(1);
+  }
+  return r->size();
+}
+
+/// The paper's quotations/inventory schema at a given scale factor:
+/// |inventory| = 5·scale parts (unique partno), |quotations| = 5·scale
+/// quotations referencing them.
+inline std::unique_ptr<Database> MakePartsDb(int scale, uint32_t seed = 7) {
+  auto db = std::make_unique<Database>();
+  MustExec(db.get(),
+           "CREATE TABLE quotations (partno INT, price DOUBLE, order_qty INT)");
+  MustExec(db.get(),
+           "CREATE TABLE inventory (partno INT PRIMARY KEY, onhand_qty INT, "
+           "type STRING)");
+  std::mt19937 rng(seed);
+  const char* types[] = {"CPU", "DISK", "RAM", "TAPE"};
+  int parts = 5 * scale;
+  for (int base = 0; base < parts; base += 500) {
+    std::string sql = "INSERT INTO inventory VALUES ";
+    int hi = std::min(base + 500, parts);
+    for (int i = base; i < hi; ++i) {
+      if (i > base) sql += ", ";
+      sql += "(" + std::to_string(i) + ", " +
+             std::to_string(static_cast<int>(rng() % 200)) + ", '" +
+             types[rng() % 4] + "')";
+    }
+    MustExec(db.get(), sql);
+  }
+  for (int base = 0; base < parts; base += 500) {
+    std::string sql = "INSERT INTO quotations VALUES ";
+    int hi = std::min(base + 500, parts);
+    for (int i = base; i < hi; ++i) {
+      if (i > base) sql += ", ";
+      sql += "(" + std::to_string(static_cast<int>(rng() % parts)) + ", " +
+             std::to_string(1.0 + (rng() % 10000) / 100.0) + ", " +
+             std::to_string(static_cast<int>(rng() % 250)) + ")";
+    }
+    MustExec(db.get(), sql);
+  }
+  if (!db->AnalyzeAll().ok()) std::exit(1);
+  return db;
+}
+
+/// A generic integer table `name(k INT, v INT, w STRING)` with `rows`
+/// rows; k in [0, rows), v in [0, ndv_v).
+inline void MakeIntTable(Database* db, const std::string& name, int rows,
+                         int ndv_v, uint32_t seed = 11) {
+  MustExec(db, "CREATE TABLE " + name + " (k INT, v INT, w STRING)");
+  std::mt19937 rng(seed);
+  for (int base = 0; base < rows; base += 500) {
+    std::string sql = "INSERT INTO " + name + " VALUES ";
+    int hi = std::min(base + 500, rows);
+    for (int i = base; i < hi; ++i) {
+      if (i > base) sql += ", ";
+      sql += "(" + std::to_string(i) + ", " +
+             std::to_string(static_cast<int>(rng() % ndv_v)) + ", 'w" +
+             std::to_string(rng() % 100) + "')";
+    }
+    MustExec(db, sql);
+  }
+}
+
+}  // namespace starburst::bench
+
+#endif  // STARBURST_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,72 @@
+// An interactive Hydrogen shell over the embedded engine — the artifact a
+// downstream user reaches for first. Reads ';'-terminated statements from
+// stdin; `\timing` toggles the Figure-1 phase report, `\q` quits.
+//
+//   ./example_repl            # interactive
+//   ./example_repl < file.sql # batch
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "engine/database.h"
+#include "ext/extensions.h"
+
+using starburst::Database;
+using starburst::Result;
+using starburst::ResultSet;
+
+int main() {
+  Database db;
+  (void)starburst::ext::RegisterAllExtensions(&db);
+  bool timing = false;
+  bool tty = true;
+
+  std::printf("Starburst/Corona shell — Hydrogen statements end with ';'\n"
+              "meta: \\timing toggles phase timings, \\q quits\n");
+
+  std::string buffer;
+  std::string line;
+  while (true) {
+    if (tty) std::printf(buffer.empty() ? "starburst> " : "      ...> ");
+    if (!std::getline(std::cin, line)) break;
+
+    if (buffer.empty() && !line.empty() && line[0] == '\\') {
+      if (line == "\\q" || line == "\\quit") break;
+      if (line == "\\timing") {
+        timing = !timing;
+        std::printf("timing %s\n", timing ? "on" : "off");
+      } else {
+        std::printf("unknown meta command: %s\n", line.c_str());
+      }
+      continue;
+    }
+
+    buffer += line + "\n";
+    // Execute once a ';' arrives (statements may span lines).
+    if (buffer.find(';') == std::string::npos) continue;
+    std::string sql = buffer;
+    buffer.clear();
+    if (sql.find_first_not_of(" \t\n;") == std::string::npos) continue;
+
+    Result<ResultSet> result = db.Execute(sql);
+    if (!result.ok()) {
+      std::printf("ERROR: %s\n", result.status().ToString().c_str());
+      continue;
+    }
+    if (!result->rows().empty() && result->column_names().size() == 1 &&
+        result->column_names()[0] == "plan") {
+      std::printf("%s", result->rows()[0][0].string_value().c_str());
+    } else {
+      std::printf("%s", result->ToString().c_str());
+    }
+    if (timing) {
+      const starburst::QueryMetrics& m = db.last_metrics();
+      std::printf("parse %.0f | bind %.0f | rewrite %.0f | optimize %.0f | "
+                  "refine %.0f | execute %.0f (us)\n",
+                  m.parse_us, m.bind_us, m.rewrite_us, m.optimize_us,
+                  m.refine_us, m.execute_us);
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,69 @@
+// The DBC extension demo from §1/§2: an externally-defined POINT type,
+// spatial functions, and an R-tree access method — all registered through
+// public extension points, then used from plain Hydrogen.
+
+#include <cstdio>
+
+#include "engine/database.h"
+#include "ext/extensions.h"
+
+using starburst::Database;
+using starburst::Result;
+using starburst::ResultSet;
+
+namespace {
+
+void Run(Database& db, const char* sql) {
+  std::printf("starburst> %s\n", sql);
+  Result<ResultSet> result = db.Execute(sql);
+  if (!result.ok()) {
+    std::printf("ERROR: %s\n\n", result.status().ToString().c_str());
+    return;
+  }
+  if (!result->rows().empty() && result->column_names().size() == 1 &&
+      result->column_names()[0] == "plan") {
+    std::printf("%s\n", result->rows()[0][0].string_value().c_str());
+  } else {
+    std::printf("%s\n", result->ToString().c_str());
+  }
+}
+
+}  // namespace
+
+int main() {
+  Database db;
+  // One call installs the POINT type, POINT/PX/PY/CONTAINS/DISTANCE
+  // functions, the RTREE attachment kind, the DBC's TableAccess STAR, and
+  // the RTREE_SCAN query-evaluation operator.
+  if (!starburst::ext::RegisterSpatialExtension(&db).ok()) {
+    std::printf("failed to register the spatial extension\n");
+    return 1;
+  }
+
+  Run(db, "CREATE TABLE landmarks (name STRING, loc POINT)");
+  Run(db, "INSERT INTO landmarks VALUES "
+          "('almaden', POINT(37.21, -121.81)), "
+          "('campus', POINT(37.33, -122.01)), "
+          "('downtown', POINT(37.34, -121.89)), "
+          "('airport', POINT(37.36, -121.93)), "
+          "('lighthouse', POINT(36.95, -122.03))");
+
+  // A spatial window query runs fine without any index (CONTAINS is an
+  // ordinary DBC scalar function evaluated in the scan's predicate
+  // evaluator)...
+  Run(db, "SELECT name FROM landmarks "
+          "WHERE CONTAINS(loc, 37.3, -122.1, 37.4, -121.8) ORDER BY name");
+
+  // ...but once the DBC attachment exists, "Corona must recognize when
+  // this access method is useful for a query and when to invoke it" (§1).
+  Run(db, "CREATE INDEX landmarks_loc ON landmarks (loc) USING RTREE");
+  Run(db, "EXPLAIN PLAN SELECT name FROM landmarks "
+          "WHERE CONTAINS(loc, 37.3, -122.1, 37.4, -121.8)");
+  Run(db, "SELECT name FROM landmarks "
+          "WHERE CONTAINS(loc, 37.3, -122.1, 37.4, -121.8) ORDER BY name");
+
+  // Spatial functions compose with the rest of the language.
+  Run(db, "SELECT name, DISTANCE(loc, POINT(37.33, -121.89)) AS d "
+          "FROM landmarks ORDER BY d LIMIT 3");
+  return 0;
+}

@@ -1,0 +1,147 @@
+#include "catalog/catalog.h"
+
+#include <algorithm>
+
+namespace starburst {
+
+bool TableDef::ColumnsContainUniqueKey(
+    const std::vector<size_t>& columns) const {
+  for (const std::vector<size_t>& key : unique_keys) {
+    bool covered = std::all_of(key.begin(), key.end(), [&](size_t k) {
+      return std::find(columns.begin(), columns.end(), k) != columns.end();
+    });
+    if (covered) return true;
+  }
+  return false;
+}
+
+Status Catalog::CreateTable(TableDef def) {
+  std::string key = IdentUpper(def.name);
+  if (tables_.count(key) || views_.count(key)) {
+    return Status::AlreadyExists("table or view '" + key + "' already exists");
+  }
+  if (def.schema.num_columns() == 0) {
+    return Status::InvalidArgument("table '" + key + "' has no columns");
+  }
+  tables_.emplace(key, std::move(def));
+  return Status::OK();
+}
+
+Status Catalog::DropTable(const std::string& name) {
+  std::string key = IdentUpper(name);
+  if (tables_.erase(key) == 0) {
+    return Status::NotFound("table '" + key + "' does not exist");
+  }
+  // Drop dependent attachments.
+  for (auto it = indexes_.begin(); it != indexes_.end();) {
+    if (IdentEquals(it->second.table_name, name)) {
+      it = indexes_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  return Status::OK();
+}
+
+Result<const TableDef*> Catalog::GetTable(const std::string& name) const {
+  auto it = tables_.find(IdentUpper(name));
+  if (it == tables_.end()) {
+    return Status::NotFound("table '" + IdentUpper(name) + "' does not exist");
+  }
+  return &it->second;
+}
+
+Result<TableDef*> Catalog::GetMutableTable(const std::string& name) {
+  auto it = tables_.find(IdentUpper(name));
+  if (it == tables_.end()) {
+    return Status::NotFound("table '" + IdentUpper(name) + "' does not exist");
+  }
+  return &it->second;
+}
+
+bool Catalog::HasTable(const std::string& name) const {
+  return tables_.count(IdentUpper(name)) > 0;
+}
+
+std::vector<std::string> Catalog::TableNames() const {
+  std::vector<std::string> names;
+  for (const auto& [name, def] : tables_) names.push_back(name);
+  return names;
+}
+
+Status Catalog::CreateView(ViewDef def) {
+  std::string key = IdentUpper(def.name);
+  if (tables_.count(key) || views_.count(key)) {
+    return Status::AlreadyExists("table or view '" + key + "' already exists");
+  }
+  views_.emplace(key, std::move(def));
+  return Status::OK();
+}
+
+Status Catalog::DropView(const std::string& name) {
+  if (views_.erase(IdentUpper(name)) == 0) {
+    return Status::NotFound("view '" + IdentUpper(name) + "' does not exist");
+  }
+  return Status::OK();
+}
+
+Result<const ViewDef*> Catalog::GetView(const std::string& name) const {
+  auto it = views_.find(IdentUpper(name));
+  if (it == views_.end()) {
+    return Status::NotFound("view '" + IdentUpper(name) + "' does not exist");
+  }
+  return &it->second;
+}
+
+bool Catalog::HasView(const std::string& name) const {
+  return views_.count(IdentUpper(name)) > 0;
+}
+
+Status Catalog::CreateIndex(IndexDef def) {
+  std::string key = IdentUpper(def.name);
+  if (indexes_.count(key)) {
+    return Status::AlreadyExists("index '" + key + "' already exists");
+  }
+  auto table = GetTable(def.table_name);
+  if (!table.ok()) return table.status();
+  for (const std::string& col : def.key_columns) {
+    if (!(*table)->schema.FindColumn(col).has_value()) {
+      return Status::SemanticError("index '" + key + "': no column '" + col +
+                                   "' in table " + def.table_name);
+    }
+  }
+  indexes_.emplace(key, std::move(def));
+  return Status::OK();
+}
+
+Status Catalog::DropIndex(const std::string& name) {
+  if (indexes_.erase(IdentUpper(name)) == 0) {
+    return Status::NotFound("index '" + IdentUpper(name) + "' does not exist");
+  }
+  return Status::OK();
+}
+
+Result<const IndexDef*> Catalog::GetIndex(const std::string& name) const {
+  auto it = indexes_.find(IdentUpper(name));
+  if (it == indexes_.end()) {
+    return Status::NotFound("index '" + IdentUpper(name) + "' does not exist");
+  }
+  return &it->second;
+}
+
+std::vector<const IndexDef*> Catalog::IndexesOnTable(
+    const std::string& table_name) const {
+  std::vector<const IndexDef*> out;
+  for (const auto& [name, def] : indexes_) {
+    if (IdentEquals(def.table_name, table_name)) out.push_back(&def);
+  }
+  return out;
+}
+
+Status Catalog::UpdateStats(const std::string& table_name, TableStats stats) {
+  STARBURST_ASSIGN_OR_RETURN(TableDef* def, GetMutableTable(table_name));
+  def->stats = std::move(stats);
+  return Status::OK();
+}
+
+}  // namespace starburst

@@ -1,0 +1,98 @@
+#ifndef STARBURST_CATALOG_CATALOG_H_
+#define STARBURST_CATALOG_CATALOG_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "catalog/function_registry.h"
+#include "catalog/schema.h"
+#include "catalog/statistics.h"
+#include "common/result.h"
+
+namespace starburst {
+
+/// Metadata for a stored (base) table. `storage_manager` names the Core
+/// storage manager the table was created under ("HEAP" by default; the
+/// paper's fixed-length-record manager is "FIXED"); Corona "must ensure
+/// that the correct storage manager is invoked when a table is accessed".
+struct TableDef {
+  std::string name;
+  TableSchema schema;
+  std::string storage_manager = "HEAP";
+  /// Site the table is stored at; "local" unless simulating distribution.
+  /// Non-local tables get a SHIP LOLEPOP glued above their access plans.
+  std::string site = "local";
+  /// Column index sets that are unique keys (first one = primary key when
+  /// present). Drives rewrite Rule 1's "at most one tuple matches" test.
+  std::vector<std::vector<size_t>> unique_keys;
+  TableStats stats;
+
+  bool ColumnsContainUniqueKey(const std::vector<size_t>& columns) const;
+};
+
+/// Metadata for an access-method attachment on a table (§1: B-trees are
+/// built in; a DBC can attach new kinds, e.g. an R-tree).
+struct IndexDef {
+  std::string name;
+  std::string table_name;
+  std::vector<std::string> key_columns;
+  bool unique = false;
+  std::string access_method = "BTREE";  // "BTREE", "RTREE", DBC-defined
+};
+
+/// A named view: its Hydrogen text is stored and merged/expanded at use
+/// sites by the binder, hidden from the query writer (§5).
+struct ViewDef {
+  std::string name;
+  std::vector<std::string> column_names;  // optional renames
+  std::string body_sql;                   // the defining SELECT
+};
+
+/// The system catalog: tables, views, attachments, statistics, and the
+/// function registry. One per Database instance.
+class Catalog {
+ public:
+  Catalog() : functions_(std::make_unique<FunctionRegistry>()) {}
+
+  Catalog(const Catalog&) = delete;
+  Catalog& operator=(const Catalog&) = delete;
+
+  // -- tables --
+  Status CreateTable(TableDef def);
+  Status DropTable(const std::string& name);
+  Result<const TableDef*> GetTable(const std::string& name) const;
+  Result<TableDef*> GetMutableTable(const std::string& name);
+  bool HasTable(const std::string& name) const;
+  std::vector<std::string> TableNames() const;
+
+  // -- views --
+  Status CreateView(ViewDef def);
+  Status DropView(const std::string& name);
+  Result<const ViewDef*> GetView(const std::string& name) const;
+  bool HasView(const std::string& name) const;
+
+  // -- attachments (indexes) --
+  Status CreateIndex(IndexDef def);
+  Status DropIndex(const std::string& name);
+  Result<const IndexDef*> GetIndex(const std::string& name) const;
+  /// All attachments on `table_name`.
+  std::vector<const IndexDef*> IndexesOnTable(const std::string& table_name) const;
+
+  // -- statistics --
+  Status UpdateStats(const std::string& table_name, TableStats stats);
+
+  FunctionRegistry& functions() { return *functions_; }
+  const FunctionRegistry& functions() const { return *functions_; }
+
+ private:
+  std::map<std::string, TableDef> tables_;   // keyed by upper-cased name
+  std::map<std::string, ViewDef> views_;
+  std::map<std::string, IndexDef> indexes_;
+  std::unique_ptr<FunctionRegistry> functions_;
+};
+
+}  // namespace starburst
+
+#endif  // STARBURST_CATALOG_CATALOG_H_

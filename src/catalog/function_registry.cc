@@ -1,0 +1,296 @@
+#include "catalog/function_registry.h"
+
+#include <cmath>
+#include <cstdint>
+
+namespace starburst {
+
+namespace {
+
+Result<DataType> NumericPassThrough(const std::vector<DataType>& args) {
+  for (const DataType& t : args) {
+    if (!t.is_numeric() && t.id != TypeId::kNull) {
+      return Status::TypeError("expected numeric argument, got " + t.ToString());
+    }
+  }
+  for (const DataType& t : args) {
+    if (t.id == TypeId::kDouble) return DataType::Double();
+  }
+  return DataType::Int();
+}
+
+// --- built-in aggregates -------------------------------------------------
+
+class CountState : public AggregateState {
+ public:
+  Status Accumulate(const Value& v) override {
+    if (!v.is_null()) ++count_;
+    return Status::OK();
+  }
+  Result<Value> Finalize() override { return Value::Int(count_); }
+
+ private:
+  int64_t count_ = 0;
+};
+
+class SumState : public AggregateState {
+ public:
+  Status Accumulate(const Value& v) override {
+    if (v.is_null()) return Status::OK();
+    STARBURST_ASSIGN_OR_RETURN(double d, v.AsDouble());
+    sum_ += d;
+    if (v.type_id() == TypeId::kDouble) saw_double_ = true;
+    saw_value_ = true;
+    return Status::OK();
+  }
+  Result<Value> Finalize() override {
+    if (!saw_value_) return Value::Null();
+    if (saw_double_) return Value::Double(sum_);
+    return Value::Int(static_cast<int64_t>(sum_));
+  }
+
+ private:
+  double sum_ = 0;
+  bool saw_double_ = false;
+  bool saw_value_ = false;
+};
+
+class AvgState : public AggregateState {
+ public:
+  Status Accumulate(const Value& v) override {
+    if (v.is_null()) return Status::OK();
+    STARBURST_ASSIGN_OR_RETURN(double d, v.AsDouble());
+    sum_ += d;
+    ++count_;
+    return Status::OK();
+  }
+  Result<Value> Finalize() override {
+    if (count_ == 0) return Value::Null();
+    return Value::Double(sum_ / static_cast<double>(count_));
+  }
+
+ private:
+  double sum_ = 0;
+  int64_t count_ = 0;
+};
+
+class MinMaxState : public AggregateState {
+ public:
+  explicit MinMaxState(bool want_min) : want_min_(want_min) {}
+  Status Accumulate(const Value& v) override {
+    if (v.is_null()) return Status::OK();
+    if (best_.is_null()) {
+      best_ = v;
+      return Status::OK();
+    }
+    STARBURST_ASSIGN_OR_RETURN(int cmp, v.Compare(best_));
+    if ((want_min_ && cmp < 0) || (!want_min_ && cmp > 0)) best_ = v;
+    return Status::OK();
+  }
+  Result<Value> Finalize() override { return best_; }
+
+ private:
+  bool want_min_;
+  Value best_;  // null until the first non-null input
+};
+
+// --- built-in set predicates ---------------------------------------------
+
+/// ANY/SOME: true iff the element predicate held for at least one member.
+class AnyState : public SetPredicateState {
+ public:
+  void Observe(bool match) override { hit_ = hit_ || match; }
+  bool Decided() const override { return hit_; }
+  bool Verdict() const override { return hit_; }
+
+ private:
+  bool hit_ = false;
+};
+
+/// ALL: true iff the element predicate held for every member (vacuously
+/// true on the empty set, as in SQL).
+class AllState : public SetPredicateState {
+ public:
+  void Observe(bool match) override { all_ = all_ && match; }
+  bool Decided() const override { return !all_; }
+  bool Verdict() const override { return all_; }
+
+ private:
+  bool all_ = true;
+};
+
+}  // namespace
+
+FunctionRegistry::FunctionRegistry() { RegisterBuiltins(); }
+
+Status FunctionRegistry::RegisterScalar(ScalarFunctionDef def) {
+  std::string key = IdentUpper(def.name);
+  if (!def.infer_type || !def.eval) {
+    return Status::InvalidArgument("scalar function '" + key +
+                                   "' must supply infer_type and eval");
+  }
+  if (!scalars_.emplace(key, std::move(def)).second) {
+    return Status::AlreadyExists("scalar function '" + key + "' exists");
+  }
+  return Status::OK();
+}
+
+Status FunctionRegistry::RegisterAggregate(AggregateFunctionDef def) {
+  std::string key = IdentUpper(def.name);
+  if (!def.make_state) {
+    return Status::InvalidArgument("aggregate '" + key + "' needs make_state");
+  }
+  if (!aggregates_.emplace(key, std::move(def)).second) {
+    return Status::AlreadyExists("aggregate '" + key + "' exists");
+  }
+  return Status::OK();
+}
+
+Status FunctionRegistry::RegisterSetPredicate(SetPredicateFunctionDef def) {
+  std::string key = IdentUpper(def.name);
+  if (!def.make_state) {
+    return Status::InvalidArgument("set predicate '" + key + "' needs make_state");
+  }
+  if (!set_predicates_.emplace(key, std::move(def)).second) {
+    return Status::AlreadyExists("set predicate '" + key + "' exists");
+  }
+  return Status::OK();
+}
+
+Status FunctionRegistry::RegisterTableFunction(TableFunctionDef def) {
+  std::string key = IdentUpper(def.name);
+  if (!def.infer_schema || !def.eval) {
+    return Status::InvalidArgument("table function '" + key +
+                                   "' must supply infer_schema and eval");
+  }
+  if (!table_functions_.emplace(key, std::move(def)).second) {
+    return Status::AlreadyExists("table function '" + key + "' exists");
+  }
+  return Status::OK();
+}
+
+const ScalarFunctionDef* FunctionRegistry::FindScalar(
+    const std::string& name) const {
+  auto it = scalars_.find(IdentUpper(name));
+  return it == scalars_.end() ? nullptr : &it->second;
+}
+
+const AggregateFunctionDef* FunctionRegistry::FindAggregate(
+    const std::string& name) const {
+  auto it = aggregates_.find(IdentUpper(name));
+  return it == aggregates_.end() ? nullptr : &it->second;
+}
+
+const SetPredicateFunctionDef* FunctionRegistry::FindSetPredicate(
+    const std::string& name) const {
+  auto it = set_predicates_.find(IdentUpper(name));
+  return it == set_predicates_.end() ? nullptr : &it->second;
+}
+
+const TableFunctionDef* FunctionRegistry::FindTableFunction(
+    const std::string& name) const {
+  auto it = table_functions_.find(IdentUpper(name));
+  return it == table_functions_.end() ? nullptr : &it->second;
+}
+
+std::vector<std::string> FunctionRegistry::ScalarNames() const {
+  std::vector<std::string> names;
+  for (const auto& [name, def] : scalars_) names.push_back(name);
+  return names;
+}
+
+std::vector<std::string> FunctionRegistry::AggregateNames() const {
+  std::vector<std::string> names;
+  for (const auto& [name, def] : aggregates_) names.push_back(name);
+  return names;
+}
+
+void FunctionRegistry::RegisterBuiltins() {
+  // Scalars.
+  (void)RegisterScalar(ScalarFunctionDef{
+      "ABS", 1, NumericPassThrough,
+      [](const std::vector<Value>& args) -> Result<Value> {
+        const Value& v = args[0];
+        if (v.is_null()) return Value::Null();
+        if (v.type_id() == TypeId::kInt) {
+          return Value::Int(v.int_value() < 0 ? -v.int_value() : v.int_value());
+        }
+        STARBURST_ASSIGN_OR_RETURN(double d, v.AsDouble());
+        return Value::Double(std::fabs(d));
+      }});
+  (void)RegisterScalar(ScalarFunctionDef{
+      "MOD", 2, [](const std::vector<DataType>& args) -> Result<DataType> {
+        STARBURST_RETURN_IF_ERROR(NumericPassThrough(args).status());
+        return DataType::Int();
+      },
+      [](const std::vector<Value>& args) -> Result<Value> {
+        if (args[0].is_null() || args[1].is_null()) return Value::Null();
+        STARBURST_ASSIGN_OR_RETURN(int64_t a, args[0].AsInt());
+        STARBURST_ASSIGN_OR_RETURN(int64_t b, args[1].AsInt());
+        if (b == 0) return Status::InvalidArgument("MOD by zero");
+        return Value::Int(a % b);
+      }});
+  (void)RegisterScalar(ScalarFunctionDef{
+      "LENGTH", 1,
+      [](const std::vector<DataType>& args) -> Result<DataType> {
+        if (args[0].id != TypeId::kString && args[0].id != TypeId::kNull) {
+          return Status::TypeError("LENGTH expects STRING");
+        }
+        return DataType::Int();
+      },
+      [](const std::vector<Value>& args) -> Result<Value> {
+        if (args[0].is_null()) return Value::Null();
+        return Value::Int(static_cast<int64_t>(args[0].string_value().size()));
+      }});
+  (void)RegisterScalar(ScalarFunctionDef{
+      "UPPER", 1,
+      [](const std::vector<DataType>& args) -> Result<DataType> {
+        if (args[0].id != TypeId::kString && args[0].id != TypeId::kNull) {
+          return Status::TypeError("UPPER expects STRING");
+        }
+        return DataType::String();
+      },
+      [](const std::vector<Value>& args) -> Result<Value> {
+        if (args[0].is_null()) return Value::Null();
+        return Value::String(IdentUpper(args[0].string_value()));
+      }});
+
+  // Aggregates.
+  (void)RegisterAggregate(AggregateFunctionDef{
+      "COUNT", [](const DataType&) -> Result<DataType> { return DataType::Int(); },
+      [] { return std::make_unique<CountState>(); }});
+  (void)RegisterAggregate(AggregateFunctionDef{
+      "SUM",
+      [](const DataType& in) -> Result<DataType> {
+        if (!in.is_numeric() && in.id != TypeId::kNull) {
+          return Status::TypeError("SUM expects numeric input");
+        }
+        return in.id == TypeId::kDouble ? DataType::Double() : DataType::Int();
+      },
+      [] { return std::make_unique<SumState>(); }});
+  (void)RegisterAggregate(AggregateFunctionDef{
+      "AVG",
+      [](const DataType& in) -> Result<DataType> {
+        if (!in.is_numeric() && in.id != TypeId::kNull) {
+          return Status::TypeError("AVG expects numeric input");
+        }
+        return DataType::Double();
+      },
+      [] { return std::make_unique<AvgState>(); }});
+  (void)RegisterAggregate(AggregateFunctionDef{
+      "MIN", [](const DataType& in) -> Result<DataType> { return in; },
+      [] { return std::make_unique<MinMaxState>(/*want_min=*/true); }});
+  (void)RegisterAggregate(AggregateFunctionDef{
+      "MAX", [](const DataType& in) -> Result<DataType> { return in; },
+      [] { return std::make_unique<MinMaxState>(/*want_min=*/false); }});
+
+  // Set predicates (SQL built-ins; DBC additions like MAJORITY live in ext/).
+  (void)RegisterSetPredicate(SetPredicateFunctionDef{
+      "ANY", [] { return std::make_unique<AnyState>(); }});
+  (void)RegisterSetPredicate(SetPredicateFunctionDef{
+      "SOME", [] { return std::make_unique<AnyState>(); }});
+  (void)RegisterSetPredicate(SetPredicateFunctionDef{
+      "ALL", [] { return std::make_unique<AllState>(); }});
+}
+
+}  // namespace starburst

@@ -1,0 +1,110 @@
+#ifndef STARBURST_CATALOG_FUNCTION_REGISTRY_H_
+#define STARBURST_CATALOG_FUNCTION_REGISTRY_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "catalog/schema.h"
+#include "common/result.h"
+#include "common/row.h"
+#include "common/value.h"
+
+namespace starburst {
+
+/// A DBC-defined scalar function (§2: "Scalar functions ... take one or
+/// more field values from a single tuple, and return a single value").
+/// Usable anywhere a column can be referenced; the engine invokes it at
+/// the lowest level (predicate evaluator) per the paper.
+struct ScalarFunctionDef {
+  std::string name;
+  /// -1 = variadic.
+  int arity = -1;
+  /// Derives the result type from argument types (also type-checks).
+  std::function<Result<DataType>(const std::vector<DataType>&)> infer_type;
+  /// Row-at-a-time evaluation.
+  std::function<Result<Value>(const std::vector<Value>&)> eval;
+};
+
+/// Streaming state of one aggregate evaluation over a group.
+class AggregateState {
+ public:
+  virtual ~AggregateState() = default;
+  virtual Status Accumulate(const Value& v) = 0;
+  virtual Result<Value> Finalize() = 0;
+};
+
+/// A DBC-defined aggregate function (§2: e.g. StandardDeviation(Salary));
+/// interchangeable with built-in aggregates.
+struct AggregateFunctionDef {
+  std::string name;
+  std::function<Result<DataType>(const DataType&)> infer_type;
+  std::function<std::unique_ptr<AggregateState>()> make_state;
+};
+
+/// Streaming state of one set-predicate evaluation: observes the truth of
+/// the element predicate for each member of the set, then renders a
+/// verdict. ALL / ANY are built in; a DBC can add e.g. MAJORITY (§2).
+class SetPredicateState {
+ public:
+  virtual ~SetPredicateState() = default;
+  /// `match` = the element predicate held for this set member
+  /// (three-valued UNKNOWN is folded to false by the caller).
+  virtual void Observe(bool match) = 0;
+  /// May return true to allow early termination of the set scan.
+  virtual bool Decided() const { return false; }
+  virtual bool Verdict() const = 0;
+};
+
+struct SetPredicateFunctionDef {
+  std::string name;
+  std::function<std::unique_ptr<SetPredicateState>()> make_state;
+};
+
+/// A DBC-defined table function (§2: "take one or more tables ... and
+/// produce a new table as output", e.g. SAMPLE(table, n)). The engine
+/// materializes input tables and hands them over.
+struct TableFunctionDef {
+  std::string name;
+  /// Output schema from input schemas + scalar args.
+  std::function<Result<TableSchema>(const std::vector<TableSchema>&,
+                                    const std::vector<Value>&)> infer_schema;
+  /// Evaluate: materialized input tables + scalar args -> output rows.
+  std::function<Result<std::vector<Row>>(const std::vector<std::vector<Row>>&,
+                                         const std::vector<Value>&)> eval;
+};
+
+/// The catalog's registry of all externally-definable functions. Built-in
+/// SQL functions (arithmetic, COUNT/SUM/..., ALL/ANY) register here through
+/// the same interface the DBC uses — extensions are not second-class.
+class FunctionRegistry {
+ public:
+  FunctionRegistry();
+
+  Status RegisterScalar(ScalarFunctionDef def);
+  Status RegisterAggregate(AggregateFunctionDef def);
+  Status RegisterSetPredicate(SetPredicateFunctionDef def);
+  Status RegisterTableFunction(TableFunctionDef def);
+
+  const ScalarFunctionDef* FindScalar(const std::string& name) const;
+  const AggregateFunctionDef* FindAggregate(const std::string& name) const;
+  const SetPredicateFunctionDef* FindSetPredicate(const std::string& name) const;
+  const TableFunctionDef* FindTableFunction(const std::string& name) const;
+
+  std::vector<std::string> ScalarNames() const;
+  std::vector<std::string> AggregateNames() const;
+
+ private:
+  void RegisterBuiltins();
+
+  std::map<std::string, ScalarFunctionDef> scalars_;
+  std::map<std::string, AggregateFunctionDef> aggregates_;
+  std::map<std::string, SetPredicateFunctionDef> set_predicates_;
+  std::map<std::string, TableFunctionDef> table_functions_;
+};
+
+}  // namespace starburst
+
+#endif  // STARBURST_CATALOG_FUNCTION_REGISTRY_H_

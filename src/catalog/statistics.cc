@@ -1,0 +1,13 @@
+#include "catalog/statistics.h"
+
+#include "catalog/schema.h"
+
+namespace starburst {
+
+const ColumnStats* TableStats::FindColumn(const std::string& name) const {
+  auto it = columns.find(IdentUpper(name));
+  if (it == columns.end()) return nullptr;
+  return &it->second;
+}
+
+}  // namespace starburst

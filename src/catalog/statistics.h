@@ -1,0 +1,32 @@
+#ifndef STARBURST_CATALOG_STATISTICS_H_
+#define STARBURST_CATALOG_STATISTICS_H_
+
+#include <map>
+#include <optional>
+#include <string>
+
+#include "common/value.h"
+
+namespace starburst {
+
+/// Optimizer-facing statistics for one column of a stored table.
+struct ColumnStats {
+  double distinct_count = 0;       // number of distinct values (NDV)
+  std::optional<Value> min_value;
+  std::optional<Value> max_value;
+  double null_fraction = 0;
+};
+
+/// Statistics for one stored table; feeds cardinality estimation in the
+/// cost model (§6 "starting with statistics on stored tables").
+struct TableStats {
+  double row_count = 0;
+  double page_count = 1;
+  std::map<std::string, ColumnStats> columns;  // keyed by upper-cased name
+
+  const ColumnStats* FindColumn(const std::string& name) const;
+};
+
+}  // namespace starburst
+
+#endif  // STARBURST_CATALOG_STATISTICS_H_

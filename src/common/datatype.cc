@@ -1,0 +1,64 @@
+#include "common/datatype.h"
+
+namespace starburst {
+
+const char* TypeIdName(TypeId id) {
+  switch (id) {
+    case TypeId::kNull: return "NULL";
+    case TypeId::kBool: return "BOOL";
+    case TypeId::kInt: return "INT";
+    case TypeId::kDouble: return "DOUBLE";
+    case TypeId::kString: return "STRING";
+    case TypeId::kExtension: return "EXTENSION";
+  }
+  return "?";
+}
+
+std::string DataType::ToString() const {
+  if (id == TypeId::kExtension) return type_name;
+  return TypeIdName(id);
+}
+
+TypeRegistry& TypeRegistry::Global() {
+  static TypeRegistry* registry = new TypeRegistry();
+  return *registry;
+}
+
+Status TypeRegistry::Register(ExtensionTypeDef def) {
+  if (def.name.empty()) {
+    return Status::InvalidArgument("extension type needs a name");
+  }
+  if (!def.compare || !def.to_string) {
+    return Status::InvalidArgument(
+        "extension type '" + def.name + "' must supply compare and to_string");
+  }
+  auto [it, inserted] = types_.emplace(def.name, std::move(def));
+  (void)it;
+  if (!inserted) {
+    return Status::AlreadyExists("extension type '" + it->first +
+                                 "' already registered");
+  }
+  return Status::OK();
+}
+
+bool TypeRegistry::Contains(const std::string& name) const {
+  return types_.count(name) > 0;
+}
+
+Result<const ExtensionTypeDef*> TypeRegistry::Lookup(
+    const std::string& name) const {
+  auto it = types_.find(name);
+  if (it == types_.end()) {
+    return Status::NotFound("extension type '" + name + "' not registered");
+  }
+  return &it->second;
+}
+
+std::vector<std::string> TypeRegistry::Names() const {
+  std::vector<std::string> names;
+  names.reserve(types_.size());
+  for (const auto& [name, def] : types_) names.push_back(name);
+  return names;
+}
+
+}  // namespace starburst

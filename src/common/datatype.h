@@ -1,0 +1,93 @@
+#ifndef STARBURST_COMMON_DATATYPE_H_
+#define STARBURST_COMMON_DATATYPE_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace starburst {
+
+/// Built-in column type tags. `kExtension` covers every externally-defined
+/// (DBC) type; the concrete extension type is named by DataType::type_name.
+enum class TypeId : uint8_t {
+  kNull = 0,
+  kBool,
+  kInt,      // 64-bit signed
+  kDouble,   // IEEE double
+  kString,   // variable-length UTF-8
+  kExtension,
+};
+
+const char* TypeIdName(TypeId id);
+
+/// A column datatype: a built-in tag, or an extension tag plus the name the
+/// DBC registered the type under ("POINT", ...).
+struct DataType {
+  TypeId id = TypeId::kNull;
+  std::string type_name;  // only for kExtension
+
+  DataType() = default;
+  explicit DataType(TypeId tid) : id(tid) {}
+
+  static DataType Null() { return DataType(TypeId::kNull); }
+  static DataType Bool() { return DataType(TypeId::kBool); }
+  static DataType Int() { return DataType(TypeId::kInt); }
+  static DataType Double() { return DataType(TypeId::kDouble); }
+  static DataType String() { return DataType(TypeId::kString); }
+  static DataType Extension(std::string name) {
+    DataType t(TypeId::kExtension);
+    t.type_name = std::move(name);
+    return t;
+  }
+
+  bool is_numeric() const { return id == TypeId::kInt || id == TypeId::kDouble; }
+  bool is_extension() const { return id == TypeId::kExtension; }
+
+  /// "INT", "STRING", or the extension name.
+  std::string ToString() const;
+
+  bool operator==(const DataType& other) const {
+    return id == other.id && type_name == other.type_name;
+  }
+  bool operator!=(const DataType& other) const { return !(*this == other); }
+};
+
+class Value;  // defined in common/value.h
+
+/// Behaviour a DBC supplies when registering an externally-defined type
+/// (§2 of the paper: "Starburst will allow the definition of almost any
+/// type"). Extension values are carried as opaque byte payloads; these
+/// callbacks give them semantics.
+struct ExtensionTypeDef {
+  std::string name;
+  /// Three-way comparison of two payloads: <0, 0, >0.
+  std::function<int(const std::string&, const std::string&)> compare;
+  /// Rendering for result sets / EXPLAIN.
+  std::function<std::string(const std::string&)> to_string;
+  /// Parse from a literal's text (e.g. "POINT(1.5, 2)"); empty = unsupported.
+  std::function<Result<std::string>(const std::string&)> from_literal;
+};
+
+/// Registry of externally-defined column types. One global instance lives
+/// for the process (`TypeRegistry::Global()`); tests may build their own.
+class TypeRegistry {
+ public:
+  static TypeRegistry& Global();
+
+  Status Register(ExtensionTypeDef def);
+  bool Contains(const std::string& name) const;
+  Result<const ExtensionTypeDef*> Lookup(const std::string& name) const;
+  std::vector<std::string> Names() const;
+
+ private:
+  std::map<std::string, ExtensionTypeDef> types_;
+};
+
+}  // namespace starburst
+
+#endif  // STARBURST_COMMON_DATATYPE_H_

@@ -1,0 +1,72 @@
+#ifndef STARBURST_COMMON_RESULT_H_
+#define STARBURST_COMMON_RESULT_H_
+
+#include <cassert>
+#include <utility>
+#include <variant>
+
+#include "common/status.h"
+
+namespace starburst {
+
+/// Holds either a value of type T or a non-OK Status. The engine's
+/// exception-free analogue of `T` with failure.
+template <typename T>
+class Result {
+ public:
+  /// Implicit from value and from Status, so `return value;` and
+  /// `return Status::NotFound(...)` both work.
+  Result(T value) : data_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  Result(Status status) : data_(std::move(status)) {  // NOLINT
+    assert(!std::get<Status>(data_).ok() && "Result from OK status");
+  }
+
+  bool ok() const { return std::holds_alternative<T>(data_); }
+
+  const Status& status() const {
+    static const Status kOk = Status::OK();
+    if (ok()) return kOk;
+    return std::get<Status>(data_);
+  }
+
+  T& value() {
+    assert(ok());
+    return std::get<T>(data_);
+  }
+  const T& value() const {
+    assert(ok());
+    return std::get<T>(data_);
+  }
+
+  T& operator*() { return value(); }
+  const T& operator*() const { return value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+  /// Moves the value out; the Result must hold a value.
+  T TakeValue() {
+    assert(ok());
+    return std::move(std::get<T>(data_));
+  }
+
+ private:
+  std::variant<T, Status> data_;
+};
+
+/// Evaluates `expr` (a Result<T>); on error returns the Status, otherwise
+/// assigns the value into `lhs` (which may be a declaration).
+#define STARBURST_ASSIGN_OR_RETURN(lhs, expr)                   \
+  STARBURST_ASSIGN_OR_RETURN_IMPL(                              \
+      STARBURST_CONCAT_(_result_tmp_, __LINE__), lhs, expr)
+
+#define STARBURST_ASSIGN_OR_RETURN_IMPL(tmp, lhs, expr) \
+  auto tmp = (expr);                                    \
+  if (!tmp.ok()) return tmp.status();                   \
+  lhs = tmp.TakeValue();
+
+#define STARBURST_CONCAT_(a, b) STARBURST_CONCAT_IMPL_(a, b)
+#define STARBURST_CONCAT_IMPL_(a, b) a##b
+
+}  // namespace starburst
+
+#endif  // STARBURST_COMMON_RESULT_H_

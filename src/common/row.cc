@@ -1,0 +1,42 @@
+#include "common/row.h"
+
+namespace starburst {
+
+Row Row::Concat(const Row& other) const {
+  std::vector<Value> out;
+  out.reserve(values_.size() + other.values_.size());
+  out.insert(out.end(), values_.begin(), values_.end());
+  out.insert(out.end(), other.values_.begin(), other.values_.end());
+  return Row(std::move(out));
+}
+
+int Row::CompareTotal(const Row& other) const {
+  size_t n = values_.size() < other.values_.size() ? values_.size()
+                                                   : other.values_.size();
+  for (size_t i = 0; i < n; ++i) {
+    int c = values_[i].CompareTotal(other.values_[i]);
+    if (c != 0) return c;
+  }
+  if (values_.size() == other.values_.size()) return 0;
+  return values_.size() < other.values_.size() ? -1 : 1;
+}
+
+size_t Row::Hash() const {
+  size_t h = 0x345678;
+  for (const Value& v : values_) {
+    h = h * 1000003 ^ v.Hash();
+  }
+  return h;
+}
+
+std::string Row::ToString() const {
+  std::string out = "(";
+  for (size_t i = 0; i < values_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += values_[i].ToString();
+  }
+  out += ")";
+  return out;
+}
+
+}  // namespace starburst

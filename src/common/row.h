@@ -1,0 +1,63 @@
+#ifndef STARBURST_COMMON_ROW_H_
+#define STARBURST_COMMON_ROW_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/value.h"
+
+namespace starburst {
+
+/// A tuple flowing between QES operators and in and out of storage
+/// managers: a flat vector of Values.
+class Row {
+ public:
+  Row() = default;
+  explicit Row(std::vector<Value> values) : values_(std::move(values)) {}
+
+  size_t size() const { return values_.size(); }
+  bool empty() const { return values_.empty(); }
+
+  const Value& at(size_t i) const { return values_[i]; }
+  Value& at(size_t i) { return values_[i]; }
+  const Value& operator[](size_t i) const { return values_[i]; }
+  Value& operator[](size_t i) { return values_[i]; }
+
+  const std::vector<Value>& values() const { return values_; }
+  std::vector<Value>& values() { return values_; }
+
+  void Append(Value v) { values_.push_back(std::move(v)); }
+
+  /// New row = this ++ other (used by join operators).
+  Row Concat(const Row& other) const;
+
+  /// Structural equality (NULL == NULL).
+  bool operator==(const Row& other) const { return values_ == other.values_; }
+  bool operator!=(const Row& other) const { return !(*this == other); }
+
+  /// Lexicographic total order over CompareTotal.
+  int CompareTotal(const Row& other) const;
+
+  size_t Hash() const;
+
+  /// "(1, 'a', NULL)"
+  std::string ToString() const;
+
+ private:
+  std::vector<Value> values_;
+};
+
+struct RowHash {
+  size_t operator()(const Row& r) const { return r.Hash(); }
+};
+
+struct RowTotalLess {
+  bool operator()(const Row& a, const Row& b) const {
+    return a.CompareTotal(b) < 0;
+  }
+};
+
+}  // namespace starburst
+
+#endif  // STARBURST_COMMON_ROW_H_

@@ -1,0 +1,32 @@
+#include "common/status.h"
+
+namespace starburst {
+
+const char* StatusCodeName(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk: return "Ok";
+    case StatusCode::kInvalidArgument: return "InvalidArgument";
+    case StatusCode::kNotFound: return "NotFound";
+    case StatusCode::kAlreadyExists: return "AlreadyExists";
+    case StatusCode::kNotImplemented: return "NotImplemented";
+    case StatusCode::kSyntaxError: return "SyntaxError";
+    case StatusCode::kSemanticError: return "SemanticError";
+    case StatusCode::kTypeError: return "TypeError";
+    case StatusCode::kOutOfRange: return "OutOfRange";
+    case StatusCode::kAborted: return "Aborted";
+    case StatusCode::kInternal: return "Internal";
+  }
+  return "Unknown";
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "Ok";
+  std::string out = StatusCodeName(code_);
+  if (!message_.empty()) {
+    out += ": ";
+    out += message_;
+  }
+  return out;
+}
+
+}  // namespace starburst

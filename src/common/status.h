@@ -1,0 +1,93 @@
+#ifndef STARBURST_COMMON_STATUS_H_
+#define STARBURST_COMMON_STATUS_H_
+
+#include <string>
+#include <utility>
+
+namespace starburst {
+
+/// Error categories used across the engine. Corona/Core code paths never
+/// throw; every fallible operation returns a Status or a Result<T>.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kNotImplemented,
+  kSyntaxError,
+  kSemanticError,
+  kTypeError,
+  kOutOfRange,
+  kAborted,
+  kInternal,
+};
+
+/// Returns a human-readable name for `code` ("Ok", "SyntaxError", ...).
+const char* StatusCodeName(StatusCode code);
+
+/// A cheap, copyable success-or-error value. The OK status carries no
+/// message and no allocation.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status NotImplemented(std::string msg) {
+    return Status(StatusCode::kNotImplemented, std::move(msg));
+  }
+  static Status SyntaxError(std::string msg) {
+    return Status(StatusCode::kSyntaxError, std::move(msg));
+  }
+  static Status SemanticError(std::string msg) {
+    return Status(StatusCode::kSemanticError, std::move(msg));
+  }
+  static Status TypeError(std::string msg) {
+    return Status(StatusCode::kTypeError, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status Aborted(std::string msg) {
+    return Status(StatusCode::kAborted, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "SyntaxError: unexpected token" — or "Ok".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Propagates a non-OK Status from the enclosing function.
+#define STARBURST_RETURN_IF_ERROR(expr)                 \
+  do {                                                  \
+    ::starburst::Status _st = (expr);                   \
+    if (!_st.ok()) return _st;                          \
+  } while (0)
+
+}  // namespace starburst
+
+#endif  // STARBURST_COMMON_STATUS_H_

@@ -1,0 +1,138 @@
+#include "common/value.h"
+
+#include <cmath>
+#include <functional>
+#include <sstream>
+
+namespace starburst {
+
+namespace {
+
+int ThreeWay(double a, double b) { return a < b ? -1 : (a > b ? 1 : 0); }
+int ThreeWay(int64_t a, int64_t b) { return a < b ? -1 : (a > b ? 1 : 0); }
+
+}  // namespace
+
+DataType Value::type() const {
+  TypeId id = type_id();
+  if (id == TypeId::kExtension) return DataType::Extension(ext_value().type_name);
+  return DataType(id);
+}
+
+Result<double> Value::AsDouble() const {
+  switch (type_id()) {
+    case TypeId::kInt: return static_cast<double>(int_value());
+    case TypeId::kDouble: return double_value();
+    default:
+      return Status::TypeError("value " + ToString() + " is not numeric");
+  }
+}
+
+Result<int64_t> Value::AsInt() const {
+  switch (type_id()) {
+    case TypeId::kInt: return int_value();
+    case TypeId::kDouble: return static_cast<int64_t>(double_value());
+    default:
+      return Status::TypeError("value " + ToString() + " is not numeric");
+  }
+}
+
+Result<int> Value::Compare(const Value& other) const {
+  TypeId a = type_id(), b = other.type_id();
+  if (a == TypeId::kNull || b == TypeId::kNull) {
+    return Status::TypeError("cannot compare NULL; use three-valued logic");
+  }
+  if (a == b) {
+    switch (a) {
+      case TypeId::kBool:
+        return ThreeWay(static_cast<int64_t>(bool_value()),
+                        static_cast<int64_t>(other.bool_value()));
+      case TypeId::kInt: return ThreeWay(int_value(), other.int_value());
+      case TypeId::kDouble: return ThreeWay(double_value(), other.double_value());
+      case TypeId::kString:
+        return string_value().compare(other.string_value()) < 0
+                   ? -1
+                   : (string_value() == other.string_value() ? 0 : 1);
+      case TypeId::kExtension: {
+        const Ext& x = ext_value();
+        const Ext& y = other.ext_value();
+        if (x.type_name != y.type_name) {
+          return Status::TypeError("comparing distinct extension types " +
+                                   x.type_name + " and " + y.type_name);
+        }
+        STARBURST_ASSIGN_OR_RETURN(
+            const ExtensionTypeDef* def,
+            TypeRegistry::Global().Lookup(x.type_name));
+        return def->compare(x.payload, y.payload);
+      }
+      default: break;
+    }
+  }
+  // Numeric cross-comparison.
+  if ((a == TypeId::kInt || a == TypeId::kDouble) &&
+      (b == TypeId::kInt || b == TypeId::kDouble)) {
+    return ThreeWay(AsDouble().value(), other.AsDouble().value());
+  }
+  return Status::TypeError("cannot compare " + type().ToString() + " with " +
+                           other.type().ToString());
+}
+
+int Value::CompareTotal(const Value& other) const {
+  bool an = is_null(), bn = other.is_null();
+  if (an && bn) return 0;
+  if (an) return -1;
+  if (bn) return 1;
+  Result<int> cmp = Compare(other);
+  if (cmp.ok()) return *cmp;
+  // Fall back to ordering by type tag, then rendered form — total but
+  // arbitrary; only reachable for heterogeneous columns, which the binder
+  // rejects.
+  if (type_id() != other.type_id()) {
+    return static_cast<int>(type_id()) < static_cast<int>(other.type_id()) ? -1 : 1;
+  }
+  std::string l = ToString(), r = other.ToString();
+  return l < r ? -1 : (l == r ? 0 : 1);
+}
+
+size_t Value::Hash() const {
+  switch (type_id()) {
+    case TypeId::kNull: return 0x9e3779b97f4a7c15ull;
+    case TypeId::kBool: return std::hash<bool>{}(bool_value());
+    case TypeId::kInt: return std::hash<int64_t>{}(int_value());
+    case TypeId::kDouble: {
+      double d = double_value();
+      // Hash integral doubles like the equal int so numeric joins hash-agree.
+      if (std::floor(d) == d && std::abs(d) < 1e15) {
+        return std::hash<int64_t>{}(static_cast<int64_t>(d));
+      }
+      return std::hash<double>{}(d);
+    }
+    case TypeId::kString: return std::hash<std::string>{}(string_value());
+    case TypeId::kExtension:
+      return std::hash<std::string>{}(ext_value().payload) ^
+             std::hash<std::string>{}(ext_value().type_name);
+  }
+  return 0;
+}
+
+std::string Value::ToString() const {
+  switch (type_id()) {
+    case TypeId::kNull: return "NULL";
+    case TypeId::kBool: return bool_value() ? "TRUE" : "FALSE";
+    case TypeId::kInt: return std::to_string(int_value());
+    case TypeId::kDouble: {
+      std::ostringstream oss;
+      oss << double_value();
+      return oss.str();
+    }
+    case TypeId::kString: return "'" + string_value() + "'";
+    case TypeId::kExtension: {
+      auto def = TypeRegistry::Global().Lookup(ext_value().type_name);
+      if (def.ok()) return (*def)->to_string(ext_value().payload);
+      return ext_value().type_name + "<unregistered>";
+    }
+  }
+  return "?";
+}
+
+}  // namespace starburst

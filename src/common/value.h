@@ -1,0 +1,82 @@
+#ifndef STARBURST_COMMON_VALUE_H_
+#define STARBURST_COMMON_VALUE_H_
+
+#include <cstdint>
+#include <string>
+#include <variant>
+
+#include "common/datatype.h"
+#include "common/result.h"
+
+namespace starburst {
+
+/// A single runtime datum: SQL NULL, one of the built-in scalars, or an
+/// opaque extension payload interpreted through the TypeRegistry.
+class Value {
+ public:
+  /// Payload of an externally-defined type instance.
+  struct Ext {
+    std::string type_name;
+    std::string payload;
+    bool operator==(const Ext& o) const {
+      return type_name == o.type_name && payload == o.payload;
+    }
+  };
+
+  Value() : data_(std::monostate{}) {}
+
+  static Value Null() { return Value(); }
+  static Value Bool(bool b) { return Value(Data(b)); }
+  static Value Int(int64_t i) { return Value(Data(i)); }
+  static Value Double(double d) { return Value(Data(d)); }
+  static Value String(std::string s) { return Value(Data(std::move(s))); }
+  static Value Extension(std::string type_name, std::string payload) {
+    return Value(Data(Ext{std::move(type_name), std::move(payload)}));
+  }
+
+  TypeId type_id() const { return static_cast<TypeId>(data_.index()); }
+  DataType type() const;
+
+  bool is_null() const { return type_id() == TypeId::kNull; }
+
+  bool bool_value() const { return std::get<bool>(data_); }
+  int64_t int_value() const { return std::get<int64_t>(data_); }
+  double double_value() const { return std::get<double>(data_); }
+  const std::string& string_value() const { return std::get<std::string>(data_); }
+  const Ext& ext_value() const { return std::get<Ext>(data_); }
+
+  /// Numeric value widened to double; error for non-numeric.
+  Result<double> AsDouble() const;
+  /// Numeric value narrowed to int64 (doubles truncate); error otherwise.
+  Result<int64_t> AsInt() const;
+
+  /// SQL-style three-way comparison (<0, 0, >0). NULLs are *not* handled
+  /// here — callers implement three-valued logic; comparing a NULL or
+  /// incompatible types yields TypeError. INT and DOUBLE inter-compare.
+  Result<int> Compare(const Value& other) const;
+
+  /// Total order used by sorting, B-trees and grouping: NULL sorts before
+  /// everything; same-type values compare naturally; numeric types
+  /// inter-compare. Never fails for values of the same column type.
+  int CompareTotal(const Value& other) const;
+
+  /// Structural equality (NULL == NULL is true). Used by tests and
+  /// duplicate elimination, not by SQL `=`.
+  bool operator==(const Value& other) const { return data_ == other.data_; }
+  bool operator!=(const Value& other) const { return !(*this == other); }
+
+  size_t Hash() const;
+
+  /// Display form: NULL, TRUE, 42, 1.5, 'text', or the extension renderer.
+  std::string ToString() const;
+
+ private:
+  using Data = std::variant<std::monostate, bool, int64_t, double, std::string, Ext>;
+  explicit Value(Data data) : data_(std::move(data)) {}
+
+  Data data_;
+};
+
+}  // namespace starburst
+
+#endif  // STARBURST_COMMON_VALUE_H_

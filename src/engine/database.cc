@@ -1,0 +1,757 @@
+#include "engine/database.h"
+
+#include <chrono>
+#include <set>
+
+#include "parser/parser.h"
+#include "qgm/binder.h"
+#include "qgm/printer.h"
+
+namespace starburst {
+
+namespace {
+
+class Timer {
+ public:
+  Timer() : start_(std::chrono::steady_clock::now()) {}
+  double ElapsedUs() const {
+    auto now = std::chrono::steady_clock::now();
+    return std::chrono::duration<double, std::micro>(now - start_).count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+struct ValueTotalLess {
+  bool operator()(const Value& a, const Value& b) const {
+    return a.CompareTotal(b) < 0;
+  }
+};
+
+}  // namespace
+
+Database::Database(size_t buffer_pool_pages)
+    : storage_(buffer_pool_pages),
+      rule_engine_(rewrite::MakeDefaultRuleEngine()) {}
+
+Status Database::RegisterStar(optimizer::Star star) {
+  extra_stars_.push_back(std::move(star));
+  return Status::OK();
+}
+
+Result<ResultSet> Database::Execute(const std::string& sql) {
+  metrics_ = QueryMetrics{};
+  Timer parse_timer;
+  Parser parser(sql);
+  STARBURST_ASSIGN_OR_RETURN(ast::StatementPtr stmt, parser.ParseStatement());
+  metrics_.parse_us = parse_timer.ElapsedUs();
+  return ExecuteStatement(*stmt);
+}
+
+Result<ResultSet> Database::ExecuteScript(const std::string& sql) {
+  Parser parser(sql);
+  STARBURST_ASSIGN_OR_RETURN(std::vector<ast::StatementPtr> stmts,
+                             parser.ParseScript());
+  ResultSet last = ResultSet::Message("empty script");
+  for (const ast::StatementPtr& stmt : stmts) {
+    STARBURST_ASSIGN_OR_RETURN(last, ExecuteStatement(*stmt));
+  }
+  return last;
+}
+
+Result<std::vector<Row>> Database::Query(const std::string& sql) {
+  STARBURST_ASSIGN_OR_RETURN(ResultSet rs, Execute(sql));
+  return rs.mutable_rows();
+}
+
+Result<ResultSet> Database::ExecuteStatement(const ast::Statement& stmt) {
+  switch (stmt.kind) {
+    case ast::StatementKind::kSelect:
+      return RunSelect(*static_cast<const ast::SelectStatement&>(stmt).query);
+    case ast::StatementKind::kExplain:
+      return RunExplain(static_cast<const ast::ExplainStatement&>(stmt));
+    case ast::StatementKind::kCreateTable:
+      return RunCreateTable(static_cast<const ast::CreateTableStatement&>(stmt));
+    case ast::StatementKind::kDropTable: {
+      const auto& drop = static_cast<const ast::DropTableStatement&>(stmt);
+      STARBURST_RETURN_IF_ERROR(catalog_.DropTable(drop.name));
+      STARBURST_RETURN_IF_ERROR(storage_.DropTable(drop.name));
+      return ResultSet::Message("DROP TABLE");
+    }
+    case ast::StatementKind::kCreateIndex:
+      return RunCreateIndex(static_cast<const ast::CreateIndexStatement&>(stmt));
+    case ast::StatementKind::kDropIndex: {
+      const auto& drop = static_cast<const ast::DropIndexStatement&>(stmt);
+      STARBURST_RETURN_IF_ERROR(catalog_.DropIndex(drop.name));
+      STARBURST_RETURN_IF_ERROR(storage_.DropIndex(drop.name));
+      return ResultSet::Message("DROP INDEX");
+    }
+    case ast::StatementKind::kCreateView:
+      return RunCreateView(static_cast<const ast::CreateViewStatement&>(stmt));
+    case ast::StatementKind::kDropView: {
+      const auto& drop = static_cast<const ast::DropViewStatement&>(stmt);
+      STARBURST_RETURN_IF_ERROR(catalog_.DropView(drop.name));
+      return ResultSet::Message("DROP VIEW");
+    }
+    case ast::StatementKind::kInsert:
+      return RunInsert(static_cast<const ast::InsertStatement&>(stmt));
+    case ast::StatementKind::kDelete:
+      return RunDelete(static_cast<const ast::DeleteStatement&>(stmt));
+    case ast::StatementKind::kUpdate:
+      return RunUpdate(static_cast<const ast::UpdateStatement&>(stmt));
+    case ast::StatementKind::kAnalyze: {
+      const auto& analyze = static_cast<const ast::AnalyzeStatement&>(stmt);
+      if (analyze.table.empty()) {
+        STARBURST_RETURN_IF_ERROR(AnalyzeAll());
+      } else {
+        STARBURST_RETURN_IF_ERROR(Analyze(analyze.table));
+      }
+      return ResultSet::Message("ANALYZE");
+    }
+  }
+  return Status::Internal("unknown statement kind");
+}
+
+// ---------------------------------------------------------------------------
+// Query pipeline (Figure 1)
+// ---------------------------------------------------------------------------
+
+Result<Database::QueryOutput> Database::RunQueryPipeline(
+    const ast::Query& query) {
+  Timer bind_timer;
+  qgm::Binder binder(&catalog_);
+  STARBURST_ASSIGN_OR_RETURN(std::unique_ptr<qgm::Graph> graph,
+                             binder.BindQuery(query));
+  metrics_.bind_us = bind_timer.ElapsedUs();
+
+  if (options_.rewrite_enabled) {
+    Timer rewrite_timer;
+    STARBURST_ASSIGN_OR_RETURN(
+        metrics_.rewrite_stats,
+        rule_engine_.Run(graph.get(), &catalog_, options_.rewrite));
+    metrics_.rewrite_us = rewrite_timer.ElapsedUs();
+  }
+
+  Timer optimize_timer;
+  optimizer::Optimizer opt(&catalog_, options_.optimizer);
+  for (const optimizer::Star& star : extra_stars_) {
+    STARBURST_RETURN_IF_ERROR(opt.stars().Add(star));
+  }
+  STARBURST_ASSIGN_OR_RETURN(optimizer::PlanPtr plan, opt.Optimize(*graph));
+  metrics_.optimize_us = optimize_timer.ElapsedUs();
+  metrics_.optimizer_stats = opt.stats();
+  metrics_.plan_cost = plan->props.cost;
+  metrics_.plan_cardinality = plan->props.cardinality;
+
+  Timer refine_timer;
+  exec::PlanRefiner::Options refine_options;
+  refine_options.cache_mode = options_.exec.cache_mode;
+  refine_options.ship_delay_us = options_.exec.ship_delay_us;
+  refine_options.semi_naive_recursion = options_.exec.semi_naive_recursion;
+  exec::PlanRefiner refiner(&catalog_, &opt.box_plans(), refine_options);
+  STARBURST_ASSIGN_OR_RETURN(exec::OperatorPtr root, refiner.Refine(plan));
+  if (graph->limit >= 0) {
+    root = exec::MakeLimitOp(std::move(root), graph->limit);
+  }
+  metrics_.refine_us = refine_timer.ElapsedUs();
+
+  Timer exec_timer;
+  exec::ExecContext ctx(&storage_, &catalog_);
+  STARBURST_RETURN_IF_ERROR(root->Open(&ctx));
+  Result<std::vector<Row>> rows = exec::DrainOperator(root.get());
+  root->Close();
+  metrics_.execute_us = exec_timer.ElapsedUs();
+  metrics_.exec_stats = ctx.stats();
+  if (!rows.ok()) return rows.status();
+
+  QueryOutput out;
+  size_t visible = graph->root()->head.size() - graph->hidden_order_columns;
+  for (size_t i = 0; i < visible; ++i) {
+    out.column_names.push_back(graph->root()->head[i].name);
+  }
+  out.rows = rows.TakeValue();
+  if (graph->hidden_order_columns > 0) {
+    for (Row& row : out.rows) {
+      row.values().resize(visible);
+    }
+  }
+  return out;
+}
+
+Result<ResultSet> Database::RunSelect(const ast::Query& query) {
+  STARBURST_ASSIGN_OR_RETURN(QueryOutput out, RunQueryPipeline(query));
+  return ResultSet(std::move(out.column_names), std::move(out.rows));
+}
+
+Result<ResultSet> Database::RunExplain(const ast::ExplainStatement& stmt) {
+  qgm::Binder binder(&catalog_);
+  STARBURST_ASSIGN_OR_RETURN(std::unique_ptr<qgm::Graph> graph,
+                             binder.BindQuery(*stmt.query));
+  std::string text;
+  if (stmt.what == ast::ExplainStatement::What::kQgm) {
+    if (!stmt.before_rewrite && options_.rewrite_enabled) {
+      STARBURST_RETURN_IF_ERROR(
+          rule_engine_.Run(graph.get(), &catalog_, options_.rewrite).status());
+    }
+    text = qgm::PrintGraph(*graph);
+  } else {
+    if (options_.rewrite_enabled) {
+      STARBURST_RETURN_IF_ERROR(
+          rule_engine_.Run(graph.get(), &catalog_, options_.rewrite).status());
+    }
+    optimizer::Optimizer opt(&catalog_, options_.optimizer);
+    for (const optimizer::Star& star : extra_stars_) {
+      STARBURST_RETURN_IF_ERROR(opt.stars().Add(star));
+    }
+    STARBURST_ASSIGN_OR_RETURN(optimizer::PlanPtr plan, opt.Optimize(*graph));
+    text = plan->ToString();
+  }
+  std::vector<Row> rows;
+  rows.push_back(Row({Value::String(std::move(text))}));
+  return ResultSet({"plan"}, std::move(rows));
+}
+
+// ---------------------------------------------------------------------------
+// DDL
+// ---------------------------------------------------------------------------
+
+Result<ResultSet> Database::RunCreateTable(
+    const ast::CreateTableStatement& stmt) {
+  TableDef def;
+  def.name = stmt.name;
+  for (const ast::ColumnSpec& col : stmt.columns) {
+    STARBURST_ASSIGN_OR_RETURN(DataType type, qgm::BindTypeName(col.type_name));
+    def.schema.AddColumn(ColumnDef{col.name, type, !col.not_null});
+  }
+  for (const auto& constraint : stmt.unique_constraints) {
+    std::vector<size_t> key;
+    for (const std::string& col : constraint) {
+      std::optional<size_t> idx = def.schema.FindColumn(col);
+      if (!idx.has_value()) {
+        return Status::SemanticError("unique constraint names unknown column '" +
+                                     col + "'");
+      }
+      key.push_back(*idx);
+    }
+    def.unique_keys.push_back(std::move(key));
+  }
+  if (!stmt.storage_manager.empty()) {
+    def.storage_manager = IdentUpper(stmt.storage_manager);
+  }
+  STARBURST_ASSIGN_OR_RETURN(
+      StorageManager * manager,
+      storage_.storage_managers().Lookup(def.storage_manager));
+  STARBURST_RETURN_IF_ERROR(manager->ValidateSchema(def.schema));
+
+  STARBURST_RETURN_IF_ERROR(catalog_.CreateTable(def));
+  Status storage_status = storage_.CreateTable(def);
+  if (!storage_status.ok()) {
+    (void)catalog_.DropTable(def.name);
+    return storage_status;
+  }
+
+  // Unique constraints are enforced through unique B-tree attachments.
+  for (size_t i = 0; i < def.unique_keys.size(); ++i) {
+    IndexDef index;
+    index.name = IdentUpper(def.name) + "_UK" + std::to_string(i + 1);
+    index.table_name = def.name;
+    index.unique = true;
+    index.access_method = "BTREE";
+    for (size_t col : def.unique_keys[i]) {
+      index.key_columns.push_back(def.schema.column(col).name);
+    }
+    STARBURST_RETURN_IF_ERROR(catalog_.CreateIndex(index));
+    STARBURST_RETURN_IF_ERROR(storage_.CreateIndex(index, def.schema));
+  }
+  return ResultSet::Message("CREATE TABLE");
+}
+
+Result<ResultSet> Database::RunCreateIndex(
+    const ast::CreateIndexStatement& stmt) {
+  IndexDef def;
+  def.name = stmt.name;
+  def.table_name = stmt.table;
+  def.key_columns = stmt.columns;
+  def.unique = stmt.unique;
+  if (!stmt.access_method.empty()) {
+    def.access_method = IdentUpper(stmt.access_method);
+  }
+  STARBURST_RETURN_IF_ERROR(catalog_.CreateIndex(def));
+  STARBURST_ASSIGN_OR_RETURN(const TableDef* table,
+                             catalog_.GetTable(stmt.table));
+  Status st = storage_.CreateIndex(def, table->schema);
+  if (!st.ok()) {
+    (void)catalog_.DropIndex(def.name);
+    return st;
+  }
+  return ResultSet::Message("CREATE INDEX");
+}
+
+Result<ResultSet> Database::RunCreateView(
+    const ast::CreateViewStatement& stmt) {
+  // Views must bind cleanly at definition time (semantic validation).
+  qgm::Binder binder(&catalog_);
+  STARBURST_RETURN_IF_ERROR(binder.BindQuery(*stmt.query).status());
+  ViewDef def;
+  def.name = stmt.name;
+  def.column_names = stmt.column_names;
+  def.body_sql = stmt.body_text;
+  STARBURST_RETURN_IF_ERROR(catalog_.CreateView(def));
+  return ResultSet::Message("CREATE VIEW");
+}
+
+// ---------------------------------------------------------------------------
+// DML
+// ---------------------------------------------------------------------------
+
+Result<Database::UpdatableView> Database::ResolveUpdatableView(
+    const ViewDef& view) const {
+  auto ambiguous = [&](const std::string& why) {
+    return Status::SemanticError("view '" + view.name +
+                                 "' is not unambiguously updatable: " + why);
+  };
+  auto parsed = Parser::ParseQueryText(view.body_sql);
+  if (!parsed.ok()) return parsed.status();
+  const ast::Query& q = **parsed;
+  if (!q.ctes.empty()) return ambiguous("it uses table expressions");
+  if (q.body->kind != ast::QueryBody::Kind::kSelect) {
+    return ambiguous("it uses set operations");
+  }
+  const ast::SelectCore& core = *q.body->select;
+  if (core.distinct) return ambiguous("it eliminates duplicates");
+  if (!core.group_by.empty() || core.having != nullptr) {
+    return ambiguous("it performs aggregation");
+  }
+  if (core.from.size() != 1 ||
+      core.from[0]->kind != ast::TableRef::Kind::kNamed) {
+    return ambiguous("it ranges over more than one table");
+  }
+  if (catalog_.HasView(core.from[0]->name)) {
+    return ambiguous("it is defined over another view");
+  }
+  STARBURST_ASSIGN_OR_RETURN(const TableDef* table,
+                             catalog_.GetTable(core.from[0]->name));
+
+  UpdatableView out;
+  out.table = table;
+  out.pseudo.name = view.name;
+  size_t position = 0;
+  for (const ast::SelectItem& item : core.items) {
+    if (item.star) {
+      for (size_t c = 0; c < table->schema.num_columns(); ++c) {
+        out.column_map.push_back(c);
+        ColumnDef col = table->schema.column(c);
+        if (position < view.column_names.size()) {
+          col.name = view.column_names[position];
+        }
+        out.pseudo.schema.AddColumn(std::move(col));
+        ++position;
+      }
+      continue;
+    }
+    if (item.expr->kind != ast::ExprKind::kColumnRef) {
+      return ambiguous("output column " + std::to_string(position + 1) +
+                       " is a computed expression");
+    }
+    const auto& cr = static_cast<const ast::ColumnRefExpr&>(*item.expr);
+    std::optional<size_t> base = table->schema.FindColumn(cr.column);
+    if (!base.has_value()) {
+      return ambiguous("column '" + cr.column + "' is not a base column");
+    }
+    out.column_map.push_back(*base);
+    ColumnDef col = table->schema.column(*base);
+    if (position < view.column_names.size()) {
+      col.name = view.column_names[position];
+    } else if (!item.alias.empty()) {
+      col.name = item.alias;
+    }
+    out.pseudo.schema.AddColumn(std::move(col));
+    ++position;
+  }
+  out.where = core.where.get();
+  out.parsed = std::move(*parsed);  // keeps `where` alive
+  return out;
+}
+
+Result<Value> Database::CoerceForColumn(Value v, const ColumnDef& col) const {
+  if (v.is_null()) {
+    if (!col.nullable) {
+      return Status::SemanticError("column '" + col.name + "' is NOT NULL");
+    }
+    return v;
+  }
+  if (v.type() == col.type) return v;
+  if (col.type.id == TypeId::kDouble && v.type_id() == TypeId::kInt) {
+    return Value::Double(static_cast<double>(v.int_value()));
+  }
+  if (col.type.id == TypeId::kInt && v.type_id() == TypeId::kDouble) {
+    double d = v.double_value();
+    if (static_cast<double>(static_cast<int64_t>(d)) == d) {
+      return Value::Int(static_cast<int64_t>(d));
+    }
+  }
+  return Status::TypeError("cannot store " + v.type().ToString() +
+                           " value in column '" + col.name + "' of type " +
+                           col.type.ToString());
+}
+
+Status Database::InsertRows(const TableDef& table,
+                            const std::vector<Row>& rows,
+                            const std::vector<size_t>& target_columns) {
+  for (const Row& row : rows) {
+    if (row.size() != target_columns.size()) {
+      return Status::SemanticError("INSERT arity mismatch: expected " +
+                                   std::to_string(target_columns.size()) +
+                                   " values, got " + std::to_string(row.size()));
+    }
+    std::vector<Value> full(table.schema.num_columns(), Value::Null());
+    for (size_t i = 0; i < target_columns.size(); ++i) {
+      full[target_columns[i]] = row[i];
+    }
+    for (size_t c = 0; c < full.size(); ++c) {
+      STARBURST_ASSIGN_OR_RETURN(
+          full[c], CoerceForColumn(std::move(full[c]), table.schema.column(c)));
+    }
+    STARBURST_RETURN_IF_ERROR(
+        storage_.InsertRow(table.name, Row(std::move(full))).status());
+  }
+  RefreshRowStats(table.name);
+  return Status::OK();
+}
+
+void Database::RefreshRowStats(const std::string& table_name) {
+  Result<TableDef*> def = catalog_.GetMutableTable(table_name);
+  Result<TableStorage*> storage = storage_.GetTable(table_name);
+  if (!def.ok() || !storage.ok()) return;
+  (*def)->stats.row_count = static_cast<double>((*storage)->row_count());
+  (*def)->stats.page_count = static_cast<double>((*storage)->page_count());
+}
+
+Result<ResultSet> Database::RunInsert(const ast::InsertStatement& stmt) {
+  const TableDef* table = nullptr;
+  std::unique_ptr<UpdatableView> view;
+  if (catalog_.HasView(stmt.table)) {
+    STARBURST_ASSIGN_OR_RETURN(const ViewDef* vd, catalog_.GetView(stmt.table));
+    STARBURST_ASSIGN_OR_RETURN(UpdatableView uv, ResolveUpdatableView(*vd));
+    view = std::make_unique<UpdatableView>(std::move(uv));
+    table = view->table;
+  } else {
+    STARBURST_ASSIGN_OR_RETURN(table, catalog_.GetTable(stmt.table));
+  }
+  const TableSchema& exposed = view ? view->pseudo.schema : table->schema;
+  std::vector<size_t> targets;
+  if (stmt.columns.empty()) {
+    for (size_t i = 0; i < exposed.num_columns(); ++i) {
+      targets.push_back(i);
+    }
+  } else {
+    for (const std::string& name : stmt.columns) {
+      std::optional<size_t> idx = exposed.FindColumn(name);
+      if (!idx.has_value()) {
+        return Status::SemanticError("no column '" + name + "' in " +
+                                     stmt.table);
+      }
+      targets.push_back(*idx);
+    }
+  }
+  if (view != nullptr) {
+    for (size_t& t : targets) t = view->column_map[t];
+  }
+
+  std::vector<Row> rows;
+  if (stmt.query != nullptr) {
+    STARBURST_ASSIGN_OR_RETURN(QueryOutput out, RunQueryPipeline(*stmt.query));
+    rows = std::move(out.rows);
+  } else {
+    // VALUES rows: constant expressions (no column references, no
+    // subqueries), bound for type checking then evaluated directly.
+    exec::ExecContext ctx(&storage_, &catalog_);
+    qgm::Binder binder(&catalog_);
+    for (const auto& value_row : stmt.rows) {
+      std::vector<Value> values;
+      for (const ast::ExprPtr& e : value_row) {
+        STARBURST_ASSIGN_OR_RETURN(qgm::Binder::StandaloneExprBind bind,
+                                   binder.BindConstantExpr(*e));
+        exec::CompileEnv env;
+        env.catalog = &catalog_;
+        STARBURST_ASSIGN_OR_RETURN(exec::CompiledExprPtr compiled,
+                                   exec::CompileExpr(*bind.expr, env));
+        Row empty_row;
+        STARBURST_ASSIGN_OR_RETURN(Value v, compiled->Eval(empty_row, &ctx));
+        values.push_back(std::move(v));
+      }
+      rows.push_back(Row(std::move(values)));
+    }
+  }
+  STARBURST_RETURN_IF_ERROR(InsertRows(*table, rows, targets));
+  return ResultSet::Message("INSERT", static_cast<int64_t>(rows.size()));
+}
+
+namespace {
+
+Row ProjectViewRow(const Row& base_row, const std::vector<size_t>& map) {
+  std::vector<Value> values;
+  values.reserve(map.size());
+  for (size_t c : map) values.push_back(base_row[c]);
+  return Row(std::move(values));
+}
+
+}  // namespace
+
+Result<ResultSet> Database::RunDelete(const ast::DeleteStatement& stmt) {
+  const TableDef* table = nullptr;
+  std::unique_ptr<UpdatableView> view;
+  if (catalog_.HasView(stmt.table)) {
+    STARBURST_ASSIGN_OR_RETURN(const ViewDef* vd, catalog_.GetView(stmt.table));
+    STARBURST_ASSIGN_OR_RETURN(UpdatableView uv, ResolveUpdatableView(*vd));
+    view = std::make_unique<UpdatableView>(std::move(uv));
+    table = view->table;
+  } else {
+    STARBURST_ASSIGN_OR_RETURN(table, catalog_.GetTable(stmt.table));
+  }
+  const TableDef& bind_target = view ? view->pseudo : *table;
+
+  qgm::Binder binder(&catalog_);
+  STARBURST_ASSIGN_OR_RETURN(
+      qgm::Binder::TableMutationBind bind,
+      binder.BindTableMutation(bind_target, stmt.where.get(), nullptr));
+
+  // Plan every box (subqueries in the WHERE clause become runtimes).
+  optimizer::Optimizer opt(&catalog_, options_.optimizer);
+  STARBURST_RETURN_IF_ERROR(opt.Optimize(*bind.graph).status());
+  exec::PlanRefiner refiner(&catalog_, &opt.box_plans(),
+                            exec::PlanRefiner::Options{});
+
+  std::vector<optimizer::ColumnBinding> layout;
+  for (size_t i = 0; i < bind_target.schema.num_columns(); ++i) {
+    layout.push_back(optimizer::ColumnBinding{bind.quantifier, nullptr, i});
+  }
+  exec::CompiledExprPtr predicate;
+  if (bind.predicate != nullptr) {
+    STARBURST_ASSIGN_OR_RETURN(predicate,
+                               refiner.Compile(*bind.predicate, layout, nullptr));
+  }
+
+  // A view target contributes its own WHERE, bound against the base table.
+  qgm::Binder view_binder(&catalog_);
+  std::unique_ptr<qgm::Binder::TableMutationBind> view_bind;
+  std::unique_ptr<optimizer::Optimizer> view_opt;
+  std::unique_ptr<exec::PlanRefiner> view_refiner;
+  exec::CompiledExprPtr view_predicate;
+  if (view != nullptr && view->where != nullptr) {
+    STARBURST_ASSIGN_OR_RETURN(
+        qgm::Binder::TableMutationBind vb,
+        view_binder.BindTableMutation(*table, view->where, nullptr));
+    view_bind = std::make_unique<qgm::Binder::TableMutationBind>(std::move(vb));
+    view_opt = std::make_unique<optimizer::Optimizer>(&catalog_,
+                                                      options_.optimizer);
+    STARBURST_RETURN_IF_ERROR(view_opt->Optimize(*view_bind->graph).status());
+    view_refiner = std::make_unique<exec::PlanRefiner>(
+        &catalog_, &view_opt->box_plans(), exec::PlanRefiner::Options{});
+    std::vector<optimizer::ColumnBinding> base_layout;
+    for (size_t i = 0; i < table->schema.num_columns(); ++i) {
+      base_layout.push_back(
+          optimizer::ColumnBinding{view_bind->quantifier, nullptr, i});
+    }
+    STARBURST_ASSIGN_OR_RETURN(
+        view_predicate,
+        view_refiner->Compile(*view_bind->predicate, base_layout, nullptr));
+  }
+
+  STARBURST_ASSIGN_OR_RETURN(TableStorage * storage,
+                             storage_.GetTable(table->name));
+  exec::ExecContext ctx(&storage_, &catalog_);
+  std::vector<Rid> victims;
+  std::unique_ptr<TableScanIterator> scan = storage->NewScan();
+  Row row;
+  Rid rid;
+  while (true) {
+    STARBURST_ASSIGN_OR_RETURN(bool more, scan->Next(&row, &rid));
+    if (!more) break;
+    if (view_predicate != nullptr) {
+      STARBURST_ASSIGN_OR_RETURN(bool pass,
+                                 view_predicate->EvalPredicate(row, &ctx));
+      if (!pass) continue;  // row not visible through the view
+    }
+    if (predicate != nullptr) {
+      Row visible = view ? ProjectViewRow(row, view->column_map) : row;
+      STARBURST_ASSIGN_OR_RETURN(bool pass,
+                                 predicate->EvalPredicate(visible, &ctx));
+      if (!pass) continue;
+    }
+    victims.push_back(rid);
+  }
+  for (Rid v : victims) {
+    STARBURST_RETURN_IF_ERROR(storage_.DeleteRow(table->name, v));
+  }
+  RefreshRowStats(table->name);
+  return ResultSet::Message("DELETE", static_cast<int64_t>(victims.size()));
+}
+
+Result<ResultSet> Database::RunUpdate(const ast::UpdateStatement& stmt) {
+  const TableDef* table = nullptr;
+  std::unique_ptr<UpdatableView> view;
+  if (catalog_.HasView(stmt.table)) {
+    STARBURST_ASSIGN_OR_RETURN(const ViewDef* vd, catalog_.GetView(stmt.table));
+    STARBURST_ASSIGN_OR_RETURN(UpdatableView uv, ResolveUpdatableView(*vd));
+    view = std::make_unique<UpdatableView>(std::move(uv));
+    table = view->table;
+  } else {
+    STARBURST_ASSIGN_OR_RETURN(table, catalog_.GetTable(stmt.table));
+  }
+  const TableDef& bind_target = view ? view->pseudo : *table;
+
+  std::vector<std::pair<std::string, const ast::Expr*>> assignments;
+  for (const auto& [name, expr] : stmt.assignments) {
+    assignments.emplace_back(name, expr.get());
+  }
+  qgm::Binder binder(&catalog_);
+  STARBURST_ASSIGN_OR_RETURN(
+      qgm::Binder::TableMutationBind bind,
+      binder.BindTableMutation(bind_target, stmt.where.get(), &assignments));
+
+  optimizer::Optimizer opt(&catalog_, options_.optimizer);
+  STARBURST_RETURN_IF_ERROR(opt.Optimize(*bind.graph).status());
+  exec::PlanRefiner refiner(&catalog_, &opt.box_plans(),
+                            exec::PlanRefiner::Options{});
+
+  std::vector<optimizer::ColumnBinding> layout;
+  for (size_t i = 0; i < bind_target.schema.num_columns(); ++i) {
+    layout.push_back(optimizer::ColumnBinding{bind.quantifier, nullptr, i});
+  }
+  exec::CompiledExprPtr predicate;
+  if (bind.predicate != nullptr) {
+    STARBURST_ASSIGN_OR_RETURN(predicate,
+                               refiner.Compile(*bind.predicate, layout, nullptr));
+  }
+  std::vector<std::pair<size_t, exec::CompiledExprPtr>> compiled_assignments;
+  for (const auto& [col, expr] : bind.assignments) {
+    STARBURST_ASSIGN_OR_RETURN(exec::CompiledExprPtr c,
+                               refiner.Compile(*expr, layout, nullptr));
+    // For a view target, map the exposed column onto its base column.
+    size_t base_col = view ? view->column_map[col] : col;
+    compiled_assignments.emplace_back(base_col, std::move(c));
+  }
+
+  // The view's own WHERE restricts which base rows are updatable.
+  qgm::Binder view_binder(&catalog_);
+  std::unique_ptr<qgm::Binder::TableMutationBind> view_bind;
+  std::unique_ptr<optimizer::Optimizer> view_opt;
+  std::unique_ptr<exec::PlanRefiner> view_refiner;
+  exec::CompiledExprPtr view_predicate;
+  if (view != nullptr && view->where != nullptr) {
+    STARBURST_ASSIGN_OR_RETURN(
+        qgm::Binder::TableMutationBind vb,
+        view_binder.BindTableMutation(*table, view->where, nullptr));
+    view_bind = std::make_unique<qgm::Binder::TableMutationBind>(std::move(vb));
+    view_opt = std::make_unique<optimizer::Optimizer>(&catalog_,
+                                                      options_.optimizer);
+    STARBURST_RETURN_IF_ERROR(view_opt->Optimize(*view_bind->graph).status());
+    view_refiner = std::make_unique<exec::PlanRefiner>(
+        &catalog_, &view_opt->box_plans(), exec::PlanRefiner::Options{});
+    std::vector<optimizer::ColumnBinding> base_layout;
+    for (size_t i = 0; i < table->schema.num_columns(); ++i) {
+      base_layout.push_back(
+          optimizer::ColumnBinding{view_bind->quantifier, nullptr, i});
+    }
+    STARBURST_ASSIGN_OR_RETURN(
+        view_predicate,
+        view_refiner->Compile(*view_bind->predicate, base_layout, nullptr));
+  }
+
+  STARBURST_ASSIGN_OR_RETURN(TableStorage * storage,
+                             storage_.GetTable(table->name));
+  exec::ExecContext ctx(&storage_, &catalog_);
+  std::vector<std::pair<Rid, Row>> updates;
+  std::unique_ptr<TableScanIterator> scan = storage->NewScan();
+  Row row;
+  Rid rid;
+  while (true) {
+    STARBURST_ASSIGN_OR_RETURN(bool more, scan->Next(&row, &rid));
+    if (!more) break;
+    if (view_predicate != nullptr) {
+      STARBURST_ASSIGN_OR_RETURN(bool pass,
+                                 view_predicate->EvalPredicate(row, &ctx));
+      if (!pass) continue;
+    }
+    Row visible = view ? ProjectViewRow(row, view->column_map) : row;
+    if (predicate != nullptr) {
+      STARBURST_ASSIGN_OR_RETURN(bool pass,
+                                 predicate->EvalPredicate(visible, &ctx));
+      if (!pass) continue;
+    }
+    Row updated = row;
+    for (const auto& [base_col, expr] : compiled_assignments) {
+      STARBURST_ASSIGN_OR_RETURN(Value v, expr->Eval(visible, &ctx));
+      STARBURST_ASSIGN_OR_RETURN(
+          updated[base_col],
+          CoerceForColumn(std::move(v), table->schema.column(base_col)));
+    }
+    updates.emplace_back(rid, std::move(updated));
+  }
+  for (auto& [victim, new_row] : updates) {
+    STARBURST_RETURN_IF_ERROR(
+        storage_.UpdateRow(table->name, victim, new_row).status());
+  }
+  RefreshRowStats(table->name);
+  return ResultSet::Message("UPDATE", static_cast<int64_t>(updates.size()));
+}
+
+// ---------------------------------------------------------------------------
+// Statistics
+// ---------------------------------------------------------------------------
+
+Status Database::Analyze(const std::string& table_name) {
+  STARBURST_ASSIGN_OR_RETURN(const TableDef* table,
+                             catalog_.GetTable(table_name));
+  STARBURST_ASSIGN_OR_RETURN(TableStorage * storage,
+                             storage_.GetTable(table_name));
+  TableStats stats;
+  stats.row_count = 0;
+  stats.page_count = static_cast<double>(storage->page_count());
+
+  size_t ncols = table->schema.num_columns();
+  std::vector<std::set<Value, ValueTotalLess>> distinct(ncols);
+  std::vector<size_t> nulls(ncols, 0);
+  std::vector<std::optional<Value>> mins(ncols), maxs(ncols);
+
+  std::unique_ptr<TableScanIterator> scan = storage->NewScan();
+  Row row;
+  Rid rid;
+  while (true) {
+    STARBURST_ASSIGN_OR_RETURN(bool more, scan->Next(&row, &rid));
+    if (!more) break;
+    stats.row_count += 1;
+    for (size_t c = 0; c < ncols; ++c) {
+      const Value& v = row[c];
+      if (v.is_null()) {
+        ++nulls[c];
+        continue;
+      }
+      distinct[c].insert(v);
+      if (!mins[c] || v.CompareTotal(*mins[c]) < 0) mins[c] = v;
+      if (!maxs[c] || v.CompareTotal(*maxs[c]) > 0) maxs[c] = v;
+    }
+  }
+  for (size_t c = 0; c < ncols; ++c) {
+    ColumnStats col;
+    col.distinct_count = static_cast<double>(distinct[c].size());
+    col.min_value = mins[c];
+    col.max_value = maxs[c];
+    col.null_fraction = stats.row_count > 0
+                            ? static_cast<double>(nulls[c]) / stats.row_count
+                            : 0;
+    stats.columns[IdentUpper(table->schema.column(c).name)] = col;
+  }
+  return catalog_.UpdateStats(table_name, std::move(stats));
+}
+
+Status Database::AnalyzeAll() {
+  for (const std::string& name : catalog_.TableNames()) {
+    STARBURST_RETURN_IF_ERROR(Analyze(name));
+  }
+  return Status::OK();
+}
+
+}  // namespace starburst

@@ -1,0 +1,133 @@
+#ifndef STARBURST_ENGINE_DATABASE_H_
+#define STARBURST_ENGINE_DATABASE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "engine/result_set.h"
+#include "exec/executor.h"
+#include "optimizer/optimizer.h"
+#include "rewrite/rule_engine.h"
+#include "storage/storage_engine.h"
+
+namespace starburst {
+
+/// Per-query timing and engine statistics — Figure 1's compile-time and
+/// run-time phases, individually measurable.
+struct QueryMetrics {
+  double parse_us = 0;
+  double bind_us = 0;      // semantic analysis into QGM
+  double rewrite_us = 0;   // query rewrite
+  double optimize_us = 0;  // plan optimization
+  double refine_us = 0;    // plan refinement
+  double execute_us = 0;   // QES interpretation
+  rewrite::RuleEngine::Stats rewrite_stats;
+  optimizer::Optimizer::Stats optimizer_stats;
+  exec::ExecStats exec_stats;
+  double plan_cost = 0;
+  double plan_cardinality = 0;
+};
+
+/// The embedded Starburst engine: Corona's language-processing pipeline
+/// (parse → QGM → rewrite → optimize → refine → execute) over the Core
+/// storage substrate, with every DBC extension point exposed:
+///   * catalog().functions() — scalar / aggregate / set-predicate / table
+///     functions;
+///   * TypeRegistry::Global() — externally-defined column types;
+///   * storage().storage_managers() / storage().attachment_kinds() — new
+///     storage methods and access-method attachments;
+///   * rule_engine() — query-rewrite rules;
+///   * RegisterStar() — optimizer strategy alternative rules.
+class Database {
+ public:
+  struct SessionOptions {
+    bool rewrite_enabled = true;  // Figure 1: "could be bypassed"
+    rewrite::RuleEngine::Options rewrite;
+    optimizer::Optimizer::Options optimizer;
+    exec::Executor::Options exec;
+  };
+
+  explicit Database(size_t buffer_pool_pages = 4096);
+
+  Database(const Database&) = delete;
+  Database& operator=(const Database&) = delete;
+
+  /// Executes one statement (query, DDL, or DML).
+  Result<ResultSet> Execute(const std::string& sql);
+  /// Executes a ';'-separated script, returning the last result.
+  Result<ResultSet> ExecuteScript(const std::string& sql);
+  /// Convenience: Execute + rows (errors if the statement returns none).
+  Result<std::vector<Row>> Query(const std::string& sql);
+
+  /// Recomputes optimizer statistics (row counts, per-column NDV/min/max)
+  /// for one table or all tables.
+  Status Analyze(const std::string& table_name);
+  Status AnalyzeAll();
+
+  Catalog& catalog() { return catalog_; }
+  const Catalog& catalog() const { return catalog_; }
+  StorageEngine& storage() { return storage_; }
+  rewrite::RuleEngine& rule_engine() { return rule_engine_; }
+  SessionOptions& options() { return options_; }
+
+  /// Adds a DBC STAR to every future query's optimizer.
+  Status RegisterStar(optimizer::Star star);
+
+  /// Metrics of the most recent statement.
+  const QueryMetrics& last_metrics() const { return metrics_; }
+
+ private:
+  Result<ResultSet> ExecuteStatement(const ast::Statement& stmt);
+  Result<ResultSet> RunSelect(const ast::Query& query);
+  Result<ResultSet> RunExplain(const ast::ExplainStatement& stmt);
+  Result<ResultSet> RunCreateTable(const ast::CreateTableStatement& stmt);
+  Result<ResultSet> RunCreateIndex(const ast::CreateIndexStatement& stmt);
+  Result<ResultSet> RunCreateView(const ast::CreateViewStatement& stmt);
+  Result<ResultSet> RunInsert(const ast::InsertStatement& stmt);
+  Result<ResultSet> RunDelete(const ast::DeleteStatement& stmt);
+  Result<ResultSet> RunUpdate(const ast::UpdateStatement& stmt);
+
+  /// The full compile+execute pipeline for a bound query.
+  struct QueryOutput {
+    std::vector<std::string> column_names;
+    std::vector<Row> rows;
+  };
+  Result<QueryOutput> RunQueryPipeline(const ast::Query& query);
+
+  /// §2: "Update through views will be allowed when the update is
+  /// unambiguous; otherwise an error will be returned." A view is
+  /// updatable iff it is a plain SELECT of base-table columns from one
+  /// base table (no DISTINCT, grouping, set ops, joins, or expressions).
+  struct UpdatableView {
+    const TableDef* table = nullptr;
+    /// view column position -> base column position
+    std::vector<size_t> column_map;
+    /// A pseudo table definition exposing the view's columns (their view
+    /// names, base types); WHERE/SET clauses bind against this.
+    TableDef pseudo;
+    /// the view's own WHERE clause (owned by `parsed`), AND-ed into DML
+    std::unique_ptr<ast::Query> parsed;
+    const ast::Expr* where = nullptr;
+  };
+  Result<UpdatableView> ResolveUpdatableView(const ViewDef& view) const;
+
+  /// Coerces `v` to a column type (numeric widening only) and checks
+  /// nullability.
+  Result<Value> CoerceForColumn(Value v, const ColumnDef& col) const;
+  Status InsertRows(const TableDef& table, const std::vector<Row>& rows,
+                    const std::vector<size_t>& target_columns);
+  void RefreshRowStats(const std::string& table_name);
+
+  Catalog catalog_;
+  StorageEngine storage_;
+  rewrite::RuleEngine rule_engine_;
+  std::vector<optimizer::Star> extra_stars_;
+  SessionOptions options_;
+  QueryMetrics metrics_;
+};
+
+}  // namespace starburst
+
+#endif  // STARBURST_ENGINE_DATABASE_H_

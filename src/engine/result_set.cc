@@ -1,0 +1,58 @@
+#include "engine/result_set.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace starburst {
+
+std::string ResultSet::ToString() const {
+  if (!message_.empty()) {
+    std::string out = message_;
+    if (affected_rows_ > 0) {
+      out += " (" + std::to_string(affected_rows_) + " rows)";
+    }
+    return out + "\n";
+  }
+  // Column widths.
+  std::vector<size_t> widths;
+  for (const std::string& name : column_names_) widths.push_back(name.size());
+  std::vector<std::vector<std::string>> rendered;
+  for (const Row& row : rows_) {
+    std::vector<std::string> cells;
+    for (size_t i = 0; i < row.size(); ++i) {
+      std::string cell = row[i].ToString();
+      if (i >= widths.size()) widths.push_back(0);
+      widths[i] = std::max(widths[i], cell.size());
+      cells.push_back(std::move(cell));
+    }
+    rendered.push_back(std::move(cells));
+  }
+
+  std::ostringstream out;
+  auto rule = [&]() {
+    out << "+";
+    for (size_t w : widths) out << std::string(w + 2, '-') << "+";
+    out << "\n";
+  };
+  rule();
+  out << "|";
+  for (size_t i = 0; i < column_names_.size(); ++i) {
+    out << " " << column_names_[i]
+        << std::string(widths[i] - column_names_[i].size() + 1, ' ') << "|";
+  }
+  out << "\n";
+  rule();
+  for (const auto& cells : rendered) {
+    out << "|";
+    for (size_t i = 0; i < cells.size(); ++i) {
+      out << " " << cells[i] << std::string(widths[i] - cells[i].size() + 1, ' ')
+          << "|";
+    }
+    out << "\n";
+  }
+  rule();
+  out << rows_.size() << " row(s)\n";
+  return out.str();
+}
+
+}  // namespace starburst

@@ -1,0 +1,45 @@
+#ifndef STARBURST_ENGINE_RESULT_SET_H_
+#define STARBURST_ENGINE_RESULT_SET_H_
+
+#include <string>
+#include <vector>
+
+#include "common/row.h"
+
+namespace starburst {
+
+/// What a statement returns: rows + column names for queries, a message
+/// and affected-row count for DDL/DML.
+class ResultSet {
+ public:
+  ResultSet() = default;
+  ResultSet(std::vector<std::string> column_names, std::vector<Row> rows)
+      : column_names_(std::move(column_names)), rows_(std::move(rows)) {}
+
+  static ResultSet Message(std::string message, int64_t affected = 0) {
+    ResultSet rs;
+    rs.message_ = std::move(message);
+    rs.affected_rows_ = affected;
+    return rs;
+  }
+
+  const std::vector<std::string>& column_names() const { return column_names_; }
+  const std::vector<Row>& rows() const { return rows_; }
+  std::vector<Row>& mutable_rows() { return rows_; }
+  const std::string& message() const { return message_; }
+  int64_t affected_rows() const { return affected_rows_; }
+  size_t row_count() const { return rows_.size(); }
+
+  /// ASCII-table rendering for the examples and interactive use.
+  std::string ToString() const;
+
+ private:
+  std::vector<std::string> column_names_;
+  std::vector<Row> rows_;
+  std::string message_;
+  int64_t affected_rows_ = 0;
+};
+
+}  // namespace starburst
+
+#endif  // STARBURST_ENGINE_RESULT_SET_H_

@@ -1,0 +1,137 @@
+#include <map>
+#include <set>
+#include <unordered_map>
+
+#include "exec/operators.h"
+
+namespace starburst::exec {
+
+namespace {
+
+struct ValueTotalLess {
+  bool operator()(const Value& a, const Value& b) const {
+    return a.CompareTotal(b) < 0;
+  }
+};
+
+/// Hash aggregation. With zero group keys there is exactly one group —
+/// even over empty input (SQL scalar-aggregate semantics).
+class GroupAggOp : public Operator {
+ public:
+  GroupAggOp(OperatorPtr input, std::vector<CompiledExprPtr> group_keys,
+             std::vector<AggSpec> aggregates, std::vector<GroupHeadItem> head)
+      : input_(std::move(input)), group_keys_(std::move(group_keys)),
+        aggregates_(std::move(aggregates)), head_(std::move(head)) {}
+
+  Status Open(ExecContext* ctx) override {
+    ctx_ = ctx;
+    results_.clear();
+    pos_ = 0;
+
+    struct GroupState {
+      std::vector<std::unique_ptr<AggregateState>> states;
+      // DISTINCT aggregates buffer their input set first.
+      std::vector<std::set<Value, ValueTotalLess>> distinct_inputs;
+    };
+    std::map<Row, GroupState, RowTotalLess> groups;
+
+    auto new_group_state = [&]() {
+      GroupState state;
+      for (const AggSpec& spec : aggregates_) {
+        state.states.push_back(spec.def->make_state());
+        state.distinct_inputs.emplace_back();
+      }
+      return state;
+    };
+
+    if (group_keys_.empty()) {
+      groups.emplace(Row(), new_group_state());
+    }
+
+    STARBURST_RETURN_IF_ERROR(input_->Open(ctx));
+    Row in;
+    while (true) {
+      STARBURST_ASSIGN_OR_RETURN(bool more, input_->Next(&in));
+      if (!more) break;
+      std::vector<Value> key_values;
+      key_values.reserve(group_keys_.size());
+      for (const CompiledExprPtr& k : group_keys_) {
+        STARBURST_ASSIGN_OR_RETURN(Value v, k->Eval(in, ctx));
+        key_values.push_back(std::move(v));
+      }
+      Row key(std::move(key_values));
+      auto it = groups.find(key);
+      if (it == groups.end()) {
+        it = groups.emplace(std::move(key), new_group_state()).first;
+      }
+      GroupState& group = it->second;
+      for (size_t a = 0; a < aggregates_.size(); ++a) {
+        Value v = Value::Int(1);  // COUNT(*) counts every row
+        if (aggregates_[a].arg != nullptr) {
+          STARBURST_ASSIGN_OR_RETURN(v, aggregates_[a].arg->Eval(in, ctx));
+        }
+        if (aggregates_[a].distinct) {
+          if (!v.is_null()) group.distinct_inputs[a].insert(std::move(v));
+        } else {
+          STARBURST_RETURN_IF_ERROR(group.states[a]->Accumulate(v));
+        }
+      }
+    }
+    input_->Close();
+
+    // Finalize each group into its output row, per the head mapping.
+    for (auto& [key, group] : groups) {
+      std::vector<Value> agg_values;
+      for (size_t a = 0; a < aggregates_.size(); ++a) {
+        if (aggregates_[a].distinct) {
+          for (const Value& v : group.distinct_inputs[a]) {
+            STARBURST_RETURN_IF_ERROR(group.states[a]->Accumulate(v));
+          }
+        }
+        STARBURST_ASSIGN_OR_RETURN(Value v, group.states[a]->Finalize());
+        agg_values.push_back(std::move(v));
+      }
+      std::vector<Value> out;
+      out.reserve(head_.size());
+      for (const GroupHeadItem& item : head_) {
+        if (item.source == GroupHeadItem::Source::kKey) {
+          out.push_back(key[item.index]);
+        } else {
+          out.push_back(agg_values[item.index]);
+        }
+      }
+      results_.push_back(Row(std::move(out)));
+    }
+    return Status::OK();
+  }
+
+  Result<bool> Next(Row* row) override {
+    if (pos_ >= results_.size()) return false;
+    *row = results_[pos_++];
+    ++ctx_->stats().rows_emitted;
+    return true;
+  }
+
+  void Close() override { results_.clear(); }
+
+ private:
+  OperatorPtr input_;
+  std::vector<CompiledExprPtr> group_keys_;
+  std::vector<AggSpec> aggregates_;
+  std::vector<GroupHeadItem> head_;
+  ExecContext* ctx_ = nullptr;
+  std::vector<Row> results_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+OperatorPtr MakeGroupAggOp(OperatorPtr input,
+                           std::vector<CompiledExprPtr> group_keys,
+                           std::vector<AggSpec> aggregates,
+                           std::vector<GroupHeadItem> head) {
+  return std::make_unique<GroupAggOp>(std::move(input), std::move(group_keys),
+                                      std::move(aggregates), std::move(head));
+}
+
+}  // namespace starburst::exec

@@ -1,0 +1,34 @@
+#include "exec/executor.h"
+
+namespace starburst::exec {
+
+Result<std::vector<Row>> Executor::Execute(const optimizer::PlanPtr& plan,
+                                           const optimizer::Optimizer& optimizer,
+                                           const qgm::Graph& graph) {
+  return Execute(plan, optimizer, graph, Options{});
+}
+
+Result<std::vector<Row>> Executor::Execute(const optimizer::PlanPtr& plan,
+                                           const optimizer::Optimizer& optimizer,
+                                           const qgm::Graph& graph,
+                                           const Options& options) {
+  PlanRefiner::Options refine_options;
+  refine_options.cache_mode = options.cache_mode;
+  refine_options.ship_delay_us = options.ship_delay_us;
+  refine_options.semi_naive_recursion = options.semi_naive_recursion;
+  PlanRefiner refiner(catalog_, &optimizer.box_plans(), refine_options);
+  STARBURST_ASSIGN_OR_RETURN(OperatorPtr root, refiner.Refine(plan));
+  if (graph.limit >= 0) {
+    root = MakeLimitOp(std::move(root), graph.limit);
+  }
+
+  ExecContext ctx(storage_, catalog_);
+  STARBURST_RETURN_IF_ERROR(root->Open(&ctx));
+  Result<std::vector<Row>> rows = DrainOperator(root.get());
+  root->Close();
+  last_stats_ = ctx.stats();
+  if (!rows.ok()) return rows.status();
+  return rows;
+}
+
+}  // namespace starburst::exec

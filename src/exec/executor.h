@@ -1,0 +1,44 @@
+#ifndef STARBURST_EXEC_EXECUTOR_H_
+#define STARBURST_EXEC_EXECUTOR_H_
+
+#include "exec/plan_refiner.h"
+#include "optimizer/optimizer.h"
+
+namespace starburst::exec {
+
+/// The Query Evaluation System's front door: refines a chosen plan into
+/// an operator tree and interprets it against the database.
+class Executor {
+ public:
+  struct Options {
+    SubqueryCacheMode cache_mode = SubqueryCacheMode::kMemo;
+    double ship_delay_us = 0;
+    bool semi_naive_recursion = true;
+  };
+
+  Executor(StorageEngine* storage, const Catalog* catalog)
+      : storage_(storage), catalog_(catalog) {}
+
+  /// Runs the plan to completion, honouring the query-level LIMIT
+  /// recorded in the graph. `optimizer` supplies the per-box plans for
+  /// correlated subquery runtimes.
+  Result<std::vector<Row>> Execute(const optimizer::PlanPtr& plan,
+                                   const optimizer::Optimizer& optimizer,
+                                   const qgm::Graph& graph);
+  Result<std::vector<Row>> Execute(const optimizer::PlanPtr& plan,
+                                   const optimizer::Optimizer& optimizer,
+                                   const qgm::Graph& graph,
+                                   const Options& options);
+
+  /// Stats from the most recent Execute.
+  const ExecStats& last_stats() const { return last_stats_; }
+
+ private:
+  StorageEngine* storage_;
+  const Catalog* catalog_;
+  ExecStats last_stats_;
+};
+
+}  // namespace starburst::exec
+
+#endif  // STARBURST_EXEC_EXECUTOR_H_

@@ -1,0 +1,501 @@
+#include "exec/expr_eval.h"
+
+#include <set>
+
+namespace starburst::exec {
+
+using qgm::Expr;
+using qgm::Quantifier;
+using qgm::QuantifierType;
+
+// ---------------------------------------------------------------------------
+// Value-level operator semantics (SQL three-valued logic)
+// ---------------------------------------------------------------------------
+
+namespace {
+
+Value Bool3(bool b) { return Value::Bool(b); }
+
+Result<Value> EvalComparison(ast::BinaryOp op, const Value& l, const Value& r) {
+  if (l.is_null() || r.is_null()) return Value::Null();
+  STARBURST_ASSIGN_OR_RETURN(int cmp, l.Compare(r));
+  switch (op) {
+    case ast::BinaryOp::kEq: return Bool3(cmp == 0);
+    case ast::BinaryOp::kNe: return Bool3(cmp != 0);
+    case ast::BinaryOp::kLt: return Bool3(cmp < 0);
+    case ast::BinaryOp::kLe: return Bool3(cmp <= 0);
+    case ast::BinaryOp::kGt: return Bool3(cmp > 0);
+    default: return Bool3(cmp >= 0);
+  }
+}
+
+Result<Value> EvalArithmetic(ast::BinaryOp op, const Value& l, const Value& r) {
+  if (l.is_null() || r.is_null()) return Value::Null();
+  if (op == ast::BinaryOp::kConcat) {
+    if (l.type_id() != TypeId::kString || r.type_id() != TypeId::kString) {
+      return Status::TypeError("|| expects strings");
+    }
+    return Value::String(l.string_value() + r.string_value());
+  }
+  if (op == ast::BinaryOp::kMod) {
+    STARBURST_ASSIGN_OR_RETURN(int64_t a, l.AsInt());
+    STARBURST_ASSIGN_OR_RETURN(int64_t b, r.AsInt());
+    if (b == 0) return Status::InvalidArgument("modulo by zero");
+    return Value::Int(a % b);
+  }
+  bool integral =
+      l.type_id() == TypeId::kInt && r.type_id() == TypeId::kInt;
+  if (integral) {
+    int64_t a = l.int_value(), b = r.int_value();
+    switch (op) {
+      case ast::BinaryOp::kAdd: return Value::Int(a + b);
+      case ast::BinaryOp::kSub: return Value::Int(a - b);
+      case ast::BinaryOp::kMul: return Value::Int(a * b);
+      case ast::BinaryOp::kDiv:
+        if (b == 0) return Status::InvalidArgument("division by zero");
+        return Value::Int(a / b);
+      default: break;
+    }
+  }
+  STARBURST_ASSIGN_OR_RETURN(double a, l.AsDouble());
+  STARBURST_ASSIGN_OR_RETURN(double b, r.AsDouble());
+  switch (op) {
+    case ast::BinaryOp::kAdd: return Value::Double(a + b);
+    case ast::BinaryOp::kSub: return Value::Double(a - b);
+    case ast::BinaryOp::kMul: return Value::Double(a * b);
+    case ast::BinaryOp::kDiv:
+      if (b == 0) return Status::InvalidArgument("division by zero");
+      return Value::Double(a / b);
+    default:
+      return Status::Internal("unexpected arithmetic operator");
+  }
+}
+
+}  // namespace
+
+Result<Value> EvalBinaryValues(ast::BinaryOp op, const Value& l,
+                               const Value& r) {
+  switch (op) {
+    case ast::BinaryOp::kEq:
+    case ast::BinaryOp::kNe:
+    case ast::BinaryOp::kLt:
+    case ast::BinaryOp::kLe:
+    case ast::BinaryOp::kGt:
+    case ast::BinaryOp::kGe:
+      return EvalComparison(op, l, r);
+    case ast::BinaryOp::kAnd:
+    case ast::BinaryOp::kOr:
+      return Status::Internal("AND/OR require lazy evaluation");
+    default:
+      return EvalArithmetic(op, l, r);
+  }
+}
+
+bool LikeMatch(const std::string& text, const std::string& pattern) {
+  // Iterative wildcard match with backtracking on '%'.
+  size_t t = 0, p = 0;
+  size_t star_p = std::string::npos, star_t = 0;
+  while (t < text.size()) {
+    if (p < pattern.size() &&
+        (pattern[p] == '_' || pattern[p] == text[t])) {
+      ++t;
+      ++p;
+    } else if (p < pattern.size() && pattern[p] == '%') {
+      star_p = p++;
+      star_t = t;
+    } else if (star_p != std::string::npos) {
+      p = star_p + 1;
+      t = ++star_t;
+    } else {
+      return false;
+    }
+  }
+  while (p < pattern.size() && pattern[p] == '%') ++p;
+  return p == pattern.size();
+}
+
+// ---------------------------------------------------------------------------
+// SubqueryRuntime
+// ---------------------------------------------------------------------------
+
+Result<const std::vector<Row>*> SubqueryRuntime::Evaluate(const Row& outer_row,
+                                                          ExecContext* ctx) {
+  // Gather the correlation values for this outer row.
+  ExecContext::ParamFrame frame;
+  std::vector<Value> key_values;
+  key_values.reserve(params_.size());
+  for (const ParamSource& src : params_) {
+    Value v;
+    if (src.outer_slot >= 0) {
+      v = outer_row[static_cast<size_t>(src.outer_slot)];
+    } else {
+      STARBURST_ASSIGN_OR_RETURN(v, ctx->LookupParam(src.q, src.column));
+    }
+    frame.values[{src.q, src.column}] = v;
+    key_values.push_back(std::move(v));
+  }
+  Row key(std::move(key_values));
+
+  if (mode_ == SubqueryCacheMode::kMemo) {
+    auto hit = memo_.find(key);
+    if (hit != memo_.end()) {
+      ++ctx->stats().subquery_cache_hits;
+      return &hit->second;
+    }
+  } else if (mode_ == SubqueryCacheMode::kLastValue) {
+    if (has_last_ && last_key_ == key) {
+      ++ctx->stats().subquery_cache_hits;
+      return &last_result_;
+    }
+  }
+
+  ++ctx->stats().subquery_evaluations;
+  ctx->PushParams(&frame);
+  Status open = plan_->Open(ctx);
+  if (!open.ok()) {
+    ctx->PopParams();
+    return open;
+  }
+  Result<std::vector<Row>> rows = DrainOperator(plan_.get());
+  plan_->Close();
+  ctx->PopParams();
+  if (!rows.ok()) return rows.status();
+
+  if (mode_ == SubqueryCacheMode::kMemo) {
+    if (memo_.size() > 65536) memo_.clear();  // bound memory
+    auto [it, inserted] = memo_.emplace(std::move(key), rows.TakeValue());
+    (void)inserted;
+    return &it->second;
+  }
+  last_key_ = std::move(key);
+  last_result_ = rows.TakeValue();
+  has_last_ = true;
+  return &last_result_;
+}
+
+void SubqueryRuntime::ResetCache() {
+  memo_.clear();
+  has_last_ = false;
+  last_result_.clear();
+}
+
+// ---------------------------------------------------------------------------
+// Evaluation
+// ---------------------------------------------------------------------------
+
+Result<Value> CompiledExpr::Eval(const Row& row, ExecContext* ctx) const {
+  switch (kind) {
+    case Kind::kLiteral:
+      return literal;
+
+    case Kind::kColumnRef: {
+      if (subquery != nullptr) {
+        // A correlated scalar subquery: at most one row expected.
+        STARBURST_ASSIGN_OR_RETURN(const std::vector<Row>* rows,
+                                   subquery->Evaluate(row, ctx));
+        if (rows->empty()) return Value::Null();
+        if (rows->size() > 1) {
+          return Status::InvalidArgument(
+              "scalar subquery returned more than one row");
+        }
+        return (*rows)[0][subquery_column];
+      }
+      if (slot >= 0) return row[static_cast<size_t>(slot)];
+      return ctx->LookupParam(param_q, param_col);
+    }
+
+    case Kind::kBinary: {
+      if (bop == ast::BinaryOp::kAnd || bop == ast::BinaryOp::kOr) {
+        // Three-valued lazy AND/OR.
+        STARBURST_ASSIGN_OR_RETURN(Value l, children[0]->Eval(row, ctx));
+        bool is_and = bop == ast::BinaryOp::kAnd;
+        if (!l.is_null() && l.bool_value() != is_and) {
+          return l;  // FALSE AND _, TRUE OR _
+        }
+        STARBURST_ASSIGN_OR_RETURN(Value r, children[1]->Eval(row, ctx));
+        if (!r.is_null() && r.bool_value() != is_and) return r;
+        if (l.is_null() || r.is_null()) return Value::Null();
+        return Bool3(is_and);
+      }
+      STARBURST_ASSIGN_OR_RETURN(Value l, children[0]->Eval(row, ctx));
+      STARBURST_ASSIGN_OR_RETURN(Value r, children[1]->Eval(row, ctx));
+      return EvalBinaryValues(bop, l, r);
+    }
+
+    case Kind::kUnary: {
+      STARBURST_ASSIGN_OR_RETURN(Value v, children[0]->Eval(row, ctx));
+      if (v.is_null()) return Value::Null();
+      if (uop == ast::UnaryOp::kNot) {
+        if (v.type_id() != TypeId::kBool) {
+          return Status::TypeError("NOT expects a boolean");
+        }
+        return Bool3(!v.bool_value());
+      }
+      if (v.type_id() == TypeId::kInt) return Value::Int(-v.int_value());
+      STARBURST_ASSIGN_OR_RETURN(double d, v.AsDouble());
+      return Value::Double(-d);
+    }
+
+    case Kind::kScalarFunc: {
+      std::vector<Value> args;
+      args.reserve(children.size());
+      for (const auto& c : children) {
+        STARBURST_ASSIGN_OR_RETURN(Value v, c->Eval(row, ctx));
+        args.push_back(std::move(v));
+      }
+      return func->eval(args);
+    }
+
+    case Kind::kAggRef:
+      return Status::Internal("aggregate reference outside GROUP operator");
+
+    case Kind::kCase: {
+      size_t pairs = (children.size() - (has_else ? 1 : 0)) / 2;
+      for (size_t i = 0; i < pairs; ++i) {
+        STARBURST_ASSIGN_OR_RETURN(Value cond, children[2 * i]->Eval(row, ctx));
+        if (!cond.is_null() && cond.bool_value()) {
+          return children[2 * i + 1]->Eval(row, ctx);
+        }
+      }
+      if (has_else) return children.back()->Eval(row, ctx);
+      return Value::Null();
+    }
+
+    case Kind::kIsNull: {
+      STARBURST_ASSIGN_OR_RETURN(Value v, children[0]->Eval(row, ctx));
+      return Bool3(negated ? !v.is_null() : v.is_null());
+    }
+
+    case Kind::kLike: {
+      STARBURST_ASSIGN_OR_RETURN(Value text, children[0]->Eval(row, ctx));
+      STARBURST_ASSIGN_OR_RETURN(Value pattern, children[1]->Eval(row, ctx));
+      if (text.is_null() || pattern.is_null()) return Value::Null();
+      bool m = LikeMatch(text.string_value(), pattern.string_value());
+      return Bool3(negated ? !m : m);
+    }
+
+    case Kind::kInList: {
+      STARBURST_ASSIGN_OR_RETURN(Value v, children[0]->Eval(row, ctx));
+      if (v.is_null()) return Value::Null();
+      bool unknown = false;
+      for (size_t i = 1; i < children.size(); ++i) {
+        STARBURST_ASSIGN_OR_RETURN(Value item, children[i]->Eval(row, ctx));
+        if (item.is_null()) {
+          unknown = true;
+          continue;
+        }
+        STARBURST_ASSIGN_OR_RETURN(int cmp, v.Compare(item));
+        if (cmp == 0) return Bool3(!negated);
+      }
+      if (unknown) return Value::Null();
+      return Bool3(negated);
+    }
+
+    case Kind::kExistsTest: {
+      STARBURST_ASSIGN_OR_RETURN(const std::vector<Row>* rows,
+                                 subquery->Evaluate(row, ctx));
+      bool exists = !rows->empty();
+      return Bool3(negated ? !exists : exists);
+    }
+
+    case Kind::kQuantCompare: {
+      STARBURST_ASSIGN_OR_RETURN(Value operand, children[0]->Eval(row, ctx));
+      STARBURST_ASSIGN_OR_RETURN(const std::vector<Row>* rows,
+                                 subquery->Evaluate(row, ctx));
+      switch (quant_type) {
+        case QuantifierType::kExists: {  // ANY / IN
+          bool unknown = false;
+          for (const Row& r : *rows) {
+            STARBURST_ASSIGN_OR_RETURN(Value cmp,
+                                       EvalComparison(bop, operand, r[0]));
+            if (cmp.is_null()) {
+              unknown = true;
+            } else if (cmp.bool_value()) {
+              return Bool3(true);
+            }
+          }
+          if (unknown) return Value::Null();
+          return Bool3(false);
+        }
+        case QuantifierType::kAll:
+        case QuantifierType::kAntiExists: {  // op ALL (NOT IN = <> ALL)
+          bool unknown = false;
+          for (const Row& r : *rows) {
+            STARBURST_ASSIGN_OR_RETURN(Value cmp,
+                                       EvalComparison(bop, operand, r[0]));
+            if (cmp.is_null()) {
+              unknown = true;
+            } else if (!cmp.bool_value()) {
+              return Bool3(false);
+            }
+          }
+          if (unknown) return Value::Null();
+          return Bool3(true);
+        }
+        case QuantifierType::kSetPredicate: {
+          // DBC set predicates fold element-predicate truth (UNKNOWN is
+          // folded to false) through the registered state machine.
+          std::unique_ptr<SetPredicateState> state = set_pred->make_state();
+          for (const Row& r : *rows) {
+            STARBURST_ASSIGN_OR_RETURN(Value cmp,
+                                       EvalComparison(bop, operand, r[0]));
+            state->Observe(!cmp.is_null() && cmp.bool_value());
+            if (state->Decided()) break;
+          }
+          return Bool3(state->Verdict());
+        }
+        default:
+          return Status::Internal("bad quantifier type in comparison");
+      }
+    }
+  }
+  return Status::Internal("unknown compiled expression kind");
+}
+
+Result<bool> CompiledExpr::EvalPredicate(const Row& row,
+                                         ExecContext* ctx) const {
+  STARBURST_ASSIGN_OR_RETURN(Value v, Eval(row, ctx));
+  if (v.is_null()) return false;
+  if (v.type_id() != TypeId::kBool) {
+    return Status::TypeError("predicate did not evaluate to a boolean");
+  }
+  return v.bool_value();
+}
+
+// ---------------------------------------------------------------------------
+// Compilation
+// ---------------------------------------------------------------------------
+
+std::vector<std::pair<const Quantifier*, size_t>> FreeParamsOf(
+    const qgm::Box* sub) {
+  std::set<const qgm::Box*> subtree;
+  std::vector<const qgm::Box*> stack = {sub};
+  while (!stack.empty()) {
+    const qgm::Box* b = stack.back();
+    stack.pop_back();
+    if (b == nullptr || !subtree.insert(b).second) continue;
+    for (const auto& q : b->quantifiers) stack.push_back(q->input);
+  }
+  std::set<std::pair<const Quantifier*, size_t>> free;
+  for (const qgm::Box* b : subtree) {
+    auto scan = [&](const Expr* e) {
+      if (e == nullptr) return;
+      std::vector<std::pair<Quantifier*, size_t>> refs;
+      e->CollectColumnRefs(&refs);
+      for (const auto& [q, col] : refs) {
+        if (subtree.count(q->owner) == 0) free.insert({q, col});
+      }
+    };
+    for (const auto& p : b->predicates) scan(p.get());
+    for (const auto& h : b->head) scan(h.expr.get());
+    for (const auto& g : b->group_keys) scan(g.get());
+    for (const auto& a : b->aggregates) scan(a.arg.get());
+  }
+  return std::vector<std::pair<const Quantifier*, size_t>>(free.begin(),
+                                                           free.end());
+}
+
+namespace {
+
+int FindLayoutSlot(const std::vector<optimizer::ColumnBinding>& layout,
+                   const Quantifier* q, size_t column) {
+  for (size_t i = 0; i < layout.size(); ++i) {
+    if (layout[i].quantifier == q && layout[i].column == column) {
+      return static_cast<int>(i);
+    }
+  }
+  return -1;
+}
+
+Result<std::shared_ptr<SubqueryRuntime>> BuildSubquery(const qgm::Box* sub,
+                                                       const CompileEnv& env) {
+  if (!env.build_box_operator) {
+    return Status::Internal("no subquery builder in this compile context");
+  }
+  STARBURST_ASSIGN_OR_RETURN(OperatorPtr plan, env.build_box_operator(sub));
+  std::vector<SubqueryRuntime::ParamSource> params;
+  for (const auto& [q, col] : FreeParamsOf(sub)) {
+    SubqueryRuntime::ParamSource src;
+    src.q = q;
+    src.column = col;
+    src.outer_slot =
+        env.layout != nullptr ? FindLayoutSlot(*env.layout, q, col) : -1;
+    if (src.outer_slot < 0 && env.on_param) env.on_param(q, col);
+    params.push_back(src);
+  }
+  return std::make_shared<SubqueryRuntime>(std::move(plan), std::move(params),
+                                           env.cache_mode);
+}
+
+}  // namespace
+
+Result<CompiledExprPtr> CompileExpr(const Expr& e, const CompileEnv& env) {
+  auto out = std::make_unique<CompiledExpr>();
+  out->kind = e.kind;
+  out->literal = e.literal;
+  out->bop = e.bop;
+  out->uop = e.uop;
+  out->func = e.func;
+  out->negated = e.negated;
+  out->has_else = e.has_else;
+
+  switch (e.kind) {
+    case Expr::Kind::kColumnRef: {
+      int slot = env.layout != nullptr
+                     ? FindLayoutSlot(*env.layout, e.quantifier, e.column)
+                     : -1;
+      if (slot >= 0) {
+        out->slot = slot;
+        return CompiledExprPtr(std::move(out));
+      }
+      if (e.quantifier != nullptr &&
+          e.quantifier->type == QuantifierType::kScalar) {
+        // Un-joined (correlated) scalar subquery: fetch through a subplan.
+        STARBURST_ASSIGN_OR_RETURN(out->subquery,
+                                   BuildSubquery(e.quantifier->input, env));
+        out->subquery_column = e.column;
+        return CompiledExprPtr(std::move(out));
+      }
+      out->param_q = e.quantifier;
+      out->param_col = e.column;
+      if (env.on_param) env.on_param(e.quantifier, e.column);
+      return CompiledExprPtr(std::move(out));
+    }
+    case Expr::Kind::kExistsTest: {
+      STARBURST_ASSIGN_OR_RETURN(out->subquery,
+                                 BuildSubquery(e.quantifier->input, env));
+      return CompiledExprPtr(std::move(out));
+    }
+    case Expr::Kind::kQuantCompare: {
+      STARBURST_ASSIGN_OR_RETURN(out->subquery,
+                                 BuildSubquery(e.quantifier->input, env));
+      out->quant_type = e.quantifier->type;
+      if (e.quantifier->type == QuantifierType::kSetPredicate) {
+        if (env.catalog == nullptr) {
+          return Status::Internal("set predicate needs a catalog");
+        }
+        out->set_pred =
+            env.catalog->functions().FindSetPredicate(e.quantifier->set_function);
+        if (out->set_pred == nullptr) {
+          return Status::Internal("set predicate '" +
+                                  e.quantifier->set_function +
+                                  "' vanished from the registry");
+        }
+      }
+      STARBURST_ASSIGN_OR_RETURN(CompiledExprPtr operand,
+                                 CompileExpr(*e.children[0], env));
+      out->children.push_back(std::move(operand));
+      return CompiledExprPtr(std::move(out));
+    }
+    default:
+      break;
+  }
+
+  for (const auto& c : e.children) {
+    STARBURST_ASSIGN_OR_RETURN(CompiledExprPtr child, CompileExpr(*c, env));
+    out->children.push_back(std::move(child));
+  }
+  return CompiledExprPtr(std::move(out));
+}
+
+}  // namespace starburst::exec

@@ -1,0 +1,122 @@
+#ifndef STARBURST_EXEC_EXPR_EVAL_H_
+#define STARBURST_EXEC_EXPR_EVAL_H_
+
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "exec/stream.h"
+#include "optimizer/plan.h"
+
+namespace starburst::exec {
+
+class SubqueryRuntime;
+
+/// How evaluate-on-demand subqueries remember results across outer rows.
+enum class SubqueryCacheMode {
+  kNone,       // re-evaluate on every use (the strawman)
+  kLastValue,  // §7: "avoid re-evaluating the subquery when the
+               //      correlation values have not changed"
+  kMemo,       // full memo over correlation values
+};
+
+/// A qgm::Expr compiled against an operator's output layout: column
+/// references become row slots; references to enclosing queries become
+/// correlation parameters; quantified tests carry an executable subplan.
+struct CompiledExpr {
+  using Kind = qgm::Expr::Kind;
+
+  Kind kind = Kind::kLiteral;
+  Value literal;
+
+  // kColumnRef
+  int slot = -1;  // >=0: input row slot
+  const qgm::Quantifier* param_q = nullptr;  // slot<0: runtime parameter
+  size_t param_col = 0;
+
+  ast::BinaryOp bop = ast::BinaryOp::kEq;
+  ast::UnaryOp uop = ast::UnaryOp::kNot;
+  const ScalarFunctionDef* func = nullptr;
+  bool negated = false;
+  bool has_else = false;
+
+  std::vector<std::unique_ptr<CompiledExpr>> children;
+
+  // Subquery machinery: kExistsTest, kQuantCompare, and scalar-subquery
+  // column references that could not be planned as joins.
+  std::shared_ptr<SubqueryRuntime> subquery;
+  qgm::QuantifierType quant_type = qgm::QuantifierType::kExists;
+  const SetPredicateFunctionDef* set_pred = nullptr;
+  size_t subquery_column = 0;  // scalar-subquery fetch column
+
+  /// Three-valued: boolean results are Bool or Null.
+  Result<Value> Eval(const Row& row, ExecContext* ctx) const;
+
+  /// Eval folded to two-valued acceptance (NULL/unknown = false).
+  Result<bool> EvalPredicate(const Row& row, ExecContext* ctx) const;
+};
+
+using CompiledExprPtr = std::unique_ptr<CompiledExpr>;
+
+/// Binary operator evaluation shared by expressions and join operators.
+Result<Value> EvalBinaryValues(ast::BinaryOp op, const Value& l, const Value& r);
+
+/// SQL LIKE with % and _ wildcards.
+bool LikeMatch(const std::string& text, const std::string& pattern);
+
+/// One subquery's runtime: a re-openable inner plan plus the paper's
+/// "evaluate-on-demand" protocol — nothing runs until the predicate
+/// evaluator first needs the subquery, and results are reused while the
+/// correlation values stay the same.
+class SubqueryRuntime {
+ public:
+  struct ParamSource {
+    const qgm::Quantifier* q = nullptr;
+    size_t column = 0;
+    int outer_slot = -1;  // -1: resolve through the context's param stack
+  };
+
+  SubqueryRuntime(OperatorPtr plan, std::vector<ParamSource> params,
+                  SubqueryCacheMode mode)
+      : plan_(std::move(plan)), params_(std::move(params)), mode_(mode) {}
+
+  /// Materialized subquery rows under the current outer row's correlation
+  /// values. The pointer stays valid until the next Evaluate call.
+  Result<const std::vector<Row>*> Evaluate(const Row& outer_row,
+                                           ExecContext* ctx);
+
+  void ResetCache();
+
+ private:
+  OperatorPtr plan_;
+  std::vector<ParamSource> params_;
+  SubqueryCacheMode mode_;
+  std::unordered_map<Row, std::vector<Row>, RowHash> memo_;
+  Row last_key_;
+  std::vector<Row> last_result_;
+  bool has_last_ = false;
+};
+
+/// Compilation environment: the input layout plus a factory for subquery
+/// operator trees (supplied by the plan refiner).
+struct CompileEnv {
+  const std::vector<optimizer::ColumnBinding>* layout = nullptr;
+  std::function<Result<OperatorPtr>(const qgm::Box*)> build_box_operator;
+  const Catalog* catalog = nullptr;
+  SubqueryCacheMode cache_mode = SubqueryCacheMode::kMemo;
+  /// Invoked for every correlation parameter left unresolved by `layout`
+  /// (the plan refiner uses this to wire dependent-join parameter frames).
+  std::function<void(const qgm::Quantifier*, size_t)> on_param;
+};
+
+Result<CompiledExprPtr> CompileExpr(const qgm::Expr& e, const CompileEnv& env);
+
+/// The correlation signature of a subquery box: every (quantifier, column)
+/// referenced inside its subtree but owned outside it.
+std::vector<std::pair<const qgm::Quantifier*, size_t>> FreeParamsOf(
+    const qgm::Box* sub);
+
+}  // namespace starburst::exec
+
+#endif  // STARBURST_EXEC_EXPR_EVAL_H_

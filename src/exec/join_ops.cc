@@ -1,0 +1,469 @@
+#include <unordered_map>
+
+#include "exec/operators.h"
+
+namespace starburst::exec {
+
+using optimizer::JoinKind;
+
+namespace {
+
+Row ConcatRows(const Row& a, const Row& b) { return a.Concat(b); }
+
+Row NullPad(const Row& outer, size_t inner_width) {
+  std::vector<Value> values = outer.values();
+  for (size_t i = 0; i < inner_width; ++i) values.push_back(Value::Null());
+  return Row(std::move(values));
+}
+
+/// Evaluates the join's residual predicates over outer ++ inner.
+Result<bool> PredsPass(const JoinSpec& spec, const Row& joined,
+                       ExecContext* ctx) {
+  for (const CompiledExprPtr& p : spec.predicates) {
+    STARBURST_ASSIGN_OR_RETURN(bool ok, p->EvalPredicate(joined, ctx));
+    if (!ok) return false;
+  }
+  return true;
+}
+
+/// Nested-loop join: one control structure, every join kind (§7: "By
+/// clearly separating the 'control structure' of the join, i.e., the join
+/// method, from the function performed during the join, i.e., the join
+/// kind, we provide an additional degree of flexibility").
+class NlJoinOp : public Operator {
+ public:
+  NlJoinOp(OperatorPtr outer, OperatorPtr inner, JoinSpec spec)
+      : outer_(std::move(outer)), inner_(std::move(inner)),
+        spec_(std::move(spec)) {}
+
+  Status Open(ExecContext* ctx) override {
+    ctx_ = ctx;
+    STARBURST_RETURN_IF_ERROR(outer_->Open(ctx));
+    have_outer_ = false;
+    inner_open_ = false;
+    return Status::OK();
+  }
+
+  Result<bool> Next(Row* row) override {
+    // Verdict-per-outer-row kinds buffer nothing: each outer row is fully
+    // decided against the inner stream before the next is fetched.
+    while (true) {
+      if (!have_outer_) {
+        STARBURST_ASSIGN_OR_RETURN(bool more, outer_->Next(&outer_row_));
+        if (!more) return false;
+        have_outer_ = true;
+        STARBURST_RETURN_IF_ERROR(ReopenInner());
+        switch (spec_.kind) {
+          case JoinKind::kExists:
+          case JoinKind::kAnti:
+          case JoinKind::kOpAll:
+          case JoinKind::kSetPred: {
+            STARBURST_ASSIGN_OR_RETURN(bool verdict, DecideOuter());
+            have_outer_ = false;
+            if (verdict) {
+              *row = outer_row_;
+              return true;
+            }
+            continue;
+          }
+          case JoinKind::kScalar: {
+            STARBURST_ASSIGN_OR_RETURN(Row out, ScalarJoinRow());
+            have_outer_ = false;
+            *row = std::move(out);
+            return true;
+          }
+          default:
+            matched_ = false;
+            break;
+        }
+      }
+      // kRegular / kLeftOuter: stream matches lazily.
+      Row inner_row;
+      while (true) {
+        STARBURST_ASSIGN_OR_RETURN(bool more, inner_->Next(&inner_row));
+        if (!more) break;
+        Row joined = ConcatRows(outer_row_, inner_row);
+        STARBURST_ASSIGN_OR_RETURN(bool pass, PredsPass(spec_, joined, ctx_));
+        if (pass) {
+          matched_ = true;
+          *row = std::move(joined);
+          return true;
+        }
+      }
+      bool emit_unmatched = spec_.kind == JoinKind::kLeftOuter && !matched_;
+      have_outer_ = false;
+      if (emit_unmatched) {
+        *row = NullPad(outer_row_, spec_.inner_width);
+        return true;
+      }
+    }
+  }
+
+  void Close() override {
+    if (inner_open_) {
+      inner_->Close();
+      inner_open_ = false;
+    }
+    if (params_pushed_) {
+      ctx_->PopParams();
+      params_pushed_ = false;
+    }
+    outer_->Close();
+  }
+
+ private:
+  Status ReopenInner() {
+    if (inner_open_) inner_->Close();
+    if (params_pushed_) {
+      ctx_->PopParams();
+      params_pushed_ = false;
+    }
+    if (!spec_.inner_params.empty()) {
+      frame_.values.clear();
+      for (const SubqueryRuntime::ParamSource& src : spec_.inner_params) {
+        Value v;
+        if (src.outer_slot >= 0) {
+          v = outer_row_[static_cast<size_t>(src.outer_slot)];
+        } else {
+          STARBURST_ASSIGN_OR_RETURN(v, ctx_->LookupParam(src.q, src.column));
+        }
+        frame_.values[{src.q, src.column}] = std::move(v);
+      }
+      ctx_->PushParams(&frame_);
+      params_pushed_ = true;
+    }
+    STARBURST_RETURN_IF_ERROR(inner_->Open(ctx_));
+    inner_open_ = true;
+    return Status::OK();
+  }
+
+  /// Exists / anti / op-ALL / set-predicate verdict for the current outer.
+  Result<bool> DecideOuter() {
+    std::unique_ptr<SetPredicateState> state;
+    if (spec_.kind == JoinKind::kSetPred) state = spec_.set_pred->make_state();
+
+    Value operand;
+    if (spec_.quant_operand != nullptr) {
+      STARBURST_ASSIGN_OR_RETURN(operand,
+                                 spec_.quant_operand->Eval(outer_row_, ctx_));
+    }
+    bool any_true = false, any_false = false, any_unknown = false;
+    Row inner_row;
+    while (true) {
+      STARBURST_ASSIGN_OR_RETURN(bool more, inner_->Next(&inner_row));
+      if (!more) break;
+      Row joined = ConcatRows(outer_row_, inner_row);
+      STARBURST_ASSIGN_OR_RETURN(bool pass, PredsPass(spec_, joined, ctx_));
+      if (!pass) continue;
+      if (spec_.quant_operand == nullptr) {
+        any_true = true;  // plain EXISTS semantics
+        if (spec_.kind == JoinKind::kExists || spec_.kind == JoinKind::kAnti) {
+          break;
+        }
+        continue;
+      }
+      STARBURST_ASSIGN_OR_RETURN(
+          Value cmp, EvalBinaryValues(spec_.cmp_op, operand, inner_row[0]));
+      bool truth = !cmp.is_null() && cmp.bool_value();
+      if (cmp.is_null()) any_unknown = true;
+      if (truth) any_true = true;
+      if (!cmp.is_null() && !truth) any_false = true;
+      if (state != nullptr) {
+        state->Observe(truth);
+        if (state->Decided()) break;
+      } else if (spec_.kind == JoinKind::kExists && truth) {
+        break;
+      } else if (spec_.kind == JoinKind::kOpAll && any_false) {
+        break;
+      }
+    }
+    switch (spec_.kind) {
+      case JoinKind::kExists:
+        return any_true;  // UNKNOWN-only folds to reject
+      case JoinKind::kAnti:
+        return !any_true && !any_unknown;
+      case JoinKind::kOpAll:
+        return !any_false && !any_unknown;
+      case JoinKind::kSetPred:
+        return state->Verdict();
+      default:
+        return Status::Internal("DecideOuter on a streaming join kind");
+    }
+  }
+
+  Result<Row> ScalarJoinRow() {
+    Row inner_row, match;
+    size_t matches = 0;
+    while (true) {
+      STARBURST_ASSIGN_OR_RETURN(bool more, inner_->Next(&inner_row));
+      if (!more) break;
+      Row joined = ConcatRows(outer_row_, inner_row);
+      STARBURST_ASSIGN_OR_RETURN(bool pass, PredsPass(spec_, joined, ctx_));
+      if (!pass) continue;
+      if (++matches > 1) {
+        return Status::InvalidArgument(
+            "scalar subquery returned more than one row");
+      }
+      match = std::move(joined);
+    }
+    if (matches == 0) return NullPad(outer_row_, spec_.inner_width);
+    return match;
+  }
+
+  OperatorPtr outer_, inner_;
+  JoinSpec spec_;
+  ExecContext* ctx_ = nullptr;
+  Row outer_row_;
+  bool have_outer_ = false;
+  bool inner_open_ = false;
+  bool matched_ = false;
+  ExecContext::ParamFrame frame_;
+  bool params_pushed_ = false;
+};
+
+/// Hash join: equality keys, kinds regular / exists / anti / left-outer.
+class HashJoinOp : public Operator {
+ public:
+  HashJoinOp(OperatorPtr outer, OperatorPtr inner,
+             std::vector<std::pair<size_t, size_t>> keys, JoinSpec spec)
+      : outer_(std::move(outer)), inner_(std::move(inner)),
+        keys_(std::move(keys)), spec_(std::move(spec)) {}
+
+  Status Open(ExecContext* ctx) override {
+    ctx_ = ctx;
+    table_.clear();
+    STARBURST_RETURN_IF_ERROR(inner_->Open(ctx));
+    Row inner_row;
+    while (true) {
+      STARBURST_ASSIGN_OR_RETURN(bool more, inner_->Next(&inner_row));
+      if (!more) break;
+      Row key = InnerKey(inner_row);
+      bool has_null = false;
+      for (const Value& v : key.values()) {
+        if (v.is_null()) has_null = true;
+      }
+      if (has_null) continue;  // NULL keys never join
+      table_[std::move(key)].push_back(inner_row);
+    }
+    inner_->Close();
+    STARBURST_RETURN_IF_ERROR(outer_->Open(ctx));
+    have_outer_ = false;
+    return Status::OK();
+  }
+
+  Result<bool> Next(Row* row) override {
+    while (true) {
+      if (!have_outer_) {
+        STARBURST_ASSIGN_OR_RETURN(bool more, outer_->Next(&outer_row_));
+        if (!more) return false;
+        have_outer_ = true;
+        matched_ = false;
+        bucket_ = nullptr;
+        bucket_pos_ = 0;
+        Row key = OuterKey(outer_row_);
+        bool has_null = false;
+        for (const Value& v : key.values()) {
+          if (v.is_null()) has_null = true;
+        }
+        if (!has_null) {
+          auto it = table_.find(key);
+          if (it != table_.end()) bucket_ = &it->second;
+        }
+      }
+      // Walk the bucket.
+      while (bucket_ != nullptr && bucket_pos_ < bucket_->size()) {
+        Row joined = ConcatRows(outer_row_, (*bucket_)[bucket_pos_++]);
+        STARBURST_ASSIGN_OR_RETURN(bool pass, PredsPass(spec_, joined, ctx_));
+        if (!pass) continue;
+        matched_ = true;
+        switch (spec_.kind) {
+          case JoinKind::kRegular:
+          case JoinKind::kLeftOuter:
+            *row = std::move(joined);
+            return true;
+          case JoinKind::kExists:
+            have_outer_ = false;
+            *row = outer_row_;
+            return true;
+          case JoinKind::kAnti:
+            have_outer_ = false;  // matched: rejected
+            goto next_outer;
+          default:
+            return Status::Internal("unsupported hash join kind");
+        }
+      }
+      // Bucket exhausted.
+      {
+        bool was_matched = matched_;
+        have_outer_ = false;
+        if (spec_.kind == JoinKind::kLeftOuter && !was_matched) {
+          *row = NullPad(outer_row_, spec_.inner_width);
+          return true;
+        }
+        if (spec_.kind == JoinKind::kAnti && !was_matched) {
+          *row = outer_row_;
+          return true;
+        }
+      }
+    next_outer:;
+    }
+  }
+
+  void Close() override {
+    outer_->Close();
+    table_.clear();
+  }
+
+ private:
+  Row InnerKey(const Row& r) const {
+    std::vector<Value> values;
+    for (const auto& [o, i] : keys_) values.push_back(r[i]);
+    return Row(std::move(values));
+  }
+  Row OuterKey(const Row& r) const {
+    std::vector<Value> values;
+    for (const auto& [o, i] : keys_) values.push_back(r[o]);
+    return Row(std::move(values));
+  }
+
+  OperatorPtr outer_, inner_;
+  std::vector<std::pair<size_t, size_t>> keys_;
+  JoinSpec spec_;
+  ExecContext* ctx_ = nullptr;
+  std::unordered_map<Row, std::vector<Row>, RowHash> table_;
+  Row outer_row_;
+  bool have_outer_ = false;
+  bool matched_ = false;
+  const std::vector<Row>* bucket_ = nullptr;
+  size_t bucket_pos_ = 0;
+};
+
+/// Sort-merge join over pre-sorted inputs (the glue STARs arranged the
+/// orders); kinds regular / exists / left-outer.
+class MergeJoinOp : public Operator {
+ public:
+  MergeJoinOp(OperatorPtr outer, OperatorPtr inner,
+              std::vector<std::pair<size_t, size_t>> keys, JoinSpec spec)
+      : outer_(std::move(outer)), inner_(std::move(inner)),
+        keys_(std::move(keys)), spec_(std::move(spec)) {}
+
+  Status Open(ExecContext* ctx) override {
+    ctx_ = ctx;
+    STARBURST_RETURN_IF_ERROR(inner_->Open(ctx));
+    Result<std::vector<Row>> rows = DrainOperator(inner_.get());
+    inner_->Close();
+    if (!rows.ok()) return rows.status();
+    inner_rows_ = rows.TakeValue();
+    inner_base_ = 0;
+    STARBURST_RETURN_IF_ERROR(outer_->Open(ctx));
+    have_outer_ = false;
+    return Status::OK();
+  }
+
+  Result<bool> Next(Row* row) override {
+    while (true) {
+      if (!have_outer_) {
+        STARBURST_ASSIGN_OR_RETURN(bool more, outer_->Next(&outer_row_));
+        if (!more) return false;
+        have_outer_ = true;
+        matched_ = false;
+        AlignInner();
+        group_pos_ = inner_base_;
+      }
+      while (group_pos_ < group_end_) {
+        Row joined = ConcatRows(outer_row_, inner_rows_[group_pos_++]);
+        STARBURST_ASSIGN_OR_RETURN(bool pass, PredsPass(spec_, joined, ctx_));
+        if (!pass) continue;
+        matched_ = true;
+        if (spec_.kind == JoinKind::kExists) {
+          have_outer_ = false;
+          *row = outer_row_;
+          return true;
+        }
+        *row = std::move(joined);
+        return true;
+      }
+      bool was_matched = matched_;
+      have_outer_ = false;
+      if (spec_.kind == JoinKind::kLeftOuter && !was_matched) {
+        *row = NullPad(outer_row_, spec_.inner_width);
+        return true;
+      }
+    }
+  }
+
+  void Close() override {
+    outer_->Close();
+    inner_rows_.clear();
+  }
+
+ private:
+  /// Advances inner_base_ to the first inner row with key >= outer key and
+  /// computes the equal-key group [inner_base_, group_end_). Outer rows
+  /// with NULL keys match nothing.
+  void AlignInner() {
+    group_end_ = inner_base_;
+    for (const auto& [o, i] : keys_) {
+      if (outer_row_[o].is_null()) return;
+    }
+    while (inner_base_ < inner_rows_.size() &&
+           CompareKeys(inner_rows_[inner_base_], outer_row_) < 0) {
+      ++inner_base_;
+    }
+    group_end_ = inner_base_;
+    while (group_end_ < inner_rows_.size() &&
+           CompareKeys(inner_rows_[group_end_], outer_row_) == 0) {
+      bool inner_null = false;
+      for (const auto& [o, i] : keys_) {
+        if (inner_rows_[group_end_][i].is_null()) inner_null = true;
+      }
+      if (inner_null) {
+        ++inner_base_;
+        ++group_end_;
+        continue;
+      }
+      ++group_end_;
+    }
+  }
+
+  int CompareKeys(const Row& inner, const Row& outer) const {
+    for (const auto& [o, i] : keys_) {
+      int c = inner[i].CompareTotal(outer[o]);
+      if (c != 0) return c;
+    }
+    return 0;
+  }
+
+  OperatorPtr outer_, inner_;
+  std::vector<std::pair<size_t, size_t>> keys_;
+  JoinSpec spec_;
+  ExecContext* ctx_ = nullptr;
+  std::vector<Row> inner_rows_;
+  size_t inner_base_ = 0, group_pos_ = 0, group_end_ = 0;
+  Row outer_row_;
+  bool have_outer_ = false;
+  bool matched_ = false;
+};
+
+}  // namespace
+
+OperatorPtr MakeNlJoinOp(OperatorPtr outer, OperatorPtr inner, JoinSpec spec) {
+  return std::make_unique<NlJoinOp>(std::move(outer), std::move(inner),
+                                    std::move(spec));
+}
+
+OperatorPtr MakeHashJoinOp(OperatorPtr outer, OperatorPtr inner,
+                           std::vector<std::pair<size_t, size_t>> keys,
+                           JoinSpec spec) {
+  return std::make_unique<HashJoinOp>(std::move(outer), std::move(inner),
+                                      std::move(keys), std::move(spec));
+}
+
+OperatorPtr MakeMergeJoinOp(OperatorPtr outer, OperatorPtr inner,
+                            std::vector<std::pair<size_t, size_t>> keys,
+                            JoinSpec spec) {
+  return std::make_unique<MergeJoinOp>(std::move(outer), std::move(inner),
+                                       std::move(keys), std::move(spec));
+}
+
+}  // namespace starburst::exec

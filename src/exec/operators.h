@@ -1,0 +1,115 @@
+#ifndef STARBURST_EXEC_OPERATORS_H_
+#define STARBURST_EXEC_OPERATORS_H_
+
+#include <memory>
+#include <vector>
+
+#include "exec/expr_eval.h"
+#include "exec/stream.h"
+#include "optimizer/plan.h"
+
+namespace starburst::exec {
+
+// Factories for the QES's built-in operators. Each returns a re-openable
+// lazy stream; §7's "details of obtaining a tuple from and handing a tuple
+// to another operator" live behind the Operator interface.
+
+OperatorPtr MakeScanOp(const TableDef* table, std::vector<size_t> columns,
+                       std::vector<CompiledExprPtr> predicates);
+
+/// `bound_op` relates the index key column to `bound` (already normalized
+/// so the key column is on the left).
+OperatorPtr MakeIndexScanOp(const TableDef* table, const IndexDef* index,
+                            ast::BinaryOp bound_op, CompiledExprPtr bound,
+                            std::vector<size_t> columns,
+                            std::vector<CompiledExprPtr> predicates);
+
+OperatorPtr MakeValuesOp(std::vector<Row> rows);
+
+OperatorPtr MakeFilterOp(OperatorPtr input,
+                         std::vector<CompiledExprPtr> predicates);
+
+/// §7's OR operator: a tuple that fails one disjunct "must be handed over
+/// ... for further consideration" — branches evaluate lazily in order, so
+/// subquery branches only run for tuples the cheap branches rejected.
+OperatorPtr MakeOrRouteOp(OperatorPtr input,
+                          std::vector<std::vector<CompiledExprPtr>> branches);
+
+/// Computing projection (box heads). Pass empty exprs for pure relabeling.
+OperatorPtr MakeProjectOp(OperatorPtr input,
+                          std::vector<CompiledExprPtr> exprs);
+
+OperatorPtr MakeSortOp(OperatorPtr input,
+                       std::vector<std::pair<size_t, bool>> keys);
+
+OperatorPtr MakeDistinctOp(OperatorPtr input);
+
+OperatorPtr MakeTempOp(OperatorPtr input);
+/// Shared materialization: all operators created with the same key read
+/// one ExecContext-resident copy, built by whichever opens first.
+OperatorPtr MakeSharedTempOp(OperatorPtr input, const void* shared_key);
+
+OperatorPtr MakeShipOp(OperatorPtr input, double per_row_delay_us);
+
+OperatorPtr MakeLimitOp(OperatorPtr input, int64_t limit);
+
+struct JoinSpec {
+  optimizer::JoinKind kind = optimizer::JoinKind::kRegular;
+  /// Residual predicates over the concatenated (outer ++ inner) row.
+  std::vector<CompiledExprPtr> predicates;
+  /// Quantified compare: operand (over the outer row) `cmp_op` inner col 0.
+  CompiledExprPtr quant_operand;  // null when not a quantified join
+  ast::BinaryOp cmp_op = ast::BinaryOp::kEq;
+  const SetPredicateFunctionDef* set_pred = nullptr;
+  size_t inner_width = 0;  // for null padding (left outer, scalar)
+  /// Dependent (correlated) inner: parameters drawn from the outer row.
+  std::vector<SubqueryRuntime::ParamSource> inner_params;
+};
+
+OperatorPtr MakeNlJoinOp(OperatorPtr outer, OperatorPtr inner, JoinSpec spec);
+
+OperatorPtr MakeHashJoinOp(OperatorPtr outer, OperatorPtr inner,
+                           std::vector<std::pair<size_t, size_t>> keys,
+                           JoinSpec spec);
+
+OperatorPtr MakeMergeJoinOp(OperatorPtr outer, OperatorPtr inner,
+                            std::vector<std::pair<size_t, size_t>> keys,
+                            JoinSpec spec);
+
+struct AggSpec {
+  const AggregateFunctionDef* def = nullptr;
+  CompiledExprPtr arg;  // null = COUNT(*)
+  bool distinct = false;
+};
+
+/// `head` maps each output column to a group key (kKey) or aggregate
+/// (kAgg) by index.
+struct GroupHeadItem {
+  enum class Source { kKey, kAgg };
+  Source source = Source::kKey;
+  size_t index = 0;
+};
+
+OperatorPtr MakeGroupAggOp(OperatorPtr input,
+                           std::vector<CompiledExprPtr> group_keys,
+                           std::vector<AggSpec> aggregates,
+                           std::vector<GroupHeadItem> head);
+
+OperatorPtr MakeSetOpOp(OperatorPtr left, OperatorPtr right,
+                        ast::SetOpKind op, bool all);
+
+OperatorPtr MakeTableFuncOp(std::vector<OperatorPtr> inputs,
+                            const TableFunctionDef* def,
+                            std::vector<Value> scalar_args);
+
+/// Recursive-union fixpoint. `iterref_count` > 1 forces naive iteration
+/// (the step sees the full working table); 1 enables semi-naive deltas.
+OperatorPtr MakeRecurseOp(OperatorPtr base, OperatorPtr step,
+                          const qgm::Box* recursion_box, size_t iterref_count,
+                          bool semi_naive = true);
+
+OperatorPtr MakeIterRefOp(const qgm::Box* recursion_box);
+
+}  // namespace starburst::exec
+
+#endif  // STARBURST_EXEC_OPERATORS_H_

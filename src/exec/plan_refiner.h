@@ -1,0 +1,82 @@
+#ifndef STARBURST_EXEC_PLAN_REFINER_H_
+#define STARBURST_EXEC_PLAN_REFINER_H_
+
+#include <map>
+#include <set>
+#include <vector>
+
+#include "exec/operators.h"
+
+namespace starburst::exec {
+
+class PlanRefiner;
+
+/// Registry of DBC-defined QES operators ("adding new operators to the QES
+/// has been trivial"). An optimizer plan node with Lolepop::kExtension and
+/// a registered ext_name refines through the DBC's builder.
+class ExtOperatorRegistry {
+ public:
+  using Builder = std::function<Result<OperatorPtr>(const optimizer::Plan&,
+                                                    PlanRefiner&)>;
+  static ExtOperatorRegistry& Global();
+
+  Status Register(const std::string& name, Builder builder);
+  bool Contains(const std::string& name) const;
+  Result<const Builder*> Lookup(const std::string& name) const;
+
+ private:
+  std::map<std::string, Builder> builders_;
+};
+
+/// Plan Refinement (§3, Figure 1): turns the optimizer's chosen QEP into
+/// the executable operator tree the QES interprets — compiling every
+/// predicate and head expression against its operator's slot layout,
+/// instantiating subquery runtimes, and wiring dependent-join parameter
+/// passing.
+class PlanRefiner {
+ public:
+  struct Options {
+    SubqueryCacheMode cache_mode = SubqueryCacheMode::kMemo;
+    double ship_delay_us = 0;
+    /// Semi-naive recursion (deltas only); false = naive full-table
+    /// iteration, for ablation benchmarks.
+    bool semi_naive_recursion = true;
+  };
+
+  PlanRefiner(const Catalog* catalog,
+              const std::map<const qgm::Box*, optimizer::PlanPtr>* box_plans,
+              Options options)
+      : catalog_(catalog), box_plans_(box_plans), options_(options) {}
+
+  Result<OperatorPtr> Refine(const optimizer::PlanPtr& plan);
+
+  /// Builds a fresh operator tree for a (sub)query box using the
+  /// optimizer's plan for it. Also used by the engine for UPDATE/DELETE
+  /// subquery predicates.
+  Result<OperatorPtr> BuildBoxOperator(const qgm::Box* box);
+
+  /// Compiles an expression against an explicit layout, with subquery
+  /// support through this refiner. Parameters that cannot be resolved in
+  /// the layout are reported through `free_params` (may be null).
+  Result<CompiledExprPtr> Compile(
+      const qgm::Expr& e, const std::vector<optimizer::ColumnBinding>& layout,
+      std::set<ExecContext::ParamKey>* free_params);
+
+ private:
+  Result<OperatorPtr> Build(const optimizer::Plan& plan);
+  Result<OperatorPtr> BuildJoin(const optimizer::Plan& plan);
+  Result<OperatorPtr> BuildGroupAgg(const optimizer::Plan& plan);
+
+  CompileEnv EnvFor(const std::vector<optimizer::ColumnBinding>* layout);
+
+  const Catalog* catalog_;
+  const std::map<const qgm::Box*, optimizer::PlanPtr>* box_plans_;
+  Options options_;
+  /// Innermost set records correlation parameters compiled in the current
+  /// subtree; dependent joins intercept and bind them from outer rows.
+  std::vector<std::set<ExecContext::ParamKey>*> param_scopes_;
+};
+
+}  // namespace starburst::exec
+
+#endif  // STARBURST_EXEC_PLAN_REFINER_H_

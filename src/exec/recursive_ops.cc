@@ -1,0 +1,95 @@
+#include <unordered_set>
+
+#include "exec/operators.h"
+
+namespace starburst::exec {
+
+namespace {
+
+/// Fixpoint driver for recursive table expressions (§2): working :=
+/// dedup(base); repeat { delta := step(visible) \ working; working ∪=
+/// delta } until delta = ∅. Linear recursion (one iteration reference)
+/// runs semi-naive — the step sees only the previous delta; otherwise the
+/// step sees the full working table (naive, but still terminating thanks
+/// to set semantics).
+class RecurseOp : public Operator {
+ public:
+  RecurseOp(OperatorPtr base, OperatorPtr step, const qgm::Box* recursion,
+            size_t iterref_count, bool semi_naive)
+      : base_(std::move(base)), step_(std::move(step)), recursion_(recursion),
+        semi_naive_(semi_naive && iterref_count <= 1) {}
+
+  Status Open(ExecContext* ctx) override {
+    working_.clear();
+    seen_.clear();
+    pos_ = 0;
+
+    STARBURST_RETURN_IF_ERROR(base_->Open(ctx));
+    STARBURST_ASSIGN_OR_RETURN(std::vector<Row> base_rows,
+                               DrainOperator(base_.get()));
+    base_->Close();
+    std::vector<Row> delta;
+    for (Row& r : base_rows) {
+      if (seen_.insert(r).second) {
+        working_.push_back(r);
+        delta.push_back(std::move(r));
+      }
+    }
+
+    constexpr int kMaxIterations = 1000000;
+    int iterations = 0;
+    while (!delta.empty()) {
+      if (++iterations > kMaxIterations) {
+        return Status::Aborted("recursive table expression did not converge");
+      }
+      ++ctx->stats().recursion_iterations;
+      const std::vector<Row>& visible = semi_naive_ ? delta : working_;
+      ctx->SetIterationTable(recursion_, &visible);
+      STARBURST_RETURN_IF_ERROR(step_->Open(ctx));
+      Result<std::vector<Row>> produced = DrainOperator(step_.get());
+      step_->Close();
+      ctx->SetIterationTable(recursion_, nullptr);
+      if (!produced.ok()) return produced.status();
+
+      std::vector<Row> next_delta;
+      for (Row& r : *produced) {
+        if (seen_.insert(r).second) {
+          working_.push_back(r);
+          next_delta.push_back(std::move(r));
+        }
+      }
+      delta = std::move(next_delta);
+    }
+    return Status::OK();
+  }
+
+  Result<bool> Next(Row* row) override {
+    if (pos_ >= working_.size()) return false;
+    *row = working_[pos_++];
+    return true;
+  }
+
+  void Close() override {
+    working_.clear();
+    seen_.clear();
+  }
+
+ private:
+  OperatorPtr base_, step_;
+  const qgm::Box* recursion_;
+  bool semi_naive_;
+  std::vector<Row> working_;
+  std::unordered_set<Row, RowHash> seen_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+OperatorPtr MakeRecurseOp(OperatorPtr base, OperatorPtr step,
+                          const qgm::Box* recursion_box, size_t iterref_count,
+                          bool semi_naive) {
+  return std::make_unique<RecurseOp>(std::move(base), std::move(step),
+                                     recursion_box, iterref_count, semi_naive);
+}
+
+}  // namespace starburst::exec

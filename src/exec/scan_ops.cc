@@ -1,0 +1,241 @@
+#include "exec/operators.h"
+#include "storage/attachment.h"
+
+namespace starburst::exec {
+
+namespace {
+
+class ScanOp : public Operator {
+ public:
+  ScanOp(const TableDef* table, std::vector<size_t> columns,
+         std::vector<CompiledExprPtr> predicates)
+      : table_(table), columns_(std::move(columns)),
+        predicates_(std::move(predicates)) {}
+
+  Status Open(ExecContext* ctx) override {
+    ctx_ = ctx;
+    STARBURST_ASSIGN_OR_RETURN(TableStorage * storage,
+                               ctx->storage()->GetTable(table_->name));
+    scan_ = storage->NewScan();
+    return Status::OK();
+  }
+
+  Result<bool> Next(Row* row) override {
+    Row full;
+    Rid rid;
+    while (true) {
+      STARBURST_ASSIGN_OR_RETURN(bool more, scan_->Next(&full, &rid));
+      if (!more) return false;
+      bool pass = true;
+      // Predicates run against the *projected* row (slots follow
+      // scan_columns), per §2: functions are invoked "at low levels of
+      // the system" — here, inside the scan's predicate evaluator.
+      Row projected = Project(full);
+      for (const CompiledExprPtr& p : predicates_) {
+        STARBURST_ASSIGN_OR_RETURN(bool ok, p->EvalPredicate(projected, ctx_));
+        if (!ok) {
+          pass = false;
+          break;
+        }
+      }
+      if (!pass) continue;
+      *row = std::move(projected);
+      ++ctx_->stats().rows_emitted;
+      return true;
+    }
+  }
+
+  void Close() override { scan_.reset(); }
+
+ private:
+  Row Project(const Row& full) const {
+    std::vector<Value> values;
+    values.reserve(columns_.size());
+    for (size_t c : columns_) values.push_back(full[c]);
+    return Row(std::move(values));
+  }
+
+  const TableDef* table_;
+  std::vector<size_t> columns_;
+  std::vector<CompiledExprPtr> predicates_;
+  ExecContext* ctx_ = nullptr;
+  std::unique_ptr<TableScanIterator> scan_;
+};
+
+class IndexScanOp : public Operator {
+ public:
+  IndexScanOp(const TableDef* table, const IndexDef* index,
+              ast::BinaryOp bound_op, CompiledExprPtr bound,
+              std::vector<size_t> columns,
+              std::vector<CompiledExprPtr> predicates)
+      : table_(table), index_(index), bound_op_(bound_op),
+        bound_(std::move(bound)), columns_(std::move(columns)),
+        predicates_(std::move(predicates)) {}
+
+  Status Open(ExecContext* ctx) override {
+    ctx_ = ctx;
+    STARBURST_ASSIGN_OR_RETURN(storage_, ctx->storage()->GetTable(table_->name));
+    STARBURST_ASSIGN_OR_RETURN(Attachment * attachment,
+                               ctx->storage()->GetIndex(index_->name));
+    auto* btree = dynamic_cast<BTreeAttachment*>(attachment);
+    if (btree == nullptr) {
+      return Status::Internal("index '" + index_->name + "' is not a B-tree");
+    }
+    if (bound_ == nullptr) {
+      // Unbounded: walk the whole index in key order.
+      exhausted_ = false;
+      iter_ = btree->tree().Scan(nullptr, true, nullptr, true);
+      return Status::OK();
+    }
+    // The bound may be parameterized by correlation values — evaluated at
+    // every (re)open, which is what makes index-driven dependent joins
+    // possible.
+    Row empty;
+    STARBURST_ASSIGN_OR_RETURN(Value key, bound_->Eval(empty, ctx));
+    if (key.is_null()) {
+      iter_.reset();
+      exhausted_ = true;  // NULL never matches an index bound
+      return Status::OK();
+    }
+    exhausted_ = false;
+    BTreeKey lo{key}, hi{key};
+    switch (bound_op_) {
+      case ast::BinaryOp::kEq:
+        iter_ = btree->tree().Scan(&lo, true, &hi, true);
+        break;
+      case ast::BinaryOp::kLt:
+        iter_ = btree->tree().Scan(nullptr, true, &hi, false);
+        break;
+      case ast::BinaryOp::kLe:
+        iter_ = btree->tree().Scan(nullptr, true, &hi, true);
+        break;
+      case ast::BinaryOp::kGt:
+        iter_ = btree->tree().Scan(&lo, false, nullptr, true);
+        break;
+      case ast::BinaryOp::kGe:
+        iter_ = btree->tree().Scan(&lo, true, nullptr, true);
+        break;
+      default:
+        return Status::Internal("bad index bound operator");
+    }
+    return Status::OK();
+  }
+
+  Result<bool> Next(Row* row) override {
+    if (exhausted_ || iter_ == nullptr) return false;
+    BTreeKey key;
+    Rid rid;
+    while (iter_->Next(&key, &rid)) {
+      // NULL keys sort first but never satisfy a bound comparison; an
+      // unbounded (order-providing) scan must keep them.
+      if (bound_ != nullptr && !key.empty() && key[0].is_null()) continue;
+      STARBURST_ASSIGN_OR_RETURN(Row full, storage_->Fetch(rid));
+      std::vector<Value> values;
+      values.reserve(columns_.size());
+      for (size_t c : columns_) values.push_back(full[c]);
+      Row projected(std::move(values));
+      bool pass = true;
+      for (const CompiledExprPtr& p : predicates_) {
+        STARBURST_ASSIGN_OR_RETURN(bool ok, p->EvalPredicate(projected, ctx_));
+        if (!ok) {
+          pass = false;
+          break;
+        }
+      }
+      if (!pass) continue;
+      *row = std::move(projected);
+      ++ctx_->stats().rows_emitted;
+      return true;
+    }
+    return false;
+  }
+
+  void Close() override { iter_.reset(); }
+
+ private:
+  const TableDef* table_;
+  const IndexDef* index_;
+  ast::BinaryOp bound_op_;
+  CompiledExprPtr bound_;
+  std::vector<size_t> columns_;
+  std::vector<CompiledExprPtr> predicates_;
+  ExecContext* ctx_ = nullptr;
+  TableStorage* storage_ = nullptr;
+  std::unique_ptr<BTree::Iterator> iter_;
+  bool exhausted_ = false;
+};
+
+class ValuesOp : public Operator {
+ public:
+  explicit ValuesOp(std::vector<Row> rows) : rows_(std::move(rows)) {}
+
+  Status Open(ExecContext* ctx) override {
+    ctx_ = ctx;
+    pos_ = 0;
+    return Status::OK();
+  }
+  Result<bool> Next(Row* row) override {
+    if (pos_ >= rows_.size()) return false;
+    *row = rows_[pos_++];
+    ++ctx_->stats().rows_emitted;
+    return true;
+  }
+  void Close() override {}
+
+ private:
+  std::vector<Row> rows_;
+  size_t pos_ = 0;
+  ExecContext* ctx_ = nullptr;
+};
+
+class IterRefOp : public Operator {
+ public:
+  explicit IterRefOp(const qgm::Box* recursion) : recursion_(recursion) {}
+
+  Status Open(ExecContext* ctx) override {
+    rows_ = ctx->IterationTable(recursion_);
+    if (rows_ == nullptr) {
+      return Status::Internal("iteration reference outside recursion");
+    }
+    pos_ = 0;
+    return Status::OK();
+  }
+  Result<bool> Next(Row* row) override {
+    if (pos_ >= rows_->size()) return false;
+    *row = (*rows_)[pos_++];
+    return true;
+  }
+  void Close() override { rows_ = nullptr; }
+
+ private:
+  const qgm::Box* recursion_;
+  const std::vector<Row>* rows_ = nullptr;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+OperatorPtr MakeScanOp(const TableDef* table, std::vector<size_t> columns,
+                       std::vector<CompiledExprPtr> predicates) {
+  return std::make_unique<ScanOp>(table, std::move(columns),
+                                  std::move(predicates));
+}
+
+OperatorPtr MakeIndexScanOp(const TableDef* table, const IndexDef* index,
+                            ast::BinaryOp bound_op, CompiledExprPtr bound,
+                            std::vector<size_t> columns,
+                            std::vector<CompiledExprPtr> predicates) {
+  return std::make_unique<IndexScanOp>(table, index, bound_op,
+                                       std::move(bound), std::move(columns),
+                                       std::move(predicates));
+}
+
+OperatorPtr MakeValuesOp(std::vector<Row> rows) {
+  return std::make_unique<ValuesOp>(std::move(rows));
+}
+
+OperatorPtr MakeIterRefOp(const qgm::Box* recursion_box) {
+  return std::make_unique<IterRefOp>(recursion_box);
+}
+
+}  // namespace starburst::exec

@@ -1,0 +1,86 @@
+#include <algorithm>
+#include <unordered_set>
+
+#include "exec/operators.h"
+
+namespace starburst::exec {
+
+namespace {
+
+class SortOp : public Operator {
+ public:
+  SortOp(OperatorPtr input, std::vector<std::pair<size_t, bool>> keys)
+      : input_(std::move(input)), keys_(std::move(keys)) {}
+
+  Status Open(ExecContext* ctx) override {
+    STARBURST_RETURN_IF_ERROR(input_->Open(ctx));
+    Result<std::vector<Row>> rows = DrainOperator(input_.get());
+    input_->Close();
+    if (!rows.ok()) return rows.status();
+    rows_ = rows.TakeValue();
+    std::stable_sort(rows_.begin(), rows_.end(),
+                     [this](const Row& a, const Row& b) {
+                       for (const auto& [slot, asc] : keys_) {
+                         int c = a[slot].CompareTotal(b[slot]);
+                         if (c != 0) return asc ? c < 0 : c > 0;
+                       }
+                       return false;
+                     });
+    pos_ = 0;
+    return Status::OK();
+  }
+
+  Result<bool> Next(Row* row) override {
+    if (pos_ >= rows_.size()) return false;
+    *row = rows_[pos_++];
+    return true;
+  }
+
+  void Close() override { rows_.clear(); }
+
+ private:
+  OperatorPtr input_;
+  std::vector<std::pair<size_t, bool>> keys_;
+  std::vector<Row> rows_;
+  size_t pos_ = 0;
+};
+
+class DistinctOp : public Operator {
+ public:
+  explicit DistinctOp(OperatorPtr input) : input_(std::move(input)) {}
+
+  Status Open(ExecContext* ctx) override {
+    seen_.clear();
+    return input_->Open(ctx);
+  }
+
+  Result<bool> Next(Row* row) override {
+    while (true) {
+      STARBURST_ASSIGN_OR_RETURN(bool more, input_->Next(row));
+      if (!more) return false;
+      if (seen_.insert(*row).second) return true;
+    }
+  }
+
+  void Close() override {
+    input_->Close();
+    seen_.clear();
+  }
+
+ private:
+  OperatorPtr input_;
+  std::unordered_set<Row, RowHash> seen_;
+};
+
+}  // namespace
+
+OperatorPtr MakeSortOp(OperatorPtr input,
+                       std::vector<std::pair<size_t, bool>> keys) {
+  return std::make_unique<SortOp>(std::move(input), std::move(keys));
+}
+
+OperatorPtr MakeDistinctOp(OperatorPtr input) {
+  return std::make_unique<DistinctOp>(std::move(input));
+}
+
+}  // namespace starburst::exec

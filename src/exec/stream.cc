@@ -1,0 +1,27 @@
+#include "exec/stream.h"
+
+namespace starburst::exec {
+
+Result<Value> ExecContext::LookupParam(const qgm::Quantifier* q,
+                                       size_t column) const {
+  for (auto it = param_stack_.rbegin(); it != param_stack_.rend(); ++it) {
+    auto found = (*it)->values.find(ParamKey{q, column});
+    if (found != (*it)->values.end()) return found->second;
+  }
+  return Status::Internal("unbound correlation parameter " +
+                          (q != nullptr ? q->DisplayName() : std::string("?")) +
+                          "." + std::to_string(column));
+}
+
+Result<std::vector<Row>> DrainOperator(Operator* op) {
+  std::vector<Row> rows;
+  Row row;
+  while (true) {
+    STARBURST_ASSIGN_OR_RETURN(bool more, op->Next(&row));
+    if (!more) break;
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+}  // namespace starburst::exec

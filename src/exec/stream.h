@@ -1,0 +1,104 @@
+#ifndef STARBURST_EXEC_STREAM_H_
+#define STARBURST_EXEC_STREAM_H_
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "common/result.h"
+#include "common/row.h"
+#include "qgm/box.h"
+#include "storage/storage_engine.h"
+
+namespace starburst::exec {
+
+/// Runtime statistics the QES collects while interpreting a QEP.
+struct ExecStats {
+  uint64_t rows_emitted = 0;
+  uint64_t subquery_evaluations = 0;   // inner plan (re-)executions
+  uint64_t subquery_cache_hits = 0;    // correlation values unchanged
+  uint64_t shipped_rows = 0;           // through SHIP operators
+  uint64_t recursion_iterations = 0;
+  uint64_t shared_materializations = 0;  // shared TEMPs actually built
+};
+
+/// Shared evaluation context for one query execution: Core access,
+/// correlation parameter frames (evaluate-on-demand subqueries, dependent
+/// joins), and the recursion working tables.
+class ExecContext {
+ public:
+  ExecContext(StorageEngine* storage, const Catalog* catalog)
+      : storage_(storage), catalog_(catalog) {}
+
+  StorageEngine* storage() { return storage_; }
+  const Catalog* catalog() const { return catalog_; }
+  ExecStats& stats() { return stats_; }
+
+  /// Correlation frames. A dependent join or subquery invocation pushes a
+  /// frame of (quantifier, column) -> value before (re)opening the inner
+  /// stream; frames nest for multi-level correlation.
+  using ParamKey = std::pair<const qgm::Quantifier*, size_t>;
+  struct ParamFrame {
+    std::map<ParamKey, Value> values;
+  };
+  void PushParams(const ParamFrame* frame) { param_stack_.push_back(frame); }
+  void PopParams() { param_stack_.pop_back(); }
+  /// Innermost binding wins.
+  Result<Value> LookupParam(const qgm::Quantifier* q, size_t column) const;
+
+  /// Recursion: the RECURSE operator publishes the table ITERREF reads,
+  /// keyed by the recursive-union box.
+  void SetIterationTable(const qgm::Box* recursion,
+                         const std::vector<Row>* rows) {
+    iteration_tables_[recursion] = rows;
+  }
+  const std::vector<Row>* IterationTable(const qgm::Box* recursion) const {
+    auto it = iteration_tables_.find(recursion);
+    return it == iteration_tables_.end() ? nullptr : it->second;
+  }
+
+  /// Shared table-expression materializations ("materialized once and
+  /// used several times", §5), keyed by the optimizer's shared-TEMP plan
+  /// node. All consumer operators read the same copy.
+  const std::vector<Row>* SharedTable(const void* key) const {
+    auto it = shared_tables_.find(key);
+    return it == shared_tables_.end() ? nullptr : &it->second;
+  }
+  const std::vector<Row>* StoreSharedTable(const void* key,
+                                           std::vector<Row> rows) {
+    ++stats_.shared_materializations;
+    return &(shared_tables_[key] = std::move(rows));
+  }
+
+ private:
+  StorageEngine* storage_;
+  const Catalog* catalog_;
+  std::vector<const ParamFrame*> param_stack_;
+  std::map<const qgm::Box*, const std::vector<Row>*> iteration_tables_;
+  std::map<const void*, std::vector<Row>> shared_tables_;
+  ExecStats stats_;
+};
+
+/// A QES operator (§7): "Each operator takes one or more streams of tuples
+/// as input and produces one or more streams of tuples (usually one) as
+/// output. We implement the concept of streams by lazy evaluation" — the
+/// classic open/next/close protocol. Operators are re-openable: a dependent
+/// join re-Opens its inner stream per outer row under fresh parameters.
+class Operator {
+ public:
+  virtual ~Operator() = default;
+
+  virtual Status Open(ExecContext* ctx) = 0;
+  /// Produces the next tuple; false at end of stream.
+  virtual Result<bool> Next(Row* row) = 0;
+  virtual void Close() = 0;
+};
+
+using OperatorPtr = std::unique_ptr<Operator>;
+
+/// Drains an operator into a vector (operator must be Open).
+Result<std::vector<Row>> DrainOperator(Operator* op);
+
+}  // namespace starburst::exec
+
+#endif  // STARBURST_EXEC_STREAM_H_

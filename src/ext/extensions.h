@@ -1,0 +1,42 @@
+#ifndef STARBURST_EXT_EXTENSIONS_H_
+#define STARBURST_EXT_EXTENSIONS_H_
+
+#include "engine/database.h"
+#include "storage/rtree.h"
+
+namespace starburst::ext {
+
+// The DBC ("database customizer") extensions the paper uses as its running
+// examples, each implemented purely through public extension points:
+//
+//  * spatial: the POINT externally-defined type, POINT/CONTAINS/DISTANCE/
+//    PX/PY functions, the R-tree access-method attachment (§1's example),
+//    a TableAccess STAR that recognizes CONTAINS predicates, and the
+//    RTREE_SCAN QES operator;
+//  * SAMPLE(table, n): §2's table-function example;
+//  * STDDEV / VARIANCE: §2's externally-defined aggregate example;
+//  * MAJORITY: §2's DBC set-predicate example;
+//  * outer-join simplification: the null-rejecting-predicate rewrite rule
+//    a DBC adding LEFT OUTER JOIN would supply (§5 discusses how PF
+//    setformers interact with the predicate rules).
+
+Status RegisterSpatialExtension(Database* db);
+Status RegisterSampleFunction(Database* db);
+Status RegisterStatisticsFunctions(Database* db);
+Status RegisterMajority(Database* db);
+Status RegisterOuterJoinRules(Database* db);
+
+/// Everything above.
+Status RegisterAllExtensions(Database* db);
+
+// -- spatial helpers shared with tests/benches --
+
+/// Encodes/decodes the POINT payload (two little-endian doubles).
+std::string EncodePoint(double x, double y);
+Result<std::pair<double, double>> DecodePoint(const std::string& payload);
+/// Builds a POINT value directly (bypassing the POINT() scalar function).
+Value MakePointValue(double x, double y);
+
+}  // namespace starburst::ext
+
+#endif  // STARBURST_EXT_EXTENSIONS_H_

@@ -1,0 +1,39 @@
+#include "ext/extensions.h"
+
+namespace starburst::ext {
+
+namespace {
+
+/// §2: "a DBC could define a new set predicate function, e.g., MAJORITY,
+/// which would return true if the predicate is true for the majority of
+/// the elements of the set." Empty sets have no majority.
+class MajorityState : public SetPredicateState {
+ public:
+  void Observe(bool match) override {
+    ++total_;
+    if (match) ++hits_;
+  }
+  bool Verdict() const override { return total_ > 0 && 2 * hits_ > total_; }
+
+ private:
+  size_t hits_ = 0;
+  size_t total_ = 0;
+};
+
+}  // namespace
+
+Status RegisterMajority(Database* db) {
+  return db->catalog().functions().RegisterSetPredicate(
+      SetPredicateFunctionDef{
+          "MAJORITY", [] { return std::make_unique<MajorityState>(); }});
+}
+
+Status RegisterAllExtensions(Database* db) {
+  STARBURST_RETURN_IF_ERROR(RegisterSpatialExtension(db));
+  STARBURST_RETURN_IF_ERROR(RegisterSampleFunction(db));
+  STARBURST_RETURN_IF_ERROR(RegisterStatisticsFunctions(db));
+  STARBURST_RETURN_IF_ERROR(RegisterMajority(db));
+  return RegisterOuterJoinRules(db);
+}
+
+}  // namespace starburst::ext

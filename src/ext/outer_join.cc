@@ -1,0 +1,112 @@
+#include <set>
+
+#include "ext/extensions.h"
+#include "rewrite/rule_engine.h"
+
+namespace starburst::ext {
+
+using qgm::Box;
+using qgm::BoxKind;
+using qgm::Expr;
+using qgm::Quantifier;
+using qgm::QuantifierType;
+
+namespace {
+
+/// Null-rejecting: evaluates to non-TRUE whenever the quantifier's columns
+/// are NULL. Comparisons, LIKE, and IS NOT NULL qualify; conservatively
+/// nothing else does.
+bool IsNullRejecting(const Expr& p, const Quantifier* q) {
+  if (!p.ReferencesQuantifier(q)) return false;
+  switch (p.kind) {
+    case Expr::Kind::kBinary:
+      switch (p.bop) {
+        case ast::BinaryOp::kEq:
+        case ast::BinaryOp::kNe:
+        case ast::BinaryOp::kLt:
+        case ast::BinaryOp::kLe:
+        case ast::BinaryOp::kGt:
+        case ast::BinaryOp::kGe:
+          return true;
+        case ast::BinaryOp::kAnd:
+          // AND rejects if either conjunct rejects.
+          return IsNullRejecting(*p.children[0], q) ||
+                 IsNullRejecting(*p.children[1], q);
+        default:
+          return false;
+      }
+    case Expr::Kind::kLike:
+      return !p.negated;
+    case Expr::Kind::kIsNull:
+      return p.negated;  // IS NOT NULL
+    case Expr::Kind::kInList:
+      return !p.negated;
+    default:
+      return false;
+  }
+}
+
+/// A simplification candidate: consumer box `upper` holds a null-rejecting
+/// predicate over the null-producing side of the outer-join box below it.
+struct OuterToInner {
+  Quantifier* pf = nullptr;  // the PF setformer to demote
+};
+
+bool FindOuterToInner(const rewrite::RuleContext& ctx, OuterToInner* out) {
+  Box* upper = ctx.box;
+  if (upper->kind != BoxKind::kSelect) return false;
+  for (const auto& q : upper->quantifiers) {
+    if (q->type != QuantifierType::kForEach) continue;
+    Box* oj = q->input;
+    if (oj == nullptr || oj->kind != BoxKind::kSelect) continue;
+    Quantifier* pf = nullptr;
+    Quantifier* null_side = nullptr;
+    for (const auto& lq : oj->quantifiers) {
+      if (lq->type == QuantifierType::kPreservedForEach) pf = lq.get();
+      if (lq->type == QuantifierType::kForEach) null_side = lq.get();
+    }
+    if (pf == nullptr || null_side == nullptr) continue;
+    if (rewrite::CountReferences(*ctx.graph, oj) != 1) continue;
+    // Which upper columns (through q) come from the null-producing side?
+    for (const auto& p : upper->predicates) {
+      // Inline the predicate into OJ terms and check what it touches.
+      std::unique_ptr<Expr> probe = p->Clone();
+      std::vector<const Expr*> replacements;
+      for (const auto& h : oj->head) replacements.push_back(h.expr.get());
+      qgm::ExprPtr holder = std::move(probe);
+      if (!holder->ReferencesQuantifier(q.get())) continue;
+      qgm::InlineIntoExpr(&holder, q.get(), replacements);
+      if (IsNullRejecting(*holder, null_side)) {
+        out->pf = pf;
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+/// The rewrite rule a DBC adding LEFT OUTER JOIN supplies (§5 sketches the
+/// PF interaction; [ROSE84] gives the theory): a null-rejecting predicate
+/// above the join discards exactly the null-padded rows, so preservation
+/// is a no-op — demote PF to F and let the merge rules flatten the join.
+Status RegisterOuterJoinRules(Database* db) {
+  return db->rule_engine().AddRule(rewrite::RewriteRule{
+      "outer_join_simplification", "outer_join", /*priority=*/25,
+      /*weight=*/1.0,
+      [](const rewrite::RuleContext& ctx) {
+        OuterToInner c;
+        return FindOuterToInner(ctx, &c);
+      },
+      [](rewrite::RuleContext& ctx) -> Status {
+        OuterToInner c;
+        if (!FindOuterToInner(ctx, &c)) {
+          return Status::Internal("outer-join simplification: candidate vanished");
+        }
+        c.pf->type = QuantifierType::kForEach;
+        return Status::OK();
+      }});
+}
+
+}  // namespace starburst::ext

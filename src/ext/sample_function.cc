@@ -1,0 +1,40 @@
+#include "ext/extensions.h"
+
+namespace starburst::ext {
+
+/// §2's table-function example: "the function SAMPLE(table, int) might
+/// produce a new table consisting of int rows of table". Deterministic
+/// stride sampling so tests are stable.
+Status RegisterSampleFunction(Database* db) {
+  TableFunctionDef def;
+  def.name = "SAMPLE";
+  def.infer_schema = [](const std::vector<TableSchema>& inputs,
+                        const std::vector<Value>& args) -> Result<TableSchema> {
+    if (inputs.size() != 1) {
+      return Status::SemanticError("SAMPLE takes exactly one table argument");
+    }
+    if (args.size() != 1 || args[0].type_id() != TypeId::kInt) {
+      return Status::SemanticError("SAMPLE takes one integer row count");
+    }
+    if (args[0].int_value() < 0) {
+      return Status::SemanticError("SAMPLE row count must be non-negative");
+    }
+    return inputs[0];
+  };
+  def.eval = [](const std::vector<std::vector<Row>>& inputs,
+                const std::vector<Value>& args) -> Result<std::vector<Row>> {
+    const std::vector<Row>& table = inputs[0];
+    size_t want = static_cast<size_t>(args[0].int_value());
+    std::vector<Row> out;
+    if (want == 0 || table.empty()) return out;
+    if (want >= table.size()) return table;
+    double stride = static_cast<double>(table.size()) / static_cast<double>(want);
+    for (size_t i = 0; i < want; ++i) {
+      out.push_back(table[static_cast<size_t>(i * stride)]);
+    }
+    return out;
+  };
+  return db->catalog().functions().RegisterTableFunction(std::move(def));
+}
+
+}  // namespace starburst::ext

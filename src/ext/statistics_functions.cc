@@ -1,0 +1,59 @@
+#include <cmath>
+
+#include "ext/extensions.h"
+
+namespace starburst::ext {
+
+namespace {
+
+/// Welford's online variance — numerically stable streaming state.
+class VarianceState : public AggregateState {
+ public:
+  explicit VarianceState(bool stddev) : stddev_(stddev) {}
+
+  Status Accumulate(const Value& v) override {
+    if (v.is_null()) return Status::OK();
+    STARBURST_ASSIGN_OR_RETURN(double x, v.AsDouble());
+    ++count_;
+    double delta = x - mean_;
+    mean_ += delta / static_cast<double>(count_);
+    m2_ += delta * (x - mean_);
+    return Status::OK();
+  }
+
+  Result<Value> Finalize() override {
+    if (count_ < 2) return Value::Null();  // sample variance undefined
+    double variance = m2_ / static_cast<double>(count_ - 1);
+    return Value::Double(stddev_ ? std::sqrt(variance) : variance);
+  }
+
+ private:
+  bool stddev_;
+  int64_t count_ = 0;
+  double mean_ = 0;
+  double m2_ = 0;
+};
+
+Result<DataType> NumericToDouble(const DataType& in) {
+  if (!in.is_numeric() && in.id != TypeId::kNull) {
+    return Status::TypeError("statistical aggregates expect numeric input");
+  }
+  return DataType::Double();
+}
+
+}  // namespace
+
+/// §2's externally-defined aggregate example
+/// ("StandardDeviation(Salary)"): STDDEV and VARIANCE register through the
+/// same interface as the built-ins and are usable anywhere they are.
+Status RegisterStatisticsFunctions(Database* db) {
+  FunctionRegistry& functions = db->catalog().functions();
+  STARBURST_RETURN_IF_ERROR(functions.RegisterAggregate(AggregateFunctionDef{
+      "STDDEV", NumericToDouble,
+      [] { return std::make_unique<VarianceState>(/*stddev=*/true); }}));
+  return functions.RegisterAggregate(AggregateFunctionDef{
+      "VARIANCE", NumericToDouble,
+      [] { return std::make_unique<VarianceState>(/*stddev=*/false); }});
+}
+
+}  // namespace starburst::ext

@@ -1,0 +1,116 @@
+#include "optimizer/plan.h"
+
+#include <sstream>
+
+namespace starburst::optimizer {
+
+const char* LolepopName(Lolepop op) {
+  switch (op) {
+    case Lolepop::kScan: return "SCAN";
+    case Lolepop::kIndexScan: return "ISCAN";
+    case Lolepop::kValues: return "VALUES";
+    case Lolepop::kFilter: return "FILTER";
+    case Lolepop::kProject: return "PROJECT";
+    case Lolepop::kSort: return "SORT";
+    case Lolepop::kNlJoin: return "NLJOIN";
+    case Lolepop::kMergeJoin: return "MGJOIN";
+    case Lolepop::kHashJoin: return "HSJOIN";
+    case Lolepop::kTemp: return "TEMP";
+    case Lolepop::kShip: return "SHIP";
+    case Lolepop::kGroupAgg: return "GROUP";
+    case Lolepop::kSetOp: return "SETOP";
+    case Lolepop::kDistinct: return "DISTINCT";
+    case Lolepop::kTableFunc: return "TABLEFUNC";
+    case Lolepop::kRecurse: return "RECURSE";
+    case Lolepop::kIterRef: return "ITERREF";
+    case Lolepop::kOrRoute: return "OR";
+    case Lolepop::kExtension: return "EXT";
+  }
+  return "?";
+}
+
+const char* JoinKindName(JoinKind k) {
+  switch (k) {
+    case JoinKind::kRegular: return "regular";
+    case JoinKind::kLeftOuter: return "left-outer";
+    case JoinKind::kExists: return "exists";
+    case JoinKind::kAnti: return "anti";
+    case JoinKind::kScalar: return "scalar-subquery";
+    case JoinKind::kOpAll: return "op-ALL";
+    case JoinKind::kSetPred: return "set-predicate";
+  }
+  return "?";
+}
+
+size_t Plan::FindSlot(const qgm::Quantifier* q, size_t column) const {
+  for (size_t i = 0; i < output.size(); ++i) {
+    if (output[i].quantifier == q && output[i].column == column) return i;
+  }
+  return kNoSlot;
+}
+
+std::string Plan::ToString(int indent) const {
+  std::ostringstream out;
+  out << std::string(indent * 2, ' ') << LolepopName(op);
+  switch (op) {
+    case Lolepop::kScan:
+      if (table != nullptr) out << " " << table->name;
+      if (!scan_columns.empty()) out << " cols=" << scan_columns.size();
+      break;
+    case Lolepop::kIndexScan:
+      if (index != nullptr) out << " " << index->name;
+      if (table != nullptr) out << " on " << table->name;
+      break;
+    case Lolepop::kNlJoin:
+    case Lolepop::kMergeJoin:
+    case Lolepop::kHashJoin:
+      out << " kind=" << JoinKindName(join_kind);
+      if (!join_set_function.empty()) out << "<" << join_set_function << ">";
+      break;
+    case Lolepop::kShip:
+      out << " " << from_site << "->" << to_site;
+      break;
+    case Lolepop::kExtension:
+      out << " " << ext_name;
+      if (index != nullptr) out << " " << index->name;
+      break;
+    case Lolepop::kSort: {
+      out << " by(";
+      for (size_t i = 0; i < sort_keys.size(); ++i) {
+        if (i > 0) out << ",";
+        out << sort_keys[i].first << (sort_keys[i].second ? "+" : "-");
+      }
+      out << ")";
+      break;
+    }
+    case Lolepop::kProject:
+    case Lolepop::kGroupAgg:
+    case Lolepop::kSetOp:
+    case Lolepop::kTableFunc:
+    case Lolepop::kRecurse:
+    case Lolepop::kIterRef:
+      if (box != nullptr) out << " " << box->Label();
+      break;
+    default:
+      break;
+  }
+  for (const qgm::Expr* p : predicates) {
+    out << " [" << p->ToString() << "]";
+  }
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "  {card=%.6g cost=%.6g}",
+                props.cardinality, props.cost);
+  out << buf << "\n";
+  for (const PlanPtr& input : inputs) {
+    out << input->ToString(indent + 1);
+  }
+  return out.str();
+}
+
+std::shared_ptr<Plan> NewPlan(Lolepop op) {
+  auto p = std::make_shared<Plan>();
+  p->op = op;
+  return p;
+}
+
+}  // namespace starburst::optimizer

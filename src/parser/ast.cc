@@ -1,0 +1,96 @@
+#include "parser/ast.h"
+
+namespace starburst::ast {
+
+const char* BinaryOpName(BinaryOp op) {
+  switch (op) {
+    case BinaryOp::kAnd: return "AND";
+    case BinaryOp::kOr: return "OR";
+    case BinaryOp::kEq: return "=";
+    case BinaryOp::kNe: return "<>";
+    case BinaryOp::kLt: return "<";
+    case BinaryOp::kLe: return "<=";
+    case BinaryOp::kGt: return ">";
+    case BinaryOp::kGe: return ">=";
+    case BinaryOp::kAdd: return "+";
+    case BinaryOp::kSub: return "-";
+    case BinaryOp::kMul: return "*";
+    case BinaryOp::kDiv: return "/";
+    case BinaryOp::kMod: return "%";
+    case BinaryOp::kConcat: return "||";
+  }
+  return "?";
+}
+
+std::string BinaryExpr::ToString() const {
+  return "(" + left->ToString() + " " + BinaryOpName(op) + " " +
+         right->ToString() + ")";
+}
+
+std::string UnaryExpr::ToString() const {
+  return op == UnaryOp::kNot ? "(NOT " + operand->ToString() + ")"
+                             : "(-" + operand->ToString() + ")";
+}
+
+std::string FunctionCallExpr::ToString() const {
+  std::string out = name + "(";
+  if (star) {
+    out += "*";
+  } else {
+    if (distinct) out += "DISTINCT ";
+    for (size_t i = 0; i < args.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += args[i]->ToString();
+    }
+  }
+  return out + ")";
+}
+
+std::string IsNullExpr::ToString() const {
+  return operand->ToString() + (negated ? " IS NOT NULL" : " IS NULL");
+}
+
+std::string BetweenExpr::ToString() const {
+  return operand->ToString() + (negated ? " NOT BETWEEN " : " BETWEEN ") +
+         low->ToString() + " AND " + high->ToString();
+}
+
+std::string InListExpr::ToString() const {
+  std::string out = operand->ToString() + (negated ? " NOT IN (" : " IN (");
+  for (size_t i = 0; i < items.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += items[i]->ToString();
+  }
+  return out + ")";
+}
+
+std::string InSubqueryExpr::ToString() const {
+  return operand->ToString() + (negated ? " NOT IN (<subquery>)" : " IN (<subquery>)");
+}
+
+std::string ExistsExpr::ToString() const {
+  return std::string(negated ? "NOT " : "") + "EXISTS (<subquery>)";
+}
+
+std::string QuantifiedCmpExpr::ToString() const {
+  return operand->ToString() + " " + BinaryOpName(cmp) + " " + quantifier +
+         " (<subquery>)";
+}
+
+std::string ScalarSubqueryExpr::ToString() const { return "(<subquery>)"; }
+
+std::string LikeExpr::ToString() const {
+  return operand->ToString() + (negated ? " NOT LIKE " : " LIKE ") +
+         pattern->ToString();
+}
+
+std::string CaseExpr::ToString() const {
+  std::string out = "CASE";
+  for (const WhenClause& w : when_clauses) {
+    out += " WHEN " + w.condition->ToString() + " THEN " + w.result->ToString();
+  }
+  if (else_result) out += " ELSE " + else_result->ToString();
+  return out + " END";
+}
+
+}  // namespace starburst::ast

@@ -1,0 +1,194 @@
+#include "parser/lexer.h"
+
+#include <cctype>
+
+namespace starburst {
+
+std::string Token::Describe() const {
+  switch (kind) {
+    case TokenKind::kEof: return "<end of input>";
+    case TokenKind::kIdentifier: return "identifier '" + text + "'";
+    case TokenKind::kIntLiteral:
+    case TokenKind::kDoubleLiteral: return "number '" + text + "'";
+    case TokenKind::kStringLiteral: return "string '" + text + "'";
+    default: return "'" + text + "'";
+  }
+}
+
+char Lexer::Peek(size_t ahead) const {
+  return pos_ + ahead < text_.size() ? text_[pos_ + ahead] : '\0';
+}
+
+char Lexer::Advance() {
+  char c = text_[pos_++];
+  if (c == '\n') {
+    ++line_;
+    column_ = 1;
+  } else {
+    ++column_;
+  }
+  return c;
+}
+
+void Lexer::SkipWhitespaceAndComments() {
+  while (!AtEnd()) {
+    char c = Peek();
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      Advance();
+    } else if (c == '-' && Peek(1) == '-') {
+      while (!AtEnd() && Peek() != '\n') Advance();
+    } else {
+      break;
+    }
+  }
+}
+
+Token Lexer::MakeToken(TokenKind kind, size_t start) const {
+  Token t;
+  t.kind = kind;
+  t.text = text_.substr(start, pos_ - start);
+  t.offset = start;
+  t.line = line_;
+  t.column = column_;
+  return t;
+}
+
+Result<std::vector<Token>> Lexer::Tokenize() {
+  std::vector<Token> tokens;
+  while (true) {
+    STARBURST_ASSIGN_OR_RETURN(Token t, NextToken());
+    bool done = t.kind == TokenKind::kEof;
+    tokens.push_back(std::move(t));
+    if (done) break;
+  }
+  return tokens;
+}
+
+Result<Token> Lexer::NextToken() {
+  SkipWhitespaceAndComments();
+  if (AtEnd()) return MakeToken(TokenKind::kEof, pos_);
+
+  size_t start = pos_;
+  char c = Advance();
+
+  if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+    while (!AtEnd() && (std::isalnum(static_cast<unsigned char>(Peek())) ||
+                        Peek() == '_')) {
+      Advance();
+    }
+    return MakeToken(TokenKind::kIdentifier, start);
+  }
+
+  if (std::isdigit(static_cast<unsigned char>(c))) {
+    bool is_double = false;
+    while (!AtEnd() && std::isdigit(static_cast<unsigned char>(Peek()))) Advance();
+    if (Peek() == '.' && std::isdigit(static_cast<unsigned char>(Peek(1)))) {
+      is_double = true;
+      Advance();
+      while (!AtEnd() && std::isdigit(static_cast<unsigned char>(Peek()))) Advance();
+    }
+    if (Peek() == 'e' || Peek() == 'E') {
+      size_t exp_start = pos_;
+      Advance();
+      if (Peek() == '+' || Peek() == '-') Advance();
+      if (std::isdigit(static_cast<unsigned char>(Peek()))) {
+        is_double = true;
+        while (!AtEnd() && std::isdigit(static_cast<unsigned char>(Peek()))) Advance();
+      } else {
+        pos_ = exp_start;  // 'e' starts an identifier, not an exponent
+      }
+    }
+    Token t = MakeToken(
+        is_double ? TokenKind::kDoubleLiteral : TokenKind::kIntLiteral, start);
+    if (is_double) {
+      t.double_value = std::stod(t.text);
+    } else {
+      try {
+        t.int_value = std::stoll(t.text);
+      } catch (...) {
+        return Status::SyntaxError("integer literal out of range: " + t.text);
+      }
+    }
+    return t;
+  }
+
+  if (c == '\'') {
+    std::string value;
+    while (true) {
+      if (AtEnd()) return Status::SyntaxError("unterminated string literal");
+      char d = Advance();
+      if (d == '\'') {
+        if (Peek() == '\'') {  // escaped quote
+          value.push_back('\'');
+          Advance();
+          continue;
+        }
+        break;
+      }
+      value.push_back(d);
+    }
+    Token t = MakeToken(TokenKind::kStringLiteral, start);
+    t.text = std::move(value);
+    return t;
+  }
+
+  if (c == '"') {  // quoted identifier
+    std::string value;
+    while (true) {
+      if (AtEnd()) return Status::SyntaxError("unterminated quoted identifier");
+      char d = Advance();
+      if (d == '"') break;
+      value.push_back(d);
+    }
+    Token t = MakeToken(TokenKind::kIdentifier, start);
+    t.text = std::move(value);
+    return t;
+  }
+
+  switch (c) {
+    case '(': return MakeToken(TokenKind::kLParen, start);
+    case ')': return MakeToken(TokenKind::kRParen, start);
+    case ',': return MakeToken(TokenKind::kComma, start);
+    case '.': return MakeToken(TokenKind::kDot, start);
+    case ';': return MakeToken(TokenKind::kSemicolon, start);
+    case '*': return MakeToken(TokenKind::kStar, start);
+    case '+': return MakeToken(TokenKind::kPlus, start);
+    case '-': return MakeToken(TokenKind::kMinus, start);
+    case '/': return MakeToken(TokenKind::kSlash, start);
+    case '%': return MakeToken(TokenKind::kPercent, start);
+    case '=': return MakeToken(TokenKind::kEq, start);
+    case '<':
+      if (Peek() == '=') {
+        Advance();
+        return MakeToken(TokenKind::kLe, start);
+      }
+      if (Peek() == '>') {
+        Advance();
+        return MakeToken(TokenKind::kNe, start);
+      }
+      return MakeToken(TokenKind::kLt, start);
+    case '>':
+      if (Peek() == '=') {
+        Advance();
+        return MakeToken(TokenKind::kGe, start);
+      }
+      return MakeToken(TokenKind::kGt, start);
+    case '!':
+      if (Peek() == '=') {
+        Advance();
+        return MakeToken(TokenKind::kNe, start);
+      }
+      return Status::SyntaxError("unexpected character '!'");
+    case '|':
+      if (Peek() == '|') {
+        Advance();
+        return MakeToken(TokenKind::kConcat, start);
+      }
+      return Status::SyntaxError("unexpected character '|'");
+    default:
+      return Status::SyntaxError(std::string("unexpected character '") + c +
+                                 "' at line " + std::to_string(line_));
+  }
+}
+
+}  // namespace starburst

@@ -1,0 +1,36 @@
+#ifndef STARBURST_PARSER_LEXER_H_
+#define STARBURST_PARSER_LEXER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "parser/token.h"
+
+namespace starburst {
+
+/// Splits Hydrogen text into tokens. `--` comments run to end of line.
+class Lexer {
+ public:
+  explicit Lexer(std::string text) : text_(std::move(text)) {}
+
+  /// Tokenizes the whole input (the final token is kEof).
+  Result<std::vector<Token>> Tokenize();
+
+ private:
+  Result<Token> NextToken();
+  char Peek(size_t ahead = 0) const;
+  char Advance();
+  bool AtEnd() const { return pos_ >= text_.size(); }
+  void SkipWhitespaceAndComments();
+  Token MakeToken(TokenKind kind, size_t start) const;
+
+  std::string text_;
+  size_t pos_ = 0;
+  size_t line_ = 1;
+  size_t column_ = 1;
+};
+
+}  // namespace starburst
+
+#endif  // STARBURST_PARSER_LEXER_H_

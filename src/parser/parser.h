@@ -1,0 +1,94 @@
+#ifndef STARBURST_PARSER_PARSER_H_
+#define STARBURST_PARSER_PARSER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "parser/ast.h"
+#include "parser/token.h"
+
+namespace starburst {
+
+/// Recursive-descent parser for Hydrogen, Starburst's SQL-based language
+/// (§2). Notable generalizations over 1980s SQL, per the paper:
+///   * full orthogonality — any table-producing expression (view, set
+///     operation, subquery, table function) is usable wherever a table is;
+///   * named table expressions (WITH), including recursive ones;
+///   * DBC extension points: scalar/aggregate function calls, set-predicate
+///     quantifiers beyond ALL/ANY, table functions in FROM, and
+///     LEFT OUTER JOIN (the paper's worked extension).
+class Parser {
+ public:
+  explicit Parser(std::string sql) : sql_(std::move(sql)) {}
+
+  /// Parses exactly one statement (trailing ';' allowed).
+  Result<ast::StatementPtr> ParseStatement();
+
+  /// Parses a ';'-separated script.
+  Result<std::vector<ast::StatementPtr>> ParseScript();
+
+  /// Convenience: parse a single SELECT query.
+  static Result<std::unique_ptr<ast::Query>> ParseQueryText(
+      const std::string& sql);
+
+ private:
+  Status EnsureTokens();
+
+  // -- token helpers --
+  const Token& Peek(size_t ahead = 0) const;
+  Token Advance();
+  bool Check(TokenKind kind) const { return Peek().kind == kind; }
+  bool CheckKeyword(const char* kw, size_t ahead = 0) const;
+  bool MatchToken(TokenKind kind);
+  bool MatchKeyword(const char* kw);
+  Result<Token> Expect(TokenKind kind, const char* what);
+  Status ExpectKeyword(const char* kw);
+  Result<std::string> ExpectIdentifier(const char* what);
+  Status ErrorHere(const std::string& message) const;
+
+  // -- statements --
+  Result<ast::StatementPtr> ParseStatementInner();
+  Result<ast::StatementPtr> ParseCreate();
+  Result<ast::StatementPtr> ParseCreateTable();
+  Result<ast::StatementPtr> ParseCreateIndex(bool unique);
+  Result<ast::StatementPtr> ParseCreateView();
+  Result<ast::StatementPtr> ParseDrop();
+  Result<ast::StatementPtr> ParseInsert();
+  Result<ast::StatementPtr> ParseUpdate();
+  Result<ast::StatementPtr> ParseDelete();
+  Result<ast::StatementPtr> ParseExplain();
+
+  // -- queries --
+  Result<std::unique_ptr<ast::Query>> ParseQuery();
+  Result<std::unique_ptr<ast::QueryBody>> ParseQueryBody();
+  Result<std::unique_ptr<ast::QueryBody>> ParseQueryTerm();
+  Result<std::unique_ptr<ast::QueryBody>> ParseQueryPrimary();
+  Result<std::unique_ptr<ast::SelectCore>> ParseSelectCore();
+  Result<std::unique_ptr<ast::TableRef>> ParseTableRef();
+  Result<std::unique_ptr<ast::TableRef>> ParseTablePrimary();
+  Result<std::string> ParseOptionalAlias();
+
+  // -- expressions --
+  Result<ast::ExprPtr> ParseExpr();        // OR level
+  Result<ast::ExprPtr> ParseAndExpr();
+  Result<ast::ExprPtr> ParseNotExpr();
+  Result<ast::ExprPtr> ParsePredicate();   // comparisons, IN, BETWEEN, ...
+  Result<ast::ExprPtr> ParseAdditive();
+  Result<ast::ExprPtr> ParseMultiplicative();
+  Result<ast::ExprPtr> ParseUnaryExpr();
+  Result<ast::ExprPtr> ParsePrimaryExpr();
+  Result<std::vector<ast::ExprPtr>> ParseExprList();
+
+  bool AtQueryStart(size_t ahead = 0) const;
+
+  std::string sql_;
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+  bool tokenized_ = false;
+};
+
+}  // namespace starburst
+
+#endif  // STARBURST_PARSER_PARSER_H_

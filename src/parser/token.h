@@ -1,0 +1,37 @@
+#ifndef STARBURST_PARSER_TOKEN_H_
+#define STARBURST_PARSER_TOKEN_H_
+
+#include <string>
+
+namespace starburst {
+
+enum class TokenKind {
+  kEof,
+  kIdentifier,   // foo, "quoted"
+  kIntLiteral,   // 42
+  kDoubleLiteral,  // 1.5
+  kStringLiteral,  // 'text'
+  // punctuation / operators
+  kLParen, kRParen, kComma, kDot, kSemicolon, kStar,
+  kPlus, kMinus, kSlash, kPercent,
+  kEq, kNe, kLt, kLe, kGt, kGe,
+  kConcat,  // ||
+};
+
+/// One lexical token of Hydrogen. Keywords are identifiers; the parser
+/// recognizes them case-insensitively (SQL heritage).
+struct Token {
+  TokenKind kind = TokenKind::kEof;
+  std::string text;      // identifier name or literal spelling
+  int64_t int_value = 0;
+  double double_value = 0;
+  size_t offset = 0;     // byte offset in the query text, for diagnostics
+  size_t line = 1;
+  size_t column = 1;
+
+  std::string Describe() const;
+};
+
+}  // namespace starburst
+
+#endif  // STARBURST_PARSER_TOKEN_H_

@@ -1,0 +1,161 @@
+#include "qgm/box.h"
+
+#include <algorithm>
+
+namespace starburst::qgm {
+
+const char* QuantifierTypeName(QuantifierType t) {
+  switch (t) {
+    case QuantifierType::kForEach: return "ForEach";
+    case QuantifierType::kPreservedForEach: return "PreserveForEach";
+    case QuantifierType::kExists: return "Exists";
+    case QuantifierType::kAll: return "All";
+    case QuantifierType::kAntiExists: return "AntiExists";
+    case QuantifierType::kScalar: return "Scalar";
+    case QuantifierType::kSetPredicate: return "SetPredicate";
+  }
+  return "?";
+}
+
+const char* QuantifierTypeGlyph(QuantifierType t) {
+  switch (t) {
+    case QuantifierType::kForEach: return "F";
+    case QuantifierType::kPreservedForEach: return "PF";
+    case QuantifierType::kExists: return "E";
+    case QuantifierType::kAll: return "A";
+    case QuantifierType::kAntiExists: return "~E";
+    case QuantifierType::kScalar: return "S";
+    case QuantifierType::kSetPredicate: return "SP";
+  }
+  return "?";
+}
+
+const char* BoxKindName(BoxKind k) {
+  switch (k) {
+    case BoxKind::kBaseTable: return "BASE";
+    case BoxKind::kSelect: return "SELECT";
+    case BoxKind::kGroupBy: return "GROUPBY";
+    case BoxKind::kSetOp: return "SETOP";
+    case BoxKind::kValues: return "VALUES";
+    case BoxKind::kTableFunction: return "TABLEFUNC";
+    case BoxKind::kChoose: return "CHOOSE";
+    case BoxKind::kRecursiveUnion: return "RECURSION";
+    case BoxKind::kIterationRef: return "ITERREF";
+  }
+  return "?";
+}
+
+std::string Quantifier::DisplayName() const {
+  if (!alias.empty()) return alias;
+  return "Q" + std::to_string(id);
+}
+
+std::string Quantifier::ColumnName(size_t i) const {
+  if (input == nullptr || i >= input->head.size()) {
+    return "c" + std::to_string(i);
+  }
+  return input->head[i].name;
+}
+
+DataType Quantifier::ColumnType(size_t i) const {
+  if (input == nullptr || i >= input->head.size()) return DataType::Null();
+  return input->head[i].type;
+}
+
+size_t Quantifier::NumColumns() const {
+  return input == nullptr ? 0 : input->head.size();
+}
+
+Quantifier* Box::AddQuantifier(std::unique_ptr<Quantifier> q) {
+  q->owner = this;
+  quantifiers.push_back(std::move(q));
+  return quantifiers.back().get();
+}
+
+std::unique_ptr<Quantifier> Box::RemoveQuantifier(Quantifier* q) {
+  for (auto it = quantifiers.begin(); it != quantifiers.end(); ++it) {
+    if (it->get() == q) {
+      std::unique_ptr<Quantifier> out = std::move(*it);
+      quantifiers.erase(it);
+      out->owner = nullptr;
+      return out;
+    }
+  }
+  return nullptr;
+}
+
+Quantifier* Box::FindQuantifier(int qid) const {
+  for (const auto& q : quantifiers) {
+    if (q->id == qid) return q.get();
+  }
+  return nullptr;
+}
+
+bool Box::OutputIsDuplicateFree(bool ignore_own_enforcement) const {
+  if (distinct_enforced && !ignore_own_enforcement) return true;
+  switch (kind) {
+    case BoxKind::kGroupBy:
+      return true;  // one row per group
+    case BoxKind::kSetOp:
+      return !setop_all;
+    case BoxKind::kBaseTable: {
+      if (table == nullptr) return false;
+      // Duplicate-free iff the full projection preserves some unique key;
+      // base-table boxes emit the whole schema, so any key qualifies.
+      return !table->unique_keys.empty();
+    }
+    case BoxKind::kSelect: {
+      // A 1-quantifier select is duplicate-free when its head preserves a
+      // unique key of the input: any key of a base table, or (conservative
+      // for derived inputs) every input column of a duplicate-free input.
+      if (quantifiers.size() != 1 ||
+          quantifiers[0]->type != QuantifierType::kForEach) {
+        return false;
+      }
+      const Quantifier* q = quantifiers[0].get();
+      if (q->input == nullptr) return false;
+      std::vector<size_t> kept_columns;
+      std::vector<bool> kept(q->NumColumns(), false);
+      for (const HeadColumn& h : head) {
+        if (h.expr != nullptr && h.expr->kind == Expr::Kind::kColumnRef &&
+            h.expr->quantifier == q) {
+          if (!kept[h.expr->column]) kept_columns.push_back(h.expr->column);
+          kept[h.expr->column] = true;
+        }
+      }
+      if (q->input->kind == BoxKind::kBaseTable && q->input->table != nullptr) {
+        return q->input->table->ColumnsContainUniqueKey(kept_columns);
+      }
+      return q->input->OutputIsDuplicateFree() &&
+             std::all_of(kept.begin(), kept.end(), [](bool b) { return b; });
+    }
+    default:
+      return false;
+  }
+}
+
+std::string Box::Label() const {
+  if (kind == BoxKind::kBaseTable && table != nullptr) {
+    return table->name;
+  }
+  std::string out = "OP" + std::to_string(id);
+  out += "(";
+  out += BoxKindName(kind);
+  if (kind == BoxKind::kSetOp) {
+    switch (setop) {
+      case ast::SetOpKind::kUnion: out += setop_all ? " UNION ALL" : " UNION"; break;
+      case ast::SetOpKind::kIntersect:
+        out += setop_all ? " INTERSECT ALL" : " INTERSECT";
+        break;
+      case ast::SetOpKind::kExcept: out += setop_all ? " EXCEPT ALL" : " EXCEPT"; break;
+    }
+  }
+  if (kind == BoxKind::kTableFunction) out += " " + function_name;
+  if (kind == BoxKind::kRecursiveUnion || kind == BoxKind::kIterationRef) {
+    out += " " + cte_name;
+  }
+  out += ")";
+  return out;
+}
+
+}  // namespace starburst::qgm

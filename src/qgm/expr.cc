@@ -1,0 +1,228 @@
+#include "qgm/expr.h"
+
+#include "qgm/box.h"
+
+namespace starburst::qgm {
+
+std::unique_ptr<Expr> Expr::Clone() const {
+  auto out = std::make_unique<Expr>();
+  out->kind = kind;
+  out->type = type;
+  out->literal = literal;
+  out->quantifier = quantifier;
+  out->column = column;
+  out->bop = bop;
+  out->uop = uop;
+  out->func = func;
+  out->func_name = func_name;
+  out->agg_index = agg_index;
+  out->has_else = has_else;
+  out->negated = negated;
+  out->children.reserve(children.size());
+  for (const auto& c : children) out->children.push_back(c->Clone());
+  return out;
+}
+
+std::string Expr::ToString() const {
+  switch (kind) {
+    case Kind::kLiteral:
+      return literal.ToString();
+    case Kind::kColumnRef: {
+      std::string qname = quantifier ? quantifier->DisplayName() : "?";
+      std::string cname =
+          quantifier ? quantifier->ColumnName(column) : std::to_string(column);
+      return qname + "." + cname;
+    }
+    case Kind::kBinary:
+      return "(" + children[0]->ToString() + " " + ast::BinaryOpName(bop) +
+             " " + children[1]->ToString() + ")";
+    case Kind::kUnary:
+      return uop == ast::UnaryOp::kNot ? "(NOT " + children[0]->ToString() + ")"
+                                       : "(-" + children[0]->ToString() + ")";
+    case Kind::kScalarFunc: {
+      std::string out = func_name + "(";
+      for (size_t i = 0; i < children.size(); ++i) {
+        if (i > 0) out += ", ";
+        out += children[i]->ToString();
+      }
+      return out + ")";
+    }
+    case Kind::kAggRef:
+      return "agg#" + std::to_string(agg_index);
+    case Kind::kCase: {
+      std::string out = "CASE";
+      size_t pairs = (children.size() - (has_else ? 1 : 0)) / 2;
+      for (size_t i = 0; i < pairs; ++i) {
+        out += " WHEN " + children[2 * i]->ToString() + " THEN " +
+               children[2 * i + 1]->ToString();
+      }
+      if (has_else) out += " ELSE " + children.back()->ToString();
+      return out + " END";
+    }
+    case Kind::kIsNull:
+      return children[0]->ToString() + (negated ? " IS NOT NULL" : " IS NULL");
+    case Kind::kLike:
+      return children[0]->ToString() + (negated ? " NOT LIKE " : " LIKE ") +
+             children[1]->ToString();
+    case Kind::kInList: {
+      std::string out =
+          children[0]->ToString() + (negated ? " NOT IN (" : " IN (");
+      for (size_t i = 1; i < children.size(); ++i) {
+        if (i > 1) out += ", ";
+        out += children[i]->ToString();
+      }
+      return out + ")";
+    }
+    case Kind::kExistsTest:
+      return std::string(negated ? "NOT " : "") + "EXISTS(" +
+             (quantifier ? quantifier->DisplayName() : "?") + ")";
+    case Kind::kQuantCompare: {
+      std::string quant;
+      if (quantifier == nullptr) {
+        quant = "?";
+      } else if (quantifier->type == QuantifierType::kSetPredicate) {
+        quant = quantifier->set_function;
+      } else {
+        quant = QuantifierTypeGlyph(quantifier->type);
+      }
+      return children[0]->ToString() + " " + ast::BinaryOpName(bop) + " " +
+             quant + "(" + (quantifier ? quantifier->DisplayName() : "?") + ")";
+    }
+  }
+  return "?";
+}
+
+void Expr::CollectQuantifiers(std::set<Quantifier*>* out) const {
+  if (quantifier != nullptr &&
+      (kind == Kind::kColumnRef || kind == Kind::kExistsTest ||
+       kind == Kind::kQuantCompare)) {
+    out->insert(quantifier);
+  }
+  for (const auto& c : children) c->CollectQuantifiers(out);
+}
+
+bool Expr::ReferencesQuantifier(const Quantifier* q) const {
+  if (quantifier == q &&
+      (kind == Kind::kColumnRef || kind == Kind::kExistsTest ||
+       kind == Kind::kQuantCompare)) {
+    return true;
+  }
+  for (const auto& c : children) {
+    if (c->ReferencesQuantifier(q)) return true;
+  }
+  return false;
+}
+
+void Expr::CollectColumnRefs(
+    std::vector<std::pair<Quantifier*, size_t>>* out) const {
+  if (kind == Kind::kColumnRef && quantifier != nullptr) {
+    out->emplace_back(quantifier, column);
+  }
+  for (const auto& c : children) c->CollectColumnRefs(out);
+}
+
+void Expr::RemapQuantifier(const Quantifier* from, Quantifier* to,
+                           const std::vector<size_t>& column_map) {
+  if (quantifier == from) {
+    if (kind == Kind::kColumnRef) {
+      quantifier = to;
+      if (!column_map.empty()) column = column_map[column];
+    } else if (kind == Kind::kExistsTest || kind == Kind::kQuantCompare) {
+      quantifier = to;
+    }
+  }
+  for (auto& c : children) c->RemapQuantifier(from, to, column_map);
+}
+
+void Expr::InlineQuantifier(const Quantifier* from,
+                            const std::vector<const Expr*>& replacements) {
+  for (auto& c : children) {
+    if (c->kind == Kind::kColumnRef && c->quantifier == from) {
+      c = replacements[c->column]->Clone();
+    } else {
+      c->InlineQuantifier(from, replacements);
+    }
+  }
+}
+
+void InlineIntoExpr(ExprPtr* expr, const Quantifier* from,
+                    const std::vector<const Expr*>& replacements) {
+  if ((*expr)->kind == Expr::Kind::kColumnRef && (*expr)->quantifier == from) {
+    *expr = replacements[(*expr)->column]->Clone();
+    return;
+  }
+  (*expr)->InlineQuantifier(from, replacements);
+}
+
+ExprPtr MakeLiteral(Value v) {
+  auto e = std::make_unique<Expr>();
+  e->kind = Expr::Kind::kLiteral;
+  e->type = v.type();
+  e->literal = std::move(v);
+  return e;
+}
+
+ExprPtr MakeColumnRef(Quantifier* q, size_t column, DataType type) {
+  auto e = std::make_unique<Expr>();
+  e->kind = Expr::Kind::kColumnRef;
+  e->quantifier = q;
+  e->column = column;
+  e->type = std::move(type);
+  return e;
+}
+
+ExprPtr MakeBinary(ast::BinaryOp op, ExprPtr left, ExprPtr right,
+                   DataType type) {
+  auto e = std::make_unique<Expr>();
+  e->kind = Expr::Kind::kBinary;
+  e->bop = op;
+  e->type = std::move(type);
+  e->children.push_back(std::move(left));
+  e->children.push_back(std::move(right));
+  return e;
+}
+
+ExprPtr MakeUnary(ast::UnaryOp op, ExprPtr operand, DataType type) {
+  auto e = std::make_unique<Expr>();
+  e->kind = Expr::Kind::kUnary;
+  e->uop = op;
+  e->type = std::move(type);
+  e->children.push_back(std::move(operand));
+  return e;
+}
+
+ExprPtr MakeAggRef(size_t agg_index, DataType type) {
+  auto e = std::make_unique<Expr>();
+  e->kind = Expr::Kind::kAggRef;
+  e->agg_index = agg_index;
+  e->type = std::move(type);
+  return e;
+}
+
+ExprPtr ConjunctionOf(std::vector<ExprPtr> conjuncts) {
+  if (conjuncts.empty()) return nullptr;
+  ExprPtr out = std::move(conjuncts[0]);
+  for (size_t i = 1; i < conjuncts.size(); ++i) {
+    out = MakeBinary(ast::BinaryOp::kAnd, std::move(out),
+                     std::move(conjuncts[i]), DataType::Bool());
+  }
+  return out;
+}
+
+void SplitConjuncts(ExprPtr expr, std::vector<ExprPtr>* out) {
+  if (expr == nullptr) return;
+  if (expr->kind == Expr::Kind::kBinary && expr->bop == ast::BinaryOp::kAnd) {
+    SplitConjuncts(std::move(expr->children[0]), out);
+    SplitConjuncts(std::move(expr->children[1]), out);
+    return;
+  }
+  out->push_back(std::move(expr));
+}
+
+bool IsColumnEquality(const Expr& e) {
+  return e.kind == Expr::Kind::kBinary && e.bop == ast::BinaryOp::kEq &&
+         e.children[0]->kind == Expr::Kind::kColumnRef &&
+         e.children[1]->kind == Expr::Kind::kColumnRef;
+}
+
+}  // namespace starburst::qgm

@@ -1,0 +1,122 @@
+#ifndef STARBURST_QGM_EXPR_H_
+#define STARBURST_QGM_EXPR_H_
+
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "catalog/function_registry.h"
+#include "common/datatype.h"
+#include "common/value.h"
+#include "parser/ast.h"
+
+namespace starburst::qgm {
+
+struct Quantifier;  // defined in qgm/box.h
+
+/// Bound (name-resolved, type-checked) scalar expression inside a QGM box.
+/// Column references point at a quantifier of the *same* box plus a column
+/// position in that quantifier's input head — the QGM equivalent of the
+/// paper's qualifier-edge endpoints. Subqueries never appear here: binding
+/// turns them into quantifiers, so expressions stay flat and rewrite rules
+/// can reason about them structurally.
+struct Expr {
+  enum class Kind {
+    kLiteral,
+    kColumnRef,
+    kBinary,      // arithmetic, comparison, AND/OR (children[0], children[1])
+    kUnary,       // NOT, negate (children[0])
+    kScalarFunc,  // registered scalar function over children
+    kAggRef,      // output of aggregate #agg_index (GROUP BY box heads only)
+    kCase,        // children = [cond0,res0,cond1,res1,...][,else]
+    kIsNull,      // children[0]; `negated` = IS NOT NULL
+    kLike,        // children[0] LIKE children[1]
+    kInList,      // children[0] IN (children[1..])
+    /// EXISTS over an E-quantifier's subquery: true iff the ranged-over
+    /// table is non-empty (under correlation). `negated` = NOT EXISTS.
+    kExistsTest,
+    /// `children[0] bop <quantified set>`: the quantifier's type selects
+    /// the fold — E: SQL ANY/IN; A: SQL ALL (NOT IN binds as <> ALL);
+    /// kSetPredicate: the quantifier's registered set-predicate function
+    /// (the paper's MAJORITY example) over per-element truth.
+    kQuantCompare,
+  };
+
+  Kind kind = Kind::kLiteral;
+  DataType type;
+
+  // kLiteral
+  Value literal;
+
+  // kColumnRef
+  Quantifier* quantifier = nullptr;
+  size_t column = 0;
+
+  // kBinary / kUnary
+  ast::BinaryOp bop = ast::BinaryOp::kEq;
+  ast::UnaryOp uop = ast::UnaryOp::kNot;
+
+  // kScalarFunc
+  const ScalarFunctionDef* func = nullptr;
+  std::string func_name;
+
+  // kAggRef
+  size_t agg_index = 0;
+
+  // kCase: true when an ELSE arm is present (last child)
+  bool has_else = false;
+
+  // kIsNull / kLike / kInList
+  bool negated = false;
+
+  std::vector<std::unique_ptr<Expr>> children;
+
+  std::unique_ptr<Expr> Clone() const;
+  std::string ToString() const;
+
+  /// All quantifiers this expression references (its qualifier-edge ends).
+  void CollectQuantifiers(std::set<Quantifier*>* out) const;
+  bool ReferencesQuantifier(const Quantifier* q) const;
+
+  /// All (quantifier, column) pairs referenced.
+  void CollectColumnRefs(
+      std::vector<std::pair<Quantifier*, size_t>>* out) const;
+
+  /// Rebinds every reference to quantifier `from` so it points at `to`,
+  /// mapping column i through `column_map` (identity if empty).
+  void RemapQuantifier(const Quantifier* from, Quantifier* to,
+                       const std::vector<size_t>& column_map);
+
+  /// Replaces references `from.col` by clones of `replacements[col]` —
+  /// used when merging a lower box's head expressions into this one.
+  void InlineQuantifier(const Quantifier* from,
+                        const std::vector<const Expr*>& replacements);
+};
+
+using ExprPtr = std::unique_ptr<Expr>;
+
+// -- constructors ----------------------------------------------------------
+ExprPtr MakeLiteral(Value v);
+ExprPtr MakeColumnRef(Quantifier* q, size_t column, DataType type);
+ExprPtr MakeBinary(ast::BinaryOp op, ExprPtr left, ExprPtr right,
+                   DataType type);
+ExprPtr MakeUnary(ast::UnaryOp op, ExprPtr operand, DataType type);
+ExprPtr MakeAggRef(size_t agg_index, DataType type);
+
+/// AND of conjuncts (nullptr when empty).
+ExprPtr ConjunctionOf(std::vector<ExprPtr> conjuncts);
+/// Splits a predicate tree into top-level AND conjuncts.
+void SplitConjuncts(ExprPtr expr, std::vector<ExprPtr>* out);
+
+/// True for `=` between two column refs (a join/equivalence predicate).
+bool IsColumnEquality(const Expr& e);
+
+/// Like Expr::InlineQuantifier but also handles the case where *expr itself
+/// is a column reference over `from`.
+void InlineIntoExpr(ExprPtr* expr, const Quantifier* from,
+                    const std::vector<const Expr*>& replacements);
+
+}  // namespace starburst::qgm
+
+#endif  // STARBURST_QGM_EXPR_H_

@@ -1,0 +1,21 @@
+#ifndef STARBURST_QGM_PRINTER_H_
+#define STARBURST_QGM_PRINTER_H_
+
+#include <string>
+
+#include "qgm/box.h"
+
+namespace starburst::qgm {
+
+/// Renders a QGM graph in the textual analogue of the paper's Figure 2:
+/// one block per box, its head (output columns), and its body — vertices
+/// (quantifiers with their types and range edges) and qualifier edges
+/// (predicate conjuncts).
+std::string PrintGraph(const Graph& graph);
+
+/// One box only.
+std::string PrintBox(const Box& box);
+
+}  // namespace starburst::qgm
+
+#endif  // STARBURST_QGM_PRINTER_H_

@@ -1,0 +1,243 @@
+#include "rewrite/rule_engine.h"
+
+#include <algorithm>
+#include <deque>
+#include <map>
+#include <set>
+
+namespace starburst::rewrite {
+
+using qgm::Box;
+using qgm::Expr;
+using qgm::Graph;
+using qgm::Quantifier;
+
+Status RuleEngine::AddRule(RewriteRule rule) {
+  if (!rule.condition || !rule.action) {
+    return Status::InvalidArgument("rule '" + rule.name +
+                                   "' must supply condition and action");
+  }
+  for (const RewriteRule& r : rules_) {
+    if (r.name == rule.name) {
+      return Status::AlreadyExists("rule '" + rule.name + "' already added");
+    }
+  }
+  rules_.push_back(std::move(rule));
+  return Status::OK();
+}
+
+std::vector<std::string> RuleEngine::RuleNames() const {
+  std::vector<std::string> names;
+  for (const RewriteRule& r : rules_) names.push_back(r.name);
+  return names;
+}
+
+namespace {
+
+std::vector<Box*> SearchOrderBoxes(const Graph& graph,
+                                   RuleEngine::SearchOrder order) {
+  if (order == RuleEngine::SearchOrder::kDepthFirst) {
+    // Top-down DFS: the reverse of the bottom-up traversal.
+    std::vector<Box*> bottom_up = graph.BottomUpOrder();
+    return std::vector<Box*>(bottom_up.rbegin(), bottom_up.rend());
+  }
+  // Breadth-first from the root.
+  std::vector<Box*> out;
+  std::set<Box*> seen;
+  std::deque<Box*> queue;
+  if (graph.root() != nullptr) {
+    queue.push_back(graph.root());
+    seen.insert(graph.root());
+  }
+  while (!queue.empty()) {
+    Box* box = queue.front();
+    queue.pop_front();
+    out.push_back(box);
+    for (const auto& q : box->quantifiers) {
+      if (q->input != nullptr && seen.insert(q->input).second) {
+        queue.push_back(q->input);
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<RuleEngine::Stats> RuleEngine::Run(Graph* graph,
+                                          const Catalog* catalog) {
+  return Run(graph, catalog, Options{});
+}
+
+Result<RuleEngine::Stats> RuleEngine::Run(Graph* graph, const Catalog* catalog,
+                                          const Options& options) {
+  Stats stats;
+  std::map<std::string, int> fired;
+  std::mt19937_64 rng(options.seed);
+
+  auto class_enabled = [&](const std::string& rule_class) {
+    if (options.enabled_classes.empty()) return true;
+    return std::find(options.enabled_classes.begin(),
+                     options.enabled_classes.end(),
+                     rule_class) != options.enabled_classes.end();
+  };
+
+  // Rule evaluation order per control strategy. Sequential keeps insert
+  // order; priority sorts by descending priority; statistical reshuffles
+  // (weighted) on every box visit.
+  std::vector<const RewriteRule*> ordered;
+  for (const RewriteRule& r : rules_) {
+    if (class_enabled(r.rule_class)) ordered.push_back(&r);
+  }
+  if (options.control == ControlStrategy::kPriority) {
+    std::stable_sort(ordered.begin(), ordered.end(),
+                     [](const RewriteRule* a, const RewriteRule* b) {
+                       return a->priority > b->priority;
+                     });
+  }
+
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    ++stats.passes;
+    std::vector<Box*> boxes = SearchOrderBoxes(*graph, options.search);
+    for (Box* box : boxes) {
+      if (options.control == ControlStrategy::kStatistical) {
+        // Weighted shuffle: repeatedly draw without replacement.
+        std::vector<const RewriteRule*> pool = ordered;
+        std::vector<const RewriteRule*> drawn;
+        while (!pool.empty()) {
+          double total = 0;
+          for (const RewriteRule* r : pool) total += r->weight;
+          std::uniform_real_distribution<double> dist(0, total);
+          double x = dist(rng);
+          size_t pick = 0;
+          for (; pick + 1 < pool.size(); ++pick) {
+            x -= pool[pick]->weight;
+            if (x <= 0) break;
+          }
+          drawn.push_back(pool[pick]);
+          pool.erase(pool.begin() + pick);
+        }
+        ordered = drawn;
+      }
+      for (const RewriteRule* rule : ordered) {
+        if (options.budget >= 0 && stats.rules_fired >= options.budget) {
+          stats.budget_exhausted = true;
+          break;
+        }
+        RuleContext ctx{graph, box, catalog};
+        ++stats.conditions_evaluated;
+        if (!rule->condition(ctx)) continue;
+        STARBURST_RETURN_IF_ERROR(rule->action(ctx));
+        ++stats.rules_fired;
+        ++fired[rule->name];
+        changed = true;
+        if (options.paranoid_validation) {
+          Status valid = graph->Validate();
+          if (!valid.ok()) {
+            return Status::Internal("rule '" + rule->name +
+                                    "' left QGM inconsistent: " +
+                                    valid.message());
+          }
+        }
+        // The action may have restructured the graph (merged boxes, moved
+        // quantifiers); restart the pass on a fresh traversal.
+        graph->GarbageCollect();
+        break;
+      }
+      if (changed || stats.budget_exhausted) break;
+    }
+    if (stats.budget_exhausted) break;
+  }
+
+  // Whatever happened — fixpoint or exhausted budget — the QGM must be in
+  // a consistent state.
+  STARBURST_RETURN_IF_ERROR(graph->Validate());
+  for (auto& [name, count] : fired) stats.fired_by_rule.emplace_back(name, count);
+  return stats;
+}
+
+// ---------------------------------------------------------------------------
+// Helpers for rule authors
+// ---------------------------------------------------------------------------
+
+int CountReferences(const Graph& graph, const Box* box) {
+  int count = 0;
+  for (const auto& b : graph.boxes()) {
+    for (const auto& q : b->quantifiers) {
+      if (q->input == box) ++count;
+    }
+    if (b->kind == qgm::BoxKind::kIterationRef && b->recursion == box) ++count;
+  }
+  return count;
+}
+
+void ForEachExprSlot(Box* box, const std::function<void(qgm::ExprPtr*)>& fn) {
+  for (auto& p : box->predicates) fn(&p);
+  for (auto& h : box->head) {
+    if (h.expr != nullptr) fn(&h.expr);
+  }
+  for (auto& g : box->group_keys) fn(&g);
+  for (auto& a : box->aggregates) {
+    if (a.arg != nullptr) fn(&a.arg);
+  }
+}
+
+bool IsCorrelated(const Graph& graph, Box* sub) {
+  (void)graph;
+  // Collect boxes in the subtree, then look for references to quantifiers
+  // owned outside it.
+  std::set<Box*> subtree;
+  std::vector<Box*> stack = {sub};
+  while (!stack.empty()) {
+    Box* b = stack.back();
+    stack.pop_back();
+    if (!subtree.insert(b).second) continue;
+    for (const auto& q : b->quantifiers) {
+      if (q->input != nullptr) stack.push_back(q->input);
+    }
+  }
+  for (Box* b : subtree) {
+    bool correlated = false;
+    ForEachExprSlot(b, [&](qgm::ExprPtr* slot) {
+      std::set<Quantifier*> used;
+      (*slot)->CollectQuantifiers(&used);
+      for (Quantifier* q : used) {
+        if (subtree.count(q->owner) == 0) correlated = true;
+      }
+    });
+    if (correlated) return true;
+  }
+  return false;
+}
+
+void RemapEverywhere(Graph* graph, const Quantifier* from, Quantifier* to,
+                     const std::vector<size_t>& map) {
+  for (const auto& b : graph->boxes()) {
+    ForEachExprSlot(b.get(), [&](qgm::ExprPtr* slot) {
+      (*slot)->RemapQuantifier(from, to, map);
+    });
+  }
+}
+
+void InlineEverywhere(Graph* graph, const Quantifier* from,
+                      const std::vector<const Expr*>& replacements) {
+  for (const auto& b : graph->boxes()) {
+    ForEachExprSlot(b.get(), [&](qgm::ExprPtr* slot) {
+      qgm::InlineIntoExpr(slot, from, replacements);
+    });
+  }
+}
+
+RuleEngine MakeDefaultRuleEngine() {
+  RuleEngine engine;
+  RegisterMiscRules(&engine);        // constant folding first: cheap wins
+  RegisterMergeRules(&engine);       // subquery-to-join + operation merging
+  RegisterPredicateRules(&engine);   // predicate migration
+  RegisterRecursionRules(&engine);   // selection into recursions
+  RegisterProjectionRules(&engine);  // projection push-down
+  return engine;
+}
+
+}  // namespace starburst::rewrite

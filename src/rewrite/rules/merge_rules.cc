@@ -1,0 +1,170 @@
+#include "rewrite/rule_engine.h"
+
+namespace starburst::rewrite {
+
+using qgm::Box;
+using qgm::BoxKind;
+using qgm::Expr;
+using qgm::Quantifier;
+using qgm::QuantifierType;
+
+namespace {
+
+bool HasPreservedQuantifier(const Box& box) {
+  for (const auto& q : box.quantifiers) {
+    if (q->type == QuantifierType::kPreservedForEach) return true;
+  }
+  return false;
+}
+
+/// Finds a merge candidate in `box`: an F quantifier over a single-use
+/// SELECT box that can be spliced in without changing duplicate semantics
+/// (the paper's Rule 2 condition) or outer-join semantics.
+Quantifier* FindMergeableQuantifier(const RuleContext& ctx) {
+  Box* upper = ctx.box;
+  if (upper->kind != BoxKind::kSelect) return nullptr;
+  if (HasPreservedQuantifier(*upper)) return nullptr;  // outer-join body
+  for (const auto& q : upper->quantifiers) {
+    if (q->type != QuantifierType::kForEach) continue;
+    Box* lower = q->input;
+    if (lower == nullptr || lower->kind != BoxKind::kSelect) continue;
+    if (HasPreservedQuantifier(*lower)) continue;  // outer-join box
+    if (CountReferences(*ctx.graph, lower) != 1) continue;
+    // Rule 2: IF NOT (T1.distinct = false AND OP2.eliminate-duplicate=true).
+    // Dropping the lower dedup is safe only if the consumer dedups, or if
+    // the dedup was a no-op anyway (output duplicate-free regardless).
+    if (lower->distinct_enforced && !upper->distinct_enforced &&
+        !lower->OutputIsDuplicateFree(/*ignore_own_enforcement=*/true)) {
+      continue;
+    }
+    return q.get();
+  }
+  return nullptr;
+}
+
+/// Rule 2 (Operation Merging): merge a lower SELECT operation into its
+/// consumer, creating "the union of the predicates and iterators of the
+/// original operations to allow more scope for optimization". View merging
+/// is this same rule — views bind to SELECT boxes.
+Status MergeSelectAction(RuleContext& ctx) {
+  Quantifier* q = FindMergeableQuantifier(ctx);
+  if (q == nullptr) return Status::Internal("merge: candidate vanished");
+  Box* upper = ctx.box;
+  Box* lower = q->input;
+
+  // Inline the lower head expressions wherever the merged quantifier was
+  // referenced (consumer expressions and any correlated descendants).
+  std::vector<const Expr*> replacements;
+  replacements.reserve(lower->head.size());
+  for (const auto& h : lower->head) replacements.push_back(h.expr.get());
+  InlineEverywhere(ctx.graph, q, replacements);
+
+  // Paper Rule 2 epilogue: IF OP2.eliminate-duplicate THEN
+  // OP1.eliminate-duplicate (dedup responsibility moves up).
+  if (lower->distinct_enforced &&
+      !lower->OutputIsDuplicateFree(/*ignore_own_enforcement=*/true)) {
+    upper->distinct_enforced = true;
+  }
+
+  // Splice the lower body into the upper box.
+  std::vector<Quantifier*> moved;
+  for (const auto& lq : lower->quantifiers) moved.push_back(lq.get());
+  for (Quantifier* lq : moved) {
+    upper->AddQuantifier(lower->RemoveQuantifier(lq));
+  }
+  for (auto& p : lower->predicates) {
+    upper->predicates.push_back(std::move(p));
+  }
+  lower->predicates.clear();
+  upper->RemoveQuantifier(q);  // drops the range edge; GC reclaims `lower`
+  return Status::OK();
+}
+
+/// Rule 1 candidate: a top-level conjunct `expr = E(subquery)` where at
+/// most one subquery tuple can match — directly, or after enforcing
+/// duplicate elimination on the subquery (the generalized rule of
+/// [HASA88]).
+struct SubqueryToJoinCandidate {
+  size_t predicate_index = 0;
+  bool needs_dedup = false;
+};
+
+bool FindSubqueryToJoin(const RuleContext& ctx,
+                        SubqueryToJoinCandidate* out) {
+  Box* box = ctx.box;
+  if (box->kind != BoxKind::kSelect) return false;
+  for (size_t i = 0; i < box->predicates.size(); ++i) {
+    const Expr& p = *box->predicates[i];
+    if (p.kind != Expr::Kind::kQuantCompare || p.bop != ast::BinaryOp::kEq) {
+      continue;
+    }
+    Quantifier* q = p.quantifier;
+    if (q == nullptr || q->owner != box ||
+        q->type != QuantifierType::kExists) {
+      continue;
+    }
+    Box* sub = q->input;
+    if (sub == nullptr || sub->head.size() != 1) continue;
+    // The quantifier must serve only this membership test.
+    int uses = 0;
+    ForEachExprSlot(box, [&](qgm::ExprPtr* slot) {
+      if ((*slot)->ReferencesQuantifier(q)) ++uses;
+    });
+    if (uses != 1) continue;
+    bool dedup = !sub->OutputIsDuplicateFree();
+    if (dedup) {
+      // Enforcing distinctness mutates the subquery box: it must be ours
+      // alone and of a kind that supports the flag.
+      if (CountReferences(*ctx.graph, sub) != 1) continue;
+      if (sub->kind != BoxKind::kSelect && sub->kind != BoxKind::kSetOp) {
+        continue;
+      }
+      if (HasPreservedQuantifier(*sub)) continue;
+    }
+    out->predicate_index = i;
+    out->needs_dedup = dedup;
+    return true;
+  }
+  return false;
+}
+
+/// Rule 1 (Subquery to Join): "an existential subquery can be converted
+/// to a join when there is at most one matching tuple of the subquery for
+/// each tuple of the main query" — Q2.type = 'F'.
+Status SubqueryToJoinAction(RuleContext& ctx) {
+  SubqueryToJoinCandidate c;
+  if (!FindSubqueryToJoin(ctx, &c)) {
+    return Status::Internal("subquery-to-join: candidate vanished");
+  }
+  Box* box = ctx.box;
+  qgm::ExprPtr p = std::move(box->predicates[c.predicate_index]);
+  Quantifier* q = p->quantifier;
+  Box* sub = q->input;
+  if (c.needs_dedup) sub->distinct_enforced = true;
+  q->type = QuantifierType::kForEach;  // convert to join
+  box->predicates[c.predicate_index] =
+      qgm::MakeBinary(ast::BinaryOp::kEq, std::move(p->children[0]),
+                      qgm::MakeColumnRef(q, 0, sub->head[0].type),
+                      DataType::Bool());
+  return Status::OK();
+}
+
+}  // namespace
+
+void RegisterMergeRules(RuleEngine* engine) {
+  (void)engine->AddRule(RewriteRule{
+      "subquery_to_join", "subquery", /*priority=*/20, /*weight=*/1.0,
+      [](const RuleContext& ctx) {
+        SubqueryToJoinCandidate c;
+        return FindSubqueryToJoin(ctx, &c);
+      },
+      SubqueryToJoinAction});
+  (void)engine->AddRule(RewriteRule{
+      "select_merge", "merge", /*priority=*/10, /*weight=*/1.0,
+      [](const RuleContext& ctx) {
+        return FindMergeableQuantifier(ctx) != nullptr;
+      },
+      MergeSelectAction});
+}
+
+}  // namespace starburst::rewrite

@@ -1,0 +1,246 @@
+#include <algorithm>
+#include <set>
+
+#include "rewrite/rule_engine.h"
+
+namespace starburst::rewrite {
+
+using qgm::Box;
+using qgm::BoxKind;
+using qgm::Expr;
+using qgm::ExprPtr;
+using qgm::Quantifier;
+using qgm::QuantifierType;
+
+namespace {
+
+bool IsLiteral(const Expr& e) { return e.kind == Expr::Kind::kLiteral; }
+
+/// Bind-time evaluation of literal-only operators. Returns nullptr when
+/// the node is not foldable (or folding could change error behaviour,
+/// e.g. division by zero is left for runtime).
+ExprPtr TryFold(const Expr& e) {
+  if (e.kind == Expr::Kind::kUnary && IsLiteral(*e.children[0])) {
+    const Value& v = e.children[0]->literal;
+    if (e.uop == ast::UnaryOp::kNot) {
+      if (v.is_null()) return qgm::MakeLiteral(Value::Null());
+      if (v.type_id() == TypeId::kBool) {
+        return qgm::MakeLiteral(Value::Bool(!v.bool_value()));
+      }
+      return nullptr;
+    }
+    if (v.is_null()) return qgm::MakeLiteral(Value::Null());
+    if (v.type_id() == TypeId::kInt) {
+      return qgm::MakeLiteral(Value::Int(-v.int_value()));
+    }
+    if (v.type_id() == TypeId::kDouble) {
+      return qgm::MakeLiteral(Value::Double(-v.double_value()));
+    }
+    return nullptr;
+  }
+  if (e.kind != Expr::Kind::kBinary) return nullptr;
+
+  // Boolean short circuits only need one literal side.
+  if (e.bop == ast::BinaryOp::kAnd || e.bop == ast::BinaryOp::kOr) {
+    for (int side = 0; side < 2; ++side) {
+      const Expr& lit = *e.children[side];
+      const Expr& other = *e.children[1 - side];
+      if (!IsLiteral(lit) || lit.literal.type_id() != TypeId::kBool) continue;
+      bool b = lit.literal.bool_value();
+      if (e.bop == ast::BinaryOp::kAnd) {
+        if (!b) return qgm::MakeLiteral(Value::Bool(false));
+        return other.Clone();
+      }
+      if (b) return qgm::MakeLiteral(Value::Bool(true));
+      return other.Clone();
+    }
+    return nullptr;
+  }
+
+  if (!IsLiteral(*e.children[0]) || !IsLiteral(*e.children[1])) return nullptr;
+  const Value& l = e.children[0]->literal;
+  const Value& r = e.children[1]->literal;
+  switch (e.bop) {
+    case ast::BinaryOp::kEq:
+    case ast::BinaryOp::kNe:
+    case ast::BinaryOp::kLt:
+    case ast::BinaryOp::kLe:
+    case ast::BinaryOp::kGt:
+    case ast::BinaryOp::kGe: {
+      if (l.is_null() || r.is_null()) return qgm::MakeLiteral(Value::Null());
+      Result<int> cmp = l.Compare(r);
+      if (!cmp.ok()) return nullptr;
+      bool b;
+      switch (e.bop) {
+        case ast::BinaryOp::kEq: b = *cmp == 0; break;
+        case ast::BinaryOp::kNe: b = *cmp != 0; break;
+        case ast::BinaryOp::kLt: b = *cmp < 0; break;
+        case ast::BinaryOp::kLe: b = *cmp <= 0; break;
+        case ast::BinaryOp::kGt: b = *cmp > 0; break;
+        default: b = *cmp >= 0; break;
+      }
+      return qgm::MakeLiteral(Value::Bool(b));
+    }
+    case ast::BinaryOp::kAdd:
+    case ast::BinaryOp::kSub:
+    case ast::BinaryOp::kMul: {
+      if (l.is_null() || r.is_null()) return qgm::MakeLiteral(Value::Null());
+      if (l.type_id() == TypeId::kInt && r.type_id() == TypeId::kInt) {
+        int64_t a = l.int_value(), b = r.int_value();
+        int64_t v = e.bop == ast::BinaryOp::kAdd   ? a + b
+                    : e.bop == ast::BinaryOp::kSub ? a - b
+                                                   : a * b;
+        return qgm::MakeLiteral(Value::Int(v));
+      }
+      Result<double> a = l.AsDouble();
+      Result<double> b = r.AsDouble();
+      if (!a.ok() || !b.ok()) return nullptr;
+      double v = e.bop == ast::BinaryOp::kAdd   ? *a + *b
+                 : e.bop == ast::BinaryOp::kSub ? *a - *b
+                                                : *a * *b;
+      return qgm::MakeLiteral(Value::Double(v));
+    }
+    case ast::BinaryOp::kConcat: {
+      if (l.is_null() || r.is_null()) return qgm::MakeLiteral(Value::Null());
+      if (l.type_id() != TypeId::kString || r.type_id() != TypeId::kString) {
+        return nullptr;
+      }
+      return qgm::MakeLiteral(Value::String(l.string_value() + r.string_value()));
+    }
+    default:
+      return nullptr;  // division/modulo: runtime decides on zero divisors
+  }
+}
+
+/// Recursively folds inside `slot`; true if anything changed.
+bool FoldExprTree(ExprPtr* slot) {
+  bool changed = false;
+  for (auto& c : (*slot)->children) {
+    if (FoldExprTree(&c)) changed = true;
+  }
+  ExprPtr folded = TryFold(**slot);
+  if (folded != nullptr) {
+    *slot = std::move(folded);
+    return true;
+  }
+  return changed;
+}
+
+bool HasFoldableExpr(const RuleContext& ctx) {
+  bool found = false;
+  ForEachExprSlot(ctx.box, [&](ExprPtr* slot) {
+    if (found) return;
+    ExprPtr probe = (*slot)->Clone();
+    if (FoldExprTree(&probe)) found = true;
+  });
+  if (found) return true;
+  // TRUE conjuncts are removable.
+  for (const auto& p : ctx.box->predicates) {
+    if (IsLiteral(*p) && p->literal.type_id() == TypeId::kBool &&
+        p->literal.bool_value()) {
+      return true;
+    }
+  }
+  return false;
+}
+
+Status FoldAction(RuleContext& ctx) {
+  ForEachExprSlot(ctx.box, [&](ExprPtr* slot) { FoldExprTree(slot); });
+  auto& preds = ctx.box->predicates;
+  preds.erase(std::remove_if(preds.begin(), preds.end(),
+                             [](const ExprPtr& p) {
+                               return IsLiteral(*p) &&
+                                      p->literal.type_id() == TypeId::kBool &&
+                                      p->literal.bool_value();
+                             }),
+              preds.end());
+  return Status::OK();
+}
+
+/// Redundant join elimination [OTT82]: a self-join on a full unique key
+/// is the identity; the second iterator can be dropped.
+struct RedundantJoin {
+  Quantifier* keep = nullptr;
+  Quantifier* drop = nullptr;
+  std::vector<size_t> equated_predicates;  // indexes of the key-eq conjuncts
+};
+
+bool FindRedundantJoin(const RuleContext& ctx, RedundantJoin* out) {
+  Box* box = ctx.box;
+  if (box->kind != BoxKind::kSelect) return false;
+  for (const auto& q1 : box->quantifiers) {
+    if (q1->type != QuantifierType::kForEach) continue;
+    if (q1->input == nullptr || q1->input->kind != BoxKind::kBaseTable) continue;
+    const TableDef* table = q1->input->table;
+    if (table == nullptr || table->unique_keys.empty()) continue;
+    for (const auto& q2 : box->quantifiers) {
+      if (q2.get() == q1.get()) continue;
+      if (q2->type != QuantifierType::kForEach || q2->input != q1->input) {
+        continue;
+      }
+      // Columns equated between q1 and q2 by conjuncts, tracking indexes.
+      std::vector<size_t> equated_cols;
+      std::vector<size_t> pred_idx;
+      for (size_t i = 0; i < box->predicates.size(); ++i) {
+        const Expr& p = *box->predicates[i];
+        if (!qgm::IsColumnEquality(p)) continue;
+        const Expr& l = *p.children[0];
+        const Expr& r = *p.children[1];
+        bool q1l = l.quantifier == q1.get() && r.quantifier == q2.get() &&
+                   l.column == r.column;
+        bool q1r = r.quantifier == q1.get() && l.quantifier == q2.get() &&
+                   l.column == r.column;
+        if (q1l || q1r) {
+          equated_cols.push_back(l.column);
+          pred_idx.push_back(i);
+        }
+      }
+      if (!table->ColumnsContainUniqueKey(equated_cols)) continue;
+      // Dropping the equalities must not drop null filtering: key columns
+      // must be NOT NULL.
+      bool nullable = false;
+      for (size_t c : equated_cols) {
+        if (table->schema.column(c).nullable) nullable = true;
+      }
+      if (nullable) continue;
+      out->keep = q1.get();
+      out->drop = q2.get();
+      out->equated_predicates = pred_idx;
+      return true;
+    }
+  }
+  return false;
+}
+
+Status RedundantJoinAction(RuleContext& ctx) {
+  RedundantJoin c;
+  if (!FindRedundantJoin(ctx, &c)) {
+    return Status::Internal("redundant join: candidate vanished");
+  }
+  Box* box = ctx.box;
+  // Drop the key-equality conjuncts (descending index order).
+  std::sort(c.equated_predicates.rbegin(), c.equated_predicates.rend());
+  for (size_t i : c.equated_predicates) {
+    box->predicates.erase(box->predicates.begin() + i);
+  }
+  RemapEverywhere(ctx.graph, c.drop, c.keep, {});
+  box->RemoveQuantifier(c.drop);
+  return Status::OK();
+}
+
+}  // namespace
+
+void RegisterMiscRules(RuleEngine* engine) {
+  (void)engine->AddRule(RewriteRule{
+      "constant_folding", "misc", /*priority=*/30, /*weight=*/1.0,
+      HasFoldableExpr, FoldAction});
+  (void)engine->AddRule(RewriteRule{
+      "redundant_join_elimination", "misc", /*priority=*/15, /*weight=*/1.0,
+      [](const RuleContext& ctx) {
+        RedundantJoin c;
+        return FindRedundantJoin(ctx, &c);
+      },
+      RedundantJoinAction});
+}
+
+}  // namespace starburst::rewrite

@@ -1,0 +1,391 @@
+#include <map>
+#include <set>
+
+#include "rewrite/rule_engine.h"
+
+namespace starburst::rewrite {
+
+using qgm::Box;
+using qgm::BoxKind;
+using qgm::Expr;
+using qgm::ExprPtr;
+using qgm::Quantifier;
+using qgm::QuantifierType;
+
+namespace {
+
+/// A push-down candidate: predicate #index of `box` migrates into the
+/// select box `target`, possibly through an outer join's PF quantifier
+/// (`through_pf`), per §5: outer join "does not keep predicates, but can
+/// receive them if they refer only to columns of the PF setformer, in
+/// which case they are pushed *through* the outer join operation".
+struct PushdownCandidate {
+  size_t predicate_index = 0;
+  Quantifier* via = nullptr;      // the F quantifier of `box` pushed through
+  Box* lower = nullptr;           // via->input
+  Quantifier* through_pf = nullptr;  // set when lower is an outer-join box
+};
+
+bool HeadIsInlinable(const Box& lower, const Expr& predicate,
+                     const Quantifier* via) {
+  std::vector<std::pair<Quantifier*, size_t>> refs;
+  predicate.CollectColumnRefs(&refs);
+  for (const auto& [q, col] : refs) {
+    if (q != via) continue;
+    if (col >= lower.head.size() || lower.head[col].expr == nullptr) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool FindPushdown(const RuleContext& ctx, PushdownCandidate* out) {
+  Box* box = ctx.box;
+  if (box->kind != BoxKind::kSelect) return false;
+  for (size_t i = 0; i < box->predicates.size(); ++i) {
+    const Expr& p = *box->predicates[i];
+    // Subquery tests stay where their quantifier lives.
+    if (p.kind == Expr::Kind::kExistsTest || p.kind == Expr::Kind::kQuantCompare) {
+      continue;
+    }
+    std::set<Quantifier*> used;
+    p.CollectQuantifiers(&used);
+    Quantifier* via = nullptr;
+    bool ok = true;
+    for (Quantifier* q : used) {
+      if (q->owner != box) continue;  // correlation travels along fine
+      if (via != nullptr && q != via) {
+        ok = false;  // touches two of our iterators: a join predicate
+        break;
+      }
+      via = q;
+      if (q->type != QuantifierType::kForEach) ok = false;
+    }
+    if (!ok || via == nullptr) continue;
+    Box* lower = via->input;
+    if (lower == nullptr || lower->kind != BoxKind::kSelect) continue;
+    if (CountReferences(*ctx.graph, lower) != 1) continue;
+    if (!HeadIsInlinable(*lower, p, via)) continue;
+
+    // Does `lower` contain PF quantifiers (i.e. is it an outer join)?
+    Quantifier* pf = nullptr;
+    bool has_pf = false;
+    for (const auto& lq : lower->quantifiers) {
+      if (lq->type == QuantifierType::kPreservedForEach) {
+        has_pf = true;
+        pf = lq.get();
+      }
+    }
+    if (!has_pf) {
+      out->predicate_index = i;
+      out->via = via;
+      out->lower = lower;
+      out->through_pf = nullptr;
+      return true;
+    }
+
+    // Outer-join box: receive only predicates that, once inlined, touch
+    // the PF setformer alone — and push them through it.
+    std::unique_ptr<Expr> inlined = p.Clone();
+    std::vector<const Expr*> replacements;
+    for (const auto& h : lower->head) replacements.push_back(h.expr.get());
+    ExprPtr holder = std::move(inlined);
+    qgm::InlineIntoExpr(&holder, via, replacements);
+    std::set<Quantifier*> inner_used;
+    holder->CollectQuantifiers(&inner_used);
+    bool pf_only = !inner_used.empty();
+    for (Quantifier* q : inner_used) {
+      if (q->owner != lower) continue;  // correlation
+      if (q != pf) pf_only = false;
+    }
+    if (!pf_only || pf == nullptr) continue;
+    // Through-target must be a select box we exclusively feed, or a base
+    // table we can wrap.
+    Box* through = pf->input;
+    if (through == nullptr) continue;
+    if (through->kind == BoxKind::kSelect &&
+        CountReferences(*ctx.graph, through) != 1) {
+      continue;
+    }
+    if (through->kind != BoxKind::kSelect &&
+        through->kind != BoxKind::kBaseTable) {
+      continue;
+    }
+    out->predicate_index = i;
+    out->via = via;
+    out->lower = lower;
+    out->through_pf = pf;
+    return true;
+  }
+  return false;
+}
+
+/// Wraps a base-table box in an identity SELECT box so it can hold
+/// received predicates; repoints only `q` (base boxes may be shared).
+Box* WrapWithSelect(qgm::Graph* graph, Quantifier* q) {
+  Box* base = q->input;
+  Box* wrapper = graph->NewBox(BoxKind::kSelect);
+  std::unique_ptr<Quantifier> inner_q =
+      graph->NewQuantifier(QuantifierType::kForEach, base);
+  Quantifier* iq = wrapper->AddQuantifier(std::move(inner_q));
+  iq->alias = q->alias;
+  for (size_t i = 0; i < base->head.size(); ++i) {
+    wrapper->head.push_back(qgm::HeadColumn{
+        base->head[i].name, base->head[i].type,
+        qgm::MakeColumnRef(iq, i, base->head[i].type)});
+  }
+  q->input = wrapper;
+  return wrapper;
+}
+
+Status PushdownAction(RuleContext& ctx) {
+  PushdownCandidate c;
+  if (!FindPushdown(ctx, &c)) {
+    return Status::Internal("pushdown: candidate vanished");
+  }
+  Box* box = ctx.box;
+  ExprPtr p = std::move(box->predicates[c.predicate_index]);
+  box->predicates.erase(box->predicates.begin() + c.predicate_index);
+
+  // Rewrite through the lower head.
+  std::vector<const Expr*> replacements;
+  for (const auto& h : c.lower->head) replacements.push_back(h.expr.get());
+  qgm::InlineIntoExpr(&p, c.via, replacements);
+
+  if (c.through_pf == nullptr) {
+    c.lower->predicates.push_back(std::move(p));
+    return Status::OK();
+  }
+
+  // Push *through* the outer join: the predicate lands below the PF
+  // setformer, filtering the preserved table before preservation.
+  Box* through = c.through_pf->input;
+  if (through->kind == BoxKind::kBaseTable) {
+    through = WrapWithSelect(ctx.graph, c.through_pf);
+  }
+  // Map PF-relative references onto the through-box's own quantifier
+  // space by inlining its head expressions.
+  std::vector<const Expr*> through_replacements;
+  for (const auto& h : through->head) {
+    through_replacements.push_back(h.expr.get());
+  }
+  qgm::InlineIntoExpr(&p, c.through_pf, through_replacements);
+  through->predicates.push_back(std::move(p));
+  return Status::OK();
+}
+
+/// Push through GROUP BY: a consumer predicate over group-key outputs
+/// filters groups; it is equivalent (and cheaper) applied to the grouping
+/// input rows.
+struct GroupByPushdown {
+  size_t predicate_index = 0;
+  Quantifier* via = nullptr;  // F over the GROUP BY box
+  Box* gb = nullptr;
+  Box* input = nullptr;       // the select box under the GROUP BY
+};
+
+bool FindGroupByPushdown(const RuleContext& ctx, GroupByPushdown* out) {
+  Box* box = ctx.box;
+  if (box->kind != BoxKind::kSelect) return false;
+  for (size_t i = 0; i < box->predicates.size(); ++i) {
+    const Expr& p = *box->predicates[i];
+    if (p.kind == Expr::Kind::kExistsTest || p.kind == Expr::Kind::kQuantCompare) {
+      continue;
+    }
+    std::set<Quantifier*> used;
+    p.CollectQuantifiers(&used);
+    Quantifier* via = nullptr;
+    bool ok = true;
+    for (Quantifier* q : used) {
+      if (q->owner != box) continue;
+      if (via != nullptr && q != via) {
+        ok = false;
+        break;
+      }
+      via = q;
+      if (q->type != QuantifierType::kForEach) ok = false;
+    }
+    if (!ok || via == nullptr) continue;
+    Box* gb = via->input;
+    if (gb == nullptr || gb->kind != BoxKind::kGroupBy) continue;
+    if (CountReferences(*ctx.graph, gb) != 1) continue;
+    if (gb->quantifiers.size() != 1) continue;
+    Box* input = gb->quantifiers[0]->input;
+    if (input == nullptr || input->kind != BoxKind::kSelect) continue;
+    if (CountReferences(*ctx.graph, input) != 1) continue;
+    // Every referenced column must be a group key (not an aggregate).
+    std::vector<std::pair<Quantifier*, size_t>> refs;
+    p.CollectColumnRefs(&refs);
+    bool keys_only = true;
+    for (const auto& [q, col] : refs) {
+      if (q != via) continue;
+      if (col >= gb->group_keys.size()) keys_only = false;
+    }
+    if (!keys_only) continue;
+    out->predicate_index = i;
+    out->via = via;
+    out->gb = gb;
+    out->input = input;
+    return true;
+  }
+  return false;
+}
+
+Status GroupByPushdownAction(RuleContext& ctx) {
+  GroupByPushdown c;
+  if (!FindGroupByPushdown(ctx, &c)) {
+    return Status::Internal("groupby pushdown: candidate vanished");
+  }
+  Box* box = ctx.box;
+  ExprPtr p = std::move(box->predicates[c.predicate_index]);
+  box->predicates.erase(box->predicates.begin() + c.predicate_index);
+
+  // Step 1: consumer refs -> GROUP BY key expressions (over gb_q).
+  std::vector<const Expr*> gb_replacements;
+  for (const auto& h : c.gb->head) gb_replacements.push_back(h.expr.get());
+  qgm::InlineIntoExpr(&p, c.via, gb_replacements);
+  // Step 2: gb_q refs -> the input select's head expressions.
+  Quantifier* gb_q = c.gb->quantifiers[0].get();
+  std::vector<const Expr*> in_replacements;
+  for (const auto& h : c.input->head) in_replacements.push_back(h.expr.get());
+  qgm::InlineIntoExpr(&p, gb_q, in_replacements);
+  c.input->predicates.push_back(std::move(p));
+  return Status::OK();
+}
+
+/// Predicate transitivity ("implied predicates", "predicates may be
+/// replicated"): from column-equality classes, derive missing equalities
+/// and replicate single-column restrictions onto equivalent columns.
+struct ColRef {
+  Quantifier* q;
+  size_t col;
+  bool operator<(const ColRef& o) const {
+    return q != o.q ? q < o.q : col < o.col;
+  }
+  bool operator==(const ColRef& o) const { return q == o.q && col == o.col; }
+};
+
+std::vector<ExprPtr> DeriveTransitive(const Box& box) {
+  // Union-find over column refs joined by `=`.
+  std::map<ColRef, ColRef> parent;
+  std::function<ColRef(ColRef)> find = [&](ColRef x) {
+    auto it = parent.find(x);
+    if (it == parent.end() || it->second == x) return x;
+    ColRef root = find(it->second);
+    parent[x] = root;
+    return root;
+  };
+  auto unite = [&](ColRef a, ColRef b) {
+    ColRef ra = find(a), rb = find(b);
+    if (!(ra == rb)) parent[ra] = rb;
+  };
+  for (const auto& p : box.predicates) {
+    if (!qgm::IsColumnEquality(*p)) continue;
+    const Expr& l = *p->children[0];
+    const Expr& r = *p->children[1];
+    if (l.quantifier->owner != &box || r.quantifier->owner != &box) continue;
+    unite(ColRef{l.quantifier, l.column}, ColRef{r.quantifier, r.column});
+  }
+  // Group members per class.
+  std::map<ColRef, std::vector<ColRef>> classes;
+  for (const auto& [member, dummy] : parent) {
+    (void)dummy;
+    classes[find(member)].push_back(member);
+  }
+  for (auto& [root, members] : classes) {
+    if (std::find(members.begin(), members.end(), root) == members.end()) {
+      members.push_back(root);
+    }
+  }
+
+  std::set<std::string> existing;
+  for (const auto& p : box.predicates) existing.insert(p->ToString());
+
+  std::vector<ExprPtr> derived;
+  auto add_if_new = [&](ExprPtr e) {
+    std::string key = e->ToString();
+    if (existing.insert(key).second) derived.push_back(std::move(e));
+  };
+
+  // Replicate `col op literal` onto equivalence-class siblings.
+  for (const auto& p : box.predicates) {
+    if (p->kind != Expr::Kind::kBinary) continue;
+    switch (p->bop) {
+      case ast::BinaryOp::kEq:
+      case ast::BinaryOp::kLt:
+      case ast::BinaryOp::kLe:
+      case ast::BinaryOp::kGt:
+      case ast::BinaryOp::kGe:
+        break;
+      default:
+        continue;
+    }
+    const Expr* cref = nullptr;
+    const Expr* lit = nullptr;
+    bool col_left = false;
+    if (p->children[0]->kind == Expr::Kind::kColumnRef &&
+        p->children[1]->kind == Expr::Kind::kLiteral) {
+      cref = p->children[0].get();
+      lit = p->children[1].get();
+      col_left = true;
+    } else if (p->children[1]->kind == Expr::Kind::kColumnRef &&
+               p->children[0]->kind == Expr::Kind::kLiteral) {
+      cref = p->children[1].get();
+      lit = p->children[0].get();
+    } else {
+      continue;
+    }
+    if (cref->quantifier->owner != &box) continue;
+    ColRef self{cref->quantifier, cref->column};
+    auto it = classes.find(find(self));
+    if (it == classes.end()) continue;
+    for (const ColRef& sibling : it->second) {
+      if (sibling == self) continue;
+      ExprPtr scol = qgm::MakeColumnRef(sibling.q, sibling.col,
+                                        sibling.q->ColumnType(sibling.col));
+      ExprPtr copy =
+          col_left ? qgm::MakeBinary(p->bop, std::move(scol), lit->Clone(),
+                                     DataType::Bool())
+                   : qgm::MakeBinary(p->bop, lit->Clone(), std::move(scol),
+                                     DataType::Bool());
+      add_if_new(std::move(copy));
+    }
+  }
+  return derived;
+}
+
+}  // namespace
+
+void RegisterPredicateRules(RuleEngine* engine) {
+  // Replication runs before migration so replicas exist to be migrated.
+  (void)engine->AddRule(RewriteRule{
+      "predicate_transitivity", "predicate_migration", /*priority=*/6,
+      /*weight=*/1.0,
+      [](const RuleContext& ctx) {
+        if (ctx.box->kind != BoxKind::kSelect) return false;
+        return !DeriveTransitive(*ctx.box).empty();
+      },
+      [](RuleContext& ctx) -> Status {
+        std::vector<ExprPtr> derived = DeriveTransitive(*ctx.box);
+        for (auto& e : derived) ctx.box->predicates.push_back(std::move(e));
+        return Status::OK();
+      }});
+  (void)engine->AddRule(RewriteRule{
+      "predicate_pushdown", "predicate_migration", /*priority=*/5,
+      /*weight=*/1.0,
+      [](const RuleContext& ctx) {
+        PushdownCandidate c;
+        return FindPushdown(ctx, &c);
+      },
+      PushdownAction});
+  (void)engine->AddRule(RewriteRule{
+      "predicate_through_groupby", "predicate_migration", /*priority=*/5,
+      /*weight=*/1.0,
+      [](const RuleContext& ctx) {
+        GroupByPushdown c;
+        return FindGroupByPushdown(ctx, &c);
+      },
+      GroupByPushdownAction});
+}
+
+}  // namespace starburst::rewrite

@@ -1,0 +1,103 @@
+#include <algorithm>
+#include <set>
+
+#include "rewrite/rule_engine.h"
+
+namespace starburst::rewrite {
+
+using qgm::Box;
+using qgm::BoxKind;
+using qgm::Expr;
+using qgm::Quantifier;
+using qgm::QuantifierType;
+
+namespace {
+
+/// Which head columns of `box` are needed by anything in the graph?
+/// Returns empty if pruning is not applicable.
+std::vector<bool> ComputeUsedColumns(const RuleContext& ctx, Box* box) {
+  qgm::Graph* graph = ctx.graph;
+  if (box->kind != BoxKind::kSelect) return {};
+  if (box == graph->root()) return {};      // final output shape is fixed
+  if (box->distinct_enforced) return {};    // pruning changes the dedup key
+  std::vector<bool> used(box->head.size(), false);
+  for (const auto& owner : graph->boxes()) {
+    for (const auto& q : owner->quantifiers) {
+      if (q->input != box) continue;
+      // Positional consumers need the exact column list.
+      if (owner->kind == BoxKind::kSetOp ||
+          owner->kind == BoxKind::kRecursiveUnion ||
+          owner->kind == BoxKind::kTableFunction ||
+          owner->kind == BoxKind::kChoose) {
+        return {};
+      }
+      // Membership tests implicitly read column 0 of the subquery.
+      if (q->type == QuantifierType::kExists ||
+          q->type == QuantifierType::kAll ||
+          q->type == QuantifierType::kAntiExists ||
+          q->type == QuantifierType::kSetPredicate) {
+        if (!used.empty()) used[0] = true;
+      }
+    }
+    ForEachExprSlot(owner.get(), [&](qgm::ExprPtr* slot) {
+      std::vector<std::pair<Quantifier*, size_t>> refs;
+      (*slot)->CollectColumnRefs(&refs);
+      for (const auto& [q, col] : refs) {
+        if (q->input == box && col < used.size()) used[col] = true;
+      }
+    });
+  }
+  // A head must keep at least one column (EXISTS over fully-pruned
+  // subqueries): keep column 0.
+  if (std::none_of(used.begin(), used.end(), [](bool b) { return b; }) &&
+      !used.empty()) {
+    used[0] = true;
+  }
+  return used;
+}
+
+bool HasPrunableColumns(const RuleContext& ctx) {
+  std::vector<bool> used = ComputeUsedColumns(ctx, ctx.box);
+  if (used.empty()) return false;
+  return std::any_of(used.begin(), used.end(), [](bool b) { return !b; });
+}
+
+/// Projection push-down: "avoid the retrieval of unused columns of tables
+/// or views". Interacts with predicate migration exactly as §5 describes:
+/// once a predicate is pushed below this box, the columns only it
+/// referenced stop being used here and get pruned on a later pass.
+Status PruneAction(RuleContext& ctx) {
+  Box* box = ctx.box;
+  std::vector<bool> used = ComputeUsedColumns(ctx, box);
+  if (used.empty()) return Status::Internal("prune: candidate vanished");
+
+  std::vector<size_t> remap(box->head.size(), qgm::Box::kNoColumn);
+  std::vector<qgm::HeadColumn> kept;
+  for (size_t i = 0; i < box->head.size(); ++i) {
+    if (used[i]) {
+      remap[i] = kept.size();
+      kept.push_back(std::move(box->head[i]));
+    }
+  }
+  box->head = std::move(kept);
+
+  // Renumber all references through every quantifier ranging over box.
+  for (const auto& owner : ctx.graph->boxes()) {
+    for (const auto& q : owner->quantifiers) {
+      if (q->input == box) {
+        RemapEverywhere(ctx.graph, q.get(), q.get(), remap);
+      }
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+void RegisterProjectionRules(RuleEngine* engine) {
+  (void)engine->AddRule(RewriteRule{
+      "projection_pruning", "projection", /*priority=*/3, /*weight=*/1.0,
+      HasPrunableColumns, PruneAction});
+}
+
+}  // namespace starburst::rewrite

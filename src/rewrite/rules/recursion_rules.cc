@@ -1,0 +1,141 @@
+#include <set>
+
+#include "rewrite/rule_engine.h"
+
+namespace starburst::rewrite {
+
+using qgm::Box;
+using qgm::BoxKind;
+using qgm::Expr;
+using qgm::ExprPtr;
+using qgm::Quantifier;
+using qgm::QuantifierType;
+
+namespace {
+
+/// §5: "With the introduction of recursion in DBMS queries,
+/// transformations such as magic sets should be incorporated. ...
+/// Recently we have been adding rewrite rules for recursive queries."
+///
+/// This rule is the sound special case of magic sets for *invariant*
+/// columns: a consumer predicate over recursion-output columns that the
+/// step copies unchanged from the iteration can be pushed into the
+/// recursion's base. Every derived tuple's invariant columns equal its
+/// base ancestor's, so seeding the fixpoint with only the qualifying base
+/// tuples produces exactly the qualifying part of the closure — the
+/// recursion explores a (often dramatically) smaller space.
+struct RecursionPushdown {
+  size_t predicate_index = 0;
+  Quantifier* via = nullptr;  // F over the recursive union
+  Box* recursion = nullptr;
+  Box* base = nullptr;
+};
+
+/// Does the step re-emit column `c` verbatim from the iteration table?
+bool StepCopiesColumn(const Box* step, const Box* recursion, size_t c) {
+  if (step->kind != BoxKind::kSelect) return false;
+  if (c >= step->head.size() || step->head[c].expr == nullptr) return false;
+  const Expr& e = *step->head[c].expr;
+  return e.kind == Expr::Kind::kColumnRef && e.column == c &&
+         e.quantifier != nullptr && e.quantifier->input != nullptr &&
+         e.quantifier->input->kind == BoxKind::kIterationRef &&
+         e.quantifier->input->recursion == recursion;
+}
+
+bool FindRecursionPushdown(const RuleContext& ctx, RecursionPushdown* out) {
+  Box* box = ctx.box;
+  if (box->kind != BoxKind::kSelect) return false;
+  for (size_t i = 0; i < box->predicates.size(); ++i) {
+    const Expr& p = *box->predicates[i];
+    if (p.kind == Expr::Kind::kExistsTest ||
+        p.kind == Expr::Kind::kQuantCompare) {
+      continue;
+    }
+    // Exactly one local quantifier, ranging over a recursive union.
+    std::set<Quantifier*> used;
+    p.CollectQuantifiers(&used);
+    Quantifier* via = nullptr;
+    bool ok = true;
+    for (Quantifier* q : used) {
+      if (q->owner != box) continue;
+      if (via != nullptr && q != via) {
+        ok = false;
+        break;
+      }
+      via = q;
+      if (q->type != QuantifierType::kForEach) ok = false;
+    }
+    if (!ok || via == nullptr) continue;
+    Box* recursion = via->input;
+    if (recursion == nullptr || recursion->kind != BoxKind::kRecursiveUnion) {
+      continue;
+    }
+    // Exactly one *consumer* (the iteration back-reference doesn't count).
+    int consumers = 0;
+    for (const auto& b : ctx.graph->boxes()) {
+      for (const auto& q : b->quantifiers) {
+        if (q->input == recursion) ++consumers;
+      }
+    }
+    if (consumers != 1) continue;
+    if (recursion->quantifiers.size() != 2) continue;
+    Box* base = recursion->quantifiers[0]->input;
+    Box* step = recursion->quantifiers[1]->input;
+    if (base == nullptr || base->kind != BoxKind::kSelect) continue;
+    if (CountReferences(*ctx.graph, base) != 1) continue;
+    // Every referenced column must be invariant through the step, and the
+    // base head must be inlinable there.
+    std::vector<std::pair<Quantifier*, size_t>> refs;
+    p.CollectColumnRefs(&refs);
+    bool invariant = true;
+    for (const auto& [q, col] : refs) {
+      if (q != via) continue;  // correlation params travel fine
+      if (!StepCopiesColumn(step, recursion, col)) invariant = false;
+      if (col >= base->head.size() || base->head[col].expr == nullptr) {
+        invariant = false;
+      }
+    }
+    if (!invariant) continue;
+    out->predicate_index = i;
+    out->via = via;
+    out->recursion = recursion;
+    out->base = base;
+    return true;
+  }
+  return false;
+}
+
+Status RecursionPushdownAction(RuleContext& ctx) {
+  RecursionPushdown c;
+  if (!FindRecursionPushdown(ctx, &c)) {
+    return Status::Internal("recursion pushdown: candidate vanished");
+  }
+  Box* box = ctx.box;
+  ExprPtr p = std::move(box->predicates[c.predicate_index]);
+  box->predicates.erase(box->predicates.begin() + c.predicate_index);
+
+  // Rebind the consumer's recursion-output references onto the base box's
+  // head expressions; the filtered base seeds the fixpoint.
+  std::vector<const Expr*> replacements;
+  for (const auto& h : c.base->head) replacements.push_back(h.expr.get());
+  qgm::InlineIntoExpr(&p, c.via, replacements);
+  // InlineIntoExpr rewires (via, col) -> base exprs, which reference the
+  // base box's own quantifiers; consistency preserved.
+  c.base->predicates.push_back(std::move(p));
+  return Status::OK();
+}
+
+}  // namespace
+
+void RegisterRecursionRules(RuleEngine* engine) {
+  (void)engine->AddRule(RewriteRule{
+      "recursion_selection_pushdown", "recursion", /*priority=*/7,
+      /*weight=*/1.0,
+      [](const RuleContext& ctx) {
+        RecursionPushdown c;
+        return FindRecursionPushdown(ctx, &c);
+      },
+      RecursionPushdownAction});
+}
+
+}  // namespace starburst::rewrite

@@ -1,0 +1,47 @@
+#include "storage/attachment.h"
+
+namespace starburst {
+
+AttachmentRegistry::AttachmentRegistry() {
+  (void)Register("BTREE", [](const IndexDef& def, const TableSchema& schema)
+                     -> Result<std::unique_ptr<Attachment>> {
+    std::vector<size_t> key_columns;
+    for (const std::string& col : def.key_columns) {
+      std::optional<size_t> idx = schema.FindColumn(col);
+      if (!idx.has_value()) {
+        return Status::SemanticError("index '" + def.name + "': no column '" +
+                                     col + "'");
+      }
+      key_columns.push_back(*idx);
+    }
+    return std::unique_ptr<Attachment>(
+        new BTreeAttachment(def, std::move(key_columns)));
+  });
+}
+
+Status AttachmentRegistry::Register(const std::string& access_method,
+                                    AttachmentFactory factory) {
+  std::string key = IdentUpper(access_method);
+  if (!factories_.emplace(key, std::move(factory)).second) {
+    return Status::AlreadyExists("access method '" + key + "' exists");
+  }
+  return Status::OK();
+}
+
+Result<const AttachmentFactory*> AttachmentRegistry::Lookup(
+    const std::string& access_method) const {
+  auto it = factories_.find(IdentUpper(access_method));
+  if (it == factories_.end()) {
+    return Status::NotFound("access method '" + IdentUpper(access_method) +
+                            "' not registered");
+  }
+  return &it->second;
+}
+
+std::vector<std::string> AttachmentRegistry::Names() const {
+  std::vector<std::string> names;
+  for (const auto& [name, f] : factories_) names.push_back(name);
+  return names;
+}
+
+}  // namespace starburst

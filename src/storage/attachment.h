@@ -1,0 +1,83 @@
+#ifndef STARBURST_STORAGE_ATTACHMENT_H_
+#define STARBURST_STORAGE_ATTACHMENT_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "catalog/catalog.h"
+#include "common/result.h"
+#include "common/row.h"
+#include "storage/btree.h"
+#include "storage/page.h"
+
+namespace starburst {
+
+/// Core's attachment extension point (§1, [LIND87]): a secondary structure
+/// maintained alongside a table. Each table mutation is mirrored into every
+/// attachment; query operators downcast to the concrete kind for lookups.
+class Attachment {
+ public:
+  virtual ~Attachment() = default;
+
+  virtual const IndexDef& def() const = 0;
+  virtual Status OnInsert(const Row& row, Rid rid) = 0;
+  virtual Status OnDelete(const Row& row, Rid rid) = 0;
+};
+
+/// The built-in B-tree attachment kind ("BTREE").
+class BTreeAttachment : public Attachment {
+ public:
+  /// `key_columns` are resolved positions into the table schema.
+  BTreeAttachment(IndexDef def, std::vector<size_t> key_columns)
+      : def_(std::move(def)),
+        key_columns_(std::move(key_columns)),
+        tree_(def_.unique) {}
+
+  const IndexDef& def() const override { return def_; }
+
+  Status OnInsert(const Row& row, Rid rid) override {
+    return tree_.Insert(ExtractKey(row), rid);
+  }
+  Status OnDelete(const Row& row, Rid rid) override {
+    return tree_.Remove(ExtractKey(row), rid);
+  }
+
+  BTreeKey ExtractKey(const Row& row) const {
+    BTreeKey key;
+    key.reserve(key_columns_.size());
+    for (size_t c : key_columns_) key.push_back(row[c]);
+    return key;
+  }
+
+  BTree& tree() { return tree_; }
+
+ private:
+  IndexDef def_;
+  std::vector<size_t> key_columns_;
+  BTree tree_;
+};
+
+/// Builds an attachment instance for an index definition on a table with
+/// the given schema.
+using AttachmentFactory = std::function<Result<std::unique_ptr<Attachment>>(
+    const IndexDef&, const TableSchema&)>;
+
+/// Registry of attachment kinds, keyed by IndexDef::access_method. "BTREE"
+/// is pre-registered; DBC kinds (e.g. "RTREE" in ext/spatial) add here.
+class AttachmentRegistry {
+ public:
+  AttachmentRegistry();
+
+  Status Register(const std::string& access_method, AttachmentFactory factory);
+  Result<const AttachmentFactory*> Lookup(const std::string& access_method) const;
+  std::vector<std::string> Names() const;
+
+ private:
+  std::map<std::string, AttachmentFactory> factories_;
+};
+
+}  // namespace starburst
+
+#endif  // STARBURST_STORAGE_ATTACHMENT_H_

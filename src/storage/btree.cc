@@ -1,0 +1,246 @@
+#include "storage/btree.h"
+
+#include <algorithm>
+#include <cassert>
+#include <optional>
+
+namespace starburst {
+
+int CompareBTreeKeys(const BTreeKey& a, const BTreeKey& b) {
+  size_t n = std::min(a.size(), b.size());
+  for (size_t i = 0; i < n; ++i) {
+    int c = a[i].CompareTotal(b[i]);
+    if (c != 0) return c;
+  }
+  if (a.size() == b.size()) return 0;
+  return a.size() < b.size() ? -1 : 1;
+}
+
+struct BTree::Node {
+  bool leaf = true;
+  std::vector<BTreeKey> keys;
+  std::vector<std::unique_ptr<Node>> children;  // internal: keys.size()+1
+  std::vector<std::vector<Rid>> postings;       // leaf: parallel to keys
+  Node* next = nullptr;                         // leaf sibling chain
+
+  /// Index of the first key >= `key`.
+  size_t LowerBound(const BTreeKey& key) const {
+    size_t lo = 0, hi = keys.size();
+    while (lo < hi) {
+      size_t mid = (lo + hi) / 2;
+      if (CompareBTreeKeys(keys[mid], key) < 0) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    return lo;
+  }
+};
+
+BTree::BTree(bool unique, size_t order)
+    : root_(std::make_unique<Node>()), unique_(unique), order_(order) {
+  assert(order_ >= 4);
+}
+
+BTree::~BTree() = default;
+
+size_t BTree::height() const {
+  size_t h = 1;
+  const Node* n = root_.get();
+  while (!n->leaf) {
+    n = n->children[0].get();
+    ++h;
+  }
+  return h;
+}
+
+void BTree::SplitChild(Node* parent, size_t child_index) {
+  Node* child = parent->children[child_index].get();
+  auto right = std::make_unique<Node>();
+  right->leaf = child->leaf;
+  size_t mid = child->keys.size() / 2;
+  ++stats_.splits;
+
+  if (child->leaf) {
+    // Right keeps [mid, end); the separator is a copy of right's first key.
+    right->keys.assign(child->keys.begin() + mid, child->keys.end());
+    right->postings.assign(child->postings.begin() + mid, child->postings.end());
+    child->keys.resize(mid);
+    child->postings.resize(mid);
+    right->next = child->next;
+    child->next = right.get();
+    parent->keys.insert(parent->keys.begin() + child_index, right->keys.front());
+  } else {
+    // Middle key moves up; right takes keys after it and children after mid.
+    BTreeKey up = child->keys[mid];
+    right->keys.assign(child->keys.begin() + mid + 1, child->keys.end());
+    for (size_t i = mid + 1; i < child->children.size(); ++i) {
+      right->children.push_back(std::move(child->children[i]));
+    }
+    child->keys.resize(mid);
+    child->children.resize(mid + 1);
+    parent->keys.insert(parent->keys.begin() + child_index, std::move(up));
+  }
+  parent->children.insert(parent->children.begin() + child_index + 1,
+                          std::move(right));
+}
+
+Status BTree::Insert(const BTreeKey& key, Rid rid) {
+  if (root_->keys.size() >= order_) {
+    auto new_root = std::make_unique<Node>();
+    new_root->leaf = false;
+    new_root->children.push_back(std::move(root_));
+    root_ = std::move(new_root);
+    SplitChild(root_.get(), 0);
+  }
+  Node* node = root_.get();
+  while (!node->leaf) {
+    ++stats_.node_visits;
+    size_t i = node->LowerBound(key);
+    // Descend right of equal separators so equal keys cluster left-to-right.
+    if (i < node->keys.size() && CompareBTreeKeys(node->keys[i], key) == 0) ++i;
+    if (node->children[i]->keys.size() >= order_) {
+      SplitChild(node, i);
+      if (CompareBTreeKeys(key, node->keys[i]) >= 0) ++i;
+    }
+    node = node->children[i].get();
+  }
+  ++stats_.node_visits;
+  size_t i = node->LowerBound(key);
+  if (i < node->keys.size() && CompareBTreeKeys(node->keys[i], key) == 0) {
+    if (unique_) {
+      return Status::AlreadyExists("duplicate key in unique index");
+    }
+    node->postings[i].push_back(rid);
+  } else {
+    node->keys.insert(node->keys.begin() + i, key);
+    node->postings.insert(node->postings.begin() + i, std::vector<Rid>{rid});
+  }
+  ++entry_count_;
+  return Status::OK();
+}
+
+BTree::Node* BTree::FindLeaf(const BTreeKey& key) {
+  Node* node = root_.get();
+  while (!node->leaf) {
+    ++stats_.node_visits;
+    size_t i = node->LowerBound(key);
+    if (i < node->keys.size() && CompareBTreeKeys(node->keys[i], key) == 0) ++i;
+    node = node->children[i].get();
+  }
+  ++stats_.node_visits;
+  return node;
+}
+
+Status BTree::Remove(const BTreeKey& key, Rid rid) {
+  Node* leaf = FindLeaf(key);
+  size_t i = leaf->LowerBound(key);
+  if (i >= leaf->keys.size() || CompareBTreeKeys(leaf->keys[i], key) != 0) {
+    return Status::NotFound("key not in index");
+  }
+  std::vector<Rid>& postings = leaf->postings[i];
+  auto it = std::find(postings.begin(), postings.end(), rid);
+  if (it == postings.end()) {
+    return Status::NotFound("rid not posted under key");
+  }
+  postings.erase(it);
+  if (postings.empty()) {
+    leaf->keys.erase(leaf->keys.begin() + i);
+    leaf->postings.erase(leaf->postings.begin() + i);
+  }
+  --entry_count_;
+  return Status::OK();
+}
+
+std::vector<Rid> BTree::Lookup(const BTreeKey& key) {
+  Node* leaf = FindLeaf(key);
+  size_t i = leaf->LowerBound(key);
+  if (i < leaf->keys.size() && CompareBTreeKeys(leaf->keys[i], key) == 0) {
+    return leaf->postings[i];
+  }
+  return {};
+}
+
+namespace {
+
+class BTreeIteratorImpl : public BTree::Iterator {
+ public:
+  BTreeIteratorImpl(BTree::Node* leaf, size_t key_index,
+                    std::optional<BTreeKey> hi, bool hi_inclusive)
+      : leaf_(leaf), key_(key_index), hi_(std::move(hi)),
+        hi_inclusive_(hi_inclusive) {}
+
+  bool Next(BTreeKey* key, Rid* rid) override;
+
+ private:
+  BTree::Node* leaf_;
+  size_t key_;
+  size_t posting_ = 0;
+  std::optional<BTreeKey> hi_;
+  bool hi_inclusive_;
+};
+
+}  // namespace
+
+std::unique_ptr<BTree::Iterator> BTree::Scan(const BTreeKey* lo,
+                                             bool lo_inclusive,
+                                             const BTreeKey* hi,
+                                             bool hi_inclusive) {
+  Node* leaf;
+  size_t start = 0;
+  if (lo != nullptr) {
+    leaf = FindLeaf(*lo);
+    start = leaf->LowerBound(*lo);
+    if (!lo_inclusive) {
+      while (start < leaf->keys.size() &&
+             CompareBTreeKeys(leaf->keys[start], *lo) == 0) {
+        ++start;
+      }
+    }
+  } else {
+    leaf = root_.get();
+    while (!leaf->leaf) {
+      ++stats_.node_visits;
+      leaf = leaf->children[0].get();
+    }
+    ++stats_.node_visits;
+  }
+  std::optional<BTreeKey> hi_copy;
+  if (hi != nullptr) hi_copy = *hi;
+  return std::make_unique<BTreeIteratorImpl>(leaf, start, std::move(hi_copy),
+                                             hi_inclusive);
+}
+
+namespace {
+
+bool BTreeIteratorImpl::Next(BTreeKey* key, Rid* rid) {
+  while (leaf_ != nullptr) {
+    if (key_ >= leaf_->keys.size()) {
+      leaf_ = leaf_->next;
+      key_ = 0;
+      posting_ = 0;
+      continue;
+    }
+    if (posting_ >= leaf_->postings[key_].size()) {
+      ++key_;
+      posting_ = 0;
+      continue;
+    }
+    if (hi_.has_value()) {
+      int c = CompareBTreeKeys(leaf_->keys[key_], *hi_);
+      if (c > 0 || (c == 0 && !hi_inclusive_)) {
+        leaf_ = nullptr;
+        return false;
+      }
+    }
+    *key = leaf_->keys[key_];
+    *rid = leaf_->postings[key_][posting_++];
+    return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+}  // namespace starburst

@@ -1,0 +1,74 @@
+#ifndef STARBURST_STORAGE_BTREE_H_
+#define STARBURST_STORAGE_BTREE_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/result.h"
+#include "common/value.h"
+#include "storage/page.h"
+
+namespace starburst {
+
+/// Composite index key; ordered lexicographically by Value::CompareTotal
+/// (NULLs first), so every column type — including extension types with a
+/// registered comparator — is indexable.
+using BTreeKey = std::vector<Value>;
+
+int CompareBTreeKeys(const BTreeKey& a, const BTreeKey& b);
+
+/// The built-in access method: a B+-tree mapping composite keys to record
+/// ids. Non-unique keys hold a Rid list per key. Deletion is by lazy key
+/// emptying (no rebalancing); lookups and scans stay correct, and the
+/// node-visit counters still reflect real traversal work for the benches.
+class BTree {
+ public:
+  struct Node;  // defined in btree.cc; opaque to clients
+
+  struct Stats {
+    uint64_t node_visits = 0;  // traversal work, the index "I/O" proxy
+    uint64_t splits = 0;
+  };
+
+  explicit BTree(bool unique = false, size_t order = 64);
+  ~BTree();
+
+  BTree(const BTree&) = delete;
+  BTree& operator=(const BTree&) = delete;
+
+  /// Fails with AlreadyExists on a duplicate key in a unique tree.
+  Status Insert(const BTreeKey& key, Rid rid);
+  /// Removes one (key, rid) posting; NotFound if absent.
+  Status Remove(const BTreeKey& key, Rid rid);
+
+  /// All rids with exactly `key`.
+  std::vector<Rid> Lookup(const BTreeKey& key);
+
+  /// Ordered scan of keys in [lo, hi]; null bound = unbounded on that side.
+  class Iterator {
+   public:
+    virtual ~Iterator() = default;
+    virtual bool Next(BTreeKey* key, Rid* rid) = 0;
+  };
+  std::unique_ptr<Iterator> Scan(const BTreeKey* lo, bool lo_inclusive,
+                                 const BTreeKey* hi, bool hi_inclusive);
+
+  size_t size() const { return entry_count_; }
+  size_t height() const;
+  const Stats& stats() const { return stats_; }
+  void ResetStats() { stats_ = Stats{}; }
+
+ private:
+  Node* FindLeaf(const BTreeKey& key);
+  void SplitChild(Node* parent, size_t child_index);
+
+  std::unique_ptr<Node> root_;
+  bool unique_;
+  size_t order_;
+  size_t entry_count_ = 0;
+  Stats stats_;
+};
+
+}  // namespace starburst
+
+#endif  // STARBURST_STORAGE_BTREE_H_

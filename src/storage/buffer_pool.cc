@@ -1,0 +1,72 @@
+#include "storage/buffer_pool.h"
+
+namespace starburst {
+
+const Page* BufferPool::GetPage(FileId file, PageNo page) {
+  Touch(file, page, /*dirty=*/false);
+  return pager_->RawPage(file, page);
+}
+
+Page* BufferPool::GetMutablePage(FileId file, PageNo page) {
+  Touch(file, page, /*dirty=*/true);
+  return pager_->RawPage(file, page);
+}
+
+PageNo BufferPool::NewPage(FileId file) {
+  PageNo page = pager_->AppendPage(file);
+  // Newly created pages enter the pool dirty without a disk read.
+  Key key{file, page};
+  lru_.push_front(key);
+  resident_[key] = Frame{lru_.begin(), /*dirty=*/true};
+  ++stats_.logical_reads;
+  ++stats_.cache_hits;
+  EvictIfNeeded();
+  return page;
+}
+
+void BufferPool::set_capacity(size_t capacity_pages) {
+  capacity_ = capacity_pages;
+  EvictIfNeeded();
+}
+
+void BufferPool::FlushAll() {
+  for (auto& [key, frame] : resident_) {
+    if (frame.dirty) {
+      ++stats_.disk_writes;
+      frame.dirty = false;
+    }
+  }
+}
+
+bool BufferPool::Touch(FileId file, PageNo page, bool dirty) {
+  ++stats_.logical_reads;
+  Key key{file, page};
+  auto it = resident_.find(key);
+  if (it != resident_.end()) {
+    ++stats_.cache_hits;
+    lru_.erase(it->second.lru_pos);
+    lru_.push_front(key);
+    it->second.lru_pos = lru_.begin();
+    it->second.dirty = it->second.dirty || dirty;
+    return true;
+  }
+  ++stats_.disk_reads;
+  lru_.push_front(key);
+  resident_[key] = Frame{lru_.begin(), dirty};
+  EvictIfNeeded();
+  return false;
+}
+
+void BufferPool::EvictIfNeeded() {
+  while (resident_.size() > capacity_ && !lru_.empty()) {
+    Key victim = lru_.back();
+    lru_.pop_back();
+    auto it = resident_.find(victim);
+    if (it != resident_.end()) {
+      if (it->second.dirty) ++stats_.disk_writes;
+      resident_.erase(it);
+    }
+  }
+}
+
+}  // namespace starburst

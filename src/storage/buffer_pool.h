@@ -1,0 +1,89 @@
+#ifndef STARBURST_STORAGE_BUFFER_POOL_H_
+#define STARBURST_STORAGE_BUFFER_POOL_H_
+
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+
+#include "storage/page.h"
+
+namespace starburst {
+
+/// I/O accounting exposed to the cost model and the benchmark harness.
+struct BufferPoolStats {
+  uint64_t logical_reads = 0;
+  uint64_t cache_hits = 0;
+  uint64_t disk_reads = 0;   // misses
+  uint64_t disk_writes = 0;  // dirty evictions + flushes
+
+  double HitRate() const {
+    return logical_reads == 0
+               ? 1.0
+               : static_cast<double>(cache_hits) / static_cast<double>(logical_reads);
+  }
+};
+
+/// An LRU buffer pool over the Pager. Pages are always memory-resident
+/// (the Pager is the simulated disk); the pool's job is to *account*: a
+/// touch of a non-resident page is a disk read, eviction of a dirty page
+/// is a disk write. `capacity_pages` bounds residency.
+class BufferPool {
+ public:
+  explicit BufferPool(Pager* pager, size_t capacity_pages = 1024)
+      : pager_(pager), capacity_(capacity_pages) {}
+
+  BufferPool(const BufferPool&) = delete;
+  BufferPool& operator=(const BufferPool&) = delete;
+
+  /// Fetches a page for reading; registers hit/miss.
+  const Page* GetPage(FileId file, PageNo page);
+  /// Fetches a page for writing; registers hit/miss and marks it dirty.
+  Page* GetMutablePage(FileId file, PageNo page);
+
+  /// Appends a fresh page to `file`, resident and dirty.
+  PageNo NewPage(FileId file);
+
+  /// Writes back every dirty page (counts writes) and keeps residency.
+  void FlushAll();
+
+  const BufferPoolStats& stats() const { return stats_; }
+  void ResetStats() { stats_ = BufferPoolStats{}; }
+
+  size_t capacity() const { return capacity_; }
+  /// Shrinking evicts immediately (dirty victims count as writes).
+  void set_capacity(size_t capacity_pages);
+
+  Pager* pager() { return pager_; }
+
+ private:
+  struct Key {
+    FileId file;
+    PageNo page;
+    bool operator==(const Key& o) const {
+      return file == o.file && page == o.page;
+    }
+  };
+  struct KeyHash {
+    size_t operator()(const Key& k) const {
+      return (static_cast<size_t>(k.file) << 32) ^ k.page;
+    }
+  };
+  struct Frame {
+    std::list<Key>::iterator lru_pos;
+    bool dirty = false;
+  };
+
+  /// Makes (file,page) resident; returns whether it was already (hit).
+  bool Touch(FileId file, PageNo page, bool dirty);
+  void EvictIfNeeded();
+
+  Pager* pager_;
+  size_t capacity_;
+  std::list<Key> lru_;  // front = most recent
+  std::unordered_map<Key, Frame, KeyHash> resident_;
+  BufferPoolStats stats_;
+};
+
+}  // namespace starburst
+
+#endif  // STARBURST_STORAGE_BUFFER_POOL_H_

@@ -1,0 +1,201 @@
+#include <cstring>
+
+#include "storage/record_codec.h"
+#include "storage/storage_manager.h"
+
+namespace starburst {
+
+namespace {
+
+// Fixed-length page layout:
+//   [0..2)  u16 occupied_count
+//   [2..2+bitmap) occupancy bitmap (1 bit per slot)
+//   then `capacity` record slots of `record_size` bytes each.
+constexpr size_t kFixedHeader = 2;
+
+size_t SlotsPerPage(size_t record_size) {
+  size_t cap = (kPageSize - kFixedHeader) * 8 / (record_size * 8 + 1);
+  while (kFixedHeader + (cap + 7) / 8 + cap * record_size > kPageSize) --cap;
+  return cap;
+}
+
+class FixedTableStorage : public TableStorage {
+ public:
+  FixedTableStorage(BufferPool* pool, FileId file, FixedRecordCodec codec)
+      : pool_(pool),
+        file_(file),
+        codec_(std::move(codec)),
+        capacity_(SlotsPerPage(codec_.record_size())),
+        bitmap_bytes_((capacity_ + 7) / 8) {}
+
+  Result<Rid> Insert(const Row& row) override {
+    size_t num_pages = pool_->pager()->PageCount(file_);
+    PageNo target;
+    if (num_pages > 0 &&
+        pool_->pager()->RawPage(file_, static_cast<PageNo>(num_pages - 1))
+                ->ReadU16(0) < capacity_) {
+      target = static_cast<PageNo>(num_pages - 1);
+    } else {
+      target = FindPageWithSpace();
+    }
+    Page* page = pool_->GetMutablePage(file_, target);
+    uint16_t slot = FindFreeSlot(*page);
+    uint8_t* record = RecordPtr(page, slot);
+    STARBURST_RETURN_IF_ERROR(codec_.Encode(row, record));
+    SetOccupied(page, slot, true);
+    page->WriteU16(0, static_cast<uint16_t>(page->ReadU16(0) + 1));
+    ++row_count_;
+    return Rid{target, slot};
+  }
+
+  Status Delete(Rid rid) override {
+    STARBURST_RETURN_IF_ERROR(CheckRid(rid));
+    Page* page = pool_->GetMutablePage(file_, rid.page);
+    if (!Occupied(*page, rid.slot)) return Status::NotFound("rid already deleted");
+    SetOccupied(page, rid.slot, false);
+    page->WriteU16(0, static_cast<uint16_t>(page->ReadU16(0) - 1));
+    --row_count_;
+    return Status::OK();
+  }
+
+  Result<Row> Fetch(Rid rid) override {
+    STARBURST_RETURN_IF_ERROR(CheckRid(rid));
+    const Page* page = pool_->GetPage(file_, rid.page);
+    if (!Occupied(*page, rid.slot)) return Status::NotFound("rid deleted");
+    return codec_.Decode(page->data.data() + RecordOffset(rid.slot));
+  }
+
+  Result<Rid> Update(Rid rid, const Row& row) override {
+    STARBURST_RETURN_IF_ERROR(CheckRid(rid));
+    Page* page = pool_->GetMutablePage(file_, rid.page);
+    if (!Occupied(*page, rid.slot)) return Status::NotFound("rid deleted");
+    STARBURST_RETURN_IF_ERROR(codec_.Encode(row, RecordPtr(page, rid.slot)));
+    return rid;  // fixed-length records always update in place
+  }
+
+  std::unique_ptr<TableScanIterator> NewScan() override;
+
+  uint64_t row_count() const override { return row_count_; }
+  uint64_t page_count() const override {
+    return pool_->pager()->PageCount(file_);
+  }
+
+  BufferPool* pool() { return pool_; }
+  FileId file() const { return file_; }
+  size_t capacity() const { return capacity_; }
+
+  bool Occupied(const Page& page, uint16_t slot) const {
+    return (page.data[kFixedHeader + slot / 8] >> (slot % 8)) & 1;
+  }
+
+  Result<Row> DecodeSlot(const Page& page, uint16_t slot) const {
+    return codec_.Decode(page.data.data() + RecordOffset(slot));
+  }
+
+ private:
+  size_t RecordOffset(uint16_t slot) const {
+    return kFixedHeader + bitmap_bytes_ + slot * codec_.record_size();
+  }
+  uint8_t* RecordPtr(Page* page, uint16_t slot) const {
+    return page->data.data() + RecordOffset(slot);
+  }
+  void SetOccupied(Page* page, uint16_t slot, bool on) const {
+    uint8_t& byte = page->data[kFixedHeader + slot / 8];
+    if (on) {
+      byte |= static_cast<uint8_t>(1u << (slot % 8));
+    } else {
+      byte &= static_cast<uint8_t>(~(1u << (slot % 8)));
+    }
+  }
+  uint16_t FindFreeSlot(const Page& page) const {
+    for (uint16_t s = 0; s < capacity_; ++s) {
+      if (!Occupied(page, s)) return s;
+    }
+    return 0;  // unreachable: caller guarantees space
+  }
+  PageNo FindPageWithSpace() {
+    size_t num_pages = pool_->pager()->PageCount(file_);
+    for (size_t p = 0; p < num_pages; ++p) {
+      if (pool_->pager()->RawPage(file_, static_cast<PageNo>(p))->ReadU16(0) <
+          capacity_) {
+        return static_cast<PageNo>(p);
+      }
+    }
+    return pool_->NewPage(file_);
+  }
+  Status CheckRid(Rid rid) const {
+    if (rid.page >= pool_->pager()->PageCount(file_) || rid.slot >= capacity_) {
+      return Status::OutOfRange("rid out of range");
+    }
+    return Status::OK();
+  }
+
+  BufferPool* pool_;
+  FileId file_;
+  FixedRecordCodec codec_;
+  size_t capacity_;
+  size_t bitmap_bytes_;
+  uint64_t row_count_ = 0;
+};
+
+class FixedScanIterator : public TableScanIterator {
+ public:
+  explicit FixedScanIterator(FixedTableStorage* table) : table_(table) {}
+
+  Result<bool> Next(Row* row, Rid* rid) override {
+    size_t num_pages = table_->pool()->pager()->PageCount(table_->file());
+    while (page_ < num_pages) {
+      const Page* page = table_->pool()->GetPage(table_->file(),
+                                                 static_cast<PageNo>(page_));
+      while (slot_ < table_->capacity()) {
+        uint16_t s = static_cast<uint16_t>(slot_++);
+        if (!table_->Occupied(*page, s)) continue;
+        STARBURST_ASSIGN_OR_RETURN(Row decoded, table_->DecodeSlot(*page, s));
+        *row = std::move(decoded);
+        *rid = Rid{static_cast<PageNo>(page_), s};
+        return true;
+      }
+      ++page_;
+      slot_ = 0;
+    }
+    return false;
+  }
+
+ private:
+  FixedTableStorage* table_;
+  size_t page_ = 0;
+  size_t slot_ = 0;
+};
+
+std::unique_ptr<TableScanIterator> FixedTableStorage::NewScan() {
+  return std::make_unique<FixedScanIterator>(this);
+}
+
+class FixedStorageManager : public StorageManager {
+ public:
+  const std::string& name() const override {
+    static const std::string kName = "FIXED";
+    return kName;
+  }
+
+  Status ValidateSchema(const TableSchema& schema) const override {
+    return FixedRecordCodec::ForSchema(schema).status();
+  }
+
+  Result<std::unique_ptr<TableStorage>> CreateTable(
+      const TableSchema& schema, BufferPool* pool) override {
+    STARBURST_ASSIGN_OR_RETURN(FixedRecordCodec codec,
+                               FixedRecordCodec::ForSchema(schema));
+    FileId file = pool->pager()->CreateFile();
+    return std::unique_ptr<TableStorage>(
+        new FixedTableStorage(pool, file, std::move(codec)));
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<StorageManager> MakeFixedStorageManager() {
+  return std::make_unique<FixedStorageManager>();
+}
+
+}  // namespace starburst

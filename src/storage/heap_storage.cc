@@ -1,0 +1,204 @@
+#include <cstring>
+
+#include "storage/record_codec.h"
+#include "storage/storage_manager.h"
+
+namespace starburst {
+
+namespace {
+
+// Slotted-page layout:
+//   [0..2)  u16 slot_count
+//   [2..4)  u16 free_start (next record byte, grows upward from 4)
+//   records ...
+//   ... slot array grows downward from the page end; slot i occupies the
+//   4 bytes at kPageSize - 4*(i+1): u16 record_offset, u16 record_len.
+//   record_offset == 0 marks a deleted slot.
+constexpr size_t kHeapHeader = 4;
+constexpr size_t kSlotBytes = 4;
+
+size_t SlotPos(uint16_t slot) { return kPageSize - kSlotBytes * (slot + 1); }
+
+uint16_t SlotOffset(const Page& p, uint16_t slot) {
+  return p.ReadU16(SlotPos(slot));
+}
+uint16_t SlotLen(const Page& p, uint16_t slot) {
+  return p.ReadU16(SlotPos(slot) + 2);
+}
+void SetSlot(Page* p, uint16_t slot, uint16_t offset, uint16_t len) {
+  p->WriteU16(SlotPos(slot), offset);
+  p->WriteU16(SlotPos(slot) + 2, len);
+}
+
+size_t FreeBytes(const Page& p) {
+  uint16_t slots = p.ReadU16(0);
+  uint16_t free_start = p.ReadU16(2);
+  size_t slot_area = kSlotBytes * slots;
+  if (free_start + slot_area >= kPageSize) return 0;
+  return kPageSize - slot_area - free_start;
+}
+
+class HeapTableStorage : public TableStorage {
+ public:
+  HeapTableStorage(BufferPool* pool, FileId file) : pool_(pool), file_(file) {}
+
+  Result<Rid> Insert(const Row& row) override {
+    std::string bytes = VarRecordCodec::Encode(row);
+    if (bytes.size() + kSlotBytes + kHeapHeader > kPageSize) {
+      return Status::InvalidArgument("record too large for a page (" +
+                                     std::to_string(bytes.size()) + " bytes)");
+    }
+    size_t need = bytes.size() + kSlotBytes;
+    size_t num_pages = pool_->pager()->PageCount(file_);
+    // Check the append hint page first, then grow the file.
+    PageNo target;
+    if (num_pages > 0 && PageFreeBytes(num_pages - 1) >= need) {
+      target = static_cast<PageNo>(num_pages - 1);
+    } else {
+      target = pool_->NewPage(file_);
+      Page* fresh = pool_->GetMutablePage(file_, target);
+      fresh->WriteU16(0, 0);
+      fresh->WriteU16(2, kHeapHeader);
+    }
+    Page* page = pool_->GetMutablePage(file_, target);
+    uint16_t slot = page->ReadU16(0);
+    uint16_t free_start = page->ReadU16(2);
+    std::memcpy(page->data.data() + free_start, bytes.data(), bytes.size());
+    SetSlot(page, slot, free_start, static_cast<uint16_t>(bytes.size()));
+    page->WriteU16(0, static_cast<uint16_t>(slot + 1));
+    page->WriteU16(2, static_cast<uint16_t>(free_start + bytes.size()));
+    ++row_count_;
+    return Rid{target, slot};
+  }
+
+  Status Delete(Rid rid) override {
+    STARBURST_RETURN_IF_ERROR(CheckRid(rid));
+    Page* page = pool_->GetMutablePage(file_, rid.page);
+    if (SlotOffset(*page, rid.slot) == 0) {
+      return Status::NotFound("rid already deleted");
+    }
+    SetSlot(page, rid.slot, 0, 0);
+    --row_count_;
+    return Status::OK();
+  }
+
+  Result<Row> Fetch(Rid rid) override {
+    STARBURST_RETURN_IF_ERROR(CheckRid(rid));
+    const Page* page = pool_->GetPage(file_, rid.page);
+    uint16_t off = SlotOffset(*page, rid.slot);
+    if (off == 0) return Status::NotFound("rid deleted");
+    return VarRecordCodec::Decode(page->data.data() + off,
+                                  SlotLen(*page, rid.slot));
+  }
+
+  Result<Rid> Update(Rid rid, const Row& row) override {
+    STARBURST_RETURN_IF_ERROR(CheckRid(rid));
+    std::string bytes = VarRecordCodec::Encode(row);
+    Page* page = pool_->GetMutablePage(file_, rid.page);
+    uint16_t off = SlotOffset(*page, rid.slot);
+    if (off == 0) return Status::NotFound("rid deleted");
+    if (bytes.size() <= SlotLen(*page, rid.slot)) {
+      std::memcpy(page->data.data() + off, bytes.data(), bytes.size());
+      SetSlot(page, rid.slot, off, static_cast<uint16_t>(bytes.size()));
+      return rid;
+    }
+    SetSlot(page, rid.slot, 0, 0);
+    --row_count_;
+    return Insert(row);
+  }
+
+  std::unique_ptr<TableScanIterator> NewScan() override;
+
+  uint64_t row_count() const override { return row_count_; }
+  uint64_t page_count() const override {
+    return pool_->pager()->PageCount(file_);
+  }
+
+  BufferPool* pool() { return pool_; }
+  FileId file() const { return file_; }
+
+ private:
+  Status CheckRid(Rid rid) const {
+    if (rid.page >= pool_->pager()->PageCount(file_)) {
+      return Status::OutOfRange("rid page out of range");
+    }
+    const Page* raw = pool_->pager()->RawPage(file_, rid.page);
+    if (rid.slot >= raw->ReadU16(0)) {
+      return Status::OutOfRange("rid slot out of range");
+    }
+    return Status::OK();
+  }
+
+  size_t PageFreeBytes(size_t page_no) const {
+    // Peeking at free space is bookkeeping, not record I/O.
+    return FreeBytes(*pool_->pager()->RawPage(file_, static_cast<PageNo>(page_no)));
+  }
+
+  BufferPool* pool_;
+  FileId file_;
+  uint64_t row_count_ = 0;
+};
+
+class HeapScanIterator : public TableScanIterator {
+ public:
+  explicit HeapScanIterator(HeapTableStorage* table) : table_(table) {}
+
+  Result<bool> Next(Row* row, Rid* rid) override {
+    size_t num_pages = table_->pool()->pager()->PageCount(table_->file());
+    while (page_ < num_pages) {
+      const Page* page = table_->pool()->GetPage(table_->file(),
+                                                 static_cast<PageNo>(page_));
+      uint16_t slots = page->ReadU16(0);
+      while (slot_ < slots) {
+        uint16_t s = slot_++;
+        uint16_t off = SlotOffset(*page, s);
+        if (off == 0) continue;  // deleted
+        STARBURST_ASSIGN_OR_RETURN(
+            Row decoded,
+            VarRecordCodec::Decode(page->data.data() + off, SlotLen(*page, s)));
+        *row = std::move(decoded);
+        *rid = Rid{static_cast<PageNo>(page_), s};
+        return true;
+      }
+      ++page_;
+      slot_ = 0;
+    }
+    return false;
+  }
+
+ private:
+  HeapTableStorage* table_;
+  size_t page_ = 0;
+  uint16_t slot_ = 0;
+};
+
+std::unique_ptr<TableScanIterator> HeapTableStorage::NewScan() {
+  return std::make_unique<HeapScanIterator>(this);
+}
+
+class HeapStorageManager : public StorageManager {
+ public:
+  const std::string& name() const override {
+    static const std::string kName = "HEAP";
+    return kName;
+  }
+
+  Status ValidateSchema(const TableSchema&) const override {
+    return Status::OK();  // heap stores anything
+  }
+
+  Result<std::unique_ptr<TableStorage>> CreateTable(
+      const TableSchema& schema, BufferPool* pool) override {
+    STARBURST_RETURN_IF_ERROR(ValidateSchema(schema));
+    FileId file = pool->pager()->CreateFile();
+    return std::unique_ptr<TableStorage>(new HeapTableStorage(pool, file));
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<StorageManager> MakeHeapStorageManager() {
+  return std::make_unique<HeapStorageManager>();
+}
+
+}  // namespace starburst

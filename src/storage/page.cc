@@ -1,0 +1,33 @@
+#include "storage/page.h"
+
+#include <cassert>
+
+namespace starburst {
+
+FileId Pager::CreateFile() {
+  files_.emplace_back();
+  return static_cast<FileId>(files_.size() - 1);
+}
+
+PageNo Pager::AppendPage(FileId file) {
+  assert(file < files_.size());
+  files_[file].push_back(std::make_unique<Page>());
+  return static_cast<PageNo>(files_[file].size() - 1);
+}
+
+size_t Pager::PageCount(FileId file) const {
+  assert(file < files_.size());
+  return files_[file].size();
+}
+
+Page* Pager::RawPage(FileId file, PageNo page) {
+  assert(file < files_.size() && page < files_[file].size());
+  return files_[file][page].get();
+}
+
+const Page* Pager::RawPage(FileId file, PageNo page) const {
+  assert(file < files_.size() && page < files_[file].size());
+  return files_[file][page].get();
+}
+
+}  // namespace starburst

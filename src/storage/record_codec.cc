@@ -1,0 +1,222 @@
+#include "storage/record_codec.h"
+
+#include <cstring>
+
+namespace starburst {
+
+namespace {
+
+void PutU32(std::string* out, uint32_t v) {
+  out->append(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+void PutU64(std::string* out, uint64_t v) {
+  out->append(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+Result<uint32_t> GetU32(const uint8_t* data, size_t len, size_t* pos) {
+  if (*pos + 4 > len) return Status::Internal("record decode: truncated u32");
+  uint32_t v;
+  std::memcpy(&v, data + *pos, 4);
+  *pos += 4;
+  return v;
+}
+
+Result<uint64_t> GetU64(const uint8_t* data, size_t len, size_t* pos) {
+  if (*pos + 8 > len) return Status::Internal("record decode: truncated u64");
+  uint64_t v;
+  std::memcpy(&v, data + *pos, 8);
+  *pos += 8;
+  return v;
+}
+
+}  // namespace
+
+std::string VarRecordCodec::Encode(const Row& row) {
+  std::string out;
+  PutU32(&out, static_cast<uint32_t>(row.size()));
+  for (const Value& v : row.values()) {
+    out.push_back(static_cast<char>(v.type_id()));
+    switch (v.type_id()) {
+      case TypeId::kNull:
+        break;
+      case TypeId::kBool:
+        out.push_back(v.bool_value() ? 1 : 0);
+        break;
+      case TypeId::kInt:
+        PutU64(&out, static_cast<uint64_t>(v.int_value()));
+        break;
+      case TypeId::kDouble: {
+        uint64_t bits;
+        double d = v.double_value();
+        std::memcpy(&bits, &d, 8);
+        PutU64(&out, bits);
+        break;
+      }
+      case TypeId::kString:
+        PutU32(&out, static_cast<uint32_t>(v.string_value().size()));
+        out.append(v.string_value());
+        break;
+      case TypeId::kExtension: {
+        const Value::Ext& e = v.ext_value();
+        PutU32(&out, static_cast<uint32_t>(e.type_name.size()));
+        out.append(e.type_name);
+        PutU32(&out, static_cast<uint32_t>(e.payload.size()));
+        out.append(e.payload);
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+Result<Row> VarRecordCodec::Decode(const std::string& bytes) {
+  return Decode(reinterpret_cast<const uint8_t*>(bytes.data()), bytes.size());
+}
+
+Result<Row> VarRecordCodec::Decode(const uint8_t* data, size_t len) {
+  size_t pos = 0;
+  STARBURST_ASSIGN_OR_RETURN(uint32_t n, GetU32(data, len, &pos));
+  std::vector<Value> values;
+  values.reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    if (pos >= len) return Status::Internal("record decode: truncated tag");
+    TypeId tag = static_cast<TypeId>(data[pos++]);
+    switch (tag) {
+      case TypeId::kNull:
+        values.push_back(Value::Null());
+        break;
+      case TypeId::kBool:
+        if (pos >= len) return Status::Internal("record decode: truncated bool");
+        values.push_back(Value::Bool(data[pos++] != 0));
+        break;
+      case TypeId::kInt: {
+        STARBURST_ASSIGN_OR_RETURN(uint64_t v, GetU64(data, len, &pos));
+        values.push_back(Value::Int(static_cast<int64_t>(v)));
+        break;
+      }
+      case TypeId::kDouble: {
+        STARBURST_ASSIGN_OR_RETURN(uint64_t bits, GetU64(data, len, &pos));
+        double d;
+        std::memcpy(&d, &bits, 8);
+        values.push_back(Value::Double(d));
+        break;
+      }
+      case TypeId::kString: {
+        STARBURST_ASSIGN_OR_RETURN(uint32_t slen, GetU32(data, len, &pos));
+        if (pos + slen > len) return Status::Internal("record decode: truncated string");
+        values.push_back(Value::String(
+            std::string(reinterpret_cast<const char*>(data + pos), slen)));
+        pos += slen;
+        break;
+      }
+      case TypeId::kExtension: {
+        STARBURST_ASSIGN_OR_RETURN(uint32_t nlen, GetU32(data, len, &pos));
+        if (pos + nlen > len) return Status::Internal("record decode: truncated ext name");
+        std::string name(reinterpret_cast<const char*>(data + pos), nlen);
+        pos += nlen;
+        STARBURST_ASSIGN_OR_RETURN(uint32_t plen, GetU32(data, len, &pos));
+        if (pos + plen > len) return Status::Internal("record decode: truncated ext payload");
+        std::string payload(reinterpret_cast<const char*>(data + pos), plen);
+        pos += plen;
+        values.push_back(Value::Extension(std::move(name), std::move(payload)));
+        break;
+      }
+      default:
+        return Status::Internal("record decode: bad type tag");
+    }
+  }
+  return Row(std::move(values));
+}
+
+Result<FixedRecordCodec> FixedRecordCodec::ForSchema(const TableSchema& schema) {
+  FixedRecordCodec codec;
+  codec.bitmap_bytes_ = (schema.num_columns() + 7) / 8;
+  size_t off = codec.bitmap_bytes_;
+  for (const ColumnDef& col : schema.columns()) {
+    size_t width;
+    switch (col.type.id) {
+      case TypeId::kBool: width = 1; break;
+      case TypeId::kInt: width = 8; break;
+      case TypeId::kDouble: width = 8; break;
+      default:
+        return Status::InvalidArgument(
+            "FIXED storage manager only stores fixed-width columns; column '" +
+            col.name + "' has type " + col.type.ToString());
+    }
+    codec.column_types_.push_back(col.type.id);
+    codec.offsets_.push_back(off);
+    off += width;
+  }
+  codec.record_size_ = off;
+  return codec;
+}
+
+Status FixedRecordCodec::Encode(const Row& row, uint8_t* out) const {
+  if (row.size() != column_types_.size()) {
+    return Status::Internal("fixed encode: row arity mismatch");
+  }
+  std::memset(out, 0, record_size_);
+  for (size_t i = 0; i < row.size(); ++i) {
+    const Value& v = row[i];
+    if (v.is_null()) {
+      out[i / 8] |= static_cast<uint8_t>(1u << (i % 8));
+      continue;
+    }
+    switch (column_types_[i]) {
+      case TypeId::kBool:
+        if (v.type_id() != TypeId::kBool) {
+          return Status::TypeError("fixed encode: expected BOOL");
+        }
+        out[offsets_[i]] = v.bool_value() ? 1 : 0;
+        break;
+      case TypeId::kInt: {
+        STARBURST_ASSIGN_OR_RETURN(int64_t x, v.AsInt());
+        std::memcpy(out + offsets_[i], &x, 8);
+        break;
+      }
+      case TypeId::kDouble: {
+        STARBURST_ASSIGN_OR_RETURN(double d, v.AsDouble());
+        std::memcpy(out + offsets_[i], &d, 8);
+        break;
+      }
+      default:
+        return Status::Internal("fixed encode: unreachable type");
+    }
+  }
+  return Status::OK();
+}
+
+Result<Row> FixedRecordCodec::Decode(const uint8_t* data) const {
+  std::vector<Value> values;
+  values.reserve(column_types_.size());
+  for (size_t i = 0; i < column_types_.size(); ++i) {
+    bool is_null = (data[i / 8] >> (i % 8)) & 1;
+    if (is_null) {
+      values.push_back(Value::Null());
+      continue;
+    }
+    switch (column_types_[i]) {
+      case TypeId::kBool:
+        values.push_back(Value::Bool(data[offsets_[i]] != 0));
+        break;
+      case TypeId::kInt: {
+        int64_t x;
+        std::memcpy(&x, data + offsets_[i], 8);
+        values.push_back(Value::Int(x));
+        break;
+      }
+      case TypeId::kDouble: {
+        double d;
+        std::memcpy(&d, data + offsets_[i], 8);
+        values.push_back(Value::Double(d));
+        break;
+      }
+      default:
+        return Status::Internal("fixed decode: unreachable type");
+    }
+  }
+  return Row(std::move(values));
+}
+
+}  // namespace starburst

@@ -1,0 +1,46 @@
+#ifndef STARBURST_STORAGE_RECORD_CODEC_H_
+#define STARBURST_STORAGE_RECORD_CODEC_H_
+
+#include <string>
+
+#include "catalog/schema.h"
+#include "common/result.h"
+#include "common/row.h"
+
+namespace starburst {
+
+/// Variable-length record encoding used by the heap storage manager.
+/// Self-describing: per value a type tag, then the payload.
+class VarRecordCodec {
+ public:
+  static std::string Encode(const Row& row);
+  static Result<Row> Decode(const std::string& bytes);
+  static Result<Row> Decode(const uint8_t* data, size_t len);
+};
+
+/// Fixed-offset record encoding used by the paper's example fixed-length
+/// storage manager ("handles fixed-length records only -- but extremely
+/// efficiently"). Only fixed-width column types are admissible.
+class FixedRecordCodec {
+ public:
+  /// Fails unless every column is BOOL, INT, or DOUBLE.
+  static Result<FixedRecordCodec> ForSchema(const TableSchema& schema);
+
+  size_t record_size() const { return record_size_; }
+
+  /// `out` must have record_size() bytes.
+  Status Encode(const Row& row, uint8_t* out) const;
+  Result<Row> Decode(const uint8_t* data) const;
+
+ private:
+  FixedRecordCodec() = default;
+
+  std::vector<TypeId> column_types_;
+  std::vector<size_t> offsets_;
+  size_t bitmap_bytes_ = 0;
+  size_t record_size_ = 0;
+};
+
+}  // namespace starburst
+
+#endif  // STARBURST_STORAGE_RECORD_CODEC_H_

@@ -1,0 +1,264 @@
+#include "storage/rtree.h"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+
+namespace starburst {
+
+struct RTree::Node {
+  bool leaf = true;
+  Node* parent = nullptr;
+  std::vector<Rect> rects;
+  std::vector<Rid> rids;                         // leaf, parallel to rects
+  std::vector<std::unique_ptr<Node>> children;   // internal, parallel to rects
+
+  Rect Cover() const {
+    Rect r = rects.empty() ? Rect{} : rects[0];
+    for (size_t i = 1; i < rects.size(); ++i) r = r.Union(rects[i]);
+    return r;
+  }
+};
+
+RTree::RTree(size_t max_entries)
+    : root_(std::make_unique<Node>()), max_entries_(max_entries) {
+  assert(max_entries_ >= 4);
+}
+
+RTree::~RTree() = default;
+
+RTree::Node* RTree::ChooseLeaf(const Rect& rect) {
+  Node* node = root_.get();
+  while (!node->leaf) {
+    ++stats_.node_visits;
+    size_t best = 0;
+    double best_enlargement = std::numeric_limits<double>::infinity();
+    double best_area = std::numeric_limits<double>::infinity();
+    for (size_t i = 0; i < node->rects.size(); ++i) {
+      double enlargement = node->rects[i].Enlargement(rect);
+      double area = node->rects[i].Area();
+      if (enlargement < best_enlargement ||
+          (enlargement == best_enlargement && area < best_area)) {
+        best = i;
+        best_enlargement = enlargement;
+        best_area = area;
+      }
+    }
+    node->rects[best] = node->rects[best].Union(rect);
+    node = node->children[best].get();
+  }
+  ++stats_.node_visits;
+  return node;
+}
+
+void RTree::SplitNode(Node* node) {
+  ++stats_.splits;
+  // Quadratic pick-seeds: the pair wasting the most area together.
+  size_t seed_a = 0, seed_b = 1;
+  double worst = -std::numeric_limits<double>::infinity();
+  for (size_t i = 0; i < node->rects.size(); ++i) {
+    for (size_t j = i + 1; j < node->rects.size(); ++j) {
+      double waste = node->rects[i].Union(node->rects[j]).Area() -
+                     node->rects[i].Area() - node->rects[j].Area();
+      if (waste > worst) {
+        worst = waste;
+        seed_a = i;
+        seed_b = j;
+      }
+    }
+  }
+
+  auto take = [&](std::vector<size_t>* group, size_t idx) {
+    group->push_back(idx);
+  };
+  std::vector<size_t> group_a, group_b;
+  take(&group_a, seed_a);
+  take(&group_b, seed_b);
+  Rect cover_a = node->rects[seed_a];
+  Rect cover_b = node->rects[seed_b];
+
+  size_t min_fill = max_entries_ / 2;
+  std::vector<bool> assigned(node->rects.size(), false);
+  assigned[seed_a] = assigned[seed_b] = true;
+  size_t remaining = node->rects.size() - 2;
+
+  while (remaining > 0) {
+    // Force-assign if one group must take everything left to reach min fill.
+    if (group_a.size() + remaining == min_fill) {
+      for (size_t i = 0; i < assigned.size(); ++i) {
+        if (!assigned[i]) {
+          take(&group_a, i);
+          cover_a = cover_a.Union(node->rects[i]);
+          assigned[i] = true;
+        }
+      }
+      remaining = 0;
+      break;
+    }
+    if (group_b.size() + remaining == min_fill) {
+      for (size_t i = 0; i < assigned.size(); ++i) {
+        if (!assigned[i]) {
+          take(&group_b, i);
+          cover_b = cover_b.Union(node->rects[i]);
+          assigned[i] = true;
+        }
+      }
+      remaining = 0;
+      break;
+    }
+    // Pick-next: entry with the largest preference difference.
+    size_t pick = 0;
+    double best_diff = -1;
+    for (size_t i = 0; i < assigned.size(); ++i) {
+      if (assigned[i]) continue;
+      double da = cover_a.Enlargement(node->rects[i]);
+      double db = cover_b.Enlargement(node->rects[i]);
+      double diff = da > db ? da - db : db - da;
+      if (diff > best_diff) {
+        best_diff = diff;
+        pick = i;
+      }
+    }
+    double da = cover_a.Enlargement(node->rects[pick]);
+    double db = cover_b.Enlargement(node->rects[pick]);
+    if (da < db || (da == db && group_a.size() <= group_b.size())) {
+      take(&group_a, pick);
+      cover_a = cover_a.Union(node->rects[pick]);
+    } else {
+      take(&group_b, pick);
+      cover_b = cover_b.Union(node->rects[pick]);
+    }
+    assigned[pick] = true;
+    --remaining;
+  }
+
+  auto sibling = std::make_unique<Node>();
+  sibling->leaf = node->leaf;
+
+  auto extract = [&](const std::vector<size_t>& idxs, Node* dst) {
+    for (size_t i : idxs) {
+      dst->rects.push_back(node->rects[i]);
+      if (node->leaf) {
+        dst->rids.push_back(node->rids[i]);
+      } else {
+        node->children[i]->parent = dst;
+        dst->children.push_back(std::move(node->children[i]));
+      }
+    }
+  };
+
+  Node scratch;
+  scratch.leaf = node->leaf;
+  extract(group_a, &scratch);
+  extract(group_b, sibling.get());
+
+  node->rects = std::move(scratch.rects);
+  node->rids = std::move(scratch.rids);
+  node->children = std::move(scratch.children);
+  for (auto& c : node->children) c->parent = node;
+
+  if (node->parent == nullptr) {
+    // Grow a new root.
+    auto new_root = std::make_unique<Node>();
+    new_root->leaf = false;
+    Rect ra = node->Cover();
+    Rect rb = sibling->Cover();
+    node->parent = new_root.get();
+    sibling->parent = new_root.get();
+    new_root->rects = {ra, rb};
+    new_root->children.push_back(std::move(root_));
+    new_root->children.push_back(std::move(sibling));
+    root_ = std::move(new_root);
+    return;
+  }
+
+  Node* parent = node->parent;
+  // Refresh this node's rect in the parent and add the sibling.
+  for (size_t i = 0; i < parent->children.size(); ++i) {
+    if (parent->children[i].get() == node) {
+      parent->rects[i] = node->Cover();
+      break;
+    }
+  }
+  sibling->parent = parent;
+  parent->rects.push_back(sibling->Cover());
+  parent->children.push_back(std::move(sibling));
+  if (parent->rects.size() > max_entries_) SplitNode(parent);
+}
+
+void RTree::AdjustUpward(Node* node) {
+  while (node->parent != nullptr) {
+    Node* parent = node->parent;
+    for (size_t i = 0; i < parent->children.size(); ++i) {
+      if (parent->children[i].get() == node) {
+        parent->rects[i] = node->Cover();
+        break;
+      }
+    }
+    node = parent;
+  }
+}
+
+void RTree::Insert(const Rect& rect, Rid rid) {
+  Node* leaf = ChooseLeaf(rect);
+  leaf->rects.push_back(rect);
+  leaf->rids.push_back(rid);
+  ++entry_count_;
+  if (leaf->rects.size() > max_entries_) {
+    SplitNode(leaf);
+  } else {
+    AdjustUpward(leaf);
+  }
+}
+
+Status RTree::Remove(const Rect& rect, Rid rid) {
+  // Depth-first hunt for the exact entry.
+  std::vector<Node*> stack = {root_.get()};
+  while (!stack.empty()) {
+    Node* node = stack.back();
+    stack.pop_back();
+    ++stats_.node_visits;
+    if (node->leaf) {
+      for (size_t i = 0; i < node->rects.size(); ++i) {
+        if (node->rects[i] == rect && node->rids[i] == rid) {
+          node->rects.erase(node->rects.begin() + i);
+          node->rids.erase(node->rids.begin() + i);
+          --entry_count_;
+          AdjustUpward(node);
+          return Status::OK();
+        }
+      }
+    } else {
+      for (size_t i = 0; i < node->rects.size(); ++i) {
+        if (node->rects[i].Intersects(rect)) {
+          stack.push_back(node->children[i].get());
+        }
+      }
+    }
+  }
+  return Status::NotFound("entry not in R-tree");
+}
+
+std::vector<Rid> RTree::Search(const Rect& window) {
+  std::vector<Rid> out;
+  std::vector<Node*> stack = {root_.get()};
+  while (!stack.empty()) {
+    Node* node = stack.back();
+    stack.pop_back();
+    ++stats_.node_visits;
+    if (node->leaf) {
+      for (size_t i = 0; i < node->rects.size(); ++i) {
+        if (window.Intersects(node->rects[i])) out.push_back(node->rids[i]);
+      }
+    } else {
+      for (size_t i = 0; i < node->rects.size(); ++i) {
+        if (window.Intersects(node->rects[i])) {
+          stack.push_back(node->children[i].get());
+        }
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace starburst

@@ -1,0 +1,83 @@
+#ifndef STARBURST_STORAGE_RTREE_H_
+#define STARBURST_STORAGE_RTREE_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/result.h"
+#include "storage/page.h"
+
+namespace starburst {
+
+/// Axis-aligned 2-D rectangle, the R-tree's key domain.
+struct Rect {
+  double min_x = 0, min_y = 0, max_x = 0, max_y = 0;
+
+  static Rect Point(double x, double y) { return Rect{x, y, x, y}; }
+
+  bool Intersects(const Rect& o) const {
+    return min_x <= o.max_x && o.min_x <= max_x && min_y <= o.max_y &&
+           o.min_y <= max_y;
+  }
+  bool Contains(const Rect& o) const {
+    return min_x <= o.min_x && o.max_x <= max_x && min_y <= o.min_y &&
+           o.max_y <= max_y;
+  }
+  double Area() const { return (max_x - min_x) * (max_y - min_y); }
+  Rect Union(const Rect& o) const {
+    return Rect{min_x < o.min_x ? min_x : o.min_x,
+                min_y < o.min_y ? min_y : o.min_y,
+                max_x > o.max_x ? max_x : o.max_x,
+                max_y > o.max_y ? max_y : o.max_y};
+  }
+  /// Area growth if this rect were extended to cover `o`.
+  double Enlargement(const Rect& o) const { return Union(o).Area() - Area(); }
+  bool operator==(const Rect& o) const {
+    return min_x == o.min_x && min_y == o.min_y && max_x == o.max_x &&
+           max_y == o.max_y;
+  }
+};
+
+/// The paper's example DBC access method (§1: "a DBC could define a new
+/// type of access method, e.g., an R-tree [GUTT84]"): a Guttman R-tree
+/// with quadratic split, mapping rectangles (points included) to rids.
+class RTree {
+ public:
+  struct Stats {
+    uint64_t node_visits = 0;
+    uint64_t splits = 0;
+  };
+
+  explicit RTree(size_t max_entries = 8);
+  ~RTree();
+
+  RTree(const RTree&) = delete;
+  RTree& operator=(const RTree&) = delete;
+
+  void Insert(const Rect& rect, Rid rid);
+  /// Removes one exact (rect, rid) entry; NotFound if absent.
+  Status Remove(const Rect& rect, Rid rid);
+
+  /// All rids whose rect intersects `window`.
+  std::vector<Rid> Search(const Rect& window);
+
+  size_t size() const { return entry_count_; }
+  const Stats& stats() const { return stats_; }
+  void ResetStats() { stats_ = Stats{}; }
+
+ private:
+  struct Node;
+
+  Node* ChooseLeaf(const Rect& rect);
+  void SplitNode(Node* node);
+  void AdjustUpward(Node* node);
+
+  std::unique_ptr<Node> root_;
+  size_t max_entries_;
+  size_t entry_count_ = 0;
+  Stats stats_;
+};
+
+}  // namespace starburst
+
+#endif  // STARBURST_STORAGE_RTREE_H_

@@ -1,0 +1,61 @@
+#ifndef STARBURST_STORAGE_STORAGE_ENGINE_H_
+#define STARBURST_STORAGE_STORAGE_ENGINE_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "storage/attachment.h"
+#include "storage/buffer_pool.h"
+#include "storage/storage_manager.h"
+
+namespace starburst {
+
+/// Core's runtime face: owns the pager/buffer pool, the per-table storage
+/// instances (created by whichever storage manager the table was defined
+/// under), and all attachments — and keeps attachments consistent across
+/// row mutations. Corona calls down into this for every data access.
+class StorageEngine {
+ public:
+  explicit StorageEngine(size_t buffer_capacity_pages = 4096)
+      : pool_(&pager_, buffer_capacity_pages) {}
+
+  StorageEngine(const StorageEngine&) = delete;
+  StorageEngine& operator=(const StorageEngine&) = delete;
+
+  // -- DDL-side --
+  Status CreateTable(const TableDef& def);
+  Status DropTable(const std::string& name);
+  /// Creates the attachment and backfills it from the table's current rows.
+  Status CreateIndex(const IndexDef& def, const TableSchema& table_schema);
+  Status DropIndex(const std::string& name);
+
+  // -- access --
+  Result<TableStorage*> GetTable(const std::string& name);
+  Result<Attachment*> GetIndex(const std::string& name);
+  std::vector<Attachment*> AttachmentsOn(const std::string& table_name);
+
+  // -- mutations with attachment maintenance --
+  Result<Rid> InsertRow(const std::string& table_name, const Row& row);
+  Status DeleteRow(const std::string& table_name, Rid rid);
+  Result<Rid> UpdateRow(const std::string& table_name, Rid rid, const Row& row);
+
+  BufferPool& buffer_pool() { return pool_; }
+  StorageManagerRegistry& storage_managers() { return managers_; }
+  AttachmentRegistry& attachment_kinds() { return attachment_kinds_; }
+
+ private:
+  Pager pager_;
+  BufferPool pool_;
+  StorageManagerRegistry managers_;
+  AttachmentRegistry attachment_kinds_;
+  std::map<std::string, std::unique_ptr<TableStorage>> tables_;
+  std::map<std::string, std::unique_ptr<Attachment>> indexes_;
+  std::map<std::string, std::string> index_table_;  // index -> table
+};
+
+}  // namespace starburst
+
+#endif  // STARBURST_STORAGE_STORAGE_ENGINE_H_

@@ -1,0 +1,34 @@
+#include "storage/storage_manager.h"
+
+namespace starburst {
+
+StorageManagerRegistry::StorageManagerRegistry() {
+  (void)Register(MakeHeapStorageManager());
+  (void)Register(MakeFixedStorageManager());
+}
+
+Status StorageManagerRegistry::Register(std::unique_ptr<StorageManager> manager) {
+  std::string key = IdentUpper(manager->name());
+  if (!managers_.emplace(key, std::move(manager)).second) {
+    return Status::AlreadyExists("storage manager '" + key + "' exists");
+  }
+  return Status::OK();
+}
+
+Result<StorageManager*> StorageManagerRegistry::Lookup(
+    const std::string& name) const {
+  auto it = managers_.find(IdentUpper(name));
+  if (it == managers_.end()) {
+    return Status::NotFound("storage manager '" + IdentUpper(name) +
+                            "' not registered");
+  }
+  return it->second.get();
+}
+
+std::vector<std::string> StorageManagerRegistry::Names() const {
+  std::vector<std::string> names;
+  for (const auto& [name, m] : managers_) names.push_back(name);
+  return names;
+}
+
+}  // namespace starburst

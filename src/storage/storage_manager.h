@@ -1,0 +1,75 @@
+#ifndef STARBURST_STORAGE_STORAGE_MANAGER_H_
+#define STARBURST_STORAGE_STORAGE_MANAGER_H_
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "catalog/schema.h"
+#include "common/result.h"
+#include "common/row.h"
+#include "storage/buffer_pool.h"
+#include "storage/page.h"
+
+namespace starburst {
+
+/// Pull iterator over a table's records.
+class TableScanIterator {
+ public:
+  virtual ~TableScanIterator() = default;
+  /// Advances; false at end. On true, `*row` and `*rid` are filled.
+  virtual Result<bool> Next(Row* row, Rid* rid) = 0;
+};
+
+/// One stored table's data, managed by some storage manager. All I/O goes
+/// through the BufferPool so the cost model and benches see page traffic.
+class TableStorage {
+ public:
+  virtual ~TableStorage() = default;
+
+  virtual Result<Rid> Insert(const Row& row) = 0;
+  virtual Status Delete(Rid rid) = 0;
+  virtual Result<Row> Fetch(Rid rid) = 0;
+  /// In-place when possible; otherwise relocates and returns the new Rid.
+  virtual Result<Rid> Update(Rid rid, const Row& row) = 0;
+  virtual std::unique_ptr<TableScanIterator> NewScan() = 0;
+
+  virtual uint64_t row_count() const = 0;
+  virtual uint64_t page_count() const = 0;
+};
+
+/// Core's storage-manager extension point (§1: "a DBC could define a new
+/// storage manager"). A manager is a named factory for TableStorage.
+class StorageManager {
+ public:
+  virtual ~StorageManager() = default;
+
+  virtual const std::string& name() const = 0;
+  /// Rejects schemas the manager cannot store (e.g. FIXED vs. strings).
+  virtual Status ValidateSchema(const TableSchema& schema) const = 0;
+  virtual Result<std::unique_ptr<TableStorage>> CreateTable(
+      const TableSchema& schema, BufferPool* pool) = 0;
+};
+
+/// Registry of storage managers available to CREATE TABLE ... USING <sm>.
+/// "HEAP" and "FIXED" are pre-registered.
+class StorageManagerRegistry {
+ public:
+  StorageManagerRegistry();
+
+  Status Register(std::unique_ptr<StorageManager> manager);
+  Result<StorageManager*> Lookup(const std::string& name) const;
+  std::vector<std::string> Names() const;
+
+ private:
+  std::map<std::string, std::unique_ptr<StorageManager>> managers_;
+};
+
+/// Default variable-length slotted-page manager.
+std::unique_ptr<StorageManager> MakeHeapStorageManager();
+/// The paper's fixed-length-record example manager.
+std::unique_ptr<StorageManager> MakeFixedStorageManager();
+
+}  // namespace starburst
+
+#endif  // STARBURST_STORAGE_STORAGE_MANAGER_H_

@@ -1,0 +1,146 @@
+#include <gtest/gtest.h>
+
+#include "common/datatype.h"
+#include "common/result.h"
+#include "common/row.h"
+#include "common/status.h"
+#include "common/value.h"
+
+namespace starburst {
+namespace {
+
+TEST(StatusTest, OkAndErrors) {
+  Status ok = Status::OK();
+  EXPECT_TRUE(ok.ok());
+  EXPECT_EQ(ok.ToString(), "Ok");
+
+  Status err = Status::SyntaxError("bad token");
+  EXPECT_FALSE(err.ok());
+  EXPECT_EQ(err.code(), StatusCode::kSyntaxError);
+  EXPECT_EQ(err.ToString(), "SyntaxError: bad token");
+}
+
+TEST(StatusTest, MacroPropagates) {
+  auto inner = []() -> Status { return Status::NotFound("x"); };
+  auto outer = [&]() -> Status {
+    STARBURST_RETURN_IF_ERROR(inner());
+    return Status::Internal("unreachable");
+  };
+  EXPECT_EQ(outer().code(), StatusCode::kNotFound);
+}
+
+TEST(ResultTest, ValueAndError) {
+  Result<int> good = 42;
+  ASSERT_TRUE(good.ok());
+  EXPECT_EQ(*good, 42);
+
+  Result<int> bad = Status::InvalidArgument("nope");
+  EXPECT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ResultTest, AssignOrReturn) {
+  auto f = [](bool fail) -> Result<int> {
+    if (fail) return Status::NotFound("gone");
+    return 7;
+  };
+  auto g = [&](bool fail) -> Result<int> {
+    STARBURST_ASSIGN_OR_RETURN(int v, f(fail));
+    return v + 1;
+  };
+  EXPECT_EQ(*g(false), 8);
+  EXPECT_EQ(g(true).status().code(), StatusCode::kNotFound);
+}
+
+TEST(ValueTest, TypesAndAccessors) {
+  EXPECT_TRUE(Value::Null().is_null());
+  EXPECT_EQ(Value::Bool(true).bool_value(), true);
+  EXPECT_EQ(Value::Int(5).int_value(), 5);
+  EXPECT_EQ(Value::Double(1.5).double_value(), 1.5);
+  EXPECT_EQ(Value::String("hi").string_value(), "hi");
+  EXPECT_EQ(Value::Int(5).type_id(), TypeId::kInt);
+}
+
+TEST(ValueTest, NumericCrossComparison) {
+  EXPECT_EQ(*Value::Int(2).Compare(Value::Double(2.0)), 0);
+  EXPECT_LT(*Value::Int(1).Compare(Value::Double(1.5)), 0);
+  EXPECT_GT(*Value::Double(3.5).Compare(Value::Int(3)), 0);
+}
+
+TEST(ValueTest, IncompatibleComparisonFails) {
+  EXPECT_FALSE(Value::Int(1).Compare(Value::String("1")).ok());
+  EXPECT_FALSE(Value::Null().Compare(Value::Int(1)).ok());
+}
+
+TEST(ValueTest, TotalOrderPutsNullsFirst) {
+  EXPECT_LT(Value::Null().CompareTotal(Value::Int(-100)), 0);
+  EXPECT_EQ(Value::Null().CompareTotal(Value::Null()), 0);
+  EXPECT_GT(Value::Int(1).CompareTotal(Value::Null()), 0);
+}
+
+TEST(ValueTest, HashAgreesAcrossNumericTypes) {
+  EXPECT_EQ(Value::Int(7).Hash(), Value::Double(7.0).Hash());
+}
+
+TEST(ValueTest, ToString) {
+  EXPECT_EQ(Value::Null().ToString(), "NULL");
+  EXPECT_EQ(Value::Bool(false).ToString(), "FALSE");
+  EXPECT_EQ(Value::Int(-3).ToString(), "-3");
+  EXPECT_EQ(Value::String("a").ToString(), "'a'");
+}
+
+TEST(TypeRegistryTest, RegisterAndLookup) {
+  TypeRegistry registry;
+  ExtensionTypeDef def;
+  def.name = "TESTTYPE";
+  def.compare = [](const std::string& a, const std::string& b) {
+    return a.compare(b);
+  };
+  def.to_string = [](const std::string& p) { return "T<" + p + ">"; };
+  ASSERT_TRUE(registry.Register(def).ok());
+  EXPECT_TRUE(registry.Contains("TESTTYPE"));
+  EXPECT_FALSE(registry.Contains("OTHER"));
+  // Duplicate registration rejected.
+  EXPECT_EQ(registry.Register(def).code(), StatusCode::kAlreadyExists);
+  // Missing callbacks rejected.
+  ExtensionTypeDef incomplete;
+  incomplete.name = "BAD";
+  EXPECT_EQ(registry.Register(incomplete).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(RowTest, ConcatAndEquality) {
+  Row a({Value::Int(1), Value::String("x")});
+  Row b({Value::Null()});
+  Row c = a.Concat(b);
+  EXPECT_EQ(c.size(), 3u);
+  EXPECT_TRUE(c[2].is_null());
+  EXPECT_EQ(a, Row({Value::Int(1), Value::String("x")}));
+  EXPECT_NE(a, b);
+}
+
+TEST(RowTest, TotalOrderLexicographic) {
+  Row a({Value::Int(1), Value::Int(2)});
+  Row b({Value::Int(1), Value::Int(3)});
+  Row shorter({Value::Int(1)});
+  EXPECT_LT(a.CompareTotal(b), 0);
+  EXPECT_LT(shorter.CompareTotal(a), 0);
+  EXPECT_EQ(a.CompareTotal(a), 0);
+}
+
+TEST(RowTest, HashStability) {
+  Row a({Value::Int(1), Value::String("x")});
+  Row b({Value::Int(1), Value::String("x")});
+  EXPECT_EQ(a.Hash(), b.Hash());
+}
+
+TEST(DataTypeTest, Names) {
+  EXPECT_EQ(DataType::Int().ToString(), "INT");
+  EXPECT_EQ(DataType::Extension("POINT").ToString(), "POINT");
+  EXPECT_TRUE(DataType::Double().is_numeric());
+  EXPECT_FALSE(DataType::String().is_numeric());
+  EXPECT_EQ(DataType::Int(), DataType::Int());
+  EXPECT_NE(DataType::Extension("A"), DataType::Extension("B"));
+}
+
+}  // namespace
+}  // namespace starburst

@@ -1,0 +1,485 @@
+#include <gtest/gtest.h>
+
+#include "engine/database.h"
+#include "exec/operators.h"
+
+namespace starburst {
+namespace {
+
+using exec::CompiledExprPtr;
+using exec::ExecContext;
+using exec::JoinSpec;
+using exec::OperatorPtr;
+using optimizer::JoinKind;
+
+Row R(std::initializer_list<Value> values) {
+  return Row(std::vector<Value>(values));
+}
+
+std::vector<Row> RunOp(exec::Operator* op, ExecContext* ctx) {
+  EXPECT_TRUE(op->Open(ctx).ok());
+  Result<std::vector<Row>> rows = exec::DrainOperator(op);
+  op->Close();
+  EXPECT_TRUE(rows.ok()) << rows.status().ToString();
+  return rows.ok() ? rows.TakeValue() : std::vector<Row>{};
+}
+
+CompiledExprPtr Slot(int i) {
+  auto e = std::make_unique<exec::CompiledExpr>();
+  e->kind = qgm::Expr::Kind::kColumnRef;
+  e->slot = i;
+  return e;
+}
+
+CompiledExprPtr Lit(Value v) {
+  auto e = std::make_unique<exec::CompiledExpr>();
+  e->kind = qgm::Expr::Kind::kLiteral;
+  e->literal = std::move(v);
+  return e;
+}
+
+CompiledExprPtr Cmp(ast::BinaryOp op, CompiledExprPtr l, CompiledExprPtr r) {
+  auto e = std::make_unique<exec::CompiledExpr>();
+  e->kind = qgm::Expr::Kind::kBinary;
+  e->bop = op;
+  e->children.push_back(std::move(l));
+  e->children.push_back(std::move(r));
+  return e;
+}
+
+class ExecOpTest : public ::testing::Test {
+ protected:
+  StorageEngine storage_;
+  Catalog catalog_;
+  ExecContext ctx_{&storage_, &catalog_};
+};
+
+// ---------------------------------------------------------------------------
+// Scalar evaluation semantics
+// ---------------------------------------------------------------------------
+
+TEST_F(ExecOpTest, ThreeValuedLogic) {
+  Row row;
+  // NULL AND FALSE = FALSE (lazy).
+  auto and_expr = Cmp(ast::BinaryOp::kAnd, Lit(Value::Null()),
+                      Lit(Value::Bool(false)));
+  Result<Value> v = and_expr->Eval(row, &ctx_);
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(*v, Value::Bool(false));
+  // NULL OR TRUE = TRUE.
+  auto or_expr =
+      Cmp(ast::BinaryOp::kOr, Lit(Value::Null()), Lit(Value::Bool(true)));
+  EXPECT_EQ(*or_expr->Eval(row, &ctx_), Value::Bool(true));
+  // NULL AND TRUE = NULL.
+  auto unknown =
+      Cmp(ast::BinaryOp::kAnd, Lit(Value::Null()), Lit(Value::Bool(true)));
+  EXPECT_TRUE(unknown->Eval(row, &ctx_)->is_null());
+  // NULL = NULL is NULL, not TRUE.
+  auto eq = Cmp(ast::BinaryOp::kEq, Lit(Value::Null()), Lit(Value::Null()));
+  EXPECT_TRUE(eq->Eval(row, &ctx_)->is_null());
+}
+
+TEST_F(ExecOpTest, DivisionByZeroIsAnError) {
+  Row row;
+  auto div = Cmp(ast::BinaryOp::kDiv, Lit(Value::Int(1)), Lit(Value::Int(0)));
+  EXPECT_FALSE(div->Eval(row, &ctx_).ok());
+}
+
+TEST_F(ExecOpTest, LikeMatcher) {
+  EXPECT_TRUE(exec::LikeMatch("hello", "h%o"));
+  EXPECT_TRUE(exec::LikeMatch("hello", "_ello"));
+  EXPECT_TRUE(exec::LikeMatch("hello", "%"));
+  EXPECT_TRUE(exec::LikeMatch("", "%"));
+  EXPECT_FALSE(exec::LikeMatch("", "_"));
+  EXPECT_FALSE(exec::LikeMatch("hello", "h_o"));
+  EXPECT_TRUE(exec::LikeMatch("abcabc", "%abc"));
+  EXPECT_TRUE(exec::LikeMatch("a%b", "a%b"));
+  EXPECT_FALSE(exec::LikeMatch("xyz", "xy"));
+}
+
+// Parameterized sweep over scalar comparison semantics: (op, lhs, rhs,
+// expected) covering numerics, strings, and NULL propagation.
+struct CmpCase {
+  ast::BinaryOp op;
+  Value l, r;
+  Value expected;  // Bool or Null
+};
+
+class ComparisonSweep : public ::testing::TestWithParam<CmpCase> {};
+
+TEST_P(ComparisonSweep, Evaluates) {
+  const CmpCase& c = GetParam();
+  Result<Value> v = exec::EvalBinaryValues(c.op, c.l, c.r);
+  ASSERT_TRUE(v.ok()) << v.status().ToString();
+  EXPECT_EQ(*v, c.expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, ComparisonSweep,
+    ::testing::Values(
+        CmpCase{ast::BinaryOp::kEq, Value::Int(3), Value::Int(3),
+                Value::Bool(true)},
+        CmpCase{ast::BinaryOp::kEq, Value::Int(3), Value::Double(3.0),
+                Value::Bool(true)},
+        CmpCase{ast::BinaryOp::kNe, Value::Int(3), Value::Int(4),
+                Value::Bool(true)},
+        CmpCase{ast::BinaryOp::kLt, Value::Double(1.5), Value::Int(2),
+                Value::Bool(true)},
+        CmpCase{ast::BinaryOp::kLe, Value::Int(2), Value::Int(2),
+                Value::Bool(true)},
+        CmpCase{ast::BinaryOp::kGt, Value::String("b"), Value::String("a"),
+                Value::Bool(true)},
+        CmpCase{ast::BinaryOp::kGe, Value::String("a"), Value::String("b"),
+                Value::Bool(false)},
+        CmpCase{ast::BinaryOp::kEq, Value::Null(), Value::Int(1),
+                Value::Null()},
+        CmpCase{ast::BinaryOp::kNe, Value::Int(1), Value::Null(),
+                Value::Null()},
+        CmpCase{ast::BinaryOp::kAdd, Value::Int(2), Value::Int(3),
+                Value::Int(5)},
+        CmpCase{ast::BinaryOp::kAdd, Value::Int(2), Value::Double(0.5),
+                Value::Double(2.5)},
+        CmpCase{ast::BinaryOp::kSub, Value::Null(), Value::Int(1),
+                Value::Null()},
+        CmpCase{ast::BinaryOp::kMul, Value::Int(-2), Value::Int(3),
+                Value::Int(-6)},
+        CmpCase{ast::BinaryOp::kDiv, Value::Int(7), Value::Int(2),
+                Value::Int(3)},
+        CmpCase{ast::BinaryOp::kDiv, Value::Double(7), Value::Int(2),
+                Value::Double(3.5)},
+        CmpCase{ast::BinaryOp::kMod, Value::Int(7), Value::Int(3),
+                Value::Int(1)},
+        CmpCase{ast::BinaryOp::kConcat, Value::String("a"), Value::String("b"),
+                Value::String("ab")}));
+
+TEST(EvalBinaryValuesTest, TypeErrorsSurface) {
+  EXPECT_FALSE(
+      exec::EvalBinaryValues(ast::BinaryOp::kEq, Value::Int(1),
+                             Value::String("1")).ok());
+  EXPECT_FALSE(
+      exec::EvalBinaryValues(ast::BinaryOp::kAdd, Value::String("a"),
+                             Value::Int(1)).ok());
+  EXPECT_FALSE(
+      exec::EvalBinaryValues(ast::BinaryOp::kConcat, Value::Int(1),
+                             Value::String("a")).ok());
+}
+
+// ---------------------------------------------------------------------------
+// Join kinds × methods (§7's separation)
+// ---------------------------------------------------------------------------
+
+class JoinKindTest : public ExecOpTest {
+ protected:
+  OperatorPtr Outer() {
+    return exec::MakeValuesOp({R({Value::Int(1)}), R({Value::Int(2)}),
+                               R({Value::Int(3)}), R({Value::Null()})});
+  }
+  OperatorPtr Inner() {
+    return exec::MakeValuesOp(
+        {R({Value::Int(2)}), R({Value::Int(3)}), R({Value::Int(3)})});
+  }
+  JoinSpec EqSpec(JoinKind kind) {
+    JoinSpec spec;
+    spec.kind = kind;
+    spec.inner_width = 1;
+    spec.predicates.push_back(
+        Cmp(ast::BinaryOp::kEq, Slot(0), Slot(1)));  // outer.0 = inner.0
+    return spec;
+  }
+};
+
+TEST_F(JoinKindTest, NlRegular) {
+  auto join = exec::MakeNlJoinOp(Outer(), Inner(), EqSpec(JoinKind::kRegular));
+  std::vector<Row> rows = RunOp(join.get(), &ctx_);
+  EXPECT_EQ(rows.size(), 3u);  // 2, 3, 3
+}
+
+TEST_F(JoinKindTest, NlLeftOuter) {
+  auto join =
+      exec::MakeNlJoinOp(Outer(), Inner(), EqSpec(JoinKind::kLeftOuter));
+  std::vector<Row> rows = RunOp(join.get(), &ctx_);
+  ASSERT_EQ(rows.size(), 5u);  // 1+NULL, 2, 3, 3, NULL+NULL
+  EXPECT_TRUE(rows[0][1].is_null());  // unmatched 1
+  EXPECT_TRUE(rows[4][1].is_null());  // NULL outer never matches
+}
+
+TEST_F(JoinKindTest, NlExistsAndAnti) {
+  auto semi = exec::MakeNlJoinOp(Outer(), Inner(), EqSpec(JoinKind::kExists));
+  std::vector<Row> rows = RunOp(semi.get(), &ctx_);
+  ASSERT_EQ(rows.size(), 2u);  // 2 and 3, each once
+  EXPECT_EQ(rows[0][0], Value::Int(2));
+
+  auto anti = exec::MakeNlJoinOp(Outer(), Inner(), EqSpec(JoinKind::kAnti));
+  rows = RunOp(anti.get(), &ctx_);
+  // Anti = NOT EXISTS semantics: NULL = x is unknown (no match), so the
+  // NULL outer row *does* anti-qualify. (Null-aware NOT IN is kOpAll.)
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0][0], Value::Int(1));
+  EXPECT_TRUE(rows[1][0].is_null());
+}
+
+TEST_F(JoinKindTest, NlScalarKind) {
+  // Scalar join against a one-row inner.
+  auto inner = exec::MakeValuesOp({R({Value::Int(42)})});
+  JoinSpec spec;
+  spec.kind = JoinKind::kScalar;
+  spec.inner_width = 1;
+  auto join = exec::MakeNlJoinOp(Outer(), std::move(inner), std::move(spec));
+  std::vector<Row> rows = RunOp(join.get(), &ctx_);
+  ASSERT_EQ(rows.size(), 4u);
+  EXPECT_EQ(rows[0][1], Value::Int(42));
+
+  // More than one inner row: runtime error.
+  auto bad_inner =
+      exec::MakeValuesOp({R({Value::Int(1)}), R({Value::Int(2)})});
+  JoinSpec bad_spec;
+  bad_spec.kind = JoinKind::kScalar;
+  bad_spec.inner_width = 1;
+  auto bad =
+      exec::MakeNlJoinOp(Outer(), std::move(bad_inner), std::move(bad_spec));
+  ASSERT_TRUE(bad->Open(&ctx_).ok());
+  Row out;
+  EXPECT_FALSE(bad->Next(&out).ok());
+  bad->Close();
+}
+
+TEST_F(JoinKindTest, NlOpAllKind) {
+  // outer.0 <> ALL(inner): NOT IN semantics.
+  JoinSpec spec;
+  spec.kind = JoinKind::kOpAll;
+  spec.inner_width = 1;
+  spec.cmp_op = ast::BinaryOp::kNe;
+  spec.quant_operand = Slot(0);
+  auto join = exec::MakeNlJoinOp(Outer(), Inner(), std::move(spec));
+  std::vector<Row> rows = RunOp(join.get(), &ctx_);
+  ASSERT_EQ(rows.size(), 1u);  // only 1; NULL folds to unknown -> reject
+  EXPECT_EQ(rows[0][0], Value::Int(1));
+}
+
+TEST_F(JoinKindTest, HashJoinKindsAgreeWithNl) {
+  for (JoinKind kind : {JoinKind::kRegular, JoinKind::kExists, JoinKind::kAnti,
+                        JoinKind::kLeftOuter}) {
+    JoinSpec nl_spec = EqSpec(kind);
+    auto nl = exec::MakeNlJoinOp(Outer(), Inner(), std::move(nl_spec));
+    std::vector<Row> expected = RunOp(nl.get(), &ctx_);
+
+    JoinSpec hash_spec;
+    hash_spec.kind = kind;
+    hash_spec.inner_width = 1;
+    auto hash = exec::MakeHashJoinOp(Outer(), Inner(), {{0, 0}},
+                                     std::move(hash_spec));
+    std::vector<Row> actual = RunOp(hash.get(), &ctx_);
+
+    std::sort(expected.begin(), expected.end(),
+              [](const Row& a, const Row& b) { return a.CompareTotal(b) < 0; });
+    std::sort(actual.begin(), actual.end(),
+              [](const Row& a, const Row& b) { return a.CompareTotal(b) < 0; });
+    EXPECT_EQ(expected, actual) << "kind " << optimizer::JoinKindName(kind);
+  }
+}
+
+TEST_F(JoinKindTest, MergeJoinKindsAgreeWithNl) {
+  for (JoinKind kind :
+       {JoinKind::kRegular, JoinKind::kExists, JoinKind::kLeftOuter}) {
+    JoinSpec nl_spec = EqSpec(kind);
+    auto nl = exec::MakeNlJoinOp(Outer(), Inner(), std::move(nl_spec));
+    std::vector<Row> expected = RunOp(nl.get(), &ctx_);
+
+    JoinSpec merge_spec;
+    merge_spec.kind = kind;
+    merge_spec.inner_width = 1;
+    // Sort both sides first (glue would have done this).
+    auto sorted_outer = exec::MakeSortOp(Outer(), {{0, true}});
+    auto sorted_inner = exec::MakeSortOp(Inner(), {{0, true}});
+    auto merge =
+        exec::MakeMergeJoinOp(std::move(sorted_outer), std::move(sorted_inner),
+                              {{0, 0}}, std::move(merge_spec));
+    std::vector<Row> actual = RunOp(merge.get(), &ctx_);
+
+    std::sort(expected.begin(), expected.end(),
+              [](const Row& a, const Row& b) { return a.CompareTotal(b) < 0; });
+    std::sort(actual.begin(), actual.end(),
+              [](const Row& a, const Row& b) { return a.CompareTotal(b) < 0; });
+    EXPECT_EQ(expected, actual) << "kind " << optimizer::JoinKindName(kind);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Other operators
+// ---------------------------------------------------------------------------
+
+TEST_F(ExecOpTest, SortStability) {
+  auto values = exec::MakeValuesOp({R({Value::Int(2), Value::String("b")}),
+                                    R({Value::Int(1), Value::String("x")}),
+                                    R({Value::Int(2), Value::String("a")})});
+  auto sort = exec::MakeSortOp(std::move(values), {{0, true}});
+  std::vector<Row> rows = RunOp(sort.get(), &ctx_);
+  ASSERT_EQ(rows.size(), 3u);
+  EXPECT_EQ(rows[0][0], Value::Int(1));
+  // Stable: 'b' before 'a' (input order preserved among equal keys).
+  EXPECT_EQ(rows[1][1], Value::String("b"));
+}
+
+TEST_F(ExecOpTest, SortDescendingWithNullsFirst) {
+  auto values = exec::MakeValuesOp(
+      {R({Value::Int(1)}), R({Value::Null()}), R({Value::Int(3)})});
+  auto sort = exec::MakeSortOp(std::move(values), {{0, false}});
+  std::vector<Row> rows = RunOp(sort.get(), &ctx_);
+  EXPECT_EQ(rows[0][0], Value::Int(3));
+  EXPECT_TRUE(rows[2][0].is_null());  // nulls last on DESC
+}
+
+TEST_F(ExecOpTest, TempMaterializesOnce) {
+  // A Values op wrapped in TEMP replays without re-opening the input.
+  auto temp = exec::MakeTempOp(
+      exec::MakeValuesOp({R({Value::Int(1)}), R({Value::Int(2)})}));
+  EXPECT_EQ(RunOp(temp.get(), &ctx_).size(), 2u);
+  EXPECT_EQ(RunOp(temp.get(), &ctx_).size(), 2u);  // replay
+}
+
+TEST_F(ExecOpTest, OrRouteShortCircuits) {
+  // Branch 1 accepts even numbers; branch 2 would fail on evaluation
+  // (division by zero) but is never reached for them.
+  auto values = exec::MakeValuesOp({R({Value::Int(2)}), R({Value::Int(4)})});
+  std::vector<std::vector<CompiledExprPtr>> branches;
+  std::vector<CompiledExprPtr> b1;
+  b1.push_back(Cmp(ast::BinaryOp::kEq,
+                   Cmp(ast::BinaryOp::kMod, Slot(0), Lit(Value::Int(2))),
+                   Lit(Value::Int(0))));
+  branches.push_back(std::move(b1));
+  std::vector<CompiledExprPtr> b2;
+  b2.push_back(Cmp(ast::BinaryOp::kGt,
+                   Cmp(ast::BinaryOp::kDiv, Slot(0), Lit(Value::Int(0))),
+                   Lit(Value::Int(0))));
+  branches.push_back(std::move(b2));
+  auto orop = exec::MakeOrRouteOp(std::move(values), std::move(branches));
+  std::vector<Row> rows = RunOp(orop.get(), &ctx_);
+  EXPECT_EQ(rows.size(), 2u);  // no division-by-zero error surfaced
+}
+
+TEST_F(ExecOpTest, SetOpCountingSemantics) {
+  auto l = [] {
+    return exec::MakeValuesOp({R({Value::Int(1)}), R({Value::Int(1)}),
+                               R({Value::Int(2)}), R({Value::Int(3)})});
+  };
+  auto r = [] {
+    return exec::MakeValuesOp(
+        {R({Value::Int(1)}), R({Value::Int(3)}), R({Value::Int(4)})});
+  };
+  auto run = [&](ast::SetOpKind op, bool all) {
+    auto setop = exec::MakeSetOpOp(l(), r(), op, all);
+    return RunOp(setop.get(), &ctx_).size();
+  };
+  EXPECT_EQ(run(ast::SetOpKind::kUnion, false), 4u);      // 1 2 3 4
+  EXPECT_EQ(run(ast::SetOpKind::kUnion, true), 7u);       // bag union
+  EXPECT_EQ(run(ast::SetOpKind::kIntersect, false), 2u);  // 1 3
+  EXPECT_EQ(run(ast::SetOpKind::kIntersect, true), 2u);   // min counts
+  EXPECT_EQ(run(ast::SetOpKind::kExcept, false), 1u);     // 2
+  EXPECT_EQ(run(ast::SetOpKind::kExcept, true), 2u);      // 1 (2-1) and 2
+}
+
+TEST_F(ExecOpTest, LimitStopsEarly) {
+  auto values = exec::MakeValuesOp(
+      {R({Value::Int(1)}), R({Value::Int(2)}), R({Value::Int(3)})});
+  auto limit = exec::MakeLimitOp(std::move(values), 2);
+  EXPECT_EQ(RunOp(limit.get(), &ctx_).size(), 2u);
+}
+
+// ---------------------------------------------------------------------------
+// Subquery runtime: evaluate-on-demand + caching
+// ---------------------------------------------------------------------------
+
+TEST_F(ExecOpTest, SubqueryCacheModes) {
+  // Correlated-ish subquery: a Values subplan, parameterized by nothing,
+  // evaluated per outer row of a filter.
+  for (auto mode : {exec::SubqueryCacheMode::kNone,
+                    exec::SubqueryCacheMode::kLastValue,
+                    exec::SubqueryCacheMode::kMemo}) {
+    ExecContext ctx(&storage_, &catalog_);
+    auto subplan = exec::MakeValuesOp({R({Value::Int(2)})});
+    auto runtime = std::make_shared<exec::SubqueryRuntime>(
+        std::move(subplan), std::vector<exec::SubqueryRuntime::ParamSource>{},
+        mode);
+    Row outer;
+    for (int i = 0; i < 5; ++i) {
+      Result<const std::vector<Row>*> rows = runtime->Evaluate(outer, &ctx);
+      ASSERT_TRUE(rows.ok());
+      EXPECT_EQ((*rows.value())[0][0], Value::Int(2));
+    }
+    if (mode == exec::SubqueryCacheMode::kNone) {
+      EXPECT_EQ(ctx.stats().subquery_evaluations, 5u);
+    } else {
+      EXPECT_EQ(ctx.stats().subquery_evaluations, 1u);
+      EXPECT_EQ(ctx.stats().subquery_cache_hits, 4u);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Recursion driver
+// ---------------------------------------------------------------------------
+
+TEST_F(ExecOpTest, ShipCountsRows) {
+  auto ship = exec::MakeShipOp(
+      exec::MakeValuesOp({R({Value::Int(1)}), R({Value::Int(2)})}), 0);
+  EXPECT_EQ(RunOp(ship.get(), &ctx_).size(), 2u);
+  EXPECT_EQ(ctx_.stats().shipped_rows, 2u);
+}
+
+TEST_F(ExecOpTest, IterRefOutsideRecursionIsAnError) {
+  qgm::Graph graph;
+  qgm::Box* recursion = graph.NewBox(qgm::BoxKind::kRecursiveUnion);
+  auto iter = exec::MakeIterRefOp(recursion);
+  EXPECT_FALSE(iter->Open(&ctx_).ok());
+}
+
+TEST_F(ExecOpTest, SharedTempBuildsOnceAcrossConsumers) {
+  // Two operators with the same shared key: the second Open reads the
+  // first's materialization.
+  const int kKey = 0;
+  auto a = exec::MakeSharedTempOp(
+      exec::MakeValuesOp({R({Value::Int(1)})}), &kKey);
+  auto b = exec::MakeSharedTempOp(
+      exec::MakeValuesOp({R({Value::Int(999)})}), &kKey);  // never built
+  EXPECT_EQ(RunOp(a.get(), &ctx_).size(), 1u);
+  std::vector<Row> second = RunOp(b.get(), &ctx_);
+  ASSERT_EQ(second.size(), 1u);
+  EXPECT_EQ(second[0][0], Value::Int(1));  // shared copy, not 999
+  EXPECT_EQ(ctx_.stats().shared_materializations, 1u);
+}
+
+TEST_F(ExecOpTest, DependentNlJoinRebindsParams) {
+  // Inner is an empty-layout compiled expression reading a parameter the
+  // join binds from each outer row: a lateral-style evaluation.
+  Database db;
+  ASSERT_TRUE(db.Execute("CREATE TABLE n (k INT)").ok());
+  ASSERT_TRUE(db.Execute("INSERT INTO n VALUES (1), (2), (3)").ok());
+  // The subquery depends on the outer row's k; converted E->F by Rule 1,
+  // the merge is blocked only when dedup is required — force the lateral
+  // case with a correlated scalar in FROM-position semantics instead:
+  Result<std::vector<Row>> rows = db.Query(
+      "SELECT k, (SELECT COUNT(*) FROM n m WHERE m.k <= n.k) FROM n "
+      "ORDER BY k");
+  ASSERT_TRUE(rows.ok()) << rows.status().ToString();
+  ASSERT_EQ(rows->size(), 3u);
+  EXPECT_EQ((*rows)[0][1], Value::Int(1));
+  EXPECT_EQ((*rows)[2][1], Value::Int(3));
+}
+
+TEST_F(ExecOpTest, RecursionTerminatesOnCycles) {
+  // Edges forming a cycle 1->2->3->1; transitive closure from 1 must
+  // terminate with {1,2,3} reachable.
+  Database db;
+  ASSERT_TRUE(db.Execute("CREATE TABLE edges (src INT, dst INT)").ok());
+  ASSERT_TRUE(db.Execute("INSERT INTO edges VALUES (1,2),(2,3),(3,1)").ok());
+  Result<std::vector<Row>> rows = db.Query(
+      "WITH RECURSIVE reach(n) AS (SELECT 1 UNION ALL "
+      "SELECT e.dst FROM edges e, reach r WHERE e.src = r.n) "
+      "SELECT COUNT(*) FROM reach");
+  ASSERT_TRUE(rows.ok()) << rows.status().ToString();
+  EXPECT_EQ((*rows)[0][0], Value::Int(3));
+  EXPECT_GE(db.last_metrics().exec_stats.recursion_iterations, 3u);
+}
+
+}  // namespace
+}  // namespace starburst

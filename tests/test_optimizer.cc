@@ -1,0 +1,407 @@
+#include <gtest/gtest.h>
+
+#include "optimizer/optimizer.h"
+#include "parser/parser.h"
+#include "qgm/binder.h"
+#include "rewrite/rule_engine.h"
+
+namespace starburst {
+namespace {
+
+using optimizer::JoinEnumerator;
+using optimizer::Lolepop;
+using optimizer::Optimizer;
+using optimizer::Plan;
+using optimizer::PlanPtr;
+
+bool PlanContains(const Plan& plan, Lolepop op) {
+  if (plan.op == op) return true;
+  for (const PlanPtr& input : plan.inputs) {
+    if (PlanContains(*input, op)) return true;
+  }
+  return false;
+}
+
+int CountOp(const Plan& plan, Lolepop op) {
+  int n = plan.op == op ? 1 : 0;
+  for (const PlanPtr& input : plan.inputs) n += CountOp(*input, op);
+  return n;
+}
+
+class OptimizerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    AddTable("small", 100, /*site=*/"local");
+    AddTable("big", 100000, "local");
+    AddTable("mid", 5000, "local");
+    AddTable("remote_t", 1000, "siteB");
+    // A B-tree on big.a.
+    IndexDef index;
+    index.name = "big_a";
+    index.table_name = "big";
+    index.key_columns = {"a"};
+    ASSERT_TRUE(catalog_.CreateIndex(index).ok());
+  }
+
+  void AddTable(const std::string& name, double rows, const std::string& site) {
+    TableDef def;
+    def.name = name;
+    def.site = site;
+    def.schema = TableSchema({{"a", DataType::Int(), false},
+                              {"b", DataType::Int(), true},
+                              {"c", DataType::String(), true}});
+    def.stats.row_count = rows;
+    def.stats.page_count = rows / 64 + 1;
+    ColumnStats a_stats;
+    a_stats.distinct_count = rows;  // key-like
+    a_stats.min_value = Value::Int(0);
+    a_stats.max_value = Value::Int(static_cast<int64_t>(rows));
+    def.stats.columns["A"] = a_stats;
+    ColumnStats b_stats;
+    b_stats.distinct_count = 10;
+    def.stats.columns["B"] = b_stats;
+    ASSERT_TRUE(catalog_.CreateTable(def).ok());
+  }
+
+  PlanPtr Optimize(const std::string& sql, Optimizer::Options options = {},
+                   bool rewrite = true) {
+    auto parsed = Parser::ParseQueryText(sql);
+    EXPECT_TRUE(parsed.ok()) << parsed.status().ToString();
+    qgm::Binder binder(&catalog_);
+    Result<std::unique_ptr<qgm::Graph>> graph = binder.BindQuery(**parsed);
+    EXPECT_TRUE(graph.ok()) << graph.status().ToString();
+    if (rewrite) {
+      rewrite::RuleEngine engine = rewrite::MakeDefaultRuleEngine();
+      EXPECT_TRUE(engine.Run(graph->get(), &catalog_).ok());
+    }
+    graphs_.push_back(std::move(*graph));  // keep alive: plans point into it
+    last_optimizer_ = std::make_unique<Optimizer>(&catalog_, options);
+    Result<PlanPtr> plan = last_optimizer_->Optimize(*graphs_.back());
+    EXPECT_TRUE(plan.ok()) << sql << " -> " << plan.status().ToString();
+    return plan.ok() ? *plan : nullptr;
+  }
+
+  Catalog catalog_;
+  std::vector<std::unique_ptr<qgm::Graph>> graphs_;
+  std::unique_ptr<Optimizer> last_optimizer_;
+};
+
+TEST_F(OptimizerTest, ScanWithPushedPredicates) {
+  PlanPtr plan = Optimize("SELECT a FROM small WHERE b = 3");
+  ASSERT_NE(plan, nullptr);
+  // PROJECT over SCAN; the predicate lives in the scan.
+  EXPECT_EQ(plan->op, Lolepop::kProject);
+  const Plan& scan = *plan->inputs[0];
+  EXPECT_EQ(scan.op, Lolepop::kScan);
+  EXPECT_EQ(scan.predicates.size(), 1u);
+}
+
+TEST_F(OptimizerTest, ScanProjectsOnlyNeededColumns) {
+  PlanPtr plan = Optimize("SELECT a FROM small WHERE b = 3");
+  const Plan& scan = *plan->inputs[0];
+  EXPECT_EQ(scan.scan_columns.size(), 2u);  // a and b, not c
+}
+
+TEST_F(OptimizerTest, IndexChosenForSelectiveEquality) {
+  PlanPtr plan = Optimize("SELECT b FROM big WHERE a = 12345");
+  ASSERT_NE(plan, nullptr);
+  EXPECT_TRUE(PlanContains(*plan, Lolepop::kIndexScan));
+}
+
+TEST_F(OptimizerTest, SeqScanForUnselectivePredicate) {
+  // b has NDV 10: equality keeps 10% — with rid fetches the index loses.
+  PlanPtr plan = Optimize("SELECT a FROM big WHERE b = 1");
+  EXPECT_FALSE(PlanContains(*plan, Lolepop::kIndexScan));
+  EXPECT_TRUE(PlanContains(*plan, Lolepop::kScan));
+}
+
+TEST_F(OptimizerTest, HashJoinForLargeEquiJoin) {
+  PlanPtr plan = Optimize(
+      "SELECT s.a FROM small s, big b WHERE s.a = b.a");
+  ASSERT_NE(plan, nullptr);
+  // Either hash join, or an index-driven dependent NL — never a naive NL
+  // rescanning the big table per outer row.
+  bool hash = PlanContains(*plan, Lolepop::kHashJoin);
+  bool index_nl = PlanContains(*plan, Lolepop::kNlJoin) &&
+                  PlanContains(*plan, Lolepop::kIndexScan);
+  EXPECT_TRUE(hash || index_nl) << plan->ToString();
+}
+
+TEST_F(OptimizerTest, SmallTableBecomesOuterOrTemped) {
+  PlanPtr plan = Optimize(
+      "SELECT s.a FROM small s, mid m WHERE s.a = m.a AND s.b = 1 "
+      "AND m.c = 'x'");
+  ASSERT_NE(plan, nullptr);
+  EXPECT_LT(plan->props.cost, 1e7);
+}
+
+TEST_F(OptimizerTest, CartesianPruningOnByDefaultButFallsBack) {
+  // No join predicate at all: the enumerator must still produce a plan
+  // by falling back to a Cartesian product.
+  PlanPtr plan = Optimize("SELECT s.a FROM small s, mid m WHERE s.b = m.b");
+  ASSERT_NE(plan, nullptr);
+  PlanPtr cross = Optimize("SELECT s.a, m.a FROM small s, mid m");
+  ASSERT_NE(cross, nullptr);
+}
+
+TEST_F(OptimizerTest, BushyToggleChangesSearchSpace) {
+  const std::string sql =
+      "SELECT t1.a FROM small t1, small t2, small t3, small t4 "
+      "WHERE t1.a = t2.a AND t2.b = t3.b AND t3.a = t4.a";
+  Optimizer::Options bushy;
+  bushy.join.allow_composite_inner = true;
+  PlanPtr p1 = Optimize(sql, bushy);
+  uint64_t bushy_pairs = last_optimizer_->stats().enumerator.pairs_considered;
+
+  Optimizer::Options left_deep;
+  left_deep.join.allow_composite_inner = false;
+  PlanPtr p2 = Optimize(sql, left_deep);
+  uint64_t deep_pairs = last_optimizer_->stats().enumerator.pairs_considered;
+
+  EXPECT_GT(bushy_pairs, deep_pairs);
+  ASSERT_NE(p1, nullptr);
+  ASSERT_NE(p2, nullptr);
+}
+
+TEST_F(OptimizerTest, RemoteTableGetsShipped) {
+  PlanPtr plan = Optimize("SELECT r.a FROM remote_t r WHERE r.b = 1");
+  ASSERT_NE(plan, nullptr);
+  EXPECT_TRUE(PlanContains(*plan, Lolepop::kShip)) << plan->ToString();
+  // SHIP changed the site property back to local.
+  EXPECT_EQ(plan->props.site, "local");
+}
+
+TEST_F(OptimizerTest, OrderByAddsSort) {
+  PlanPtr plan = Optimize("SELECT a FROM small ORDER BY a");
+  EXPECT_EQ(plan->op, Lolepop::kSort);
+}
+
+TEST_F(OptimizerTest, IndexOrderElidesFinalSort) {
+  // The bounded index scan on big.a yields rows in `a` order; projection
+  // preserves it (a is a plain head column), so ORDER BY a needs no SORT.
+  PlanPtr plan = Optimize("SELECT a, b FROM big WHERE a < 100 ORDER BY a");
+  ASSERT_NE(plan, nullptr);
+  EXPECT_TRUE(PlanContains(*plan, Lolepop::kIndexScan)) << plan->ToString();
+  EXPECT_FALSE(PlanContains(*plan, Lolepop::kSort)) << plan->ToString();
+}
+
+TEST_F(OptimizerTest, UnboundedIndexScanRetainedPerOrder) {
+  // The order-providing full-index scan exists as an alternative even when
+  // the cheapest plan is a sequential scan.
+  PlanPtr plan = Optimize("SELECT a FROM big");
+  EXPECT_TRUE(PlanContains(*plan, Lolepop::kScan));  // cheapest overall
+}
+
+TEST_F(OptimizerTest, DistinctPlansDistinctOperator) {
+  PlanPtr plan = Optimize("SELECT DISTINCT c FROM small");
+  EXPECT_TRUE(PlanContains(*plan, Lolepop::kDistinct));
+}
+
+TEST_F(OptimizerTest, GroupByPlansGroupAgg) {
+  PlanPtr plan = Optimize("SELECT b, COUNT(*) FROM small GROUP BY b");
+  EXPECT_TRUE(PlanContains(*plan, Lolepop::kGroupAgg));
+}
+
+TEST_F(OptimizerTest, UncorrelatedInPlansJoinKind) {
+  // Disable rewrite so the E-quantifier survives to the optimizer, which
+  // must plan it as a join with the 'exists' kind (§7).
+  PlanPtr plan = Optimize(
+      "SELECT a FROM small WHERE b IN (SELECT b FROM mid)", {},
+      /*rewrite=*/false);
+  ASSERT_NE(plan, nullptr);
+  bool found = false;
+  std::function<void(const Plan&)> walk = [&](const Plan& p) {
+    if ((p.op == Lolepop::kNlJoin || p.op == Lolepop::kHashJoin ||
+         p.op == Lolepop::kMergeJoin) &&
+        p.join_kind == optimizer::JoinKind::kExists) {
+      found = true;
+    }
+    for (const PlanPtr& in : p.inputs) walk(*in);
+  };
+  walk(*plan);
+  EXPECT_TRUE(found) << plan->ToString();
+}
+
+TEST_F(OptimizerTest, LeftOuterJoinKindInPlan) {
+  PlanPtr plan = Optimize(
+      "SELECT s.a FROM small s LEFT OUTER JOIN mid m ON s.a = m.a");
+  bool found = false;
+  std::function<void(const Plan&)> walk = [&](const Plan& p) {
+    if (p.join_kind == optimizer::JoinKind::kLeftOuter &&
+        (p.op == Lolepop::kNlJoin || p.op == Lolepop::kHashJoin ||
+         p.op == Lolepop::kMergeJoin)) {
+      found = true;
+    }
+    for (const PlanPtr& in : p.inputs) walk(*in);
+  };
+  walk(*plan);
+  EXPECT_TRUE(found) << plan->ToString();
+}
+
+TEST_F(OptimizerTest, StarCountStaysUnderTwenty) {
+  // §6's claim: "all the strategies of the R* optimizer, plus [several
+  // extensions] ... all in under 20 rules."
+  Optimizer opt(&catalog_);
+  EXPECT_LT(opt.stars().size(), 20u);
+  EXPECT_GE(opt.stars().size(), 8u);
+}
+
+TEST_F(OptimizerTest, RankPruningDisablesHighRankStars) {
+  // Merge join is registered at rank 1; a max_rank of 0 prunes it.
+  Optimizer::Options options;
+  options.generator.max_rank = 0;
+  PlanPtr plan = Optimize(
+      "SELECT s.a FROM small s, mid m WHERE s.a = m.a", options);
+  ASSERT_NE(plan, nullptr);
+  EXPECT_FALSE(PlanContains(*plan, Lolepop::kMergeJoin));
+}
+
+TEST_F(OptimizerTest, DbcStarAddition) {
+  Optimizer opt(&catalog_);
+  int invoked = 0;
+  ASSERT_TRUE(opt.stars()
+                  .Add(optimizer::Star{
+                      "dbc_access_probe", "TableAccess", 0,
+                      [&invoked](optimizer::PlanGenerator&,
+                                 const optimizer::StarContext&,
+                                 std::vector<PlanPtr>*) {
+                        ++invoked;
+                        return Status::OK();
+                      }})
+                  .ok());
+  auto parsed = Parser::ParseQueryText("SELECT a FROM small");
+  qgm::Binder binder(&catalog_);
+  auto graph = binder.BindQuery(**parsed);
+  ASSERT_TRUE(graph.ok());
+  ASSERT_TRUE(opt.Optimize(**graph).ok());
+  EXPECT_EQ(invoked, 1);
+}
+
+TEST_F(OptimizerTest, CostsAreMonotoneInTableSize) {
+  PlanPtr small = Optimize("SELECT a FROM small");
+  PlanPtr big = Optimize("SELECT a FROM big");
+  EXPECT_LT(small->props.cost, big->props.cost);
+  EXPECT_LT(small->props.cardinality, big->props.cardinality);
+}
+
+TEST_F(OptimizerTest, SelectivityUsesStatistics) {
+  // a is key-like (NDV = rows): equality keeps ~1 row.
+  PlanPtr plan = Optimize("SELECT b FROM big WHERE a = 5");
+  EXPECT_LE(plan->props.cardinality, 2.0);
+  // b has NDV 10: ~10% survive.
+  PlanPtr plan2 = Optimize("SELECT a FROM big WHERE b = 5");
+  EXPECT_NEAR(plan2->props.cardinality, 10000, 2500);
+}
+
+TEST_F(OptimizerTest, SelectivityEstimatesFollowStatistics) {
+  optimizer::CostModel cost;
+  auto parsed = Parser::ParseQueryText(
+      "SELECT a FROM big WHERE a = 5 AND b = 5 AND a < 50000 AND "
+      "c LIKE 'x%' AND b IS NULL AND a <> 1");
+  qgm::Binder binder(&catalog_);
+  auto graph = binder.BindQuery(**parsed);
+  ASSERT_TRUE(graph.ok());
+  const auto& preds = (*graph)->root()->predicates;
+  ASSERT_EQ(preds.size(), 6u);
+  // a = 5: NDV(a) = 100000 -> 1e-5.
+  EXPECT_NEAR(cost.Selectivity(*preds[0]), 1e-5, 1e-7);
+  // b = 5: NDV(b) = 10 -> 0.1.
+  EXPECT_NEAR(cost.Selectivity(*preds[1]), 0.1, 1e-9);
+  // a < 50000 with min 0, max 100000 -> ~0.5 interpolation.
+  EXPECT_NEAR(cost.Selectivity(*preds[2]), 0.5, 0.05);
+  // LIKE default.
+  EXPECT_NEAR(cost.Selectivity(*preds[3]), 0.25, 1e-9);
+  // IS NULL default (no null stats collected).
+  EXPECT_LE(cost.Selectivity(*preds[4]), 0.1);
+  // a <> 1: complement of equality.
+  EXPECT_GT(cost.Selectivity(*preds[5]), 0.9);
+}
+
+TEST_F(OptimizerTest, CombinedSelectivityMultiplies) {
+  optimizer::CostModel cost;
+  auto parsed = Parser::ParseQueryText("SELECT a FROM big WHERE b = 1 AND b = 2");
+  qgm::Binder binder(&catalog_);
+  auto graph = binder.BindQuery(**parsed);
+  std::vector<const qgm::Expr*> preds;
+  for (const auto& p : (*graph)->root()->predicates) preds.push_back(p.get());
+  EXPECT_NEAR(cost.CombinedSelectivity(preds), 0.01, 1e-9);
+}
+
+TEST_F(OptimizerTest, GroupCountUsesKeyNdv) {
+  optimizer::CostModel cost;
+  auto parsed = Parser::ParseQueryText("SELECT b, COUNT(*) FROM big GROUP BY b");
+  qgm::Binder binder(&catalog_);
+  auto graph = binder.BindQuery(**parsed);
+  const qgm::Box* gb = (*graph)->root()->quantifiers[0]->input;
+  ASSERT_EQ(gb->kind, qgm::BoxKind::kGroupBy);
+  EXPECT_NEAR(cost.GroupCount(gb->group_keys, 100000), 10, 1e-9);
+  // Group count never exceeds the input cardinality.
+  EXPECT_LE(cost.GroupCount(gb->group_keys, 4), 4.0);
+}
+
+TEST_F(OptimizerTest, DefaultsWithoutStatistics) {
+  optimizer::CostModel cost;
+  EXPECT_EQ(cost.TableRows(nullptr), cost.params().default_table_rows);
+  TableDef fresh;
+  fresh.name = "fresh";
+  EXPECT_EQ(cost.TableRows(&fresh), cost.params().default_table_rows);
+  EXPECT_GE(cost.TablePages(&fresh), 1.0);
+}
+
+TEST_F(OptimizerTest, UnknownNonterminalIsAnError) {
+  optimizer::StarRegistry registry;
+  optimizer::RegisterDefaultStars(&registry);
+  optimizer::CostModel cost;
+  optimizer::PlanGenerator gen(&registry, &cost, &catalog_);
+  optimizer::StarContext ctx;
+  EXPECT_EQ(gen.Expand("NoSuchThing", ctx).status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST_F(OptimizerTest, DuplicateStarRejected) {
+  optimizer::StarRegistry registry;
+  optimizer::RegisterDefaultStars(&registry);
+  auto dup = optimizer::Star{
+      "seqscan", "TableAccess", 0,
+      [](optimizer::PlanGenerator&, const optimizer::StarContext&,
+         std::vector<PlanPtr>*) { return Status::OK(); }};
+  EXPECT_EQ(registry.Add(dup).code(), StatusCode::kAlreadyExists);
+}
+
+TEST_F(OptimizerTest, ChooseBoxPicksCheaperAlternative) {
+  // Build a CHOOSE over two hand-made alternatives: scans of small & big.
+  qgm::Graph graph;
+  TableDef* small_def = *catalog_.GetMutableTable("small");
+  TableDef* big_def = *catalog_.GetMutableTable("big");
+
+  auto make_select = [&](TableDef* def) {
+    qgm::Box* base = graph.NewBox(qgm::BoxKind::kBaseTable);
+    base->table = def;
+    for (const ColumnDef& col : def->schema.columns()) {
+      base->head.push_back(qgm::HeadColumn{col.name, col.type, nullptr});
+    }
+    qgm::Box* select = graph.NewBox(qgm::BoxKind::kSelect);
+    qgm::Quantifier* q = select->AddQuantifier(
+        graph.NewQuantifier(qgm::QuantifierType::kForEach, base));
+    select->head.push_back(qgm::HeadColumn{
+        "a", DataType::Int(), qgm::MakeColumnRef(q, 0, DataType::Int())});
+    return select;
+  };
+  qgm::Box* choose = graph.NewBox(qgm::BoxKind::kChoose);
+  choose->head.push_back(qgm::HeadColumn{"a", DataType::Int(), nullptr});
+  choose->AddQuantifier(graph.NewQuantifier(qgm::QuantifierType::kForEach,
+                                            make_select(big_def)));
+  choose->AddQuantifier(graph.NewQuantifier(qgm::QuantifierType::kForEach,
+                                            make_select(small_def)));
+  graph.set_root(choose);
+  ASSERT_TRUE(graph.Validate().ok());
+
+  Optimizer opt(&catalog_);
+  Result<PlanPtr> plan = opt.Optimize(graph);
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  // The cheap (small-table) alternative won.
+  EXPECT_LT((*plan)->props.cardinality, 1000);
+}
+
+}  // namespace
+}  // namespace starburst

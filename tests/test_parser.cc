@@ -1,0 +1,253 @@
+#include <gtest/gtest.h>
+
+#include "parser/lexer.h"
+#include "parser/parser.h"
+
+namespace starburst {
+namespace {
+
+using ast::ExprKind;
+using ast::StatementKind;
+
+Result<std::unique_ptr<ast::Query>> Parse(const std::string& sql) {
+  return Parser::ParseQueryText(sql);
+}
+
+ast::StatementPtr MustParseStatement(const std::string& sql) {
+  Parser parser(sql);
+  Result<ast::StatementPtr> r = parser.ParseStatement();
+  EXPECT_TRUE(r.ok()) << sql << " -> " << r.status().ToString();
+  if (!r.ok()) return nullptr;
+  return r.TakeValue();
+}
+
+// ---------------------------------------------------------------------------
+// Lexer
+// ---------------------------------------------------------------------------
+
+TEST(LexerTest, TokenKinds) {
+  Lexer lexer("SELECT x, 42 3.5 'str''ing' <> <= >= != || -- comment\n ;");
+  Result<std::vector<Token>> tokens = lexer.Tokenize();
+  ASSERT_TRUE(tokens.ok());
+  std::vector<TokenKind> kinds;
+  for (const Token& t : *tokens) kinds.push_back(t.kind);
+  std::vector<TokenKind> expected = {
+      TokenKind::kIdentifier, TokenKind::kIdentifier, TokenKind::kComma,
+      TokenKind::kIntLiteral, TokenKind::kDoubleLiteral,
+      TokenKind::kStringLiteral, TokenKind::kNe, TokenKind::kLe,
+      TokenKind::kGe, TokenKind::kNe, TokenKind::kConcat,
+      TokenKind::kSemicolon, TokenKind::kEof};
+  EXPECT_EQ(kinds, expected);
+  EXPECT_EQ((*tokens)[5].text, "str'ing");  // escaped quote
+  EXPECT_EQ((*tokens)[3].int_value, 42);
+  EXPECT_DOUBLE_EQ((*tokens)[4].double_value, 3.5);
+}
+
+TEST(LexerTest, ScientificNotationAndQuotedIdent) {
+  Lexer lexer("1e3 2.5E-2 \"Quoted Name\"");
+  Result<std::vector<Token>> tokens = lexer.Tokenize();
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[0].kind, TokenKind::kDoubleLiteral);
+  EXPECT_DOUBLE_EQ((*tokens)[0].double_value, 1000.0);
+  EXPECT_DOUBLE_EQ((*tokens)[1].double_value, 0.025);
+  EXPECT_EQ((*tokens)[2].kind, TokenKind::kIdentifier);
+  EXPECT_EQ((*tokens)[2].text, "Quoted Name");
+}
+
+TEST(LexerTest, Errors) {
+  EXPECT_FALSE(Lexer("'unterminated").Tokenize().ok());
+  EXPECT_FALSE(Lexer("a ! b").Tokenize().ok());
+  EXPECT_FALSE(Lexer("#").Tokenize().ok());
+}
+
+// ---------------------------------------------------------------------------
+// Queries
+// ---------------------------------------------------------------------------
+
+TEST(ParserTest, BasicSelect) {
+  auto q = Parse("SELECT a, b AS bee, t.* FROM t WHERE a > 1 "
+                 "GROUP BY a HAVING COUNT(*) > 2 ORDER BY a DESC LIMIT 5");
+  ASSERT_TRUE(q.ok());
+  const ast::SelectCore& core = *(*q)->body->select;
+  ASSERT_EQ(core.items.size(), 3u);
+  EXPECT_EQ(core.items[1].alias, "bee");
+  EXPECT_TRUE(core.items[2].star);
+  EXPECT_EQ(core.items[2].star_qualifier, "t");
+  EXPECT_NE(core.where, nullptr);
+  EXPECT_EQ(core.group_by.size(), 1u);
+  EXPECT_NE(core.having, nullptr);
+  EXPECT_EQ((*q)->order_by.size(), 1u);
+  EXPECT_FALSE((*q)->order_by[0].ascending);
+  EXPECT_EQ((*q)->limit, 5);
+}
+
+TEST(ParserTest, OperatorPrecedence) {
+  auto q = Parse("SELECT 1 + 2 * 3 - 4 / 2");
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ((*q)->body->select->items[0].expr->ToString(),
+            "((1 + (2 * 3)) - (4 / 2))");
+  q = Parse("SELECT a FROM t WHERE a = 1 OR b = 2 AND c = 3");
+  ASSERT_TRUE(q.ok());
+  // AND binds tighter than OR.
+  EXPECT_EQ((*q)->body->select->where->ToString(),
+            "((a = 1) OR ((b = 2) AND (c = 3)))");
+}
+
+TEST(ParserTest, SetOperationPrecedence) {
+  auto q = Parse("SELECT a FROM t UNION SELECT a FROM u INTERSECT "
+                 "SELECT a FROM v");
+  ASSERT_TRUE(q.ok());
+  // INTERSECT binds tighter: UNION(t, INTERSECT(u, v)).
+  ASSERT_EQ((*q)->body->kind, ast::QueryBody::Kind::kSetOp);
+  EXPECT_EQ((*q)->body->op, ast::SetOpKind::kUnion);
+  EXPECT_EQ((*q)->body->right->op, ast::SetOpKind::kIntersect);
+}
+
+TEST(ParserTest, SubqueryForms) {
+  auto q = Parse("SELECT a FROM t WHERE a IN (SELECT b FROM u) "
+                 "AND EXISTS (SELECT 1 FROM v) "
+                 "AND a > ALL (SELECT c FROM w) "
+                 "AND a = (SELECT MAX(d) FROM x)");
+  ASSERT_TRUE(q.ok());
+  std::string s = (*q)->body->select->where->ToString();
+  EXPECT_NE(s.find("IN (<subquery>)"), std::string::npos);
+  EXPECT_NE(s.find("EXISTS"), std::string::npos);
+  EXPECT_NE(s.find("> ALL"), std::string::npos);
+}
+
+TEST(ParserTest, CustomSetPredicateQuantifier) {
+  auto q = Parse("SELECT a FROM t WHERE a = MAJORITY (SELECT b FROM u)");
+  ASSERT_TRUE(q.ok());
+  EXPECT_NE((*q)->body->select->where->ToString().find("MAJORITY"),
+            std::string::npos);
+}
+
+TEST(ParserTest, TableExpressionAndRecursion) {
+  auto q = Parse("WITH RECURSIVE r(n) AS (SELECT 1 UNION ALL "
+                 "SELECT n + 1 FROM r) SELECT n FROM r");
+  ASSERT_TRUE(q.ok());
+  EXPECT_TRUE((*q)->recursive);
+  ASSERT_EQ((*q)->ctes.size(), 1u);
+  EXPECT_EQ((*q)->ctes[0].name, "r");
+  EXPECT_EQ((*q)->ctes[0].column_names.size(), 1u);
+}
+
+TEST(ParserTest, JoinsAndOuterJoins) {
+  auto q = Parse("SELECT a FROM t JOIN u ON t.x = u.x "
+                 "LEFT OUTER JOIN v ON u.y = v.y");
+  ASSERT_TRUE(q.ok());
+  const auto& from = (*q)->body->select->from;
+  ASSERT_EQ(from.size(), 1u);
+  EXPECT_EQ(from[0]->kind, ast::TableRef::Kind::kJoin);
+  EXPECT_EQ(from[0]->join_kind, ast::JoinKind::kLeftOuter);
+  EXPECT_EQ(from[0]->left->join_kind, ast::JoinKind::kInner);
+}
+
+TEST(ParserTest, TableFunctionWithBareTableArg) {
+  auto q = Parse("SELECT a FROM SAMPLE(t, 10) s");
+  ASSERT_TRUE(q.ok());
+  const auto& ref = *(*q)->body->select->from[0];
+  EXPECT_EQ(ref.kind, ast::TableRef::Kind::kTableFunction);
+  EXPECT_EQ(ref.function_name, "SAMPLE");
+  ASSERT_EQ(ref.func_args.size(), 2u);
+  EXPECT_NE(ref.func_args[0].table, nullptr);   // bare name desugared
+  EXPECT_NE(ref.func_args[1].scalar, nullptr);  // the literal 10
+  EXPECT_EQ(ref.alias, "s");
+}
+
+TEST(ParserTest, BetweenLikeIsNullCase) {
+  auto q = Parse("SELECT CASE WHEN a BETWEEN 1 AND 2 THEN 'x' ELSE 'y' END "
+                 "FROM t WHERE s LIKE 'a%' AND b IS NOT NULL "
+                 "AND c NOT IN (1, 2, 3)");
+  ASSERT_TRUE(q.ok());
+  std::string w = (*q)->body->select->where->ToString();
+  EXPECT_NE(w.find("LIKE"), std::string::npos);
+  EXPECT_NE(w.find("IS NOT NULL"), std::string::npos);
+  EXPECT_NE(w.find("NOT IN"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Statements
+// ---------------------------------------------------------------------------
+
+TEST(ParserTest, CreateTableForms) {
+  auto stmt = MustParseStatement(
+      "CREATE TABLE t (a INT PRIMARY KEY, b VARCHAR(20) NOT NULL, "
+      "c DOUBLE, UNIQUE (b, c)) USING FIXED");
+  ASSERT_NE(stmt, nullptr);
+  const auto& ct = static_cast<const ast::CreateTableStatement&>(*stmt);
+  EXPECT_EQ(ct.columns.size(), 3u);
+  EXPECT_TRUE(ct.columns[1].not_null);
+  ASSERT_EQ(ct.unique_constraints.size(), 2u);
+  EXPECT_EQ(ct.unique_constraints[0], std::vector<std::string>{"a"});  // PK
+  EXPECT_EQ(ct.storage_manager, "FIXED");
+}
+
+TEST(ParserTest, CreateIndexAndViews) {
+  auto idx = MustParseStatement(
+      "CREATE UNIQUE INDEX i ON t (a, b) USING RTREE");
+  const auto& ci = static_cast<const ast::CreateIndexStatement&>(*idx);
+  EXPECT_TRUE(ci.unique);
+  EXPECT_EQ(ci.access_method, "RTREE");
+
+  auto view = MustParseStatement(
+      "CREATE VIEW v (x, y) AS SELECT a, b FROM t WHERE a > 0");
+  const auto& cv = static_cast<const ast::CreateViewStatement&>(*view);
+  EXPECT_EQ(cv.column_names.size(), 2u);
+  EXPECT_NE(cv.body_text.find("SELECT a, b FROM t"), std::string::npos);
+}
+
+TEST(ParserTest, DmlStatements) {
+  auto ins = MustParseStatement(
+      "INSERT INTO t (a, b) VALUES (1, 'x'), (2, 'y')");
+  const auto& is = static_cast<const ast::InsertStatement&>(*ins);
+  EXPECT_EQ(is.columns.size(), 2u);
+  EXPECT_EQ(is.rows.size(), 2u);
+
+  auto ins2 = MustParseStatement("INSERT INTO t SELECT a, b FROM u");
+  EXPECT_NE(static_cast<const ast::InsertStatement&>(*ins2).query, nullptr);
+
+  auto upd = MustParseStatement("UPDATE t SET a = a + 1, b = 'z' WHERE a < 5");
+  const auto& us = static_cast<const ast::UpdateStatement&>(*upd);
+  EXPECT_EQ(us.assignments.size(), 2u);
+  EXPECT_NE(us.where, nullptr);
+
+  auto del = MustParseStatement("DELETE FROM t WHERE a = 1");
+  EXPECT_NE(static_cast<const ast::DeleteStatement&>(*del).where, nullptr);
+}
+
+TEST(ParserTest, ExplainForms) {
+  auto e1 = MustParseStatement("EXPLAIN SELECT 1");
+  EXPECT_EQ(static_cast<const ast::ExplainStatement&>(*e1).what,
+            ast::ExplainStatement::What::kPlan);
+  auto e2 = MustParseStatement("EXPLAIN QGM BEFORE SELECT 1");
+  const auto& ex = static_cast<const ast::ExplainStatement&>(*e2);
+  EXPECT_EQ(ex.what, ast::ExplainStatement::What::kQgm);
+  EXPECT_TRUE(ex.before_rewrite);
+}
+
+TEST(ParserTest, ScriptParsing) {
+  Parser parser("SELECT 1; SELECT 2;; SELECT 3");
+  Result<std::vector<ast::StatementPtr>> stmts = parser.ParseScript();
+  ASSERT_TRUE(stmts.ok());
+  EXPECT_EQ(stmts->size(), 3u);
+}
+
+TEST(ParserTest, SyntaxErrors) {
+  EXPECT_FALSE(Parse("SELECT FROM t").ok());
+  EXPECT_FALSE(Parse("SELECT a FROM").ok());
+  EXPECT_FALSE(Parse("SELECT a WHERE").ok());
+  EXPECT_FALSE(Parse("SELECT a FROM t WHERE a >").ok());
+  EXPECT_FALSE(Parse("SELECT a FROM t GROUP a").ok());
+  Parser trailing("SELECT 1 extra junk tokens (");
+  EXPECT_FALSE(trailing.ParseStatement().ok());
+}
+
+TEST(ParserTest, ErrorsCarryLineNumbers) {
+  auto r = Parse("SELECT a\nFROM t\nWHERE a >");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("line 3"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace starburst

@@ -1,0 +1,473 @@
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "storage/attachment.h"
+#include "storage/btree.h"
+#include "storage/record_codec.h"
+#include "storage/rtree.h"
+#include "storage/storage_engine.h"
+
+namespace starburst {
+namespace {
+
+Row MakeRow(int64_t a, const std::string& s) {
+  return Row({Value::Int(a), Value::String(s)});
+}
+
+// ---------------------------------------------------------------------------
+// Pager / buffer pool
+// ---------------------------------------------------------------------------
+
+TEST(BufferPoolTest, HitsAndMisses) {
+  Pager pager;
+  BufferPool pool(&pager, /*capacity_pages=*/2);
+  FileId f = pager.CreateFile();
+  PageNo p0 = pool.NewPage(f);
+  PageNo p1 = pool.NewPage(f);
+  PageNo p2 = pool.NewPage(f);  // evicts p0 (dirty -> write)
+
+  pool.GetPage(f, p2);  // hit
+  pool.GetPage(f, p1);  // hit
+  pool.GetPage(f, p0);  // miss: was evicted
+  const BufferPoolStats& stats = pool.stats();
+  EXPECT_GE(stats.disk_writes, 1u);
+  EXPECT_EQ(stats.disk_reads, 1u);
+  EXPECT_GE(stats.cache_hits, 2u);
+}
+
+TEST(BufferPoolTest, LruEvictionOrder) {
+  Pager pager;
+  BufferPool pool(&pager, 2);
+  FileId f = pager.CreateFile();
+  PageNo p0 = pool.NewPage(f);
+  PageNo p1 = pool.NewPage(f);
+  pool.GetPage(f, p0);       // p0 most recent; p1 is LRU
+  pool.NewPage(f);           // evicts p1
+  pool.ResetStats();
+  pool.GetPage(f, p0);       // still resident
+  EXPECT_EQ(pool.stats().disk_reads, 0u);
+  pool.GetPage(f, p1);       // evicted: miss
+  EXPECT_EQ(pool.stats().disk_reads, 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Record codecs
+// ---------------------------------------------------------------------------
+
+TEST(VarRecordCodecTest, RoundTripsAllTypes) {
+  Row row({Value::Null(), Value::Bool(true), Value::Int(-42),
+           Value::Double(2.75), Value::String("hello world"),
+           Value::Extension("POINT", std::string("\x01\x02", 2))});
+  std::string bytes = VarRecordCodec::Encode(row);
+  Result<Row> decoded = VarRecordCodec::Decode(bytes);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(*decoded, row);
+}
+
+TEST(VarRecordCodecTest, RejectsTruncatedInput) {
+  Row row({Value::String("abcdef")});
+  std::string bytes = VarRecordCodec::Encode(row);
+  bytes.resize(bytes.size() - 3);
+  EXPECT_FALSE(VarRecordCodec::Decode(bytes).ok());
+}
+
+TEST(FixedRecordCodecTest, RoundTripAndNulls) {
+  TableSchema schema({{"a", DataType::Int(), true},
+                      {"b", DataType::Double(), true},
+                      {"c", DataType::Bool(), true}});
+  Result<FixedRecordCodec> codec = FixedRecordCodec::ForSchema(schema);
+  ASSERT_TRUE(codec.ok());
+  Row row({Value::Int(7), Value::Null(), Value::Bool(true)});
+  std::vector<uint8_t> buffer(codec->record_size());
+  ASSERT_TRUE(codec->Encode(row, buffer.data()).ok());
+  Result<Row> decoded = codec->Decode(buffer.data());
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(*decoded, row);
+}
+
+TEST(FixedRecordCodecTest, RejectsVariableWidthColumns) {
+  TableSchema schema({{"s", DataType::String(), true}});
+  EXPECT_FALSE(FixedRecordCodec::ForSchema(schema).ok());
+}
+
+// ---------------------------------------------------------------------------
+// Storage managers
+// ---------------------------------------------------------------------------
+
+class StorageManagerTest : public ::testing::TestWithParam<const char*> {
+ protected:
+  TableSchema IntSchema() {
+    return TableSchema({{"a", DataType::Int(), true},
+                        {"b", DataType::Double(), true}});
+  }
+};
+
+TEST_P(StorageManagerTest, InsertFetchScanDeleteUpdate) {
+  Pager pager;
+  BufferPool pool(&pager, 1024);
+  StorageManagerRegistry registry;
+  Result<StorageManager*> manager = registry.Lookup(GetParam());
+  ASSERT_TRUE(manager.ok());
+  Result<std::unique_ptr<TableStorage>> table =
+      (*manager)->CreateTable(IntSchema(), &pool);
+  ASSERT_TRUE(table.ok());
+  TableStorage& t = **table;
+
+  std::vector<Rid> rids;
+  for (int i = 0; i < 500; ++i) {
+    Result<Rid> rid = t.Insert(Row({Value::Int(i), Value::Double(i * 0.5)}));
+    ASSERT_TRUE(rid.ok());
+    rids.push_back(*rid);
+  }
+  EXPECT_EQ(t.row_count(), 500u);
+
+  // Fetch.
+  Result<Row> fetched = t.Fetch(rids[123]);
+  ASSERT_TRUE(fetched.ok());
+  EXPECT_EQ((*fetched)[0], Value::Int(123));
+
+  // Update in place.
+  ASSERT_TRUE(t.Update(rids[10], Row({Value::Int(-10), Value::Double(0)})).ok());
+  EXPECT_EQ((*t.Fetch(rids[10]))[0], Value::Int(-10));
+
+  // Delete.
+  ASSERT_TRUE(t.Delete(rids[200]).ok());
+  EXPECT_EQ(t.row_count(), 499u);
+  EXPECT_FALSE(t.Fetch(rids[200]).ok());
+  EXPECT_EQ(t.Delete(rids[200]).code(), StatusCode::kNotFound);
+
+  // Scan sees exactly the remaining rows.
+  std::unique_ptr<TableScanIterator> scan = t.NewScan();
+  size_t count = 0;
+  Row row;
+  Rid rid;
+  while (true) {
+    Result<bool> more = scan->Next(&row, &rid);
+    ASSERT_TRUE(more.ok());
+    if (!*more) break;
+    ++count;
+    EXPECT_NE(row[0], Value::Int(200));
+  }
+  EXPECT_EQ(count, 499u);
+  EXPECT_GT(t.page_count(), 1u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Managers, StorageManagerTest,
+                         ::testing::Values("HEAP", "FIXED"));
+
+TEST(HeapStorageTest, VariableLengthGrowthRelocates) {
+  Pager pager;
+  BufferPool pool(&pager, 64);
+  StorageManagerRegistry registry;
+  auto table = (*registry.Lookup("HEAP"))
+                   ->CreateTable(TableSchema({{"s", DataType::String(), true}}),
+                                 &pool);
+  ASSERT_TRUE(table.ok());
+  Result<Rid> rid = (*table)->Insert(Row({Value::String("short")}));
+  ASSERT_TRUE(rid.ok());
+  // Fill the page so the grown record cannot stay in place.
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_TRUE((*table)->Insert(Row({Value::String(std::string(60, 'x'))})).ok());
+  }
+  Result<Rid> moved =
+      (*table)->Update(*rid, Row({Value::String(std::string(3000, 'y'))}));
+  ASSERT_TRUE(moved.ok());
+  Result<Row> fetched = (*table)->Fetch(*moved);
+  ASSERT_TRUE(fetched.ok());
+  EXPECT_EQ((*fetched)[0].string_value().size(), 3000u);
+}
+
+TEST(HeapStorageTest, OversizeRecordRejected) {
+  Pager pager;
+  BufferPool pool(&pager, 64);
+  StorageManagerRegistry registry;
+  auto table = (*registry.Lookup("HEAP"))
+                   ->CreateTable(TableSchema({{"s", DataType::String(), true}}),
+                                 &pool);
+  EXPECT_FALSE(
+      (*table)->Insert(Row({Value::String(std::string(5000, 'z'))})).ok());
+}
+
+// ---------------------------------------------------------------------------
+// B-tree
+// ---------------------------------------------------------------------------
+
+TEST(BTreeTest, InsertLookupOrderedScan) {
+  BTree tree;
+  std::mt19937 rng(7);
+  std::vector<int> keys(2000);
+  for (size_t i = 0; i < keys.size(); ++i) keys[i] = static_cast<int>(i);
+  std::shuffle(keys.begin(), keys.end(), rng);
+  for (int k : keys) {
+    ASSERT_TRUE(tree.Insert({Value::Int(k)}, Rid{0, static_cast<uint16_t>(k % 1000)})
+                    .ok());
+  }
+  EXPECT_EQ(tree.size(), 2000u);
+  EXPECT_GE(tree.height(), 2u);
+
+  EXPECT_EQ(tree.Lookup({Value::Int(1234)}).size(), 1u);
+  EXPECT_EQ(tree.Lookup({Value::Int(99999)}).size(), 0u);
+
+  // Full ordered scan.
+  auto it = tree.Scan(nullptr, true, nullptr, true);
+  BTreeKey key;
+  Rid rid;
+  int expected = 0;
+  while (it->Next(&key, &rid)) {
+    EXPECT_EQ(key[0], Value::Int(expected++));
+  }
+  EXPECT_EQ(expected, 2000);
+}
+
+TEST(BTreeTest, RangeScanBounds) {
+  BTree tree;
+  for (int k = 0; k < 100; ++k) {
+    ASSERT_TRUE(tree.Insert({Value::Int(k)}, Rid{0, 0}).ok());
+  }
+  BTreeKey lo{Value::Int(10)}, hi{Value::Int(20)};
+  auto it = tree.Scan(&lo, true, &hi, false);  // [10, 20)
+  BTreeKey key;
+  Rid rid;
+  int count = 0, first = -1, last = -1;
+  while (it->Next(&key, &rid)) {
+    if (first < 0) first = static_cast<int>(key[0].int_value());
+    last = static_cast<int>(key[0].int_value());
+    ++count;
+  }
+  EXPECT_EQ(count, 10);
+  EXPECT_EQ(first, 10);
+  EXPECT_EQ(last, 19);
+}
+
+TEST(BTreeTest, DuplicatesAndRemoval) {
+  BTree tree;
+  for (uint16_t i = 0; i < 5; ++i) {
+    ASSERT_TRUE(tree.Insert({Value::Int(7)}, Rid{0, i}).ok());
+  }
+  EXPECT_EQ(tree.Lookup({Value::Int(7)}).size(), 5u);
+  ASSERT_TRUE(tree.Remove({Value::Int(7)}, Rid{0, 2}).ok());
+  EXPECT_EQ(tree.Lookup({Value::Int(7)}).size(), 4u);
+  EXPECT_EQ(tree.Remove({Value::Int(7)}, Rid{0, 2}).code(),
+            StatusCode::kNotFound);
+}
+
+TEST(BTreeTest, UniqueRejectsDuplicates) {
+  BTree tree(/*unique=*/true);
+  ASSERT_TRUE(tree.Insert({Value::Int(1)}, Rid{0, 0}).ok());
+  EXPECT_EQ(tree.Insert({Value::Int(1)}, Rid{0, 1}).code(),
+            StatusCode::kAlreadyExists);
+}
+
+TEST(BTreeTest, CompositeKeysAndNullsFirst) {
+  BTree tree;
+  ASSERT_TRUE(tree.Insert({Value::Int(1), Value::String("b")}, Rid{0, 0}).ok());
+  ASSERT_TRUE(tree.Insert({Value::Int(1), Value::String("a")}, Rid{0, 1}).ok());
+  ASSERT_TRUE(tree.Insert({Value::Null(), Value::String("z")}, Rid{0, 2}).ok());
+  auto it = tree.Scan(nullptr, true, nullptr, true);
+  BTreeKey key;
+  Rid rid;
+  ASSERT_TRUE(it->Next(&key, &rid));
+  EXPECT_TRUE(key[0].is_null());  // NULL sorts first
+  ASSERT_TRUE(it->Next(&key, &rid));
+  EXPECT_EQ(key[1], Value::String("a"));
+}
+
+// ---------------------------------------------------------------------------
+// R-tree
+// ---------------------------------------------------------------------------
+
+TEST(RTreeTest, WindowSearchMatchesBruteForce) {
+  RTree tree;
+  std::mt19937 rng(13);
+  std::uniform_real_distribution<double> coord(0, 1000);
+  std::vector<Rect> points;
+  for (uint16_t i = 0; i < 3000; ++i) {
+    Rect p = Rect::Point(coord(rng), coord(rng));
+    points.push_back(p);
+    tree.Insert(p, Rid{static_cast<PageNo>(i), 0});
+  }
+  Rect window{100, 100, 300, 250};
+  std::vector<Rid> found = tree.Search(window);
+  size_t expected = 0;
+  for (const Rect& p : points) {
+    if (window.Intersects(p)) ++expected;
+  }
+  EXPECT_EQ(found.size(), expected);
+  EXPECT_GT(expected, 0u);
+}
+
+TEST(RTreeTest, RemoveAndRecount) {
+  RTree tree;
+  Rect p = Rect::Point(5, 5);
+  tree.Insert(p, Rid{1, 1});
+  tree.Insert(Rect::Point(9, 9), Rid{2, 2});
+  EXPECT_EQ(tree.size(), 2u);
+  ASSERT_TRUE(tree.Remove(p, Rid{1, 1}).ok());
+  EXPECT_EQ(tree.size(), 1u);
+  EXPECT_EQ(tree.Remove(p, Rid{1, 1}).code(), StatusCode::kNotFound);
+  EXPECT_EQ(tree.Search(Rect{0, 0, 10, 10}).size(), 1u);
+}
+
+TEST(RTreeTest, SearchVisitsFewNodesOnSmallWindows) {
+  RTree tree;
+  std::mt19937 rng(17);
+  std::uniform_real_distribution<double> coord(0, 1000);
+  for (uint32_t i = 0; i < 5000; ++i) {
+    tree.Insert(Rect::Point(coord(rng), coord(rng)), Rid{i, 0});
+  }
+  tree.ResetStats();
+  tree.Search(Rect{10, 10, 12, 12});
+  uint64_t small_window = tree.stats().node_visits;
+  tree.ResetStats();
+  tree.Search(Rect{0, 0, 1000, 1000});
+  uint64_t full_window = tree.stats().node_visits;
+  EXPECT_LT(small_window * 5, full_window);  // pruning actually prunes
+}
+
+// ---------------------------------------------------------------------------
+// Storage engine + attachments
+// ---------------------------------------------------------------------------
+
+TEST(StorageEngineTest, AttachmentMaintenance) {
+  StorageEngine engine;
+  TableDef def;
+  def.name = "t";
+  def.schema = TableSchema({{"k", DataType::Int(), true},
+                            {"v", DataType::String(), true}});
+  ASSERT_TRUE(engine.CreateTable(def).ok());
+
+  IndexDef index;
+  index.name = "t_k";
+  index.table_name = "t";
+  index.key_columns = {"k"};
+  ASSERT_TRUE(engine.CreateIndex(index, def.schema).ok());
+
+  Result<Rid> r1 = engine.InsertRow("t", MakeRow(1, "one"));
+  Result<Rid> r2 = engine.InsertRow("t", MakeRow(2, "two"));
+  ASSERT_TRUE(r1.ok() && r2.ok());
+
+  auto* btree = dynamic_cast<BTreeAttachment*>(*engine.GetIndex("t_k"));
+  ASSERT_NE(btree, nullptr);
+  EXPECT_EQ(btree->tree().Lookup({Value::Int(1)}).size(), 1u);
+
+  // Update moves the key in the index.
+  ASSERT_TRUE(engine.UpdateRow("t", *r1, MakeRow(10, "ten")).ok());
+  EXPECT_EQ(btree->tree().Lookup({Value::Int(1)}).size(), 0u);
+  EXPECT_EQ(btree->tree().Lookup({Value::Int(10)}).size(), 1u);
+
+  // Delete removes it.
+  ASSERT_TRUE(engine.DeleteRow("t", *r2).ok());
+  EXPECT_EQ(btree->tree().Lookup({Value::Int(2)}).size(), 0u);
+}
+
+TEST(StorageEngineTest, BackfillExistingRows) {
+  StorageEngine engine;
+  TableDef def;
+  def.name = "t";
+  def.schema = TableSchema({{"k", DataType::Int(), true}});
+  ASSERT_TRUE(engine.CreateTable(def).ok());
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_TRUE(engine.InsertRow("t", Row({Value::Int(i)})).ok());
+  }
+  IndexDef index;
+  index.name = "late";
+  index.table_name = "t";
+  index.key_columns = {"k"};
+  ASSERT_TRUE(engine.CreateIndex(index, def.schema).ok());
+  auto* btree = dynamic_cast<BTreeAttachment*>(*engine.GetIndex("late"));
+  EXPECT_EQ(btree->tree().size(), 50u);
+}
+
+TEST(StorageEngineTest, UniqueAttachmentRollsBackBaseInsert) {
+  StorageEngine engine;
+  TableDef def;
+  def.name = "t";
+  def.schema = TableSchema({{"k", DataType::Int(), true}});
+  ASSERT_TRUE(engine.CreateTable(def).ok());
+  IndexDef index;
+  index.name = "uk";
+  index.table_name = "t";
+  index.key_columns = {"k"};
+  index.unique = true;
+  ASSERT_TRUE(engine.CreateIndex(index, def.schema).ok());
+  ASSERT_TRUE(engine.InsertRow("t", Row({Value::Int(1)})).ok());
+  EXPECT_FALSE(engine.InsertRow("t", Row({Value::Int(1)})).ok());
+  EXPECT_EQ((*engine.GetTable("t"))->row_count(), 1u);
+}
+
+TEST(BufferPoolTest, FlushWritesDirtyOnce) {
+  Pager pager;
+  BufferPool pool(&pager, 8);
+  FileId f = pager.CreateFile();
+  pool.NewPage(f);
+  pool.NewPage(f);
+  pool.ResetStats();
+  pool.FlushAll();
+  EXPECT_EQ(pool.stats().disk_writes, 2u);
+  pool.FlushAll();  // now clean
+  EXPECT_EQ(pool.stats().disk_writes, 2u);
+}
+
+TEST(BufferPoolTest, CapacityResizeTakesEffect) {
+  Pager pager;
+  BufferPool pool(&pager, 100);
+  FileId f = pager.CreateFile();
+  for (int i = 0; i < 50; ++i) pool.NewPage(f);
+  pool.set_capacity(4);
+  pool.ResetStats();
+  // Touch a page to trigger eviction down to capacity.
+  pool.GetPage(f, 0);
+  for (PageNo p = 0; p < 50; ++p) pool.GetPage(f, p);
+  // With capacity 4 and a sequential sweep of 50 pages, most are misses.
+  EXPECT_GT(pool.stats().disk_reads, 40u);
+}
+
+TEST(FixedStorageTest, SlotsReusedAfterDelete) {
+  Pager pager;
+  BufferPool pool(&pager, 64);
+  StorageManagerRegistry registry;
+  auto table = (*registry.Lookup("FIXED"))
+                   ->CreateTable(TableSchema({{"a", DataType::Int(), true}}),
+                                 &pool);
+  ASSERT_TRUE(table.ok());
+  std::vector<Rid> rids;
+  for (int i = 0; i < 1000; ++i) {
+    rids.push_back(*(*table)->Insert(Row({Value::Int(i)})));
+  }
+  uint64_t pages_before = (*table)->page_count();
+  for (int i = 0; i < 1000; i += 2) {
+    ASSERT_TRUE((*table)->Delete(rids[i]).ok());
+  }
+  for (int i = 0; i < 500; ++i) {
+    ASSERT_TRUE((*table)->Insert(Row({Value::Int(10000 + i)})).ok());
+  }
+  // Freed slots were reused: no (significant) file growth.
+  EXPECT_LE((*table)->page_count(), pages_before + 1);
+  EXPECT_EQ((*table)->row_count(), 1000u);
+}
+
+TEST(BTreeTest, StatsTrackWork) {
+  BTree tree;
+  for (int k = 0; k < 1000; ++k) {
+    ASSERT_TRUE(tree.Insert({Value::Int(k)}, Rid{0, 0}).ok());
+  }
+  EXPECT_GT(tree.stats().splits, 0u);
+  tree.ResetStats();
+  tree.Lookup({Value::Int(500)});
+  // A point lookup visits height-many nodes, not the whole tree.
+  EXPECT_LE(tree.stats().node_visits, tree.height() + 1);
+  EXPECT_GE(tree.stats().node_visits, tree.height());
+}
+
+TEST(StorageEngineTest, UnknownStorageManagerFails) {
+  StorageEngine engine;
+  TableDef def;
+  def.name = "t";
+  def.schema = TableSchema({{"k", DataType::Int(), true}});
+  def.storage_manager = "NO_SUCH";
+  EXPECT_EQ(engine.CreateTable(def).code(), StatusCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace starburst
