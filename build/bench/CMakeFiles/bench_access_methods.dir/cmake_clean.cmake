@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_access_methods.dir/bench_access_methods.cc.o"
+  "CMakeFiles/bench_access_methods.dir/bench_access_methods.cc.o.d"
+  "bench_access_methods"
+  "bench_access_methods.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_access_methods.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_rewrite.dir/bench_fig2_rewrite.cc.o"
+  "CMakeFiles/bench_fig2_rewrite.dir/bench_fig2_rewrite.cc.o.d"
+  "bench_fig2_rewrite"
+  "bench_fig2_rewrite.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_rewrite.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

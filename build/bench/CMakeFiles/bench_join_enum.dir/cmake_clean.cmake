@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_join_enum.dir/bench_join_enum.cc.o"
+  "CMakeFiles/bench_join_enum.dir/bench_join_enum.cc.o.d"
+  "bench_join_enum"
+  "bench_join_enum.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_join_enum.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_or_subquery.dir/bench_or_subquery.cc.o"
+  "CMakeFiles/bench_or_subquery.dir/bench_or_subquery.cc.o.d"
+  "bench_or_subquery"
+  "bench_or_subquery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_or_subquery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

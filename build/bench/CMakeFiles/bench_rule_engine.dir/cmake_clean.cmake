@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_rule_engine.dir/bench_rule_engine.cc.o"
+  "CMakeFiles/bench_rule_engine.dir/bench_rule_engine.cc.o.d"
+  "bench_rule_engine"
+  "bench_rule_engine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_rule_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_star_coverage.dir/bench_star_coverage.cc.o"
+  "CMakeFiles/bench_star_coverage.dir/bench_star_coverage.cc.o.d"
+  "bench_star_coverage"
+  "bench_star_coverage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_star_coverage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

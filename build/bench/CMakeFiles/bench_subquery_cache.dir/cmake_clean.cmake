@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_subquery_cache.dir/bench_subquery_cache.cc.o"
+  "CMakeFiles/bench_subquery_cache.dir/bench_subquery_cache.cc.o.d"
+  "bench_subquery_cache"
+  "bench_subquery_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_subquery_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_extensibility_tour.dir/extensibility_tour.cc.o"
+  "CMakeFiles/example_extensibility_tour.dir/extensibility_tour.cc.o.d"
+  "example_extensibility_tour"
+  "example_extensibility_tour.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_extensibility_tour.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

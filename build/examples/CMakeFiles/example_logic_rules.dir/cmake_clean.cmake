@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_logic_rules.dir/logic_rules.cc.o"
+  "CMakeFiles/example_logic_rules.dir/logic_rules.cc.o.d"
+  "example_logic_rules"
+  "example_logic_rules.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_logic_rules.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

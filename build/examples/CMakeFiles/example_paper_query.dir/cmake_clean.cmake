@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_paper_query.dir/paper_query.cc.o"
+  "CMakeFiles/example_paper_query.dir/paper_query.cc.o.d"
+  "example_paper_query"
+  "example_paper_query.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_paper_query.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

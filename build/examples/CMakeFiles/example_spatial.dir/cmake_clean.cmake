@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_spatial.dir/spatial.cc.o"
+  "CMakeFiles/example_spatial.dir/spatial.cc.o.d"
+  "example_spatial"
+  "example_spatial.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_spatial.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/starburst_catalog.dir/catalog/catalog.cc.o"
+  "CMakeFiles/starburst_catalog.dir/catalog/catalog.cc.o.d"
+  "CMakeFiles/starburst_catalog.dir/catalog/function_registry.cc.o"
+  "CMakeFiles/starburst_catalog.dir/catalog/function_registry.cc.o.d"
+  "CMakeFiles/starburst_catalog.dir/catalog/schema.cc.o"
+  "CMakeFiles/starburst_catalog.dir/catalog/schema.cc.o.d"
+  "CMakeFiles/starburst_catalog.dir/catalog/statistics.cc.o"
+  "CMakeFiles/starburst_catalog.dir/catalog/statistics.cc.o.d"
+  "libstarburst_catalog.a"
+  "libstarburst_catalog.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/starburst_catalog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

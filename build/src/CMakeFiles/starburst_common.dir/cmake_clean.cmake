@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/starburst_common.dir/common/datatype.cc.o"
+  "CMakeFiles/starburst_common.dir/common/datatype.cc.o.d"
+  "CMakeFiles/starburst_common.dir/common/row.cc.o"
+  "CMakeFiles/starburst_common.dir/common/row.cc.o.d"
+  "CMakeFiles/starburst_common.dir/common/status.cc.o"
+  "CMakeFiles/starburst_common.dir/common/status.cc.o.d"
+  "CMakeFiles/starburst_common.dir/common/value.cc.o"
+  "CMakeFiles/starburst_common.dir/common/value.cc.o.d"
+  "libstarburst_common.a"
+  "libstarburst_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/starburst_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/starburst_engine.dir/engine/database.cc.o"
+  "CMakeFiles/starburst_engine.dir/engine/database.cc.o.d"
+  "CMakeFiles/starburst_engine.dir/engine/result_set.cc.o"
+  "CMakeFiles/starburst_engine.dir/engine/result_set.cc.o.d"
+  "libstarburst_engine.a"
+  "libstarburst_engine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/starburst_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

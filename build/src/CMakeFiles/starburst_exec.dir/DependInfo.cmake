@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/exec/agg_ops.cc" "src/CMakeFiles/starburst_exec.dir/exec/agg_ops.cc.o" "gcc" "src/CMakeFiles/starburst_exec.dir/exec/agg_ops.cc.o.d"
+  "/root/repo/src/exec/executor.cc" "src/CMakeFiles/starburst_exec.dir/exec/executor.cc.o" "gcc" "src/CMakeFiles/starburst_exec.dir/exec/executor.cc.o.d"
+  "/root/repo/src/exec/expr_eval.cc" "src/CMakeFiles/starburst_exec.dir/exec/expr_eval.cc.o" "gcc" "src/CMakeFiles/starburst_exec.dir/exec/expr_eval.cc.o.d"
+  "/root/repo/src/exec/filter_ops.cc" "src/CMakeFiles/starburst_exec.dir/exec/filter_ops.cc.o" "gcc" "src/CMakeFiles/starburst_exec.dir/exec/filter_ops.cc.o.d"
+  "/root/repo/src/exec/join_ops.cc" "src/CMakeFiles/starburst_exec.dir/exec/join_ops.cc.o" "gcc" "src/CMakeFiles/starburst_exec.dir/exec/join_ops.cc.o.d"
+  "/root/repo/src/exec/plan_refiner.cc" "src/CMakeFiles/starburst_exec.dir/exec/plan_refiner.cc.o" "gcc" "src/CMakeFiles/starburst_exec.dir/exec/plan_refiner.cc.o.d"
+  "/root/repo/src/exec/recursive_ops.cc" "src/CMakeFiles/starburst_exec.dir/exec/recursive_ops.cc.o" "gcc" "src/CMakeFiles/starburst_exec.dir/exec/recursive_ops.cc.o.d"
+  "/root/repo/src/exec/scan_ops.cc" "src/CMakeFiles/starburst_exec.dir/exec/scan_ops.cc.o" "gcc" "src/CMakeFiles/starburst_exec.dir/exec/scan_ops.cc.o.d"
+  "/root/repo/src/exec/setop_ops.cc" "src/CMakeFiles/starburst_exec.dir/exec/setop_ops.cc.o" "gcc" "src/CMakeFiles/starburst_exec.dir/exec/setop_ops.cc.o.d"
+  "/root/repo/src/exec/sort_ops.cc" "src/CMakeFiles/starburst_exec.dir/exec/sort_ops.cc.o" "gcc" "src/CMakeFiles/starburst_exec.dir/exec/sort_ops.cc.o.d"
+  "/root/repo/src/exec/stream.cc" "src/CMakeFiles/starburst_exec.dir/exec/stream.cc.o" "gcc" "src/CMakeFiles/starburst_exec.dir/exec/stream.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/starburst_optimizer.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/starburst_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/starburst_qgm.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/starburst_parser.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/starburst_catalog.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/starburst_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/starburst_exec.dir/exec/agg_ops.cc.o"
+  "CMakeFiles/starburst_exec.dir/exec/agg_ops.cc.o.d"
+  "CMakeFiles/starburst_exec.dir/exec/executor.cc.o"
+  "CMakeFiles/starburst_exec.dir/exec/executor.cc.o.d"
+  "CMakeFiles/starburst_exec.dir/exec/expr_eval.cc.o"
+  "CMakeFiles/starburst_exec.dir/exec/expr_eval.cc.o.d"
+  "CMakeFiles/starburst_exec.dir/exec/filter_ops.cc.o"
+  "CMakeFiles/starburst_exec.dir/exec/filter_ops.cc.o.d"
+  "CMakeFiles/starburst_exec.dir/exec/join_ops.cc.o"
+  "CMakeFiles/starburst_exec.dir/exec/join_ops.cc.o.d"
+  "CMakeFiles/starburst_exec.dir/exec/plan_refiner.cc.o"
+  "CMakeFiles/starburst_exec.dir/exec/plan_refiner.cc.o.d"
+  "CMakeFiles/starburst_exec.dir/exec/recursive_ops.cc.o"
+  "CMakeFiles/starburst_exec.dir/exec/recursive_ops.cc.o.d"
+  "CMakeFiles/starburst_exec.dir/exec/scan_ops.cc.o"
+  "CMakeFiles/starburst_exec.dir/exec/scan_ops.cc.o.d"
+  "CMakeFiles/starburst_exec.dir/exec/setop_ops.cc.o"
+  "CMakeFiles/starburst_exec.dir/exec/setop_ops.cc.o.d"
+  "CMakeFiles/starburst_exec.dir/exec/sort_ops.cc.o"
+  "CMakeFiles/starburst_exec.dir/exec/sort_ops.cc.o.d"
+  "CMakeFiles/starburst_exec.dir/exec/stream.cc.o"
+  "CMakeFiles/starburst_exec.dir/exec/stream.cc.o.d"
+  "libstarburst_exec.a"
+  "libstarburst_exec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/starburst_exec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ext/majority.cc" "src/CMakeFiles/starburst_ext.dir/ext/majority.cc.o" "gcc" "src/CMakeFiles/starburst_ext.dir/ext/majority.cc.o.d"
+  "/root/repo/src/ext/outer_join.cc" "src/CMakeFiles/starburst_ext.dir/ext/outer_join.cc.o" "gcc" "src/CMakeFiles/starburst_ext.dir/ext/outer_join.cc.o.d"
+  "/root/repo/src/ext/sample_function.cc" "src/CMakeFiles/starburst_ext.dir/ext/sample_function.cc.o" "gcc" "src/CMakeFiles/starburst_ext.dir/ext/sample_function.cc.o.d"
+  "/root/repo/src/ext/spatial.cc" "src/CMakeFiles/starburst_ext.dir/ext/spatial.cc.o" "gcc" "src/CMakeFiles/starburst_ext.dir/ext/spatial.cc.o.d"
+  "/root/repo/src/ext/statistics_functions.cc" "src/CMakeFiles/starburst_ext.dir/ext/statistics_functions.cc.o" "gcc" "src/CMakeFiles/starburst_ext.dir/ext/statistics_functions.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/starburst_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/starburst_exec.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/starburst_optimizer.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/starburst_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/starburst_rewrite.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/starburst_qgm.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/starburst_parser.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/starburst_catalog.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/starburst_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/starburst_ext.dir/ext/majority.cc.o"
+  "CMakeFiles/starburst_ext.dir/ext/majority.cc.o.d"
+  "CMakeFiles/starburst_ext.dir/ext/outer_join.cc.o"
+  "CMakeFiles/starburst_ext.dir/ext/outer_join.cc.o.d"
+  "CMakeFiles/starburst_ext.dir/ext/sample_function.cc.o"
+  "CMakeFiles/starburst_ext.dir/ext/sample_function.cc.o.d"
+  "CMakeFiles/starburst_ext.dir/ext/spatial.cc.o"
+  "CMakeFiles/starburst_ext.dir/ext/spatial.cc.o.d"
+  "CMakeFiles/starburst_ext.dir/ext/statistics_functions.cc.o"
+  "CMakeFiles/starburst_ext.dir/ext/statistics_functions.cc.o.d"
+  "libstarburst_ext.a"
+  "libstarburst_ext.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/starburst_ext.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/optimizer/cost_model.cc" "src/CMakeFiles/starburst_optimizer.dir/optimizer/cost_model.cc.o" "gcc" "src/CMakeFiles/starburst_optimizer.dir/optimizer/cost_model.cc.o.d"
+  "/root/repo/src/optimizer/join_enumerator.cc" "src/CMakeFiles/starburst_optimizer.dir/optimizer/join_enumerator.cc.o" "gcc" "src/CMakeFiles/starburst_optimizer.dir/optimizer/join_enumerator.cc.o.d"
+  "/root/repo/src/optimizer/optimizer.cc" "src/CMakeFiles/starburst_optimizer.dir/optimizer/optimizer.cc.o" "gcc" "src/CMakeFiles/starburst_optimizer.dir/optimizer/optimizer.cc.o.d"
+  "/root/repo/src/optimizer/plan.cc" "src/CMakeFiles/starburst_optimizer.dir/optimizer/plan.cc.o" "gcc" "src/CMakeFiles/starburst_optimizer.dir/optimizer/plan.cc.o.d"
+  "/root/repo/src/optimizer/star.cc" "src/CMakeFiles/starburst_optimizer.dir/optimizer/star.cc.o" "gcc" "src/CMakeFiles/starburst_optimizer.dir/optimizer/star.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/starburst_qgm.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/starburst_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/starburst_parser.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/starburst_catalog.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/starburst_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

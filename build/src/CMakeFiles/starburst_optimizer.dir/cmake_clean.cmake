@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/starburst_optimizer.dir/optimizer/cost_model.cc.o"
+  "CMakeFiles/starburst_optimizer.dir/optimizer/cost_model.cc.o.d"
+  "CMakeFiles/starburst_optimizer.dir/optimizer/join_enumerator.cc.o"
+  "CMakeFiles/starburst_optimizer.dir/optimizer/join_enumerator.cc.o.d"
+  "CMakeFiles/starburst_optimizer.dir/optimizer/optimizer.cc.o"
+  "CMakeFiles/starburst_optimizer.dir/optimizer/optimizer.cc.o.d"
+  "CMakeFiles/starburst_optimizer.dir/optimizer/plan.cc.o"
+  "CMakeFiles/starburst_optimizer.dir/optimizer/plan.cc.o.d"
+  "CMakeFiles/starburst_optimizer.dir/optimizer/star.cc.o"
+  "CMakeFiles/starburst_optimizer.dir/optimizer/star.cc.o.d"
+  "libstarburst_optimizer.a"
+  "libstarburst_optimizer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/starburst_optimizer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/starburst_parser.dir/parser/ast.cc.o"
+  "CMakeFiles/starburst_parser.dir/parser/ast.cc.o.d"
+  "CMakeFiles/starburst_parser.dir/parser/lexer.cc.o"
+  "CMakeFiles/starburst_parser.dir/parser/lexer.cc.o.d"
+  "CMakeFiles/starburst_parser.dir/parser/parser.cc.o"
+  "CMakeFiles/starburst_parser.dir/parser/parser.cc.o.d"
+  "libstarburst_parser.a"
+  "libstarburst_parser.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/starburst_parser.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/qgm/binder.cc" "src/CMakeFiles/starburst_qgm.dir/qgm/binder.cc.o" "gcc" "src/CMakeFiles/starburst_qgm.dir/qgm/binder.cc.o.d"
+  "/root/repo/src/qgm/box.cc" "src/CMakeFiles/starburst_qgm.dir/qgm/box.cc.o" "gcc" "src/CMakeFiles/starburst_qgm.dir/qgm/box.cc.o.d"
+  "/root/repo/src/qgm/expr.cc" "src/CMakeFiles/starburst_qgm.dir/qgm/expr.cc.o" "gcc" "src/CMakeFiles/starburst_qgm.dir/qgm/expr.cc.o.d"
+  "/root/repo/src/qgm/graph.cc" "src/CMakeFiles/starburst_qgm.dir/qgm/graph.cc.o" "gcc" "src/CMakeFiles/starburst_qgm.dir/qgm/graph.cc.o.d"
+  "/root/repo/src/qgm/printer.cc" "src/CMakeFiles/starburst_qgm.dir/qgm/printer.cc.o" "gcc" "src/CMakeFiles/starburst_qgm.dir/qgm/printer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/starburst_parser.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/starburst_catalog.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/starburst_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/starburst_qgm.dir/qgm/binder.cc.o"
+  "CMakeFiles/starburst_qgm.dir/qgm/binder.cc.o.d"
+  "CMakeFiles/starburst_qgm.dir/qgm/box.cc.o"
+  "CMakeFiles/starburst_qgm.dir/qgm/box.cc.o.d"
+  "CMakeFiles/starburst_qgm.dir/qgm/expr.cc.o"
+  "CMakeFiles/starburst_qgm.dir/qgm/expr.cc.o.d"
+  "CMakeFiles/starburst_qgm.dir/qgm/graph.cc.o"
+  "CMakeFiles/starburst_qgm.dir/qgm/graph.cc.o.d"
+  "CMakeFiles/starburst_qgm.dir/qgm/printer.cc.o"
+  "CMakeFiles/starburst_qgm.dir/qgm/printer.cc.o.d"
+  "libstarburst_qgm.a"
+  "libstarburst_qgm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/starburst_qgm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

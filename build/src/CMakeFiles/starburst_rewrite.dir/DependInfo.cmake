@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rewrite/rule_engine.cc" "src/CMakeFiles/starburst_rewrite.dir/rewrite/rule_engine.cc.o" "gcc" "src/CMakeFiles/starburst_rewrite.dir/rewrite/rule_engine.cc.o.d"
+  "/root/repo/src/rewrite/rules/merge_rules.cc" "src/CMakeFiles/starburst_rewrite.dir/rewrite/rules/merge_rules.cc.o" "gcc" "src/CMakeFiles/starburst_rewrite.dir/rewrite/rules/merge_rules.cc.o.d"
+  "/root/repo/src/rewrite/rules/misc_rules.cc" "src/CMakeFiles/starburst_rewrite.dir/rewrite/rules/misc_rules.cc.o" "gcc" "src/CMakeFiles/starburst_rewrite.dir/rewrite/rules/misc_rules.cc.o.d"
+  "/root/repo/src/rewrite/rules/predicate_rules.cc" "src/CMakeFiles/starburst_rewrite.dir/rewrite/rules/predicate_rules.cc.o" "gcc" "src/CMakeFiles/starburst_rewrite.dir/rewrite/rules/predicate_rules.cc.o.d"
+  "/root/repo/src/rewrite/rules/projection_rules.cc" "src/CMakeFiles/starburst_rewrite.dir/rewrite/rules/projection_rules.cc.o" "gcc" "src/CMakeFiles/starburst_rewrite.dir/rewrite/rules/projection_rules.cc.o.d"
+  "/root/repo/src/rewrite/rules/recursion_rules.cc" "src/CMakeFiles/starburst_rewrite.dir/rewrite/rules/recursion_rules.cc.o" "gcc" "src/CMakeFiles/starburst_rewrite.dir/rewrite/rules/recursion_rules.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/starburst_qgm.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/starburst_parser.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/starburst_catalog.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/starburst_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/starburst_rewrite.dir/rewrite/rule_engine.cc.o"
+  "CMakeFiles/starburst_rewrite.dir/rewrite/rule_engine.cc.o.d"
+  "CMakeFiles/starburst_rewrite.dir/rewrite/rules/merge_rules.cc.o"
+  "CMakeFiles/starburst_rewrite.dir/rewrite/rules/merge_rules.cc.o.d"
+  "CMakeFiles/starburst_rewrite.dir/rewrite/rules/misc_rules.cc.o"
+  "CMakeFiles/starburst_rewrite.dir/rewrite/rules/misc_rules.cc.o.d"
+  "CMakeFiles/starburst_rewrite.dir/rewrite/rules/predicate_rules.cc.o"
+  "CMakeFiles/starburst_rewrite.dir/rewrite/rules/predicate_rules.cc.o.d"
+  "CMakeFiles/starburst_rewrite.dir/rewrite/rules/projection_rules.cc.o"
+  "CMakeFiles/starburst_rewrite.dir/rewrite/rules/projection_rules.cc.o.d"
+  "CMakeFiles/starburst_rewrite.dir/rewrite/rules/recursion_rules.cc.o"
+  "CMakeFiles/starburst_rewrite.dir/rewrite/rules/recursion_rules.cc.o.d"
+  "libstarburst_rewrite.a"
+  "libstarburst_rewrite.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/starburst_rewrite.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/storage/attachment.cc" "src/CMakeFiles/starburst_storage.dir/storage/attachment.cc.o" "gcc" "src/CMakeFiles/starburst_storage.dir/storage/attachment.cc.o.d"
+  "/root/repo/src/storage/btree.cc" "src/CMakeFiles/starburst_storage.dir/storage/btree.cc.o" "gcc" "src/CMakeFiles/starburst_storage.dir/storage/btree.cc.o.d"
+  "/root/repo/src/storage/buffer_pool.cc" "src/CMakeFiles/starburst_storage.dir/storage/buffer_pool.cc.o" "gcc" "src/CMakeFiles/starburst_storage.dir/storage/buffer_pool.cc.o.d"
+  "/root/repo/src/storage/fixed_storage.cc" "src/CMakeFiles/starburst_storage.dir/storage/fixed_storage.cc.o" "gcc" "src/CMakeFiles/starburst_storage.dir/storage/fixed_storage.cc.o.d"
+  "/root/repo/src/storage/heap_storage.cc" "src/CMakeFiles/starburst_storage.dir/storage/heap_storage.cc.o" "gcc" "src/CMakeFiles/starburst_storage.dir/storage/heap_storage.cc.o.d"
+  "/root/repo/src/storage/page.cc" "src/CMakeFiles/starburst_storage.dir/storage/page.cc.o" "gcc" "src/CMakeFiles/starburst_storage.dir/storage/page.cc.o.d"
+  "/root/repo/src/storage/record_codec.cc" "src/CMakeFiles/starburst_storage.dir/storage/record_codec.cc.o" "gcc" "src/CMakeFiles/starburst_storage.dir/storage/record_codec.cc.o.d"
+  "/root/repo/src/storage/rtree.cc" "src/CMakeFiles/starburst_storage.dir/storage/rtree.cc.o" "gcc" "src/CMakeFiles/starburst_storage.dir/storage/rtree.cc.o.d"
+  "/root/repo/src/storage/storage_engine.cc" "src/CMakeFiles/starburst_storage.dir/storage/storage_engine.cc.o" "gcc" "src/CMakeFiles/starburst_storage.dir/storage/storage_engine.cc.o.d"
+  "/root/repo/src/storage/storage_manager.cc" "src/CMakeFiles/starburst_storage.dir/storage/storage_manager.cc.o" "gcc" "src/CMakeFiles/starburst_storage.dir/storage/storage_manager.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/starburst_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/starburst_catalog.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/starburst_storage.dir/storage/attachment.cc.o"
+  "CMakeFiles/starburst_storage.dir/storage/attachment.cc.o.d"
+  "CMakeFiles/starburst_storage.dir/storage/btree.cc.o"
+  "CMakeFiles/starburst_storage.dir/storage/btree.cc.o.d"
+  "CMakeFiles/starburst_storage.dir/storage/buffer_pool.cc.o"
+  "CMakeFiles/starburst_storage.dir/storage/buffer_pool.cc.o.d"
+  "CMakeFiles/starburst_storage.dir/storage/fixed_storage.cc.o"
+  "CMakeFiles/starburst_storage.dir/storage/fixed_storage.cc.o.d"
+  "CMakeFiles/starburst_storage.dir/storage/heap_storage.cc.o"
+  "CMakeFiles/starburst_storage.dir/storage/heap_storage.cc.o.d"
+  "CMakeFiles/starburst_storage.dir/storage/page.cc.o"
+  "CMakeFiles/starburst_storage.dir/storage/page.cc.o.d"
+  "CMakeFiles/starburst_storage.dir/storage/record_codec.cc.o"
+  "CMakeFiles/starburst_storage.dir/storage/record_codec.cc.o.d"
+  "CMakeFiles/starburst_storage.dir/storage/rtree.cc.o"
+  "CMakeFiles/starburst_storage.dir/storage/rtree.cc.o.d"
+  "CMakeFiles/starburst_storage.dir/storage/storage_engine.cc.o"
+  "CMakeFiles/starburst_storage.dir/storage/storage_engine.cc.o.d"
+  "CMakeFiles/starburst_storage.dir/storage/storage_manager.cc.o"
+  "CMakeFiles/starburst_storage.dir/storage/storage_manager.cc.o.d"
+  "libstarburst_storage.a"
+  "libstarburst_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/starburst_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

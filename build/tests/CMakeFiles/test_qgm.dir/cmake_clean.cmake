@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_qgm.dir/test_qgm.cc.o"
+  "CMakeFiles/test_qgm.dir/test_qgm.cc.o.d"
+  "test_qgm"
+  "test_qgm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_qgm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for test_qgm.
+# This may be replaced when dependencies are built.

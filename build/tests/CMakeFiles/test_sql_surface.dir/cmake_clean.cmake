@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sql_surface.dir/test_sql_surface.cc.o"
+  "CMakeFiles/test_sql_surface.dir/test_sql_surface.cc.o.d"
+  "test_sql_surface"
+  "test_sql_surface.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sql_surface.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
