@@ -18,6 +18,7 @@ set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/build/src/CMakeFiles/starburst_exec.dir/DependInfo.cmake"
   "/root/repo/build/src/CMakeFiles/starburst_optimizer.dir/DependInfo.cmake"
   "/root/repo/build/src/CMakeFiles/starburst_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/starburst_obs.dir/DependInfo.cmake"
   "/root/repo/build/src/CMakeFiles/starburst_rewrite.dir/DependInfo.cmake"
   "/root/repo/build/src/CMakeFiles/starburst_qgm.dir/DependInfo.cmake"
   "/root/repo/build/src/CMakeFiles/starburst_parser.dir/DependInfo.cmake"

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_trace_overhead.dir/bench_trace_overhead.cc.o"
+  "CMakeFiles/bench_trace_overhead.dir/bench_trace_overhead.cc.o.d"
+  "bench_trace_overhead"
+  "bench_trace_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_trace_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -226,6 +226,8 @@ examples/CMakeFiles/example_paper_query.dir/paper_query.cc.o: \
  /usr/include/c++/12/set /usr/include/c++/12/bits/stl_set.h \
  /usr/include/c++/12/bits/stl_multiset.h /root/repo/src/exec/operators.h \
  /root/repo/src/exec/expr_eval.h /root/repo/src/exec/stream.h \
+ /root/repo/src/obs/op_stats.h /usr/include/c++/12/deque \
+ /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
  /root/repo/src/qgm/box.h /root/repo/src/qgm/expr.h \
  /root/repo/src/parser/ast.h /root/repo/src/storage/storage_engine.h \
  /root/repo/src/storage/attachment.h /root/repo/src/storage/btree.h \
@@ -237,8 +239,16 @@ examples/CMakeFiles/example_paper_query.dir/paper_query.cc.o: \
  /root/repo/src/optimizer/optimizer.h \
  /root/repo/src/optimizer/cost_model.h \
  /root/repo/src/optimizer/join_enumerator.h \
- /root/repo/src/optimizer/star.h /root/repo/src/rewrite/rule_engine.h \
- /usr/include/c++/12/random /usr/include/c++/12/cmath /usr/include/math.h \
+ /root/repo/src/optimizer/star.h /root/repo/src/obs/trace.h \
+ /usr/include/c++/12/atomic /usr/include/c++/12/chrono \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /usr/include/c++/12/limits /usr/include/c++/12/ctime \
+ /usr/include/c++/12/sstream /usr/include/c++/12/istream \
+ /usr/include/c++/12/bits/istream.tcc \
+ /usr/include/c++/12/bits/sstream.tcc /usr/include/c++/12/mutex \
+ /usr/include/c++/12/bits/unique_lock.h \
+ /root/repo/src/rewrite/rule_engine.h /usr/include/c++/12/random \
+ /usr/include/c++/12/cmath /usr/include/math.h \
  /usr/include/x86_64-linux-gnu/bits/math-vector.h \
  /usr/include/x86_64-linux-gnu/bits/libm-simd-decl-stubs.h \
  /usr/include/x86_64-linux-gnu/bits/flt-eval-method.h \
@@ -248,8 +258,7 @@ examples/CMakeFiles/example_paper_query.dir/paper_query.cc.o: \
  /usr/include/x86_64-linux-gnu/bits/mathcalls.h \
  /usr/include/x86_64-linux-gnu/bits/mathcalls-narrow.h \
  /usr/include/x86_64-linux-gnu/bits/iscanonical.h \
- /usr/include/c++/12/bits/specfun.h /usr/include/c++/12/limits \
- /usr/include/c++/12/tr1/gamma.tcc \
+ /usr/include/c++/12/bits/specfun.h /usr/include/c++/12/tr1/gamma.tcc \
  /usr/include/c++/12/tr1/special_function_util.h \
  /usr/include/c++/12/tr1/bessel_function.tcc \
  /usr/include/c++/12/tr1/beta_function.tcc \

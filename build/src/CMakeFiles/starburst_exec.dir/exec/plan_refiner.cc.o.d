@@ -219,6 +219,8 @@ src/CMakeFiles/starburst_exec.dir/exec/plan_refiner.cc.o: \
  /usr/include/c++/12/bits/parse_numbers.h /root/repo/src/common/status.h \
  /root/repo/src/common/row.h /usr/include/c++/12/cstddef \
  /root/repo/src/common/value.h /root/repo/src/common/datatype.h \
+ /root/repo/src/obs/op_stats.h /usr/include/c++/12/deque \
+ /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
  /root/repo/src/qgm/box.h /root/repo/src/catalog/catalog.h \
  /root/repo/src/catalog/function_registry.h \
  /root/repo/src/catalog/schema.h /usr/include/c++/12/optional \

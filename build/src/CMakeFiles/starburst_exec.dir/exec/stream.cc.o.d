@@ -216,8 +216,10 @@ src/CMakeFiles/starburst_exec.dir/exec/stream.cc.o: \
  /usr/include/c++/12/bits/stl_algo.h \
  /usr/include/c++/12/bits/algorithmfwd.h \
  /usr/include/c++/12/bits/stl_heap.h \
- /usr/include/c++/12/bits/uniform_int_dist.h /root/repo/src/qgm/box.h \
- /root/repo/src/catalog/catalog.h \
+ /usr/include/c++/12/bits/uniform_int_dist.h \
+ /root/repo/src/obs/op_stats.h /usr/include/c++/12/deque \
+ /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
+ /root/repo/src/qgm/box.h /root/repo/src/catalog/catalog.h \
  /root/repo/src/catalog/function_registry.h \
  /root/repo/src/catalog/schema.h /usr/include/c++/12/optional \
  /root/repo/src/catalog/statistics.h /root/repo/src/qgm/expr.h \
@@ -229,4 +231,11 @@ src/CMakeFiles/starburst_exec.dir/exec/stream.cc.o: \
  /usr/include/string.h /usr/include/strings.h \
  /root/repo/src/storage/buffer_pool.h /usr/include/c++/12/list \
  /usr/include/c++/12/bits/stl_list.h /usr/include/c++/12/bits/list.tcc \
- /root/repo/src/storage/storage_manager.h
+ /root/repo/src/storage/storage_manager.h /root/repo/src/obs/trace.h \
+ /usr/include/c++/12/atomic /usr/include/c++/12/chrono \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /usr/include/c++/12/limits /usr/include/c++/12/ctime \
+ /usr/include/c++/12/sstream /usr/include/c++/12/istream \
+ /usr/include/c++/12/bits/istream.tcc \
+ /usr/include/c++/12/bits/sstream.tcc /usr/include/c++/12/mutex \
+ /usr/include/c++/12/bits/unique_lock.h

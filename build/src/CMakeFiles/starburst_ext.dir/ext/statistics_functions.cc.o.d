@@ -249,6 +249,8 @@ src/CMakeFiles/starburst_ext.dir/ext/statistics_functions.cc.o: \
  /usr/include/c++/12/set /usr/include/c++/12/bits/stl_set.h \
  /usr/include/c++/12/bits/stl_multiset.h /root/repo/src/exec/operators.h \
  /root/repo/src/exec/expr_eval.h /root/repo/src/exec/stream.h \
+ /root/repo/src/obs/op_stats.h /usr/include/c++/12/deque \
+ /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
  /root/repo/src/qgm/box.h /root/repo/src/qgm/expr.h \
  /root/repo/src/parser/ast.h /root/repo/src/storage/storage_engine.h \
  /root/repo/src/storage/attachment.h /root/repo/src/storage/btree.h \
@@ -260,8 +262,15 @@ src/CMakeFiles/starburst_ext.dir/ext/statistics_functions.cc.o: \
  /root/repo/src/optimizer/optimizer.h \
  /root/repo/src/optimizer/cost_model.h \
  /root/repo/src/optimizer/join_enumerator.h \
- /root/repo/src/optimizer/star.h /root/repo/src/rewrite/rule_engine.h \
- /usr/include/c++/12/random /usr/include/c++/12/bits/random.h \
+ /root/repo/src/optimizer/star.h /root/repo/src/obs/trace.h \
+ /usr/include/c++/12/atomic /usr/include/c++/12/chrono \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /usr/include/c++/12/ctime /usr/include/c++/12/sstream \
+ /usr/include/c++/12/istream /usr/include/c++/12/bits/istream.tcc \
+ /usr/include/c++/12/bits/sstream.tcc /usr/include/c++/12/mutex \
+ /usr/include/c++/12/bits/unique_lock.h \
+ /root/repo/src/rewrite/rule_engine.h /usr/include/c++/12/random \
+ /usr/include/c++/12/bits/random.h \
  /usr/include/x86_64-linux-gnu/c++/12/bits/opt_random.h \
  /usr/include/c++/12/bits/random.tcc /usr/include/c++/12/numeric \
  /usr/include/c++/12/bits/stl_numeric.h \

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/starburst_obs.dir/obs/op_stats.cc.o"
+  "CMakeFiles/starburst_obs.dir/obs/op_stats.cc.o.d"
+  "CMakeFiles/starburst_obs.dir/obs/trace.cc.o"
+  "CMakeFiles/starburst_obs.dir/obs/trace.cc.o.d"
+  "libstarburst_obs.a"
+  "libstarburst_obs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/starburst_obs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

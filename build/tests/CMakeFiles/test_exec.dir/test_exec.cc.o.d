@@ -301,7 +301,9 @@ tests/CMakeFiles/test_exec.dir/test_exec.cc.o: \
  /root/repo/src/catalog/statistics.h /root/repo/src/engine/result_set.h \
  /root/repo/src/exec/executor.h /root/repo/src/exec/plan_refiner.h \
  /root/repo/src/exec/operators.h /root/repo/src/exec/expr_eval.h \
- /root/repo/src/exec/stream.h /root/repo/src/qgm/box.h \
+ /root/repo/src/exec/stream.h /root/repo/src/obs/op_stats.h \
+ /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
+ /usr/include/c++/12/bits/deque.tcc /root/repo/src/qgm/box.h \
  /root/repo/src/qgm/expr.h /root/repo/src/parser/ast.h \
  /root/repo/src/storage/storage_engine.h \
  /root/repo/src/storage/attachment.h /root/repo/src/storage/btree.h \
@@ -312,8 +314,12 @@ tests/CMakeFiles/test_exec.dir/test_exec.cc.o: \
  /root/repo/src/optimizer/optimizer.h \
  /root/repo/src/optimizer/cost_model.h \
  /root/repo/src/optimizer/join_enumerator.h \
- /root/repo/src/optimizer/star.h /root/repo/src/rewrite/rule_engine.h \
- /usr/include/c++/12/random /usr/include/c++/12/cmath /usr/include/math.h \
+ /root/repo/src/optimizer/star.h /root/repo/src/obs/trace.h \
+ /usr/include/c++/12/chrono /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /usr/include/c++/12/mutex \
+ /usr/include/c++/12/bits/unique_lock.h \
+ /root/repo/src/rewrite/rule_engine.h /usr/include/c++/12/random \
+ /usr/include/c++/12/cmath /usr/include/math.h \
  /usr/include/x86_64-linux-gnu/bits/math-vector.h \
  /usr/include/x86_64-linux-gnu/bits/libm-simd-decl-stubs.h \
  /usr/include/x86_64-linux-gnu/bits/flt-eval-method.h \

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_observability.cc" "tests/CMakeFiles/test_observability.dir/test_observability.cc.o" "gcc" "tests/CMakeFiles/test_observability.dir/test_observability.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/starburst_ext.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/starburst_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/starburst_exec.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/starburst_optimizer.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/starburst_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/starburst_obs.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/starburst_rewrite.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/starburst_qgm.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/starburst_parser.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/starburst_catalog.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/starburst_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_observability.dir/test_observability.cc.o"
+  "CMakeFiles/test_observability.dir/test_observability.cc.o.d"
+  "test_observability"
+  "test_observability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_observability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

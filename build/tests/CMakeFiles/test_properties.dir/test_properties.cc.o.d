@@ -328,7 +328,9 @@ tests/CMakeFiles/test_properties.dir/test_properties.cc.o: \
  /root/repo/src/catalog/statistics.h /root/repo/src/engine/result_set.h \
  /root/repo/src/exec/executor.h /root/repo/src/exec/plan_refiner.h \
  /root/repo/src/exec/operators.h /root/repo/src/exec/expr_eval.h \
- /root/repo/src/exec/stream.h /root/repo/src/qgm/box.h \
+ /root/repo/src/exec/stream.h /root/repo/src/obs/op_stats.h \
+ /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
+ /usr/include/c++/12/bits/deque.tcc /root/repo/src/qgm/box.h \
  /root/repo/src/qgm/expr.h /root/repo/src/parser/ast.h \
  /root/repo/src/storage/storage_engine.h \
  /root/repo/src/storage/attachment.h /root/repo/src/storage/btree.h \
@@ -339,5 +341,9 @@ tests/CMakeFiles/test_properties.dir/test_properties.cc.o: \
  /root/repo/src/optimizer/optimizer.h \
  /root/repo/src/optimizer/cost_model.h \
  /root/repo/src/optimizer/join_enumerator.h \
- /root/repo/src/optimizer/star.h /root/repo/src/rewrite/rule_engine.h \
- /root/repo/src/ext/extensions.h /root/repo/src/storage/rtree.h
+ /root/repo/src/optimizer/star.h /root/repo/src/obs/trace.h \
+ /usr/include/c++/12/chrono /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /usr/include/c++/12/mutex \
+ /usr/include/c++/12/bits/unique_lock.h \
+ /root/repo/src/rewrite/rule_engine.h /root/repo/src/ext/extensions.h \
+ /root/repo/src/storage/rtree.h

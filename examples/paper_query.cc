@@ -28,6 +28,11 @@ void Show(Database& db, const std::string& sql, const char* title) {
   if (!result->rows().empty() && result->column_names().size() == 1 &&
       result->column_names()[0] == "plan") {
     std::printf("%s\n", result->rows()[0][0].string_value().c_str());
+  } else if (!result->rows().empty() && result->column_names().size() == 1 &&
+             result->column_names()[0] == "EXPLAIN") {
+    for (const starburst::Row& r : result->rows()) {
+      std::printf("%s\n", r[0].string_value().c_str());
+    }
   } else {
     std::printf("%s\n", result->ToString().c_str());
   }
@@ -67,6 +72,11 @@ int main() {
 
   Show(db, std::string("EXPLAIN PLAN ") + kPaperQuery,
        "Chosen query evaluation plan (LOLEPOPs)");
+
+  // The observability surface: estimates beside actuals, with the rule
+  // firings that produced Figure 2(b).
+  Show(db, std::string("EXPLAIN ANALYZE ") + kPaperQuery,
+       "EXPLAIN ANALYZE: rule firings + actual vs estimated rows/time");
 
   Show(db, kPaperQuery, "Result");
   return 0;

@@ -1,13 +1,17 @@
 // An interactive Hydrogen shell over the embedded engine — the artifact a
 // downstream user reaches for first. Reads ';'-terminated statements from
-// stdin; `\timing` toggles the Figure-1 phase report, `\q` quits.
+// stdin; `\timing` toggles the Figure-1 phase report, `\trace` (or
+// `.trace`) drives the span recorder, `\q` quits.
 //
 //   ./example_repl            # interactive
 //   ./example_repl < file.sql # batch
 
 #include <cstdio>
+#include <fstream>
 #include <iostream>
+#include <sstream>
 #include <string>
+#include <vector>
 
 #include "engine/database.h"
 #include "ext/extensions.h"
@@ -16,6 +20,73 @@ using starburst::Database;
 using starburst::Result;
 using starburst::ResultSet;
 
+namespace {
+
+/// Handles one meta command (without its leading '\' or '.'); returns
+/// false for \q.
+bool RunMetaCommand(const std::string& cmd, Database* db, bool* timing) {
+  std::istringstream in(cmd);
+  std::string word, arg1, arg2;
+  in >> word >> arg1 >> arg2;
+  if (word == "q" || word == "quit") return false;
+  if (word == "timing") {
+    *timing = !*timing;
+    // Per-operator stats power the top-operators report; collect them
+    // only while timing is on.
+    db->options().collect_op_stats = *timing;
+    std::printf("timing %s\n", *timing ? "on" : "off");
+    return true;
+  }
+  if (word == "trace") {
+    if (arg1 == "on" || arg1 == "off") {
+      db->tracer().set_enabled(arg1 == "on");
+      if (arg1 == "on") db->tracer().Clear();
+      std::printf("trace %s\n", arg1.c_str());
+    } else if (arg1 == "show") {
+      std::printf("%s", db->tracer().ToText().c_str());
+    } else if (arg1 == "export" && !arg2.empty()) {
+      std::ofstream out(arg2);
+      if (!out) {
+        std::printf("cannot open %s\n", arg2.c_str());
+      } else {
+        out << db->tracer().ToChromeJson();
+        std::printf("trace written to %s (load in chrome://tracing or "
+                    "ui.perfetto.dev)\n", arg2.c_str());
+      }
+    } else {
+      std::printf("usage: \\trace on|off|show|export <file>\n");
+    }
+    return true;
+  }
+  std::printf("unknown meta command: %s\n", cmd.c_str());
+  return true;
+}
+
+void PrintTimingReport(const Database& db) {
+  const starburst::QueryMetrics& m = db.last_metrics();
+  std::printf("parse %.0f | bind %.0f | rewrite %.0f | optimize %.0f | "
+              "refine %.0f | execute %.0f (us)\n",
+              m.parse_us, m.bind_us, m.rewrite_us, m.optimize_us,
+              m.refine_us, m.execute_us);
+  for (const auto& f : m.rewrite_stats.firings) {
+    std::printf("  rule %s box=%s [id=%d] pass=%d\n", f.rule.c_str(),
+                f.box_label.c_str(), f.box_id, f.pass);
+  }
+  if (m.op_stats != nullptr) {
+    std::vector<const starburst::obs::PlanStatsTree::Node*> top =
+        m.op_stats->TopBySelfTime(3);
+    for (size_t i = 0; i < top.size(); ++i) {
+      std::printf("  top op %zu: %s — self %.1f us, %llu rows, %llu loops\n",
+                  i + 1, top[i]->name.c_str(),
+                  starburst::obs::PlanStatsTree::SelfUs(*top[i]),
+                  static_cast<unsigned long long>(top[i]->actual.rows_out),
+                  static_cast<unsigned long long>(top[i]->actual.opens));
+    }
+  }
+}
+
+}  // namespace
+
 int main() {
   Database db;
   (void)starburst::ext::RegisterAllExtensions(&db);
@@ -23,7 +94,8 @@ int main() {
   bool tty = true;
 
   std::printf("Starburst/Corona shell — Hydrogen statements end with ';'\n"
-              "meta: \\timing toggles phase timings, \\q quits\n");
+              "meta: \\timing toggles phase timings, \\trace on|off|show|"
+              "export <file> drives the tracer, \\q quits\n");
 
   std::string buffer;
   std::string line;
@@ -31,14 +103,9 @@ int main() {
     if (tty) std::printf(buffer.empty() ? "starburst> " : "      ...> ");
     if (!std::getline(std::cin, line)) break;
 
-    if (buffer.empty() && !line.empty() && line[0] == '\\') {
-      if (line == "\\q" || line == "\\quit") break;
-      if (line == "\\timing") {
-        timing = !timing;
-        std::printf("timing %s\n", timing ? "on" : "off");
-      } else {
-        std::printf("unknown meta command: %s\n", line.c_str());
-      }
+    if (buffer.empty() && !line.empty() &&
+        (line[0] == '\\' || line[0] == '.')) {
+      if (!RunMetaCommand(line.substr(1), &db, &timing)) break;
       continue;
     }
 
@@ -57,16 +124,16 @@ int main() {
     if (!result->rows().empty() && result->column_names().size() == 1 &&
         result->column_names()[0] == "plan") {
       std::printf("%s", result->rows()[0][0].string_value().c_str());
+    } else if (!result->rows().empty() && result->column_names().size() == 1 &&
+               result->column_names()[0] == "EXPLAIN") {
+      // EXPLAIN ANALYZE report: one line per row, rendered verbatim.
+      for (const starburst::Row& r : result->rows()) {
+        std::printf("%s\n", r[0].string_value().c_str());
+      }
     } else {
       std::printf("%s", result->ToString().c_str());
     }
-    if (timing) {
-      const starburst::QueryMetrics& m = db.last_metrics();
-      std::printf("parse %.0f | bind %.0f | rewrite %.0f | optimize %.0f | "
-                  "refine %.0f | execute %.0f (us)\n",
-                  m.parse_us, m.bind_us, m.rewrite_us, m.optimize_us,
-                  m.refine_us, m.execute_us);
-    }
+    if (timing) PrintTimingReport(db);
   }
   return 0;
 }

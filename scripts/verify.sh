@@ -1,0 +1,50 @@
+#!/usr/bin/env bash
+# Full verification: tier-1 build + tests, then the same suite under
+# AddressSanitizer + UndefinedBehaviorSanitizer.
+#
+#   scripts/verify.sh            # tier-1 + sanitize
+#   scripts/verify.sh --fast     # tier-1 only
+#
+# Uses CMake presets when available (cmake >= 3.21); falls back to
+# plain -D flags otherwise.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+JOBS="${JOBS:-4}"
+FAST=0
+[[ "${1:-}" == "--fast" ]] && FAST=1
+
+# Probe must be read-only: never use `--preset ... --fresh` here, which
+# deletes the build cache as a side effect.
+have_presets() {
+  cmake --list-presets >/dev/null 2>&1
+}
+
+echo "== tier-1: configure + build + ctest =="
+if have_presets; then
+  cmake --preset default
+  cmake --build --preset default -j "$JOBS"
+  ctest --preset default -j "$JOBS"
+else
+  cmake -B build -S .
+  cmake --build build -j "$JOBS"
+  (cd build && ctest --output-on-failure -j "$JOBS")
+fi
+
+if [[ "$FAST" == "1" ]]; then
+  echo "== done (fast mode: sanitize skipped) =="
+  exit 0
+fi
+
+echo "== sanitize: ASan+UBSan build + ctest =="
+if have_presets; then
+  cmake --preset sanitize
+  cmake --build --preset sanitize -j "$JOBS"
+  ctest --preset sanitize -j "$JOBS"
+else
+  cmake -B build-sanitize -S . -DSTARBURST_SANITIZE=ON
+  cmake --build build-sanitize -j "$JOBS"
+  (cd build-sanitize && ctest --output-on-failure -j "$JOBS")
+fi
+
+echo "== verify OK =="

@@ -42,10 +42,15 @@ Status Database::RegisterStar(optimizer::Star star) {
 
 Result<ResultSet> Database::Execute(const std::string& sql) {
   metrics_ = QueryMetrics{};
+  obs::Span statement_span(&tracer_, "statement", "query");
+  statement_span.AddArg("sql",
+                        sql.size() > 120 ? sql.substr(0, 117) + "..." : sql);
+  obs::Span parse_span(&tracer_, "parse", "phase");
   Timer parse_timer;
   Parser parser(sql);
   STARBURST_ASSIGN_OR_RETURN(ast::StatementPtr stmt, parser.ParseStatement());
   metrics_.parse_us = parse_timer.ElapsedUs();
+  parse_span.End();
   return ExecuteStatement(*stmt);
 }
 
@@ -118,21 +123,41 @@ Result<ResultSet> Database::ExecuteStatement(const ast::Statement& stmt) {
 // ---------------------------------------------------------------------------
 
 Result<Database::QueryOutput> Database::RunQueryPipeline(
-    const ast::Query& query) {
+    const ast::Query& query, PipelineCapture* capture) {
+  obs::Span bind_span(&tracer_, "bind", "phase");
   Timer bind_timer;
   qgm::Binder binder(&catalog_);
   STARBURST_ASSIGN_OR_RETURN(std::unique_ptr<qgm::Graph> graph,
                              binder.BindQuery(query));
   metrics_.bind_us = bind_timer.ElapsedUs();
+  bind_span.End();
 
   if (options_.rewrite_enabled) {
+    obs::Span rewrite_span(&tracer_, "rewrite", "phase");
     Timer rewrite_timer;
     STARBURST_ASSIGN_OR_RETURN(
         metrics_.rewrite_stats,
         rule_engine_.Run(graph.get(), &catalog_, options_.rewrite));
     metrics_.rewrite_us = rewrite_timer.ElapsedUs();
+    rewrite_span.End();
+    // Replay the rule firings into the trace: one provenance log, two
+    // consumers (EXPLAIN below, timeline here).
+    if (tracer_.enabled()) {
+      for (const rewrite::RuleEngine::Stats::Firing& f :
+           metrics_.rewrite_stats.firings) {
+        tracer_.RecordInstant(
+            "rule " + f.rule, "rewrite", f.at_us,
+            "\"box\":\"" + obs::JsonEscape(f.box_label) +
+                "\",\"box_id\":\"" + std::to_string(f.box_id) +
+                "\",\"pass\":\"" + std::to_string(f.pass) + "\"");
+      }
+    }
+  }
+  if (capture != nullptr && capture->want_texts) {
+    capture->qgm_text = qgm::PrintGraph(*graph);
   }
 
+  obs::Span optimize_span(&tracer_, "optimize", "phase");
   Timer optimize_timer;
   optimizer::Optimizer opt(&catalog_, options_.optimizer);
   for (const optimizer::Star& star : extra_stars_) {
@@ -143,26 +168,57 @@ Result<Database::QueryOutput> Database::RunQueryPipeline(
   metrics_.optimizer_stats = opt.stats();
   metrics_.plan_cost = plan->props.cost;
   metrics_.plan_cardinality = plan->props.cardinality;
+  optimize_span.End();
+  if (capture != nullptr && capture->want_texts) {
+    capture->plan_text = plan->ToString();
+  }
 
+  bool collect_stats = options_.collect_op_stats ||
+                       (capture != nullptr && capture->collect_stats);
+  std::shared_ptr<obs::PlanStatsTree> stats_tree;
+  if (collect_stats) stats_tree = std::make_shared<obs::PlanStatsTree>();
+
+  obs::Span refine_span(&tracer_, "refine", "phase");
   Timer refine_timer;
   exec::PlanRefiner::Options refine_options;
   refine_options.cache_mode = options_.exec.cache_mode;
   refine_options.ship_delay_us = options_.exec.ship_delay_us;
   refine_options.semi_naive_recursion = options_.exec.semi_naive_recursion;
+  refine_options.stats = stats_tree.get();
   exec::PlanRefiner refiner(&catalog_, &opt.box_plans(), refine_options);
   STARBURST_ASSIGN_OR_RETURN(exec::OperatorPtr root, refiner.Refine(plan));
   if (graph->limit >= 0) {
     root = exec::MakeLimitOp(std::move(root), graph->limit);
+    if (stats_tree != nullptr) {
+      obs::PlanStatsTree::Node* limit_node = stats_tree->WrapRoot(
+          "LIMIT " + std::to_string(graph->limit), plan->props.cardinality,
+          plan->props.cost);
+      root->set_stats(&limit_node->actual);
+    }
   }
   metrics_.refine_us = refine_timer.ElapsedUs();
+  refine_span.End();
+  metrics_.op_stats = stats_tree;
 
+  if (capture != nullptr && !capture->execute) {
+    return QueryOutput{};
+  }
+
+  obs::Span exec_span(&tracer_, "execute", "phase");
   Timer exec_timer;
+  StorageEngine::Stats storage_before = storage_.GatherStats();
   exec::ExecContext ctx(&storage_, &catalog_);
   STARBURST_RETURN_IF_ERROR(root->Open(&ctx));
   Result<std::vector<Row>> rows = exec::DrainOperator(root.get());
   root->Close();
   metrics_.execute_us = exec_timer.ElapsedUs();
   metrics_.exec_stats = ctx.stats();
+  StorageEngine::Stats storage_after = storage_.GatherStats();
+  metrics_.buffer_pool =
+      storage_after.buffer_pool.Since(storage_before.buffer_pool);
+  metrics_.index_node_visits =
+      storage_after.index_node_visits - storage_before.index_node_visits;
+  exec_span.End();
   if (!rows.ok()) return rows.status();
 
   QueryOutput out;
@@ -184,7 +240,28 @@ Result<ResultSet> Database::RunSelect(const ast::Query& query) {
   return ResultSet(std::move(out.column_names), std::move(out.rows));
 }
 
+namespace {
+
+/// Splits `text` into one result row per line under `out`.
+void AppendLines(const std::string& text, std::vector<Row>* out) {
+  size_t start = 0;
+  while (start <= text.size()) {
+    size_t end = text.find('\n', start);
+    if (end == std::string::npos) {
+      if (start < text.size()) {
+        out->push_back(Row({Value::String(text.substr(start))}));
+      }
+      break;
+    }
+    out->push_back(Row({Value::String(text.substr(start, end - start))}));
+    start = end + 1;
+  }
+}
+
+}  // namespace
+
 Result<ResultSet> Database::RunExplain(const ast::ExplainStatement& stmt) {
+  if (stmt.analyze || stmt.verbose) return RunExplainReport(stmt);
   qgm::Binder binder(&catalog_);
   STARBURST_ASSIGN_OR_RETURN(std::unique_ptr<qgm::Graph> graph,
                              binder.BindQuery(*stmt.query));
@@ -210,6 +287,83 @@ Result<ResultSet> Database::RunExplain(const ast::ExplainStatement& stmt) {
   std::vector<Row> rows;
   rows.push_back(Row({Value::String(std::move(text))}));
   return ResultSet({"plan"}, std::move(rows));
+}
+
+Result<ResultSet> Database::RunExplainReport(const ast::ExplainStatement& stmt) {
+  PipelineCapture capture;
+  capture.want_texts = true;
+  capture.collect_stats = stmt.analyze;
+  capture.execute = stmt.analyze;
+  STARBURST_ASSIGN_OR_RETURN(QueryOutput out,
+                             RunQueryPipeline(*stmt.query, &capture));
+
+  std::vector<Row> rows;
+  auto line = [&rows](const std::string& s) {
+    rows.push_back(Row({Value::String(s)}));
+  };
+  char buf[256];
+
+  line(options_.rewrite_enabled ? "== QGM (after rewrite) =="
+                                : "== QGM (rewrite disabled) ==");
+  AppendLines(capture.qgm_text, &rows);
+
+  line("== Rewrite rule firings ==");
+  if (!options_.rewrite_enabled) {
+    line("(rewrite disabled)");
+  } else if (metrics_.rewrite_stats.firings.empty()) {
+    line("(no rules fired)");
+  } else {
+    for (const rewrite::RuleEngine::Stats::Firing& f :
+         metrics_.rewrite_stats.firings) {
+      std::snprintf(buf, sizeof(buf), "pass %d: %s box=%s [id=%d]", f.pass,
+                    f.rule.c_str(), f.box_label.c_str(), f.box_id);
+      line(buf);
+    }
+  }
+
+  line("== Plan ==");
+  std::snprintf(buf, sizeof(buf), "estimated cost=%.6g cardinality=%.6g",
+                metrics_.plan_cost, metrics_.plan_cardinality);
+  line(buf);
+  if (stmt.analyze && metrics_.op_stats != nullptr) {
+    AppendLines(metrics_.op_stats->Render(/*with_actuals=*/true), &rows);
+  } else {
+    AppendLines(capture.plan_text, &rows);
+  }
+
+  if (stmt.analyze) {
+    line("== Execution ==");
+    std::snprintf(buf, sizeof(buf), "result rows: %zu", out.rows.size());
+    line(buf);
+    std::snprintf(buf, sizeof(buf),
+                  "phases (us): parse=%.0f bind=%.0f rewrite=%.0f "
+                  "optimize=%.0f refine=%.0f execute=%.0f",
+                  metrics_.parse_us, metrics_.bind_us, metrics_.rewrite_us,
+                  metrics_.optimize_us, metrics_.refine_us,
+                  metrics_.execute_us);
+    line(buf);
+    std::snprintf(buf, sizeof(buf),
+                  "subqueries: %llu evaluations, %llu cache hits",
+                  static_cast<unsigned long long>(
+                      metrics_.exec_stats.subquery_evaluations),
+                  static_cast<unsigned long long>(
+                      metrics_.exec_stats.subquery_cache_hits));
+    line(buf);
+    std::snprintf(
+        buf, sizeof(buf),
+        "buffer pool: %llu logical reads, %llu hits, %llu misses, "
+        "%llu writes (hit rate %.1f%%)",
+        static_cast<unsigned long long>(metrics_.buffer_pool.logical_reads),
+        static_cast<unsigned long long>(metrics_.buffer_pool.cache_hits),
+        static_cast<unsigned long long>(metrics_.buffer_pool.disk_reads),
+        static_cast<unsigned long long>(metrics_.buffer_pool.disk_writes),
+        metrics_.buffer_pool.HitRate() * 100.0);
+    line(buf);
+    std::snprintf(buf, sizeof(buf), "index node visits: %llu",
+                  static_cast<unsigned long long>(metrics_.index_node_visits));
+    line(buf);
+  }
+  return ResultSet({"EXPLAIN"}, std::move(rows));
 }
 
 // ---------------------------------------------------------------------------

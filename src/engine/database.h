@@ -8,6 +8,8 @@
 #include "catalog/catalog.h"
 #include "engine/result_set.h"
 #include "exec/executor.h"
+#include "obs/op_stats.h"
+#include "obs/trace.h"
 #include "optimizer/optimizer.h"
 #include "rewrite/rule_engine.h"
 #include "storage/storage_engine.h"
@@ -28,6 +30,13 @@ struct QueryMetrics {
   exec::ExecStats exec_stats;
   double plan_cost = 0;
   double plan_cardinality = 0;
+  /// Per-operator runtime stats of the last executed plan; set when
+  /// SessionOptions::collect_op_stats is on or EXPLAIN ANALYZE ran.
+  std::shared_ptr<const obs::PlanStatsTree> op_stats;
+  /// Buffer pool activity during the execute phase (counter deltas).
+  BufferPoolStats buffer_pool;
+  /// Attachment node visits during the execute phase (counter delta).
+  uint64_t index_node_visits = 0;
 };
 
 /// The embedded Starburst engine: Corona's language-processing pipeline
@@ -47,6 +56,10 @@ class Database {
     rewrite::RuleEngine::Options rewrite;
     optimizer::Optimizer::Options optimizer;
     exec::Executor::Options exec;
+    /// Collect per-operator runtime stats for every query (EXPLAIN
+    /// ANALYZE collects regardless). Costs two clock reads per operator
+    /// invocation.
+    bool collect_op_stats = false;
   };
 
   explicit Database(size_t buffer_pool_pages = 4096);
@@ -78,10 +91,19 @@ class Database {
   /// Metrics of the most recent statement.
   const QueryMetrics& last_metrics() const { return metrics_; }
 
+  /// The session's span recorder. Disabled by default; once enabled,
+  /// every statement records Figure-1 phase spans and rewrite-rule
+  /// firing instants, exportable as Chrome trace JSON.
+  obs::Tracer& tracer() { return tracer_; }
+  const obs::Tracer& tracer() const { return tracer_; }
+
  private:
   Result<ResultSet> ExecuteStatement(const ast::Statement& stmt);
   Result<ResultSet> RunSelect(const ast::Query& query);
   Result<ResultSet> RunExplain(const ast::ExplainStatement& stmt);
+  /// EXPLAIN ANALYZE / EXPLAIN VERBOSE: the multi-section report
+  /// (QGM, rule firings, annotated plan, execution summary).
+  Result<ResultSet> RunExplainReport(const ast::ExplainStatement& stmt);
   Result<ResultSet> RunCreateTable(const ast::CreateTableStatement& stmt);
   Result<ResultSet> RunCreateIndex(const ast::CreateIndexStatement& stmt);
   Result<ResultSet> RunCreateView(const ast::CreateViewStatement& stmt);
@@ -94,7 +116,18 @@ class Database {
     std::vector<std::string> column_names;
     std::vector<Row> rows;
   };
-  Result<QueryOutput> RunQueryPipeline(const ast::Query& query);
+  /// Extra hooks EXPLAIN [ANALYZE|VERBOSE] threads through the pipeline:
+  /// capture the intermediate texts, force stats collection, and
+  /// optionally stop before execution.
+  struct PipelineCapture {
+    bool want_texts = false;
+    bool collect_stats = false;
+    bool execute = true;
+    std::string qgm_text;   // QGM after rewrite
+    std::string plan_text;  // chosen plan with estimates
+  };
+  Result<QueryOutput> RunQueryPipeline(const ast::Query& query,
+                                       PipelineCapture* capture = nullptr);
 
   /// §2: "Update through views will be allowed when the update is
   /// unambiguous; otherwise an error will be returned." A view is
@@ -126,6 +159,7 @@ class Database {
   std::vector<optimizer::Star> extra_stars_;
   SessionOptions options_;
   QueryMetrics metrics_;
+  obs::Tracer tracer_;
 };
 
 }  // namespace starburst

@@ -23,7 +23,7 @@ class GroupAggOp : public Operator {
       : input_(std::move(input)), group_keys_(std::move(group_keys)),
         aggregates_(std::move(aggregates)), head_(std::move(head)) {}
 
-  Status Open(ExecContext* ctx) override {
+  Status OpenImpl(ExecContext* ctx) override {
     ctx_ = ctx;
     results_.clear();
     pos_ = 0;
@@ -105,14 +105,14 @@ class GroupAggOp : public Operator {
     return Status::OK();
   }
 
-  Result<bool> Next(Row* row) override {
+  Result<bool> NextImpl(Row* row) override {
     if (pos_ >= results_.size()) return false;
     *row = results_[pos_++];
     ++ctx_->stats().rows_emitted;
     return true;
   }
 
-  void Close() override { results_.clear(); }
+  void CloseImpl() override { results_.clear(); }
 
  private:
   OperatorPtr input_;

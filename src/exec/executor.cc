@@ -16,10 +16,17 @@ Result<std::vector<Row>> Executor::Execute(const optimizer::PlanPtr& plan,
   refine_options.cache_mode = options.cache_mode;
   refine_options.ship_delay_us = options.ship_delay_us;
   refine_options.semi_naive_recursion = options.semi_naive_recursion;
+  refine_options.stats = options.stats;
   PlanRefiner refiner(catalog_, &optimizer.box_plans(), refine_options);
   STARBURST_ASSIGN_OR_RETURN(OperatorPtr root, refiner.Refine(plan));
   if (graph.limit >= 0) {
     root = MakeLimitOp(std::move(root), graph.limit);
+    if (options.stats != nullptr) {
+      obs::PlanStatsTree::Node* limit_node = options.stats->WrapRoot(
+          "LIMIT " + std::to_string(graph.limit), plan->props.cardinality,
+          plan->props.cost);
+      root->set_stats(&limit_node->actual);
+    }
   }
 
   ExecContext ctx(storage_, catalog_);

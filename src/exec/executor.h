@@ -14,6 +14,8 @@ class Executor {
     SubqueryCacheMode cache_mode = SubqueryCacheMode::kMemo;
     double ship_delay_us = 0;
     bool semi_naive_recursion = true;
+    /// Optional sink for per-operator runtime stats (EXPLAIN ANALYZE).
+    obs::PlanStatsTree* stats = nullptr;
   };
 
   Executor(StorageEngine* storage, const Catalog* catalog)

@@ -9,12 +9,12 @@ class FilterOp : public Operator {
   FilterOp(OperatorPtr input, std::vector<CompiledExprPtr> predicates)
       : input_(std::move(input)), predicates_(std::move(predicates)) {}
 
-  Status Open(ExecContext* ctx) override {
+  Status OpenImpl(ExecContext* ctx) override {
     ctx_ = ctx;
     return input_->Open(ctx);
   }
 
-  Result<bool> Next(Row* row) override {
+  Result<bool> NextImpl(Row* row) override {
     while (true) {
       STARBURST_ASSIGN_OR_RETURN(bool more, input_->Next(row));
       if (!more) return false;
@@ -30,7 +30,7 @@ class FilterOp : public Operator {
     }
   }
 
-  void Close() override { input_->Close(); }
+  void CloseImpl() override { input_->Close(); }
 
  private:
   OperatorPtr input_;
@@ -48,12 +48,12 @@ class OrRouteOp : public Operator {
             std::vector<std::vector<CompiledExprPtr>> branches)
       : input_(std::move(input)), branches_(std::move(branches)) {}
 
-  Status Open(ExecContext* ctx) override {
+  Status OpenImpl(ExecContext* ctx) override {
     ctx_ = ctx;
     return input_->Open(ctx);
   }
 
-  Result<bool> Next(Row* row) override {
+  Result<bool> NextImpl(Row* row) override {
     while (true) {
       STARBURST_ASSIGN_OR_RETURN(bool more, input_->Next(row));
       if (!more) return false;
@@ -71,7 +71,7 @@ class OrRouteOp : public Operator {
     }
   }
 
-  void Close() override { input_->Close(); }
+  void CloseImpl() override { input_->Close(); }
 
  private:
   OperatorPtr input_;
@@ -84,12 +84,12 @@ class ProjectOp : public Operator {
   ProjectOp(OperatorPtr input, std::vector<CompiledExprPtr> exprs)
       : input_(std::move(input)), exprs_(std::move(exprs)) {}
 
-  Status Open(ExecContext* ctx) override {
+  Status OpenImpl(ExecContext* ctx) override {
     ctx_ = ctx;
     return input_->Open(ctx);
   }
 
-  Result<bool> Next(Row* row) override {
+  Result<bool> NextImpl(Row* row) override {
     Row in;
     STARBURST_ASSIGN_OR_RETURN(bool more, input_->Next(&in));
     if (!more) return false;
@@ -107,7 +107,7 @@ class ProjectOp : public Operator {
     return true;
   }
 
-  void Close() override { input_->Close(); }
+  void CloseImpl() override { input_->Close(); }
 
  private:
   OperatorPtr input_;
@@ -125,7 +125,7 @@ class TempOp : public Operator {
   TempOp(OperatorPtr input, const void* shared_key)
       : input_(std::move(input)), shared_key_(shared_key) {}
 
-  Status Open(ExecContext* ctx) override {
+  Status OpenImpl(ExecContext* ctx) override {
     pos_ = 0;
     if (shared_key_ != nullptr) {
       buffer_ = ctx->SharedTable(shared_key_);
@@ -146,13 +146,13 @@ class TempOp : public Operator {
     return Status::OK();
   }
 
-  Result<bool> Next(Row* row) override {
+  Result<bool> NextImpl(Row* row) override {
     if (pos_ >= buffer_->size()) return false;
     *row = (*buffer_)[pos_++];
     return true;
   }
 
-  void Close() override {}
+  void CloseImpl() override {}
 
  private:
   OperatorPtr input_;
@@ -169,12 +169,12 @@ class ShipOp : public Operator {
   ShipOp(OperatorPtr input, double per_row_delay_us)
       : input_(std::move(input)), per_row_delay_us_(per_row_delay_us) {}
 
-  Status Open(ExecContext* ctx) override {
+  Status OpenImpl(ExecContext* ctx) override {
     ctx_ = ctx;
     return input_->Open(ctx);
   }
 
-  Result<bool> Next(Row* row) override {
+  Result<bool> NextImpl(Row* row) override {
     STARBURST_ASSIGN_OR_RETURN(bool more, input_->Next(row));
     if (more) {
       ++ctx_->stats().shipped_rows;
@@ -191,7 +191,7 @@ class ShipOp : public Operator {
     return more;
   }
 
-  void Close() override { input_->Close(); }
+  void CloseImpl() override { input_->Close(); }
 
  private:
   OperatorPtr input_;
@@ -204,19 +204,19 @@ class LimitOp : public Operator {
   LimitOp(OperatorPtr input, int64_t limit)
       : input_(std::move(input)), limit_(limit) {}
 
-  Status Open(ExecContext* ctx) override {
+  Status OpenImpl(ExecContext* ctx) override {
     produced_ = 0;
     return input_->Open(ctx);
   }
 
-  Result<bool> Next(Row* row) override {
+  Result<bool> NextImpl(Row* row) override {
     if (limit_ >= 0 && produced_ >= limit_) return false;
     STARBURST_ASSIGN_OR_RETURN(bool more, input_->Next(row));
     if (more) ++produced_;
     return more;
   }
 
-  void Close() override { input_->Close(); }
+  void CloseImpl() override { input_->Close(); }
 
  private:
   OperatorPtr input_;

@@ -36,7 +36,7 @@ class NlJoinOp : public Operator {
       : outer_(std::move(outer)), inner_(std::move(inner)),
         spec_(std::move(spec)) {}
 
-  Status Open(ExecContext* ctx) override {
+  Status OpenImpl(ExecContext* ctx) override {
     ctx_ = ctx;
     STARBURST_RETURN_IF_ERROR(outer_->Open(ctx));
     have_outer_ = false;
@@ -44,7 +44,7 @@ class NlJoinOp : public Operator {
     return Status::OK();
   }
 
-  Result<bool> Next(Row* row) override {
+  Result<bool> NextImpl(Row* row) override {
     // Verdict-per-outer-row kinds buffer nothing: each outer row is fully
     // decided against the inner stream before the next is fetched.
     while (true) {
@@ -99,7 +99,7 @@ class NlJoinOp : public Operator {
     }
   }
 
-  void Close() override {
+  void CloseImpl() override {
     if (inner_open_) {
       inner_->Close();
       inner_open_ = false;
@@ -229,7 +229,7 @@ class HashJoinOp : public Operator {
       : outer_(std::move(outer)), inner_(std::move(inner)),
         keys_(std::move(keys)), spec_(std::move(spec)) {}
 
-  Status Open(ExecContext* ctx) override {
+  Status OpenImpl(ExecContext* ctx) override {
     ctx_ = ctx;
     table_.clear();
     STARBURST_RETURN_IF_ERROR(inner_->Open(ctx));
@@ -251,7 +251,7 @@ class HashJoinOp : public Operator {
     return Status::OK();
   }
 
-  Result<bool> Next(Row* row) override {
+  Result<bool> NextImpl(Row* row) override {
     while (true) {
       if (!have_outer_) {
         STARBURST_ASSIGN_OR_RETURN(bool more, outer_->Next(&outer_row_));
@@ -309,7 +309,7 @@ class HashJoinOp : public Operator {
     }
   }
 
-  void Close() override {
+  void CloseImpl() override {
     outer_->Close();
     table_.clear();
   }
@@ -347,7 +347,7 @@ class MergeJoinOp : public Operator {
       : outer_(std::move(outer)), inner_(std::move(inner)),
         keys_(std::move(keys)), spec_(std::move(spec)) {}
 
-  Status Open(ExecContext* ctx) override {
+  Status OpenImpl(ExecContext* ctx) override {
     ctx_ = ctx;
     STARBURST_RETURN_IF_ERROR(inner_->Open(ctx));
     Result<std::vector<Row>> rows = DrainOperator(inner_.get());
@@ -360,7 +360,7 @@ class MergeJoinOp : public Operator {
     return Status::OK();
   }
 
-  Result<bool> Next(Row* row) override {
+  Result<bool> NextImpl(Row* row) override {
     while (true) {
       if (!have_outer_) {
         STARBURST_ASSIGN_OR_RETURN(bool more, outer_->Next(&outer_row_));
@@ -392,7 +392,7 @@ class MergeJoinOp : public Operator {
     }
   }
 
-  void Close() override {
+  void CloseImpl() override {
     outer_->Close();
     inner_rows_.clear();
   }

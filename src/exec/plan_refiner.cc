@@ -76,10 +76,35 @@ Result<OperatorPtr> PlanRefiner::BuildBoxOperator(const qgm::Box* box) {
   if (it == box_plans_->end()) {
     return Status::Internal("no plan recorded for box " + box->Label());
   }
-  return Build(*it->second);
+  if (options_.stats == nullptr) return Build(*it->second);
+  // Group the subquery runtime's operators under a wrapper node so the
+  // annotated tree shows where the evaluate-on-demand plan hangs.
+  obs::PlanStatsTree::Node* parent =
+      stats_stack_.empty() ? nullptr : stats_stack_.back();
+  obs::PlanStatsTree::Node* node = options_.stats->AddNode(
+      parent, "SUBQUERY " + box->Label(), it->second->props.cardinality,
+      it->second->props.cost);
+  node->synthetic = true;
+  stats_stack_.push_back(node);
+  Result<OperatorPtr> op = Build(*it->second);
+  stats_stack_.pop_back();
+  return op;
 }
 
 Result<OperatorPtr> PlanRefiner::Build(const Plan& plan) {
+  if (options_.stats == nullptr) return BuildOp(plan);
+  obs::PlanStatsTree::Node* parent =
+      stats_stack_.empty() ? nullptr : stats_stack_.back();
+  obs::PlanStatsTree::Node* node = options_.stats->AddNode(
+      parent, plan.HeadLine(), plan.props.cardinality, plan.props.cost);
+  stats_stack_.push_back(node);
+  Result<OperatorPtr> op = BuildOp(plan);
+  stats_stack_.pop_back();
+  if (op.ok()) (*op)->set_stats(&node->actual);
+  return op;
+}
+
+Result<OperatorPtr> PlanRefiner::BuildOp(const Plan& plan) {
   switch (plan.op) {
     case Lolepop::kScan: {
       std::vector<CompiledExprPtr> preds;

@@ -41,6 +41,10 @@ class PlanRefiner {
     /// Semi-naive recursion (deltas only); false = naive full-table
     /// iteration, for ablation benchmarks.
     bool semi_naive_recursion = true;
+    /// When set, every refined operator gets a node in this tree (with
+    /// the plan's estimates) and accumulates its runtime stats into it.
+    /// The tree must outlive execution.
+    obs::PlanStatsTree* stats = nullptr;
   };
 
   PlanRefiner(const Catalog* catalog,
@@ -63,7 +67,11 @@ class PlanRefiner {
       std::set<ExecContext::ParamKey>* free_params);
 
  private:
+  /// Builds the operator for `plan` and, when stats collection is on,
+  /// surrounds it with a PlanStatsTree node nested under the current one.
   Result<OperatorPtr> Build(const optimizer::Plan& plan);
+  /// The big LOLEPOP switch (no stats bookkeeping).
+  Result<OperatorPtr> BuildOp(const optimizer::Plan& plan);
   Result<OperatorPtr> BuildJoin(const optimizer::Plan& plan);
   Result<OperatorPtr> BuildGroupAgg(const optimizer::Plan& plan);
 
@@ -75,6 +83,8 @@ class PlanRefiner {
   /// Innermost set records correlation parameters compiled in the current
   /// subtree; dependent joins intercept and bind them from outer rows.
   std::vector<std::set<ExecContext::ParamKey>*> param_scopes_;
+  /// Current ancestor in options_.stats while building (empty = root).
+  std::vector<obs::PlanStatsTree::Node*> stats_stack_;
 };
 
 }  // namespace starburst::exec

@@ -19,7 +19,7 @@ class RecurseOp : public Operator {
       : base_(std::move(base)), step_(std::move(step)), recursion_(recursion),
         semi_naive_(semi_naive && iterref_count <= 1) {}
 
-  Status Open(ExecContext* ctx) override {
+  Status OpenImpl(ExecContext* ctx) override {
     working_.clear();
     seen_.clear();
     pos_ = 0;
@@ -63,13 +63,13 @@ class RecurseOp : public Operator {
     return Status::OK();
   }
 
-  Result<bool> Next(Row* row) override {
+  Result<bool> NextImpl(Row* row) override {
     if (pos_ >= working_.size()) return false;
     *row = working_[pos_++];
     return true;
   }
 
-  void Close() override {
+  void CloseImpl() override {
     working_.clear();
     seen_.clear();
   }

@@ -12,7 +12,7 @@ class ScanOp : public Operator {
       : table_(table), columns_(std::move(columns)),
         predicates_(std::move(predicates)) {}
 
-  Status Open(ExecContext* ctx) override {
+  Status OpenImpl(ExecContext* ctx) override {
     ctx_ = ctx;
     STARBURST_ASSIGN_OR_RETURN(TableStorage * storage,
                                ctx->storage()->GetTable(table_->name));
@@ -20,7 +20,7 @@ class ScanOp : public Operator {
     return Status::OK();
   }
 
-  Result<bool> Next(Row* row) override {
+  Result<bool> NextImpl(Row* row) override {
     Row full;
     Rid rid;
     while (true) {
@@ -45,7 +45,7 @@ class ScanOp : public Operator {
     }
   }
 
-  void Close() override { scan_.reset(); }
+  void CloseImpl() override { scan_.reset(); }
 
  private:
   Row Project(const Row& full) const {
@@ -72,7 +72,7 @@ class IndexScanOp : public Operator {
         bound_(std::move(bound)), columns_(std::move(columns)),
         predicates_(std::move(predicates)) {}
 
-  Status Open(ExecContext* ctx) override {
+  Status OpenImpl(ExecContext* ctx) override {
     ctx_ = ctx;
     STARBURST_ASSIGN_OR_RETURN(storage_, ctx->storage()->GetTable(table_->name));
     STARBURST_ASSIGN_OR_RETURN(Attachment * attachment,
@@ -121,7 +121,7 @@ class IndexScanOp : public Operator {
     return Status::OK();
   }
 
-  Result<bool> Next(Row* row) override {
+  Result<bool> NextImpl(Row* row) override {
     if (exhausted_ || iter_ == nullptr) return false;
     BTreeKey key;
     Rid rid;
@@ -150,7 +150,7 @@ class IndexScanOp : public Operator {
     return false;
   }
 
-  void Close() override { iter_.reset(); }
+  void CloseImpl() override { iter_.reset(); }
 
  private:
   const TableDef* table_;
@@ -169,18 +169,18 @@ class ValuesOp : public Operator {
  public:
   explicit ValuesOp(std::vector<Row> rows) : rows_(std::move(rows)) {}
 
-  Status Open(ExecContext* ctx) override {
+  Status OpenImpl(ExecContext* ctx) override {
     ctx_ = ctx;
     pos_ = 0;
     return Status::OK();
   }
-  Result<bool> Next(Row* row) override {
+  Result<bool> NextImpl(Row* row) override {
     if (pos_ >= rows_.size()) return false;
     *row = rows_[pos_++];
     ++ctx_->stats().rows_emitted;
     return true;
   }
-  void Close() override {}
+  void CloseImpl() override {}
 
  private:
   std::vector<Row> rows_;
@@ -192,7 +192,7 @@ class IterRefOp : public Operator {
  public:
   explicit IterRefOp(const qgm::Box* recursion) : recursion_(recursion) {}
 
-  Status Open(ExecContext* ctx) override {
+  Status OpenImpl(ExecContext* ctx) override {
     rows_ = ctx->IterationTable(recursion_);
     if (rows_ == nullptr) {
       return Status::Internal("iteration reference outside recursion");
@@ -200,12 +200,12 @@ class IterRefOp : public Operator {
     pos_ = 0;
     return Status::OK();
   }
-  Result<bool> Next(Row* row) override {
+  Result<bool> NextImpl(Row* row) override {
     if (pos_ >= rows_->size()) return false;
     *row = (*rows_)[pos_++];
     return true;
   }
-  void Close() override { rows_ = nullptr; }
+  void CloseImpl() override { rows_ = nullptr; }
 
  private:
   const qgm::Box* recursion_;

@@ -12,7 +12,7 @@ class SetOpOp : public Operator {
   SetOpOp(OperatorPtr left, OperatorPtr right, ast::SetOpKind op, bool all)
       : left_(std::move(left)), right_(std::move(right)), op_(op), all_(all) {}
 
-  Status Open(ExecContext* ctx) override {
+  Status OpenImpl(ExecContext* ctx) override {
     results_.clear();
     pos_ = 0;
 
@@ -82,13 +82,13 @@ class SetOpOp : public Operator {
     return Status::OK();
   }
 
-  Result<bool> Next(Row* row) override {
+  Result<bool> NextImpl(Row* row) override {
     if (pos_ >= results_.size()) return false;
     *row = results_[pos_++];
     return true;
   }
 
-  void Close() override { results_.clear(); }
+  void CloseImpl() override { results_.clear(); }
 
  private:
   OperatorPtr left_, right_;
@@ -106,7 +106,7 @@ class TableFuncOp : public Operator {
               std::vector<Value> scalar_args)
       : inputs_(std::move(inputs)), def_(def), args_(std::move(scalar_args)) {}
 
-  Status Open(ExecContext* ctx) override {
+  Status OpenImpl(ExecContext* ctx) override {
     std::vector<std::vector<Row>> tables;
     for (OperatorPtr& input : inputs_) {
       STARBURST_RETURN_IF_ERROR(input->Open(ctx));
@@ -120,13 +120,13 @@ class TableFuncOp : public Operator {
     return Status::OK();
   }
 
-  Result<bool> Next(Row* row) override {
+  Result<bool> NextImpl(Row* row) override {
     if (pos_ >= results_.size()) return false;
     *row = results_[pos_++];
     return true;
   }
 
-  void Close() override { results_.clear(); }
+  void CloseImpl() override { results_.clear(); }
 
  private:
   std::vector<OperatorPtr> inputs_;

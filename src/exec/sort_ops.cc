@@ -12,7 +12,7 @@ class SortOp : public Operator {
   SortOp(OperatorPtr input, std::vector<std::pair<size_t, bool>> keys)
       : input_(std::move(input)), keys_(std::move(keys)) {}
 
-  Status Open(ExecContext* ctx) override {
+  Status OpenImpl(ExecContext* ctx) override {
     STARBURST_RETURN_IF_ERROR(input_->Open(ctx));
     Result<std::vector<Row>> rows = DrainOperator(input_.get());
     input_->Close();
@@ -30,13 +30,13 @@ class SortOp : public Operator {
     return Status::OK();
   }
 
-  Result<bool> Next(Row* row) override {
+  Result<bool> NextImpl(Row* row) override {
     if (pos_ >= rows_.size()) return false;
     *row = rows_[pos_++];
     return true;
   }
 
-  void Close() override { rows_.clear(); }
+  void CloseImpl() override { rows_.clear(); }
 
  private:
   OperatorPtr input_;
@@ -49,12 +49,12 @@ class DistinctOp : public Operator {
  public:
   explicit DistinctOp(OperatorPtr input) : input_(std::move(input)) {}
 
-  Status Open(ExecContext* ctx) override {
+  Status OpenImpl(ExecContext* ctx) override {
     seen_.clear();
     return input_->Open(ctx);
   }
 
-  Result<bool> Next(Row* row) override {
+  Result<bool> NextImpl(Row* row) override {
     while (true) {
       STARBURST_ASSIGN_OR_RETURN(bool more, input_->Next(row));
       if (!more) return false;
@@ -62,7 +62,7 @@ class DistinctOp : public Operator {
     }
   }
 
-  void Close() override {
+  void CloseImpl() override {
     input_->Close();
     seen_.clear();
   }

@@ -1,6 +1,31 @@
 #include "exec/stream.h"
 
+#include "obs/trace.h"
+
 namespace starburst::exec {
+
+Status Operator::OpenTimed(ExecContext* ctx) {
+  double start = obs::NowUs();
+  Status st = OpenImpl(ctx);
+  stats_->wall_us += obs::NowUs() - start;
+  ++stats_->opens;
+  return st;
+}
+
+Result<bool> Operator::NextTimed(Row* row) {
+  double start = obs::NowUs();
+  Result<bool> more = NextImpl(row);
+  stats_->wall_us += obs::NowUs() - start;
+  ++stats_->next_calls;
+  if (more.ok() && *more) ++stats_->rows_out;
+  return more;
+}
+
+void Operator::CloseTimed() {
+  double start = obs::NowUs();
+  CloseImpl();
+  stats_->wall_us += obs::NowUs() - start;
+}
 
 Result<Value> ExecContext::LookupParam(const qgm::Quantifier* q,
                                        size_t column) const {

@@ -7,6 +7,7 @@
 
 #include "common/result.h"
 #include "common/row.h"
+#include "obs/op_stats.h"
 #include "qgm/box.h"
 #include "storage/storage_engine.h"
 
@@ -84,14 +85,50 @@ class ExecContext {
 /// output. We implement the concept of streams by lazy evaluation" — the
 /// classic open/next/close protocol. Operators are re-openable: a dependent
 /// join re-Opens its inner stream per outer row under fresh parameters.
+///
+/// The public Open/Next/Close entry points are non-virtual shims: with no
+/// stats sink attached (the default) they forward straight to the *Impl
+/// virtuals at the cost of one branch; with one attached (EXPLAIN ANALYZE,
+/// SessionOptions::collect_op_stats) they also count invocations, rows,
+/// and inclusive wall time. Subclasses implement OpenImpl/NextImpl/
+/// CloseImpl and call their children through the public protocol, so
+/// instrumentation composes through the whole tree.
 class Operator {
  public:
   virtual ~Operator() = default;
 
-  virtual Status Open(ExecContext* ctx) = 0;
+  Status Open(ExecContext* ctx) {
+    if (stats_ == nullptr) return OpenImpl(ctx);
+    return OpenTimed(ctx);
+  }
   /// Produces the next tuple; false at end of stream.
-  virtual Result<bool> Next(Row* row) = 0;
-  virtual void Close() = 0;
+  Result<bool> Next(Row* row) {
+    if (stats_ == nullptr) return NextImpl(row);
+    return NextTimed(row);
+  }
+  void Close() {
+    if (stats_ == nullptr) {
+      CloseImpl();
+    } else {
+      CloseTimed();
+    }
+  }
+
+  /// Attaches the counter block this operator accumulates into (null
+  /// detaches). The block must outlive the operator's use.
+  void set_stats(obs::OperatorStats* stats) { stats_ = stats; }
+
+ protected:
+  virtual Status OpenImpl(ExecContext* ctx) = 0;
+  virtual Result<bool> NextImpl(Row* row) = 0;
+  virtual void CloseImpl() = 0;
+
+ private:
+  Status OpenTimed(ExecContext* ctx);
+  Result<bool> NextTimed(Row* row);
+  void CloseTimed();
+
+  obs::OperatorStats* stats_ = nullptr;
 };
 
 using OperatorPtr = std::unique_ptr<Operator>;

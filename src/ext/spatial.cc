@@ -189,6 +189,8 @@ class RTreeAttachment : public Attachment {
     return tree_.Remove(rect, rid);
   }
 
+  uint64_t StatNodeVisits() const override { return tree_.stats().node_visits; }
+
   RTree& tree() { return tree_; }
 
  private:
@@ -238,7 +240,7 @@ class RTreeScanOp : public exec::Operator {
       : table_(table), index_(index), window_(window),
         columns_(std::move(columns)), predicates_(std::move(predicates)) {}
 
-  Status Open(exec::ExecContext* ctx) override {
+  Status OpenImpl(exec::ExecContext* ctx) override {
     ctx_ = ctx;
     STARBURST_ASSIGN_OR_RETURN(storage_, ctx->storage()->GetTable(table_->name));
     STARBURST_ASSIGN_OR_RETURN(Attachment * attachment,
@@ -252,7 +254,7 @@ class RTreeScanOp : public exec::Operator {
     return Status::OK();
   }
 
-  Result<bool> Next(Row* row) override {
+  Result<bool> NextImpl(Row* row) override {
     while (pos_ < matches_.size()) {
       STARBURST_ASSIGN_OR_RETURN(Row full, storage_->Fetch(matches_[pos_++]));
       std::vector<Value> values;
@@ -274,7 +276,7 @@ class RTreeScanOp : public exec::Operator {
     return false;
   }
 
-  void Close() override { matches_.clear(); }
+  void CloseImpl() override { matches_.clear(); }
 
  private:
   const TableDef* table_;

@@ -1,0 +1,107 @@
+#include "obs/op_stats.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+namespace starburst::obs {
+
+PlanStatsTree::Node* PlanStatsTree::AddNode(Node* parent, std::string name,
+                                            double est_rows, double est_cost) {
+  nodes_.emplace_back();
+  Node* node = &nodes_.back();
+  node->name = std::move(name);
+  node->est_rows = est_rows;
+  node->est_cost = est_cost;
+  node->parent = parent;
+  if (parent != nullptr) {
+    parent->children.push_back(node);
+  } else {
+    roots_.push_back(node);
+  }
+  return node;
+}
+
+PlanStatsTree::Node* PlanStatsTree::WrapRoot(std::string name,
+                                             double est_rows,
+                                             double est_cost) {
+  nodes_.emplace_back();
+  Node* node = &nodes_.back();
+  node->name = std::move(name);
+  node->est_rows = est_rows;
+  node->est_cost = est_cost;
+  for (Node* root : roots_) {
+    root->parent = node;
+    node->children.push_back(root);
+  }
+  roots_.clear();
+  roots_.push_back(node);
+  return node;
+}
+
+double PlanStatsTree::SelfUs(const Node& node) {
+  double self = node.actual.wall_us;
+  for (const Node* child : node.children) self -= child->actual.wall_us;
+  return std::max(self, 0.0);
+}
+
+namespace {
+
+void RenderNode(const PlanStatsTree::Node& node, int indent, bool with_actuals,
+                std::ostringstream* out) {
+  *out << std::string(static_cast<size_t>(indent) * 2, ' ') << node.name;
+  char buf[128];
+  std::snprintf(buf, sizeof(buf), "  (est rows=%.6g cost=%.6g)",
+                node.est_rows, node.est_cost);
+  *out << buf;
+  if (with_actuals && !node.synthetic) {
+    if (node.actual.opens > 0) {
+      std::snprintf(buf, sizeof(buf),
+                    " (actual rows=%llu time=%.1fus loops=%llu)",
+                    static_cast<unsigned long long>(node.actual.rows_out),
+                    node.actual.wall_us,
+                    static_cast<unsigned long long>(node.actual.opens));
+    } else {
+      std::snprintf(buf, sizeof(buf), " (actual: never executed)");
+    }
+    *out << buf;
+  }
+  *out << "\n";
+  for (const PlanStatsTree::Node* child : node.children) {
+    RenderNode(*child, indent + 1, with_actuals, out);
+  }
+}
+
+void CollectNodes(const PlanStatsTree::Node* node,
+                  std::vector<const PlanStatsTree::Node*>* out) {
+  out->push_back(node);
+  for (const PlanStatsTree::Node* child : node->children) {
+    CollectNodes(child, out);
+  }
+}
+
+}  // namespace
+
+std::string PlanStatsTree::Render(bool with_actuals) const {
+  std::ostringstream out;
+  for (const Node* root : roots_) {
+    RenderNode(*root, 0, with_actuals, &out);
+  }
+  return out.str();
+}
+
+std::vector<const PlanStatsTree::Node*> PlanStatsTree::TopBySelfTime(
+    size_t k) const {
+  std::vector<const Node*> all;
+  for (const Node* root : roots_) CollectNodes(root, &all);
+  all.erase(std::remove_if(all.begin(), all.end(),
+                           [](const Node* n) { return n->actual.opens == 0; }),
+            all.end());
+  std::stable_sort(all.begin(), all.end(), [](const Node* a, const Node* b) {
+    return SelfUs(*a) > SelfUs(*b);
+  });
+  if (all.size() > k) all.resize(k);
+  return all;
+}
+
+}  // namespace starburst::obs

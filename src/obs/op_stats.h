@@ -1,0 +1,73 @@
+#ifndef STARBURST_OBS_OP_STATS_H_
+#define STARBURST_OBS_OP_STATS_H_
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <vector>
+
+namespace starburst::obs {
+
+/// Runtime counters one QES operator accumulates across its lifetime:
+/// (re-)opens, Next invocations, rows produced, and inclusive wall time
+/// spent inside Open/Next/Close (children included — subtract child time
+/// for self time).
+struct OperatorStats {
+  uint64_t opens = 0;
+  uint64_t next_calls = 0;
+  uint64_t rows_out = 0;
+  double wall_us = 0;
+};
+
+/// The refined plan tree annotated with estimates (from the optimizer's
+/// PlanProps) and actuals (filled in during execution through the
+/// OperatorStats each operator writes into). Nodes have stable addresses
+/// for the lifetime of the tree, so operators can hold raw pointers.
+class PlanStatsTree {
+ public:
+  struct Node {
+    std::string name;        // the plan node's EXPLAIN head line
+    double est_rows = 0;
+    double est_cost = 0;
+    /// Grouping-only node (e.g. a subquery-runtime wrapper): no operator
+    /// writes into `actual`, so rendering skips the actual column.
+    bool synthetic = false;
+    OperatorStats actual;
+    Node* parent = nullptr;
+    std::vector<Node*> children;
+  };
+
+  PlanStatsTree() = default;
+  PlanStatsTree(const PlanStatsTree&) = delete;
+  PlanStatsTree& operator=(const PlanStatsTree&) = delete;
+
+  /// Appends a child under `parent` (null = a root). The returned pointer
+  /// stays valid for the tree's lifetime.
+  Node* AddNode(Node* parent, std::string name, double est_rows,
+                double est_cost);
+
+  /// Makes every current root a child of a fresh node (the query-level
+  /// LIMIT wrapper), which becomes the sole root.
+  Node* WrapRoot(std::string name, double est_rows, double est_cost);
+
+  const std::vector<Node*>& roots() const { return roots_; }
+  bool empty() const { return nodes_.empty(); }
+
+  /// Wall time spent in the node itself, excluding its children.
+  static double SelfUs(const Node& node);
+
+  /// Annotated tree rendering; with_actuals adds rows/time/loops beside
+  /// the estimates ("-" for operators that never opened).
+  std::string Render(bool with_actuals) const;
+
+  /// The k nodes with the largest self time, descending (opened ones only).
+  std::vector<const Node*> TopBySelfTime(size_t k) const;
+
+ private:
+  std::deque<Node> nodes_;  // deque: stable addresses under growth
+  std::vector<Node*> roots_;
+};
+
+}  // namespace starburst::obs
+
+#endif  // STARBURST_OBS_OP_STATS_H_

@@ -1,0 +1,177 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+namespace starburst::obs {
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void Tracer::Push(TraceEvent event) {
+  std::lock_guard<std::mutex> lock(mu_);
+  event.seq = next_seq_;
+  if (ring_.size() < capacity_) {
+    ring_.push_back(std::move(event));
+  } else if (capacity_ > 0) {
+    ring_[next_seq_ % capacity_] = std::move(event);
+  }
+  ++next_seq_;
+}
+
+void Tracer::RecordSpan(std::string name, std::string category,
+                        double start_us, double dur_us,
+                        std::string args_json) {
+  if (!enabled()) return;
+  TraceEvent e;
+  e.kind = TraceEvent::Kind::kSpan;
+  e.name = std::move(name);
+  e.category = std::move(category);
+  e.start_us = start_us;
+  e.dur_us = dur_us;
+  e.args_json = std::move(args_json);
+  Push(std::move(e));
+}
+
+void Tracer::RecordInstant(std::string name, std::string category,
+                           double at_us, std::string args_json) {
+  if (!enabled()) return;
+  TraceEvent e;
+  e.kind = TraceEvent::Kind::kInstant;
+  e.name = std::move(name);
+  e.category = std::move(category);
+  e.start_us = at_us;
+  e.args_json = std::move(args_json);
+  Push(std::move(e));
+}
+
+std::vector<TraceEvent> Tracer::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<TraceEvent> out;
+  out.reserve(ring_.size());
+  if (ring_.size() < capacity_ || capacity_ == 0) {
+    out = ring_;
+  } else {
+    size_t oldest = next_seq_ % capacity_;
+    for (size_t i = 0; i < capacity_; ++i) {
+      out.push_back(ring_[(oldest + i) % capacity_]);
+    }
+  }
+  return out;
+}
+
+void Tracer::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ring_.clear();
+  next_seq_ = 0;
+}
+
+uint64_t Tracer::dropped() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return next_seq_ > ring_.size() ? next_seq_ - ring_.size() : 0;
+}
+
+std::string Tracer::ToChromeJson() const {
+  std::vector<TraceEvent> events = Snapshot();
+  std::ostringstream out;
+  out << "{\"traceEvents\":[";
+  char buf[64];
+  for (size_t i = 0; i < events.size(); ++i) {
+    const TraceEvent& e = events[i];
+    if (i > 0) out << ",";
+    out << "{\"name\":\"" << JsonEscape(e.name) << "\",\"cat\":\""
+        << JsonEscape(e.category) << "\",\"pid\":1,\"tid\":1";
+    std::snprintf(buf, sizeof(buf), ",\"ts\":%.3f", e.start_us);
+    out << buf;
+    if (e.kind == TraceEvent::Kind::kSpan) {
+      std::snprintf(buf, sizeof(buf), ",\"dur\":%.3f", e.dur_us);
+      out << ",\"ph\":\"X\"" << buf;
+    } else {
+      out << ",\"ph\":\"i\",\"s\":\"t\"";
+    }
+    if (!e.args_json.empty()) out << ",\"args\":{" << e.args_json << "}";
+    out << "}";
+  }
+  out << "]}";
+  return out.str();
+}
+
+std::string Tracer::ToText() const {
+  std::vector<TraceEvent> events = Snapshot();
+  if (events.empty()) return "(no trace events)\n";
+
+  double base = events[0].start_us;
+  for (const TraceEvent& e : events) base = std::min(base, e.start_us);
+
+  // Render in start order; indent by how many spans contain this event.
+  std::vector<size_t> order(events.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    if (events[a].start_us != events[b].start_us) {
+      return events[a].start_us < events[b].start_us;
+    }
+    return events[a].seq < events[b].seq;
+  });
+
+  auto contains = [](const TraceEvent& outer, const TraceEvent& inner) {
+    return outer.kind == TraceEvent::Kind::kSpan &&
+           outer.start_us <= inner.start_us &&
+           outer.start_us + outer.dur_us >= inner.start_us +
+               (inner.kind == TraceEvent::Kind::kSpan ? inner.dur_us : 0);
+  };
+
+  std::ostringstream out;
+  char buf[160];
+  for (size_t idx : order) {
+    const TraceEvent& e = events[idx];
+    int depth = 0;
+    for (size_t other : order) {
+      if (other == idx) continue;
+      if (contains(events[other], e) && !contains(e, events[other])) ++depth;
+    }
+    std::string pad(static_cast<size_t>(depth) * 2, ' ');
+    if (e.kind == TraceEvent::Kind::kSpan) {
+      std::snprintf(buf, sizeof(buf), "%10.1f  %s%s [%s] %.1f us\n",
+                    e.start_us - base, pad.c_str(), e.name.c_str(),
+                    e.category.c_str(), e.dur_us);
+    } else {
+      std::snprintf(buf, sizeof(buf), "%10.1f  %s* %s [%s]\n",
+                    e.start_us - base, pad.c_str(), e.name.c_str(),
+                    e.category.c_str());
+    }
+    out << buf;
+  }
+  if (dropped() > 0) {
+    out << "(" << dropped() << " earlier events dropped by the ring)\n";
+  }
+  return out.str();
+}
+
+void Span::AddArg(const std::string& key, const std::string& value) {
+  if (tracer_ == nullptr) return;
+  if (!args_.empty()) args_ += ",";
+  args_ += "\"" + JsonEscape(key) + "\":\"" + JsonEscape(value) + "\"";
+}
+
+}  // namespace starburst::obs

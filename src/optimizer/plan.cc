@@ -49,9 +49,9 @@ size_t Plan::FindSlot(const qgm::Quantifier* q, size_t column) const {
   return kNoSlot;
 }
 
-std::string Plan::ToString(int indent) const {
+std::string Plan::HeadLine() const {
   std::ostringstream out;
-  out << std::string(indent * 2, ' ') << LolepopName(op);
+  out << LolepopName(op);
   switch (op) {
     case Lolepop::kScan:
       if (table != nullptr) out << " " << table->name;
@@ -97,6 +97,12 @@ std::string Plan::ToString(int indent) const {
   for (const qgm::Expr* p : predicates) {
     out << " [" << p->ToString() << "]";
   }
+  return out.str();
+}
+
+std::string Plan::ToString(int indent) const {
+  std::ostringstream out;
+  out << std::string(indent * 2, ' ') << HeadLine();
   char buf[96];
   std::snprintf(buf, sizeof(buf), "  {card=%.6g cost=%.6g}",
                 props.cardinality, props.cost);

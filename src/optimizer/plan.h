@@ -131,6 +131,10 @@ struct Plan {
   static constexpr size_t kNoSlot = static_cast<size_t>(-1);
   size_t FindSlot(const qgm::Quantifier* q, size_t column) const;
 
+  /// One-line label for this node alone: LOLEPOP name plus its operands
+  /// and predicates, no properties and no inputs.
+  std::string HeadLine() const;
+
   /// Multi-line indented rendering for EXPLAIN PLAN.
   std::string ToString(int indent = 0) const;
 };

@@ -393,14 +393,20 @@ struct AnalyzeStatement : Statement {
   std::string table;  // empty = all tables
 };
 
-/// EXPLAIN [QGM | PLAN] <select>: dumps the rewritten QGM or the chosen
-/// plan instead of executing.
+/// EXPLAIN [QGM [BEFORE] | PLAN | [ANALYZE] [VERBOSE]] <select>:
+/// dumps the rewritten QGM or the chosen plan instead of executing.
+/// ANALYZE additionally executes the query and reports actual rows/time
+/// per operator beside the estimates; VERBOSE adds the QGM and the
+/// rewrite-rule firing log without executing (ANALYZE implies VERBOSE's
+/// sections plus the actuals).
 struct ExplainStatement : Statement {
   enum class What { kQgm, kPlan };
   ExplainStatement() : Statement(StatementKind::kExplain) {}
   What what = What::kPlan;
   /// When true, dump the QGM as produced by the binder, before rewrite.
   bool before_rewrite = false;
+  bool analyze = false;
+  bool verbose = false;
   std::unique_ptr<Query> query;
 };
 

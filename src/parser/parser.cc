@@ -403,6 +403,9 @@ Result<ast::StatementPtr> Parser::ParseExplain() {
     if (MatchKeyword("BEFORE")) stmt->before_rewrite = true;
   } else if (MatchKeyword("PLAN")) {
     stmt->what = ast::ExplainStatement::What::kPlan;
+  } else {
+    if (MatchKeyword("ANALYZE")) stmt->analyze = true;
+    if (MatchKeyword("VERBOSE")) stmt->verbose = true;
   }
   STARBURST_ASSIGN_OR_RETURN(stmt->query, ParseQuery());
   return ast::StatementPtr(std::move(stmt));

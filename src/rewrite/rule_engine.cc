@@ -1,6 +1,7 @@
 #include "rewrite/rule_engine.h"
 
 #include <algorithm>
+#include <chrono>
 #include <deque>
 #include <map>
 #include <set>
@@ -129,7 +130,20 @@ Result<RuleEngine::Stats> RuleEngine::Run(Graph* graph, const Catalog* catalog,
         RuleContext ctx{graph, box, catalog};
         ++stats.conditions_evaluated;
         if (!rule->condition(ctx)) continue;
+        // Capture the box's identity before the action and the subsequent
+        // garbage collection can merge it out of existence.
+        Stats::Firing firing;
+        firing.rule = rule->name;
+        firing.box_id = box->id;
+        firing.box_label = box->Label();
+        firing.pass = stats.passes;
+        // Same timebase as obs::NowUs (the rewrite layer stays below obs,
+        // so the conversion is spelled out here).
+        firing.at_us = std::chrono::duration<double, std::micro>(
+                           std::chrono::steady_clock::now().time_since_epoch())
+                           .count();
         STARBURST_RETURN_IF_ERROR(rule->action(ctx));
+        stats.firings.push_back(std::move(firing));
         ++stats.rules_fired;
         ++fired[rule->name];
         changed = true;

@@ -60,11 +60,28 @@ class RuleEngine {
   };
 
   struct Stats {
+    /// One rule firing: the shared provenance log EXPLAIN and the tracer
+    /// both consume. Box identity is captured before garbage collection
+    /// so it survives the box being merged away.
+    struct Firing {
+      std::string rule;
+      int box_id = 0;
+      std::string box_label;  // e.g. "OP2(SELECT)"
+      int pass = 0;
+      /// Steady-clock microseconds (same timebase as obs::NowUs), so
+      /// firings can be replayed into a trace as instant events.
+      double at_us = 0;
+    };
+
     int rules_fired = 0;
     int conditions_evaluated = 0;
     int passes = 0;
     bool budget_exhausted = false;
+    /// Aggregated (rule, count), sorted by rule name; derived from
+    /// `firings` after the run.
     std::vector<std::pair<std::string, int>> fired_by_rule;
+    /// Every firing in order.
+    std::vector<Firing> firings;
   };
 
   RuleEngine() = default;

@@ -24,6 +24,10 @@ class Attachment {
   virtual const IndexDef& def() const = 0;
   virtual Status OnInsert(const Row& row, Rid rid) = 0;
   virtual Status OnDelete(const Row& row, Rid rid) = 0;
+
+  /// Cumulative node visits for observability aggregation (the access
+  /// method's "I/O" proxy); kinds without such a counter report 0.
+  virtual uint64_t StatNodeVisits() const { return 0; }
 };
 
 /// The built-in B-tree attachment kind ("BTREE").
@@ -43,6 +47,8 @@ class BTreeAttachment : public Attachment {
   Status OnDelete(const Row& row, Rid rid) override {
     return tree_.Remove(ExtractKey(row), rid);
   }
+
+  uint64_t StatNodeVisits() const override { return tree_.stats().node_visits; }
 
   BTreeKey ExtractKey(const Row& row) const {
     BTreeKey key;

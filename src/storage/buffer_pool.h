@@ -21,6 +21,16 @@ struct BufferPoolStats {
                ? 1.0
                : static_cast<double>(cache_hits) / static_cast<double>(logical_reads);
   }
+
+  /// Counter deltas since an earlier snapshot (per-phase accounting).
+  BufferPoolStats Since(const BufferPoolStats& before) const {
+    BufferPoolStats d;
+    d.logical_reads = logical_reads - before.logical_reads;
+    d.cache_hits = cache_hits - before.cache_hits;
+    d.disk_reads = disk_reads - before.disk_reads;
+    d.disk_writes = disk_writes - before.disk_writes;
+    return d;
+  }
 };
 
 /// An LRU buffer pool over the Pager. Pages are always memory-resident
@@ -29,6 +39,8 @@ struct BufferPoolStats {
 /// is a disk write. `capacity_pages` bounds residency.
 class BufferPool {
  public:
+  using Stats = BufferPoolStats;
+
   explicit BufferPool(Pager* pager, size_t capacity_pages = 1024)
       : pager_(pager), capacity_(capacity_pages) {}
 

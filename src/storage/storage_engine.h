@@ -46,6 +46,21 @@ class StorageEngine {
   StorageManagerRegistry& storage_managers() { return managers_; }
   AttachmentRegistry& attachment_kinds() { return attachment_kinds_; }
 
+  /// One observability snapshot across the whole storage layer: buffer
+  /// pool counters plus node visits summed over every attachment.
+  struct Stats {
+    BufferPoolStats buffer_pool;
+    uint64_t index_node_visits = 0;
+  };
+  Stats GatherStats() const {
+    Stats s;
+    s.buffer_pool = pool_.stats();
+    for (const auto& [name, attachment] : indexes_) {
+      s.index_node_visits += attachment->StatNodeVisits();
+    }
+    return s;
+  }
+
  private:
   Pager pager_;
   BufferPool pool_;
