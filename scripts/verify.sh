@@ -1,8 +1,9 @@
 #!/usr/bin/env bash
 # Full verification: tier-1 build + tests, then the same suite under
-# AddressSanitizer + UndefinedBehaviorSanitizer.
+# AddressSanitizer + UndefinedBehaviorSanitizer, then under
+# ThreadSanitizer (the parallel executor's data-race gate).
 #
-#   scripts/verify.sh            # tier-1 + sanitize
+#   scripts/verify.sh            # tier-1 + sanitize + tsan
 #   scripts/verify.sh --fast     # tier-1 only
 #
 # Uses CMake presets when available (cmake >= 3.21); falls back to
@@ -45,6 +46,17 @@ else
   cmake -B build-sanitize -S . -DSTARBURST_SANITIZE=ON
   cmake --build build-sanitize -j "$JOBS"
   (cd build-sanitize && ctest --output-on-failure -j "$JOBS")
+fi
+
+echo "== tsan: ThreadSanitizer build + ctest =="
+if have_presets; then
+  cmake --preset tsan
+  cmake --build --preset tsan -j "$JOBS"
+  ctest --preset tsan -j "$JOBS"
+else
+  cmake -B build-tsan -S . -DSTARBURST_TSAN=ON
+  cmake --build build-tsan -j "$JOBS"
+  (cd build-tsan && ctest --output-on-failure -j "$JOBS")
 fi
 
 echo "== verify OK =="

@@ -33,7 +33,12 @@ struct ValueTotalLess {
 
 Database::Database(size_t buffer_pool_pages)
     : storage_(buffer_pool_pages),
-      rule_engine_(rewrite::MakeDefaultRuleEngine()) {}
+      rule_engine_(rewrite::MakeDefaultRuleEngine()) {
+#ifdef STARBURST_PARANOID_QGM
+  // Sanitizer builds re-validate the whole QGM after every rule firing.
+  options_.rewrite.paranoid_validation = true;
+#endif
+}
 
 Status Database::RegisterStar(optimizer::Star star) {
   extra_stars_.push_back(std::move(star));
@@ -105,6 +110,8 @@ Result<ResultSet> Database::ExecuteStatement(const ast::Statement& stmt) {
       return RunDelete(static_cast<const ast::DeleteStatement&>(stmt));
     case ast::StatementKind::kUpdate:
       return RunUpdate(static_cast<const ast::UpdateStatement&>(stmt));
+    case ast::StatementKind::kSet:
+      return RunSet(static_cast<const ast::SetStatement&>(stmt));
     case ast::StatementKind::kAnalyze: {
       const auto& analyze = static_cast<const ast::AnalyzeStatement&>(stmt);
       if (analyze.table.empty()) {
@@ -116,6 +123,31 @@ Result<ResultSet> Database::ExecuteStatement(const ast::Statement& stmt) {
     }
   }
   return Status::Internal("unknown statement kind");
+}
+
+Result<ResultSet> Database::RunSet(const ast::SetStatement& stmt) {
+  if (stmt.name == "PARALLELISM") {
+    // 0 and DEFAULT both restore the hardware default.
+    if (stmt.value < 0) {
+      return Status::SemanticError("PARALLELISM must be >= 0");
+    }
+    size_t n = stmt.is_default || stmt.value == 0
+                   ? exec::Executor::Options::DefaultParallelism()
+                   : static_cast<size_t>(stmt.value);
+    options_.exec.parallelism = n;
+    return ResultSet::Message("SET PARALLELISM = " + std::to_string(n));
+  }
+  if (stmt.name == "PARALLEL_MIN_ROWS") {
+    if (!stmt.is_default && stmt.value < 0) {
+      return Status::SemanticError("PARALLEL_MIN_ROWS must be >= 0");
+    }
+    double rows = stmt.is_default ? exec::Executor::Options{}.parallel_min_rows
+                                  : static_cast<double>(stmt.value);
+    options_.exec.parallel_min_rows = rows;
+    return ResultSet::Message("SET PARALLEL_MIN_ROWS = " +
+                              std::to_string(static_cast<int64_t>(rows)));
+  }
+  return Status::SemanticError("unknown session option '" + stmt.name + "'");
 }
 
 // ---------------------------------------------------------------------------
@@ -185,6 +217,9 @@ Result<Database::QueryOutput> Database::RunQueryPipeline(
   refine_options.ship_delay_us = options_.exec.ship_delay_us;
   refine_options.semi_naive_recursion = options_.exec.semi_naive_recursion;
   refine_options.stats = stats_tree.get();
+  refine_options.parallelism =
+      options_.exec.parallelism == 0 ? 1 : options_.exec.parallelism;
+  refine_options.parallel_min_rows = options_.exec.parallel_min_rows;
   exec::PlanRefiner refiner(&catalog_, &opt.box_plans(), refine_options);
   STARBURST_ASSIGN_OR_RETURN(exec::OperatorPtr root, refiner.Refine(plan));
   if (graph->limit >= 0) {

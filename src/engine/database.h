@@ -107,6 +107,7 @@ class Database {
   Result<ResultSet> RunCreateTable(const ast::CreateTableStatement& stmt);
   Result<ResultSet> RunCreateIndex(const ast::CreateIndexStatement& stmt);
   Result<ResultSet> RunCreateView(const ast::CreateViewStatement& stmt);
+  Result<ResultSet> RunSet(const ast::SetStatement& stmt);
   Result<ResultSet> RunInsert(const ast::InsertStatement& stmt);
   Result<ResultSet> RunDelete(const ast::DeleteStatement& stmt);
   Result<ResultSet> RunUpdate(const ast::UpdateStatement& stmt);

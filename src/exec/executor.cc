@@ -1,6 +1,13 @@
 #include "exec/executor.h"
 
+#include <thread>
+
 namespace starburst::exec {
+
+size_t Executor::Options::DefaultParallelism() {
+  unsigned int n = std::thread::hardware_concurrency();
+  return n == 0 ? 1 : n;
+}
 
 Result<std::vector<Row>> Executor::Execute(const optimizer::PlanPtr& plan,
                                            const optimizer::Optimizer& optimizer,
@@ -17,6 +24,8 @@ Result<std::vector<Row>> Executor::Execute(const optimizer::PlanPtr& plan,
   refine_options.ship_delay_us = options.ship_delay_us;
   refine_options.semi_naive_recursion = options.semi_naive_recursion;
   refine_options.stats = options.stats;
+  refine_options.parallelism = options.parallelism == 0 ? 1 : options.parallelism;
+  refine_options.parallel_min_rows = options.parallel_min_rows;
   PlanRefiner refiner(catalog_, &optimizer.box_plans(), refine_options);
   STARBURST_ASSIGN_OR_RETURN(OperatorPtr root, refiner.Refine(plan));
   if (graph.limit >= 0) {

@@ -16,6 +16,13 @@ class Executor {
     bool semi_naive_recursion = true;
     /// Optional sink for per-operator runtime stats (EXPLAIN ANALYZE).
     obs::PlanStatsTree* stats = nullptr;
+    /// Worker count for morsel-driven parallel execution (1 = serial).
+    /// Defaults to the hardware concurrency; SET PARALLELISM overrides.
+    size_t parallelism = DefaultParallelism();
+    /// Minimum estimated scanned rows before a subtree is parallelized.
+    double parallel_min_rows = 1024;
+
+    static size_t DefaultParallelism();
   };
 
   Executor(StorageEngine* storage, const Catalog* catalog)

@@ -1,6 +1,7 @@
 #include <unordered_map>
 
 #include "exec/operators.h"
+#include "exec/parallel/shared_hash_table.h"
 
 namespace starburst::exec {
 
@@ -222,6 +223,8 @@ class NlJoinOp : public Operator {
 };
 
 /// Hash join: equality keys, kinds regular / exists / anti / left-outer.
+/// Either builds its own table from `inner`, or (parallel probe mode)
+/// probes a pre-built SharedHashTable and owns no inner at all.
 class HashJoinOp : public Operator {
  public:
   HashJoinOp(OperatorPtr outer, OperatorPtr inner,
@@ -229,23 +232,48 @@ class HashJoinOp : public Operator {
       : outer_(std::move(outer)), inner_(std::move(inner)),
         keys_(std::move(keys)), spec_(std::move(spec)) {}
 
+  HashJoinOp(OperatorPtr outer, const parallel::SharedHashTable* shared,
+             std::vector<std::pair<size_t, size_t>> keys, JoinSpec spec)
+      : outer_(std::move(outer)), keys_(std::move(keys)),
+        spec_(std::move(spec)), shared_(shared) {}
+
   Status OpenImpl(ExecContext* ctx) override {
     ctx_ = ctx;
-    table_.clear();
-    STARBURST_RETURN_IF_ERROR(inner_->Open(ctx));
-    Row inner_row;
-    while (true) {
-      STARBURST_ASSIGN_OR_RETURN(bool more, inner_->Next(&inner_row));
-      if (!more) break;
-      Row key = InnerKey(inner_row);
-      bool has_null = false;
-      for (const Value& v : key.values()) {
-        if (v.is_null()) has_null = true;
-      }
-      if (has_null) continue;  // NULL keys never join
-      table_[std::move(key)].push_back(inner_row);
+    // The hash probe answers only "is there an equal key": it cannot
+    // express the three-valued verdict of x <op> ANY/ALL, and it has no
+    // per-outer streaming pass for the remaining kinds. Fail loudly
+    // rather than silently dropping UNKNOWNs (the optimizer's
+    // HashJoinStar never emits such plans; this guards hand-built ones).
+    if (spec_.quant_operand != nullptr) {
+      return Status::Internal(
+          "hash join cannot evaluate quantified compares (use NL join)");
     }
-    inner_->Close();
+    switch (spec_.kind) {
+      case JoinKind::kRegular:
+      case JoinKind::kExists:
+      case JoinKind::kAnti:
+      case JoinKind::kLeftOuter:
+        break;
+      default:
+        return Status::Internal("unsupported hash join kind");
+    }
+    table_.clear();
+    if (shared_ == nullptr) {
+      STARBURST_RETURN_IF_ERROR(inner_->Open(ctx));
+      Row inner_row;
+      while (true) {
+        STARBURST_ASSIGN_OR_RETURN(bool more, inner_->Next(&inner_row));
+        if (!more) break;
+        Row key = InnerKey(inner_row);
+        bool has_null = false;
+        for (const Value& v : key.values()) {
+          if (v.is_null()) has_null = true;
+        }
+        if (has_null) continue;  // NULL keys never join
+        table_[std::move(key)].push_back(inner_row);
+      }
+      inner_->Close();
+    }
     STARBURST_RETURN_IF_ERROR(outer_->Open(ctx));
     have_outer_ = false;
     return Status::OK();
@@ -266,8 +294,15 @@ class HashJoinOp : public Operator {
           if (v.is_null()) has_null = true;
         }
         if (!has_null) {
-          auto it = table_.find(key);
-          if (it != table_.end()) bucket_ = &it->second;
+          // A NULL outer key probes nothing: kRegular/kExists drop the
+          // row, kLeftOuter null-pads it, and kAnti emits it (NOT EXISTS
+          // never matches on NULL) via the bucket-exhausted path below.
+          if (shared_ != nullptr) {
+            bucket_ = shared_->Probe(key);
+          } else {
+            auto it = table_.find(key);
+            if (it != table_.end()) bucket_ = &it->second;
+          }
         }
       }
       // Walk the bucket.
@@ -329,6 +364,7 @@ class HashJoinOp : public Operator {
   OperatorPtr outer_, inner_;
   std::vector<std::pair<size_t, size_t>> keys_;
   JoinSpec spec_;
+  const parallel::SharedHashTable* shared_ = nullptr;
   ExecContext* ctx_ = nullptr;
   std::unordered_map<Row, std::vector<Row>, RowHash> table_;
   Row outer_row_;
@@ -349,6 +385,20 @@ class MergeJoinOp : public Operator {
 
   Status OpenImpl(ExecContext* ctx) override {
     ctx_ = ctx;
+    // See HashJoinOp: quantified compares and the verdict kinds (kAnti
+    // included — there is no unmatched-emit pass here) are NL-only.
+    if (spec_.quant_operand != nullptr) {
+      return Status::Internal(
+          "merge join cannot evaluate quantified compares (use NL join)");
+    }
+    switch (spec_.kind) {
+      case JoinKind::kRegular:
+      case JoinKind::kExists:
+      case JoinKind::kLeftOuter:
+        break;
+      default:
+        return Status::Internal("unsupported merge join kind");
+    }
     STARBURST_RETURN_IF_ERROR(inner_->Open(ctx));
     Result<std::vector<Row>> rows = DrainOperator(inner_.get());
     inner_->Close();
@@ -464,6 +514,14 @@ OperatorPtr MakeMergeJoinOp(OperatorPtr outer, OperatorPtr inner,
                             JoinSpec spec) {
   return std::make_unique<MergeJoinOp>(std::move(outer), std::move(inner),
                                        std::move(keys), std::move(spec));
+}
+
+OperatorPtr MakeHashProbeOp(OperatorPtr outer,
+                            const parallel::SharedHashTable* table,
+                            std::vector<std::pair<size_t, size_t>> keys,
+                            JoinSpec spec) {
+  return std::make_unique<HashJoinOp>(std::move(outer), table,
+                                      std::move(keys), std::move(spec));
 }
 
 }  // namespace starburst::exec

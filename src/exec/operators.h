@@ -10,12 +10,27 @@
 
 namespace starburst::exec {
 
+namespace parallel {
+class MorselSource;
+class SharedHashTable;
+}  // namespace parallel
+
 // Factories for the QES's built-in operators. Each returns a re-openable
 // lazy stream; §7's "details of obtaining a tuple from and handing a tuple
 // to another operator" live behind the Operator interface.
 
 OperatorPtr MakeScanOp(const TableDef* table, std::vector<size_t> columns,
                        std::vector<CompiledExprPtr> predicates);
+
+/// Morsel-driven scan clone: instead of walking the whole table, claims
+/// page ranges from the shared `morsels` dispenser until it is drained.
+/// All clones sharing one MorselSource together cover each row exactly
+/// once. `morsels` must outlive the operator and be Reset() by the
+/// owning Gather before the clones open.
+OperatorPtr MakeMorselScanOp(const TableDef* table,
+                             std::vector<size_t> columns,
+                             std::vector<CompiledExprPtr> predicates,
+                             parallel::MorselSource* morsels);
 
 /// `bound_op` relates the index key column to `bound` (already normalized
 /// so the key column is on the left).
@@ -73,6 +88,14 @@ OperatorPtr MakeHashJoinOp(OperatorPtr outer, OperatorPtr inner,
                            JoinSpec spec);
 
 OperatorPtr MakeMergeJoinOp(OperatorPtr outer, OperatorPtr inner,
+                            std::vector<std::pair<size_t, size_t>> keys,
+                            JoinSpec spec);
+
+/// Probe-only hash join for parallel clones: `table` was built once by
+/// the owning Gather (partitioned build) and is probed concurrently.
+/// Same kind/NULL semantics as MakeHashJoinOp.
+OperatorPtr MakeHashProbeOp(OperatorPtr outer,
+                            const parallel::SharedHashTable* table,
                             std::vector<std::pair<size_t, size_t>> keys,
                             JoinSpec spec);
 

@@ -1,0 +1,41 @@
+#ifndef STARBURST_EXEC_PARALLEL_MORSEL_H_
+#define STARBURST_EXEC_PARALLEL_MORSEL_H_
+
+#include <algorithm>
+#include <atomic>
+
+#include "storage/page.h"
+
+namespace starburst::exec::parallel {
+
+/// An atomic page-range dispenser: every scan clone under one Gather
+/// shares a MorselSource and claims disjoint [begin, end) page ranges
+/// until the table is exhausted. Reset() rearms it for a re-Open.
+class MorselSource {
+ public:
+  static constexpr PageNo kDefaultGrain = 4;
+
+  void Reset(PageNo total_pages, PageNo grain = kDefaultGrain) {
+    total_ = total_pages;
+    grain_ = std::max<PageNo>(grain, 1);
+    next_.store(0, std::memory_order_relaxed);
+  }
+
+  /// Claims the next morsel; false when the table is fully dispensed.
+  bool Claim(PageNo* begin, PageNo* end) {
+    PageNo start = next_.fetch_add(grain_, std::memory_order_relaxed);
+    if (start >= total_) return false;
+    *begin = start;
+    *end = std::min<PageNo>(start + grain_, total_);
+    return true;
+  }
+
+ private:
+  std::atomic<PageNo> next_{0};
+  PageNo total_ = 0;
+  PageNo grain_ = kDefaultGrain;
+};
+
+}  // namespace starburst::exec::parallel
+
+#endif  // STARBURST_EXEC_PARALLEL_MORSEL_H_

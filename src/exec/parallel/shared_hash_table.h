@@ -1,0 +1,73 @@
+#ifndef STARBURST_EXEC_PARALLEL_SHARED_HASH_TABLE_H_
+#define STARBURST_EXEC_PARALLEL_SHARED_HASH_TABLE_H_
+
+#include <cstddef>
+#include <unordered_map>
+#include <vector>
+
+#include "common/row.h"
+
+namespace starburst::exec::parallel {
+
+/// A hash-join build table shared by every probe clone under one Gather.
+///
+/// Built in two scheduler phases: (1) each worker drains its morsel share
+/// of the build side and stages rows into per-worker, per-partition
+/// vectors (no locking); (2) one task per partition folds all workers'
+/// staged rows for that partition into the partition's hash map. After
+/// phase 2 the table is immutable and Probe() is safe from any thread.
+///
+/// Rows whose key contains a NULL are the *caller's* responsibility to
+/// skip before Stage() — NULL keys never join (same rule as HashJoinOp's
+/// local build).
+class SharedHashTable {
+ public:
+  void Reset(size_t num_workers, size_t num_partitions) {
+    partitions_.assign(num_partitions == 0 ? 1 : num_partitions, Table{});
+    staged_.assign(num_workers == 0 ? 1 : num_workers,
+                   std::vector<std::vector<Staged>>(partitions_.size()));
+  }
+
+  size_t num_partitions() const { return partitions_.size(); }
+
+  /// Phase 1: worker `w` stages one build-side row (thread-safe across
+  /// distinct workers).
+  void Stage(size_t worker, Row key, Row row) {
+    size_t p = RowHash{}(key) % partitions_.size();
+    staged_[worker][p].push_back(Staged{std::move(key), std::move(row)});
+  }
+
+  /// Phase 2: folds every worker's staged rows for `partition` into the
+  /// partition table (thread-safe across distinct partitions).
+  void MergePartition(size_t partition) {
+    Table& table = partitions_[partition];
+    for (auto& per_worker : staged_) {
+      for (Staged& s : per_worker[partition]) {
+        table[std::move(s.key)].push_back(std::move(s.row));
+      }
+      per_worker[partition].clear();
+      per_worker[partition].shrink_to_fit();
+    }
+  }
+
+  /// Read-only probe; valid once every MergePartition() has returned.
+  const std::vector<Row>* Probe(const Row& key) const {
+    const Table& table = partitions_[RowHash{}(key) % partitions_.size()];
+    auto it = table.find(key);
+    return it == table.end() ? nullptr : &it->second;
+  }
+
+ private:
+  using Table = std::unordered_map<Row, std::vector<Row>, RowHash>;
+  struct Staged {
+    Row key;
+    Row row;
+  };
+
+  std::vector<Table> partitions_;
+  std::vector<std::vector<std::vector<Staged>>> staged_;  // [worker][part]
+};
+
+}  // namespace starburst::exec::parallel
+
+#endif  // STARBURST_EXEC_PARALLEL_SHARED_HASH_TABLE_H_

@@ -1,0 +1,105 @@
+#include "exec/parallel/task_scheduler.h"
+
+#include <exception>
+#include <string>
+
+namespace starburst::exec::parallel {
+
+TaskScheduler::~TaskScheduler() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+Status TaskScheduler::RunParallel(std::vector<std::function<Status()>> tasks) {
+  if (tasks.empty()) return Status::OK();
+  if (target_workers_ == 0 || tasks.size() == 1) {
+    // Serial fast path: no threads, no locking.
+    Status first;
+    for (auto& task : tasks) {
+      Status s;
+      try {
+        s = task();
+      } catch (const std::exception& e) {
+        s = Status::Internal(std::string("parallel task threw: ") + e.what());
+      } catch (...) {
+        s = Status::Internal("parallel task threw");
+      }
+      if (!s.ok() && first.ok()) first = s;
+    }
+    return first;
+  }
+
+  Batch batch;
+  batch.tasks = &tasks;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!spawned_) {
+      threads_.reserve(target_workers_);
+      for (size_t i = 0; i < target_workers_; ++i) {
+        threads_.emplace_back([this] { WorkerLoop(); });
+      }
+      spawned_ = true;
+    }
+    error_ = Status::OK();
+    current_ = &batch;
+  }
+  work_cv_.notify_all();
+  DrainBatch(&batch);
+  {
+    // The batch lives on this stack frame: wait until every task ran AND
+    // no worker still holds a pointer into it.
+    std::unique_lock<std::mutex> lock(mu_);
+    done_cv_.wait(lock, [&] {
+      return batch.done == tasks.size() && batch.active == 0;
+    });
+    current_ = nullptr;
+    return error_;
+  }
+}
+
+size_t TaskScheduler::DrainBatch(Batch* batch) {
+  const size_t n = batch->tasks->size();
+  size_t ran = 0;
+  while (true) {
+    size_t i = batch->next.fetch_add(1, std::memory_order_relaxed);
+    if (i >= n) break;
+    Status s;
+    try {
+      s = (*batch->tasks)[i]();
+    } catch (const std::exception& e) {
+      s = Status::Internal(std::string("parallel task threw: ") + e.what());
+    } catch (...) {
+      s = Status::Internal("parallel task threw");
+    }
+    ++ran;
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!s.ok() && error_.ok()) error_ = s;
+    if (++batch->done == n) done_cv_.notify_all();
+  }
+  return ran;
+}
+
+void TaskScheduler::WorkerLoop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (true) {
+    work_cv_.wait(lock, [&] {
+      return shutdown_ ||
+             (current_ != nullptr &&
+              current_->next.load(std::memory_order_relaxed) <
+                  current_->tasks->size());
+    });
+    if (shutdown_) return;
+    Batch* batch = current_;
+    ++batch->active;
+    lock.unlock();
+    DrainBatch(batch);
+    lock.lock();
+    if (--batch->active == 0) done_cv_.notify_all();
+  }
+}
+
+}  // namespace starburst::exec::parallel

@@ -1,0 +1,67 @@
+#ifndef STARBURST_EXEC_PARALLEL_TASK_SCHEDULER_H_
+#define STARBURST_EXEC_PARALLEL_TASK_SCHEDULER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+
+namespace starburst::exec::parallel {
+
+/// A fixed pool of worker threads draining a shared task queue.
+///
+/// `RunParallel` blocks until every task of the batch has finished; the
+/// calling thread participates in the batch, so a scheduler with zero
+/// workers degenerates to serial execution (and `parallelism = 1` costs
+/// no thread at all). Tasks of one batch must not call RunParallel on
+/// the same scheduler (no nested batches); the executor's coordinator
+/// runs phases sequentially, so this never happens in practice.
+class TaskScheduler {
+ public:
+  /// `workers` = number of *extra* threads beyond the caller. Threads
+  /// are spawned lazily on the first RunParallel.
+  explicit TaskScheduler(size_t workers) : target_workers_(workers) {}
+  ~TaskScheduler();
+
+  TaskScheduler(const TaskScheduler&) = delete;
+  TaskScheduler& operator=(const TaskScheduler&) = delete;
+
+  size_t workers() const { return target_workers_; }
+
+  /// Runs every task, concurrently when workers are available. Returns
+  /// the first non-OK status (remaining tasks still run to completion so
+  /// shared state is quiesced when this returns). Exceptions escaping a
+  /// task are converted to an internal error status.
+  Status RunParallel(std::vector<std::function<Status()>> tasks);
+
+ private:
+  struct Batch {
+    std::vector<std::function<Status()>>* tasks = nullptr;
+    std::atomic<size_t> next{0};
+    size_t done = 0;    // tasks finished; guarded by TaskScheduler::mu_
+    size_t active = 0;  // workers inside DrainBatch; guarded by mu_
+  };
+
+  void WorkerLoop();
+  /// Claims and runs tasks from `batch` until it is drained; folds the
+  /// first failure into error_. Returns the number of tasks it ran.
+  size_t DrainBatch(Batch* batch);
+
+  const size_t target_workers_;
+  std::mutex mu_;
+  std::condition_variable work_cv_;  // workers wait for a batch / shutdown
+  std::condition_variable done_cv_;  // coordinator waits for batch end
+  Batch* current_ = nullptr;         // guarded by mu_
+  Status error_;                     // guarded by mu_; first failure wins
+  bool shutdown_ = false;            // guarded by mu_
+  bool spawned_ = false;             // guarded by mu_
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace starburst::exec::parallel
+
+#endif  // STARBURST_EXEC_PARALLEL_TASK_SCHEDULER_H_

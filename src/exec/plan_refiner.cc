@@ -92,16 +92,170 @@ Result<OperatorPtr> PlanRefiner::BuildBoxOperator(const qgm::Box* box) {
 }
 
 Result<OperatorPtr> PlanRefiner::Build(const Plan& plan) {
+  if (ShouldParallelize(plan)) return BuildParallel(plan);
   if (options_.stats == nullptr) return BuildOp(plan);
-  obs::PlanStatsTree::Node* parent =
-      stats_stack_.empty() ? nullptr : stats_stack_.back();
-  obs::PlanStatsTree::Node* node = options_.stats->AddNode(
-      parent, plan.HeadLine(), plan.props.cardinality, plan.props.cost);
+  // Clones of a parallel subtree share one stats node per plan node, so
+  // EXPLAIN ANALYZE shows a single aggregated line per operator.
+  obs::PlanStatsTree::Node* node = nullptr;
+  if (parallel_stats_ != nullptr) {
+    auto it = parallel_stats_->find(&plan);
+    if (it != parallel_stats_->end()) node = it->second;
+  }
+  if (node == nullptr) {
+    obs::PlanStatsTree::Node* parent =
+        stats_stack_.empty() ? nullptr : stats_stack_.back();
+    node = options_.stats->AddNode(parent, plan.HeadLine(),
+                                   plan.props.cardinality, plan.props.cost);
+    if (parallel_stats_ != nullptr) (*parallel_stats_)[&plan] = node;
+  }
   stats_stack_.push_back(node);
   Result<OperatorPtr> op = BuildOp(plan);
   stats_stack_.pop_back();
   if (op.ok()) (*op)->set_stats(&node->actual);
   return op;
+}
+
+bool PlanRefiner::ShouldParallelize(const Plan& plan) const {
+  if (options_.parallelism <= 1) return false;
+  if (parallel_ctx_ != nullptr) return false;  // already inside a gather
+  if (plan.op == Lolepop::kGroupAgg) {
+    // A GROUP BY over a parallel-safe subtree runs as a partition
+    // exchange: parallel input clones route rows by group-key hash, one
+    // aggregation clone per partition. Keys and arguments must be
+    // evaluable on the clone side.
+    if (plan.inputs.empty() || plan.box == nullptr) return false;
+    if (!plan.predicates.empty()) return false;
+    const Plan& input = *plan.inputs[0];
+    if (!optimizer::IsParallelSafe(input)) return false;
+    if (optimizer::ParallelScanRows(input) < options_.parallel_min_rows) {
+      return false;
+    }
+    for (const auto& k : plan.box->group_keys) {
+      if (!optimizer::ExprIsParallelSafeOver(*k, input)) return false;
+    }
+    for (const qgm::AggregateSpec& a : plan.box->aggregates) {
+      if (a.arg != nullptr &&
+          !optimizer::ExprIsParallelSafeOver(*a.arg, input)) {
+        return false;
+      }
+    }
+    return true;
+  }
+  if (!optimizer::IsParallelSafe(plan)) return false;
+  return optimizer::ParallelScanRows(plan) >= options_.parallel_min_rows;
+}
+
+void PlanRefiner::CollectParallelNodes(
+    const Plan& plan, parallel::ParallelPlanContext* pctx,
+    std::vector<const Plan*>* join_nodes) {
+  // Children first: a hash join's build phase may probe joins nested in
+  // its own inner subtree, so innermost builds must run first.
+  for (const PlanPtr& input : plan.inputs) {
+    CollectParallelNodes(*input, pctx, join_nodes);
+  }
+  if (plan.op == Lolepop::kScan) {
+    auto src = std::make_unique<parallel::ParallelPlanContext::ScanSource>();
+    src->table = plan.table;
+    pctx->scans.emplace(&plan, std::move(src));
+  } else if (plan.op == Lolepop::kHashJoin) {
+    auto jb = std::make_unique<parallel::ParallelPlanContext::JoinBuild>();
+    for (const auto& key : plan.equi_keys) jb->key_slots.push_back(key.second);
+    pctx->builds_by_node.emplace(&plan, jb.get());
+    pctx->builds.push_back(std::move(jb));
+    join_nodes->push_back(&plan);
+  }
+}
+
+Result<OperatorPtr> PlanRefiner::BuildParallel(const Plan& plan) {
+  const size_t workers = options_.parallelism;
+  const bool agg_mode = plan.op == Lolepop::kGroupAgg;
+  const Plan& pipeline_root = agg_mode ? *plan.inputs[0] : plan;
+
+  auto pctx = std::make_unique<parallel::ParallelPlanContext>(workers);
+  std::vector<const Plan*> join_nodes;
+  CollectParallelNodes(pipeline_root, pctx.get(), &join_nodes);
+
+  obs::PlanStatsTree::Node* gather_node = nullptr;
+  if (options_.stats != nullptr) {
+    obs::PlanStatsTree::Node* parent =
+        stats_stack_.empty() ? nullptr : stats_stack_.back();
+    gather_node = options_.stats->AddNode(
+        parent, "GATHER workers=" + std::to_string(workers),
+        plan.props.cardinality, plan.props.cost);
+    gather_node->synthetic = true;
+    stats_stack_.push_back(gather_node);
+  }
+
+  std::map<const Plan*, obs::PlanStatsTree::Node*> clone_stats;
+  parallel_ctx_ = pctx.get();
+  parallel_stats_ = &clone_stats;
+
+  auto build_all = [&]() -> Result<OperatorPtr> {
+    // Build-side clones first (innermost joins first, matching the order
+    // the gather runs them in).
+    for (size_t j = 0; j < join_nodes.size(); ++j) {
+      parallel::ParallelPlanContext::JoinBuild* jb = pctx->builds[j].get();
+      const Plan& inner = *join_nodes[j]->inputs[1];
+      for (size_t w = 0; w < workers; ++w) {
+        STARBURST_ASSIGN_OR_RETURN(OperatorPtr clone, Build(inner));
+        jb->build_clones.push_back(std::move(clone));
+      }
+    }
+    if (!agg_mode) {
+      std::vector<OperatorPtr> pipelines;
+      for (size_t w = 0; w < workers; ++w) {
+        STARBURST_ASSIGN_OR_RETURN(OperatorPtr clone, Build(plan));
+        pipelines.push_back(std::move(clone));
+      }
+      return parallel::MakeGatherOp(std::move(pctx), std::move(pipelines));
+    }
+    // Aggregating gather: clone the input pipeline, compile per-clone
+    // partition keys, and build one aggregation clone per partition. A
+    // global aggregate gets a single partition (its one result row must
+    // not be split across clones).
+    const Plan& input_plan = *plan.inputs[0];
+    std::vector<OperatorPtr> input_clones;
+    std::vector<std::vector<CompiledExprPtr>> partition_keys;
+    for (size_t w = 0; w < workers; ++w) {
+      STARBURST_ASSIGN_OR_RETURN(OperatorPtr clone, Build(input_plan));
+      input_clones.push_back(std::move(clone));
+      std::vector<CompiledExprPtr> keys;
+      for (const auto& k : plan.box->group_keys) {
+        STARBURST_ASSIGN_OR_RETURN(
+            CompiledExprPtr c, Compile(*k, input_plan.output, nullptr));
+        keys.push_back(std::move(c));
+      }
+      partition_keys.push_back(std::move(keys));
+    }
+    const size_t nparts = plan.box->group_keys.empty() ? 1 : workers;
+    parallel::AggExchange* exchange = &pctx->exchange;
+    obs::PlanStatsTree::Node* agg_node = nullptr;
+    if (options_.stats != nullptr) {
+      agg_node = options_.stats->AddNode(gather_node, plan.HeadLine(),
+                                         plan.props.cardinality,
+                                         plan.props.cost);
+    }
+    std::vector<OperatorPtr> agg_clones;
+    for (size_t p = 0; p < nparts; ++p) {
+      OperatorPtr source = parallel::MakeExchangeSourceOp(exchange, p);
+      STARBURST_ASSIGN_OR_RETURN(OperatorPtr agg,
+                                 BuildGroupAggOver(plan, std::move(source)));
+      if (agg_node != nullptr) agg->set_stats(&agg_node->actual);
+      agg_clones.push_back(std::move(agg));
+    }
+    return parallel::MakeGatherAggOp(std::move(pctx), std::move(input_clones),
+                                     std::move(partition_keys),
+                                     std::move(agg_clones));
+  };
+
+  Result<OperatorPtr> out = build_all();
+  parallel_ctx_ = nullptr;
+  parallel_stats_ = nullptr;
+  if (gather_node != nullptr) {
+    stats_stack_.pop_back();
+    if (out.ok()) (*out)->set_stats(&gather_node->actual);
+  }
+  return out;
 }
 
 Result<OperatorPtr> PlanRefiner::BuildOp(const Plan& plan) {
@@ -112,6 +266,14 @@ Result<OperatorPtr> PlanRefiner::BuildOp(const Plan& plan) {
         STARBURST_ASSIGN_OR_RETURN(CompiledExprPtr c,
                                    Compile(*p, plan.output, nullptr));
         preds.push_back(std::move(c));
+      }
+      if (parallel_ctx_ != nullptr) {
+        auto it = parallel_ctx_->scans.find(&plan);
+        if (it == parallel_ctx_->scans.end()) {
+          return Status::Internal("scan missing from parallel context");
+        }
+        return MakeMorselScanOp(plan.table, plan.scan_columns,
+                                std::move(preds), &it->second->morsels);
       }
       return MakeScanOp(plan.table, plan.scan_columns, std::move(preds));
     }
@@ -315,14 +477,23 @@ Result<const ExtOperatorRegistry::Builder*> ExtOperatorRegistry::Lookup(
 Result<OperatorPtr> PlanRefiner::BuildJoin(const Plan& plan) {
   STARBURST_ASSIGN_OR_RETURN(OperatorPtr outer, Build(*plan.inputs[0]));
 
+  // In a parallel clone a hash join probes the shared build table; its
+  // inner subtree is built once by the gather's build phase, not per
+  // clone (parallel-safe subtrees have no correlation parameters).
+  const bool parallel_probe =
+      parallel_ctx_ != nullptr && plan.op == Lolepop::kHashJoin;
+
   // Track correlation parameters compiled anywhere inside the inner
   // subtree; the join binds those it can supply from the outer row.
+  OperatorPtr inner;
   std::set<ExecContext::ParamKey> inner_free;
-  param_scopes_.push_back(&inner_free);
-  Result<OperatorPtr> inner_result = Build(*plan.inputs[1]);
-  param_scopes_.pop_back();
-  if (!inner_result.ok()) return inner_result.status();
-  OperatorPtr inner = inner_result.TakeValue();
+  if (!parallel_probe) {
+    param_scopes_.push_back(&inner_free);
+    Result<OperatorPtr> inner_result = Build(*plan.inputs[1]);
+    param_scopes_.pop_back();
+    if (!inner_result.ok()) return inner_result.status();
+    inner = inner_result.TakeValue();
+  }
 
   JoinSpec spec;
   spec.kind = plan.join_kind;
@@ -374,6 +545,14 @@ Result<OperatorPtr> PlanRefiner::BuildJoin(const Plan& plan) {
     case Lolepop::kNlJoin:
       return MakeNlJoinOp(std::move(outer), std::move(inner), std::move(spec));
     case Lolepop::kHashJoin:
+      if (parallel_probe) {
+        auto it = parallel_ctx_->builds_by_node.find(&plan);
+        if (it == parallel_ctx_->builds_by_node.end()) {
+          return Status::Internal("hash join missing from parallel context");
+        }
+        return MakeHashProbeOp(std::move(outer), &it->second->table,
+                               plan.equi_keys, std::move(spec));
+      }
       return MakeHashJoinOp(std::move(outer), std::move(inner), plan.equi_keys,
                             std::move(spec));
     default:
@@ -384,6 +563,11 @@ Result<OperatorPtr> PlanRefiner::BuildJoin(const Plan& plan) {
 
 Result<OperatorPtr> PlanRefiner::BuildGroupAgg(const Plan& plan) {
   STARBURST_ASSIGN_OR_RETURN(OperatorPtr input, Build(*plan.inputs[0]));
+  return BuildGroupAggOver(plan, std::move(input));
+}
+
+Result<OperatorPtr> PlanRefiner::BuildGroupAggOver(const Plan& plan,
+                                                   OperatorPtr input) {
   const qgm::Box* box = plan.box;
   const std::vector<ColumnBinding>& layout = plan.inputs[0]->output;
 

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "exec/operators.h"
+#include "exec/parallel/gather.h"
 
 namespace starburst::exec {
 
@@ -45,6 +46,13 @@ class PlanRefiner {
     /// the plan's estimates) and accumulates its runtime stats into it.
     /// The tree must outlive execution.
     obs::PlanStatsTree* stats = nullptr;
+    /// Worker count for morsel-driven parallel execution. > 1 inserts a
+    /// Gather over the largest parallel-safe subtrees, which then run as
+    /// that many pipeline clones.
+    size_t parallelism = 1;
+    /// Worth gate: estimated base-table rows a subtree must scan before
+    /// it is worth parallelizing (thread handoff isn't free). 0 = always.
+    double parallel_min_rows = 1024;
   };
 
   PlanRefiner(const Catalog* catalog,
@@ -74,6 +82,19 @@ class PlanRefiner {
   Result<OperatorPtr> BuildOp(const optimizer::Plan& plan);
   Result<OperatorPtr> BuildJoin(const optimizer::Plan& plan);
   Result<OperatorPtr> BuildGroupAgg(const optimizer::Plan& plan);
+  /// Compiles the grouping machinery of a kGroupAgg plan over an already
+  /// built input stream (shared by the serial and the per-partition path).
+  Result<OperatorPtr> BuildGroupAggOver(const optimizer::Plan& plan,
+                                        OperatorPtr input);
+
+  /// True when `plan` is the root of a subtree worth running parallel.
+  bool ShouldParallelize(const optimizer::Plan& plan) const;
+  /// Builds a Gather (plain or aggregating) over `plan`, cloning the
+  /// parallel-safe subtree options_.parallelism times.
+  Result<OperatorPtr> BuildParallel(const optimizer::Plan& plan);
+  void CollectParallelNodes(const optimizer::Plan& plan,
+                            parallel::ParallelPlanContext* pctx,
+                            std::vector<const optimizer::Plan*>* join_nodes);
 
   CompileEnv EnvFor(const std::vector<optimizer::ColumnBinding>* layout);
 
@@ -85,6 +106,13 @@ class PlanRefiner {
   std::vector<std::set<ExecContext::ParamKey>*> param_scopes_;
   /// Current ancestor in options_.stats while building (empty = root).
   std::vector<obs::PlanStatsTree::Node*> stats_stack_;
+  /// Non-null while building parallel pipeline clones: scans become
+  /// morsel scans and hash joins become probes of the shared tables.
+  parallel::ParallelPlanContext* parallel_ctx_ = nullptr;
+  /// Per plan node, the stats node shared by all clones of that node
+  /// (EXPLAIN ANALYZE shows one aggregated line, not P duplicates).
+  std::map<const optimizer::Plan*, obs::PlanStatsTree::Node*>*
+      parallel_stats_ = nullptr;
 };
 
 }  // namespace starburst::exec

@@ -1,22 +1,28 @@
 #include "exec/operators.h"
+#include "exec/parallel/morsel.h"
 #include "storage/attachment.h"
 
 namespace starburst::exec {
 
 namespace {
 
+/// With a MorselSource attached the scan is a parallel clone: instead of
+/// one full walk it claims page-range morsels until the shared dispenser
+/// runs dry, so sibling clones cover the table together.
 class ScanOp : public Operator {
  public:
   ScanOp(const TableDef* table, std::vector<size_t> columns,
-         std::vector<CompiledExprPtr> predicates)
+         std::vector<CompiledExprPtr> predicates,
+         parallel::MorselSource* morsels = nullptr)
       : table_(table), columns_(std::move(columns)),
-        predicates_(std::move(predicates)) {}
+        predicates_(std::move(predicates)), morsels_(morsels) {}
 
   Status OpenImpl(ExecContext* ctx) override {
     ctx_ = ctx;
     STARBURST_ASSIGN_OR_RETURN(TableStorage * storage,
                                ctx->storage()->GetTable(table_->name));
-    scan_ = storage->NewScan();
+    storage_ = storage;
+    scan_ = morsels_ == nullptr ? storage->NewScan() : nullptr;
     return Status::OK();
   }
 
@@ -24,8 +30,21 @@ class ScanOp : public Operator {
     Row full;
     Rid rid;
     while (true) {
+      if (scan_ == nullptr) {
+        PageNo begin, end;
+        if (morsels_ == nullptr || !morsels_->Claim(&begin, &end)) {
+          return false;
+        }
+        scan_ = storage_->NewRangeScan(begin, end);
+      }
       STARBURST_ASSIGN_OR_RETURN(bool more, scan_->Next(&full, &rid));
-      if (!more) return false;
+      if (!more) {
+        if (morsels_ != nullptr) {
+          scan_.reset();  // morsel drained; claim the next one
+          continue;
+        }
+        return false;
+      }
       bool pass = true;
       // Predicates run against the *projected* row (slots follow
       // scan_columns), per §2: functions are invoked "at low levels of
@@ -58,7 +77,9 @@ class ScanOp : public Operator {
   const TableDef* table_;
   std::vector<size_t> columns_;
   std::vector<CompiledExprPtr> predicates_;
+  parallel::MorselSource* morsels_;
   ExecContext* ctx_ = nullptr;
+  TableStorage* storage_ = nullptr;
   std::unique_ptr<TableScanIterator> scan_;
 };
 
@@ -219,6 +240,14 @@ OperatorPtr MakeScanOp(const TableDef* table, std::vector<size_t> columns,
                        std::vector<CompiledExprPtr> predicates) {
   return std::make_unique<ScanOp>(table, std::move(columns),
                                   std::move(predicates));
+}
+
+OperatorPtr MakeMorselScanOp(const TableDef* table,
+                             std::vector<size_t> columns,
+                             std::vector<CompiledExprPtr> predicates,
+                             parallel::MorselSource* morsels) {
+  return std::make_unique<ScanOp>(table, std::move(columns),
+                                  std::move(predicates), morsels);
 }
 
 OperatorPtr MakeIndexScanOp(const TableDef* table, const IndexDef* index,

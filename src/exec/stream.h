@@ -1,6 +1,7 @@
 #ifndef STARBURST_EXEC_STREAM_H_
 #define STARBURST_EXEC_STREAM_H_
 
+#include <atomic>
 #include <map>
 #include <memory>
 #include <vector>
@@ -14,13 +15,31 @@
 namespace starburst::exec {
 
 /// Runtime statistics the QES collects while interpreting a QEP.
+/// Counters are atomic: parallel pipeline clones under a Gather share
+/// the coordinator's ExecContext and bump these concurrently. Copying
+/// (QueryMetrics keeps a snapshot) is defined field-wise, relaxed.
 struct ExecStats {
-  uint64_t rows_emitted = 0;
-  uint64_t subquery_evaluations = 0;   // inner plan (re-)executions
-  uint64_t subquery_cache_hits = 0;    // correlation values unchanged
-  uint64_t shipped_rows = 0;           // through SHIP operators
-  uint64_t recursion_iterations = 0;
-  uint64_t shared_materializations = 0;  // shared TEMPs actually built
+  std::atomic<uint64_t> rows_emitted{0};
+  std::atomic<uint64_t> subquery_evaluations{0};  // inner plan (re-)executions
+  std::atomic<uint64_t> subquery_cache_hits{0};   // correlation unchanged
+  std::atomic<uint64_t> shipped_rows{0};          // through SHIP operators
+  std::atomic<uint64_t> recursion_iterations{0};
+  std::atomic<uint64_t> shared_materializations{0};  // shared TEMPs built
+
+  ExecStats() = default;
+  ExecStats(const ExecStats& o) { *this = o; }
+  ExecStats& operator=(const ExecStats& o) {
+    rows_emitted = o.rows_emitted.load(std::memory_order_relaxed);
+    subquery_evaluations =
+        o.subquery_evaluations.load(std::memory_order_relaxed);
+    subquery_cache_hits = o.subquery_cache_hits.load(std::memory_order_relaxed);
+    shipped_rows = o.shipped_rows.load(std::memory_order_relaxed);
+    recursion_iterations =
+        o.recursion_iterations.load(std::memory_order_relaxed);
+    shared_materializations =
+        o.shared_materializations.load(std::memory_order_relaxed);
+    return *this;
+  }
 };
 
 /// Shared evaluation context for one query execution: Core access,

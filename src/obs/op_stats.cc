@@ -59,7 +59,7 @@ void RenderNode(const PlanStatsTree::Node& node, int indent, bool with_actuals,
       std::snprintf(buf, sizeof(buf),
                     " (actual rows=%llu time=%.1fus loops=%llu)",
                     static_cast<unsigned long long>(node.actual.rows_out),
-                    node.actual.wall_us,
+                    static_cast<double>(node.actual.wall_us),
                     static_cast<unsigned long long>(node.actual.opens));
     } else {
       std::snprintf(buf, sizeof(buf), " (actual: never executed)");

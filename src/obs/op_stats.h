@@ -1,6 +1,7 @@
 #ifndef STARBURST_OBS_OP_STATS_H_
 #define STARBURST_OBS_OP_STATS_H_
 
+#include <atomic>
 #include <cstdint>
 #include <deque>
 #include <string>
@@ -12,11 +13,15 @@ namespace starburst::obs {
 /// (re-)opens, Next invocations, rows produced, and inclusive wall time
 /// spent inside Open/Next/Close (children included — subtract child time
 /// for self time).
+///
+/// Counters are atomic because parallel pipeline clones share one stats
+/// node per plan node, so EXPLAIN ANALYZE aggregates across workers
+/// (opens then counts clone opens — the "loops" column).
 struct OperatorStats {
-  uint64_t opens = 0;
-  uint64_t next_calls = 0;
-  uint64_t rows_out = 0;
-  double wall_us = 0;
+  std::atomic<uint64_t> opens{0};
+  std::atomic<uint64_t> next_calls{0};
+  std::atomic<uint64_t> rows_out{0};
+  std::atomic<double> wall_us{0};
 };
 
 /// The refined plan tree annotated with estimates (from the optimizer's

@@ -1,5 +1,6 @@
 #include "optimizer/plan.h"
 
+#include <set>
 #include <sstream>
 
 namespace starburst::optimizer {
@@ -117,6 +118,101 @@ std::shared_ptr<Plan> NewPlan(Lolepop op) {
   auto p = std::make_shared<Plan>();
   p->op = op;
   return p;
+}
+
+namespace {
+
+void CollectScanQuantifiers(const Plan& plan,
+                            std::set<const qgm::Quantifier*>* out) {
+  if (plan.op == Lolepop::kScan && plan.quantifier != nullptr) {
+    out->insert(plan.quantifier);
+  }
+  for (const PlanPtr& input : plan.inputs) {
+    CollectScanQuantifiers(*input, out);
+  }
+}
+
+bool ExprSafe(const qgm::Expr& e,
+              const std::set<const qgm::Quantifier*>& allowed) {
+  switch (e.kind) {
+    case qgm::Expr::Kind::kExistsTest:
+    case qgm::Expr::Kind::kQuantCompare:
+      return false;  // subquery runtimes are stateful and correlated
+    case qgm::Expr::Kind::kColumnRef:
+      return allowed.count(e.quantifier) > 0;
+    default:
+      break;
+  }
+  for (const qgm::ExprPtr& child : e.children) {
+    if (child != nullptr && !ExprSafe(*child, allowed)) return false;
+  }
+  return true;
+}
+
+bool NodeSafe(const Plan& plan,
+              const std::set<const qgm::Quantifier*>& allowed) {
+  for (const qgm::Expr* p : plan.predicates) {
+    if (p != nullptr && !ExprSafe(*p, allowed)) return false;
+  }
+  switch (plan.op) {
+    case Lolepop::kScan:
+      return plan.table != nullptr && plan.quantifier != nullptr;
+    case Lolepop::kFilter:
+      break;
+    case Lolepop::kProject:
+      // A computing projection evaluates the box head; relabel nodes
+      // (quantifier set / positional aliases) touch nothing.
+      if (plan.quantifier == nullptr && plan.box != nullptr) {
+        for (const qgm::HeadColumn& h : plan.box->head) {
+          if (h.expr != nullptr && !ExprSafe(*h.expr, allowed)) return false;
+        }
+      }
+      break;
+    case Lolepop::kHashJoin:
+      if (plan.quant_compare != nullptr) return false;
+      switch (plan.join_kind) {
+        case JoinKind::kRegular:
+        case JoinKind::kLeftOuter:
+        case JoinKind::kExists:
+        case JoinKind::kAnti:
+          break;
+        default:
+          return false;
+      }
+      break;
+    default:
+      return false;
+  }
+  for (const PlanPtr& input : plan.inputs) {
+    if (!NodeSafe(*input, allowed)) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+bool IsParallelSafe(const Plan& plan) {
+  std::set<const qgm::Quantifier*> scans;
+  CollectScanQuantifiers(plan, &scans);
+  if (scans.empty()) return false;  // nothing to morselize
+  return NodeSafe(plan, scans);
+}
+
+bool ExprIsParallelSafeOver(const qgm::Expr& expr, const Plan& input) {
+  std::set<const qgm::Quantifier*> scans;
+  CollectScanQuantifiers(input, &scans);
+  return ExprSafe(expr, scans);
+}
+
+double ParallelScanRows(const Plan& plan) {
+  double rows = 0;
+  if (plan.op == Lolepop::kScan && plan.table != nullptr) {
+    rows += plan.table->stats.row_count;
+  }
+  for (const PlanPtr& input : plan.inputs) {
+    rows += ParallelScanRows(*input);
+  }
+  return rows;
 }
 
 }  // namespace starburst::optimizer

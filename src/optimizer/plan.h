@@ -142,6 +142,28 @@ struct Plan {
 /// Mutable builder shorthand.
 std::shared_ptr<Plan> NewPlan(Lolepop op);
 
+/// True if the subtree rooted at `plan` can be cloned for morsel-driven
+/// parallel execution (every clone runs the same operator tree; scans
+/// claim disjoint page ranges, hash joins probe a shared build table):
+///   - every leaf is a plain table scan (kScan) — morselizable;
+///   - interior nodes are kFilter / kProject / kHashJoin with join kind
+///     regular / left-outer / exists / anti and no quantified compare;
+///   - every expression (predicates, computed heads) references only
+///     quantifiers scanned inside the subtree — no correlation into an
+///     enclosing scope — and contains no subquery construct (EXISTS,
+///     quantified compare, set predicate), whose runtimes are stateful.
+/// kGroupAgg is handled above this check by the plan refiner (partition
+/// exchange), which calls ExprIsParallelSafeOver for its keys and args.
+bool IsParallelSafe(const Plan& plan);
+
+/// True if `expr` is safe to evaluate concurrently over rows of `input`:
+/// subquery-free and referencing only quantifiers scanned in `input`.
+bool ExprIsParallelSafeOver(const qgm::Expr& expr, const Plan& input);
+
+/// Total estimated base-table rows scanned by the subtree's kScan leaves
+/// (the refiner's worth-gate for going parallel).
+double ParallelScanRows(const Plan& plan);
+
 }  // namespace starburst::optimizer
 
 #endif  // STARBURST_OPTIMIZER_PLAN_H_

@@ -292,6 +292,10 @@ Status NlJoinTempStar(PlanGenerator& gen, const StarContext& ctx,
 Status HashJoinStar(PlanGenerator& gen, const StarContext& ctx,
                     std::vector<PlanPtr>* out) {
   if (ctx.inner_dependent) return Status::OK();
+  // Quantified compares (x <op> ANY/ALL/IN ...) carry three-valued
+  // UNKNOWN semantics that only the NL join evaluates; the hash probe
+  // would conflate "no match" with "compared UNKNOWN".
+  if (ctx.quant_compare != nullptr) return Status::OK();
   switch (ctx.kind) {
     case JoinKind::kRegular:
     case JoinKind::kExists:
@@ -325,6 +329,8 @@ Status HashJoinStar(PlanGenerator& gen, const StarContext& ctx,
 Status MergeJoinStar(PlanGenerator& gen, const StarContext& ctx,
                      std::vector<PlanPtr>* out) {
   if (ctx.inner_dependent) return Status::OK();
+  // See HashJoinStar: quantified compares are NL-only.
+  if (ctx.quant_compare != nullptr) return Status::OK();
   switch (ctx.kind) {
     case JoinKind::kRegular:
     case JoinKind::kExists:

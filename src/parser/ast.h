@@ -298,6 +298,7 @@ enum class StatementKind {
   kDelete,
   kExplain,
   kAnalyze,
+  kSet,
 };
 
 struct Statement {
@@ -391,6 +392,15 @@ struct DeleteStatement : Statement {
 struct AnalyzeStatement : Statement {
   AnalyzeStatement() : Statement(StatementKind::kAnalyze) {}
   std::string table;  // empty = all tables
+};
+
+/// SET <name> = <integer> | DEFAULT: session option assignment
+/// (e.g. SET PARALLELISM = 4).
+struct SetStatement : Statement {
+  SetStatement() : Statement(StatementKind::kSet) {}
+  std::string name;       // upper-cased option name
+  int64_t value = 0;
+  bool is_default = false;  // SET <name> = DEFAULT
 };
 
 /// EXPLAIN [QGM [BEFORE] | PLAN | [ANALYZE] [VERBOSE]] <select>:

@@ -182,6 +182,22 @@ Result<ast::StatementPtr> Parser::ParseStatementInner() {
   if (CheckKeyword("UPDATE")) return ParseUpdate();
   if (CheckKeyword("DELETE")) return ParseDelete();
   if (CheckKeyword("EXPLAIN")) return ParseExplain();
+  if (MatchKeyword("SET")) {
+    auto stmt = std::make_unique<ast::SetStatement>();
+    STARBURST_ASSIGN_OR_RETURN(std::string name,
+                               ExpectIdentifier("option name"));
+    stmt->name = IdentUpper(name);
+    STARBURST_RETURN_IF_ERROR(Expect(TokenKind::kEq, "'='").status());
+    if (MatchKeyword("DEFAULT")) {
+      stmt->is_default = true;
+    } else {
+      bool negative = MatchToken(TokenKind::kMinus);
+      STARBURST_ASSIGN_OR_RETURN(Token value,
+                                 Expect(TokenKind::kIntLiteral, "integer"));
+      stmt->value = negative ? -value.int_value : value.int_value;
+    }
+    return ast::StatementPtr(std::move(stmt));
+  }
   if (MatchKeyword("ANALYZE")) {
     auto stmt = std::make_unique<ast::AnalyzeStatement>();
     if (Check(TokenKind::kIdentifier)) {

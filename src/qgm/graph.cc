@@ -1,6 +1,8 @@
 #include <algorithm>
+#include <functional>
 #include <set>
 
+#include "catalog/catalog.h"
 #include "qgm/box.h"
 
 namespace starburst::qgm {
@@ -61,8 +63,28 @@ void Graph::GarbageCollect() {
                boxes_.end());
 }
 
+namespace {
+
+/// Walks `e` bottom-up applying `fn` to every node; first error wins.
+Status ForEachExpr(const Expr* e, const std::function<Status(const Expr&)>& fn) {
+  if (e == nullptr) return Status::OK();
+  for (const ExprPtr& child : e->children) {
+    STARBURST_RETURN_IF_ERROR(ForEachExpr(child.get(), fn));
+  }
+  return fn(*e);
+}
+
+}  // namespace
+
 Status Graph::Validate() const {
   if (root_ == nullptr) return Status::Internal("QGM: no root box");
+  // Arc consistency: range edges may only target boxes the graph owns
+  // (a dangling input box means a rule freed or forgot to re-point it).
+  std::set<const Box*> members;
+  for (const auto& b : boxes_) members.insert(b.get());
+  if (members.count(root_) == 0) {
+    return Status::Internal("QGM: root box is not owned by the graph");
+  }
   for (Box* box : BottomUpOrder()) {
     // Heads must be typed, and derived heads must have expressions.
     for (const HeadColumn& h : box->head) {
@@ -78,6 +100,20 @@ Status Graph::Validate() const {
                                 h.name + "' has no defining expression");
       }
     }
+    // Head arity of leaf and set-operation boxes.
+    if (box->kind == BoxKind::kBaseTable && box->table != nullptr &&
+        box->head.size() != box->table->schema.num_columns()) {
+      return Status::Internal("QGM: base table box " + box->Label() +
+                              " head arity does not match the schema");
+    }
+    if (box->kind == BoxKind::kSetOp) {
+      for (const auto& q : box->quantifiers) {
+        if (q->input != nullptr && q->input->head.size() != box->head.size()) {
+          return Status::Internal("QGM: set operation " + box->Label() +
+                                  " input arity mismatch");
+        }
+      }
+    }
     // Quantifier sanity.
     for (const auto& q : box->quantifiers) {
       if (q->owner != box) {
@@ -87,6 +123,11 @@ Status Graph::Validate() const {
       if (q->input == nullptr) {
         return Status::Internal("QGM: quantifier Q" + std::to_string(q->id) +
                                 " has no range edge");
+      }
+      if (members.count(q->input) == 0) {
+        return Status::Internal("QGM: quantifier Q" + std::to_string(q->id) +
+                                " in " + box->Label() +
+                                " ranges over a box the graph does not own");
       }
     }
     // Every expression must reference only this box's quantifiers — or,
@@ -103,13 +144,40 @@ Status Graph::Validate() const {
       std::set<Quantifier*> used;
       e->CollectQuantifiers(&used);
       for (Quantifier* q : used) {
+        // Dangling detection: the owner must still list the quantifier
+        // (a rule that erased it must also rewrite referencing exprs).
+        // RemoveQuantifier nulls the owner, so that is dangling too.
+        bool listed = false;
+        if (q->owner != nullptr) {
+          for (const auto& owned : q->owner->quantifiers) {
+            if (owned.get() == q) {
+              listed = true;
+              break;
+            }
+          }
+        }
+        if (!listed) {
+          return Status::Internal(
+              "QGM: expression '" + e->ToString() + "' in " + box->Label() +
+              " references dangling quantifier Q" + std::to_string(q->id));
+        }
         if (q->owner != box && !reachable_from(q->owner, box)) {
           return Status::Internal(
               "QGM: expression '" + e->ToString() + "' in " + box->Label() +
               " references foreign quantifier Q" + std::to_string(q->id));
         }
       }
-      return Status::OK();
+      // Column references must fit the ranged-over box's head arity.
+      return ForEachExpr(e, [&](const Expr& node) -> Status {
+        if (node.kind == Expr::Kind::kColumnRef && node.quantifier != nullptr &&
+            node.quantifier->input != nullptr &&
+            node.column >= node.quantifier->input->head.size()) {
+          return Status::Internal(
+              "QGM: column reference '" + node.ToString() + "' in " +
+              box->Label() + " exceeds the head arity of its input box");
+        }
+        return Status::OK();
+      });
     };
     for (const auto& p : box->predicates) {
       STARBURST_RETURN_IF_ERROR(check_expr(p.get()));

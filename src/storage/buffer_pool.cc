@@ -3,16 +3,23 @@
 namespace starburst {
 
 const Page* BufferPool::GetPage(FileId file, PageNo page) {
-  Touch(file, page, /*dirty=*/false);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    Touch(file, page, /*dirty=*/false);
+  }
   return pager_->RawPage(file, page);
 }
 
 Page* BufferPool::GetMutablePage(FileId file, PageNo page) {
-  Touch(file, page, /*dirty=*/true);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    Touch(file, page, /*dirty=*/true);
+  }
   return pager_->RawPage(file, page);
 }
 
 PageNo BufferPool::NewPage(FileId file) {
+  std::lock_guard<std::mutex> lock(mu_);
   PageNo page = pager_->AppendPage(file);
   // Newly created pages enter the pool dirty without a disk read.
   Key key{file, page};
@@ -25,11 +32,13 @@ PageNo BufferPool::NewPage(FileId file) {
 }
 
 void BufferPool::set_capacity(size_t capacity_pages) {
+  std::lock_guard<std::mutex> lock(mu_);
   capacity_ = capacity_pages;
   EvictIfNeeded();
 }
 
 void BufferPool::FlushAll() {
+  std::lock_guard<std::mutex> lock(mu_);
   for (auto& [key, frame] : resident_) {
     if (frame.dirty) {
       ++stats_.disk_writes;

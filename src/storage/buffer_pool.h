@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <list>
+#include <mutex>
 #include <unordered_map>
 
 #include "storage/page.h"
@@ -23,12 +24,18 @@ struct BufferPoolStats {
   }
 
   /// Counter deltas since an earlier snapshot (per-phase accounting).
+  /// If a counter went backwards (ResetStats() ran between the snapshots),
+  /// the pre-reset activity is unrecoverable; report the post-reset count
+  /// instead of letting the unsigned subtraction wrap to ~2^64.
   BufferPoolStats Since(const BufferPoolStats& before) const {
+    auto delta = [](uint64_t now, uint64_t then) {
+      return now >= then ? now - then : now;
+    };
     BufferPoolStats d;
-    d.logical_reads = logical_reads - before.logical_reads;
-    d.cache_hits = cache_hits - before.cache_hits;
-    d.disk_reads = disk_reads - before.disk_reads;
-    d.disk_writes = disk_writes - before.disk_writes;
+    d.logical_reads = delta(logical_reads, before.logical_reads);
+    d.cache_hits = delta(cache_hits, before.cache_hits);
+    d.disk_reads = delta(disk_reads, before.disk_reads);
+    d.disk_writes = delta(disk_writes, before.disk_writes);
     return d;
   }
 };
@@ -37,6 +44,11 @@ struct BufferPoolStats {
 /// (the Pager is the simulated disk); the pool's job is to *account*: a
 /// touch of a non-resident page is a disk read, eviction of a dirty page
 /// is a disk write. `capacity_pages` bounds residency.
+///
+/// Thread safety: all accounting state (LRU list, residency map, stats)
+/// is guarded by an internal mutex so parallel morsel scans can share the
+/// pool. Returned Page pointers stay valid across eviction because pages
+/// live in the Pager, never in pool frames.
 class BufferPool {
  public:
   using Stats = BufferPoolStats;
@@ -58,8 +70,16 @@ class BufferPool {
   /// Writes back every dirty page (counts writes) and keeps residency.
   void FlushAll();
 
-  const BufferPoolStats& stats() const { return stats_; }
-  void ResetStats() { stats_ = BufferPoolStats{}; }
+  /// Returns a consistent snapshot (by value: the counters may keep
+  /// moving under concurrent scans).
+  BufferPoolStats stats() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return stats_;
+  }
+  void ResetStats() {
+    std::lock_guard<std::mutex> lock(mu_);
+    stats_ = BufferPoolStats{};
+  }
 
   size_t capacity() const { return capacity_; }
   /// Shrinking evicts immediately (dirty victims count as writes).
@@ -86,11 +106,14 @@ class BufferPool {
   };
 
   /// Makes (file,page) resident; returns whether it was already (hit).
+  /// Caller must hold mu_.
   bool Touch(FileId file, PageNo page, bool dirty);
+  /// Caller must hold mu_.
   void EvictIfNeeded();
 
   Pager* pager_;
   size_t capacity_;
+  mutable std::mutex mu_;
   std::list<Key> lru_;  // front = most recent
   std::unordered_map<Key, Frame, KeyHash> resident_;
   BufferPoolStats stats_;

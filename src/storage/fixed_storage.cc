@@ -1,4 +1,6 @@
+#include <algorithm>
 #include <cstring>
+#include <limits>
 
 #include "storage/record_codec.h"
 #include "storage/storage_manager.h"
@@ -74,6 +76,8 @@ class FixedTableStorage : public TableStorage {
   }
 
   std::unique_ptr<TableScanIterator> NewScan() override;
+  std::unique_ptr<TableScanIterator> NewRangeScan(PageNo begin_page,
+                                                  PageNo end_page) override;
 
   uint64_t row_count() const override { return row_count_; }
   uint64_t page_count() const override {
@@ -140,10 +144,14 @@ class FixedTableStorage : public TableStorage {
 
 class FixedScanIterator : public TableScanIterator {
  public:
-  explicit FixedScanIterator(FixedTableStorage* table) : table_(table) {}
+  /// Walks pages [begin_page, min(end_page, PageCount)).
+  FixedScanIterator(FixedTableStorage* table, PageNo begin_page,
+                    PageNo end_page)
+      : table_(table), page_(begin_page), end_page_(end_page) {}
 
   Result<bool> Next(Row* row, Rid* rid) override {
-    size_t num_pages = table_->pool()->pager()->PageCount(table_->file());
+    size_t num_pages = std::min<size_t>(
+        table_->pool()->pager()->PageCount(table_->file()), end_page_);
     while (page_ < num_pages) {
       const Page* page = table_->pool()->GetPage(table_->file(),
                                                  static_cast<PageNo>(page_));
@@ -163,12 +171,19 @@ class FixedScanIterator : public TableScanIterator {
 
  private:
   FixedTableStorage* table_;
-  size_t page_ = 0;
+  size_t page_;
+  size_t end_page_;
   size_t slot_ = 0;
 };
 
 std::unique_ptr<TableScanIterator> FixedTableStorage::NewScan() {
-  return std::make_unique<FixedScanIterator>(this);
+  return std::make_unique<FixedScanIterator>(
+      this, 0, std::numeric_limits<PageNo>::max());
+}
+
+std::unique_ptr<TableScanIterator> FixedTableStorage::NewRangeScan(
+    PageNo begin_page, PageNo end_page) {
+  return std::make_unique<FixedScanIterator>(this, begin_page, end_page);
 }
 
 class FixedStorageManager : public StorageManager {

@@ -1,4 +1,6 @@
+#include <algorithm>
 #include <cstring>
+#include <limits>
 
 #include "storage/record_codec.h"
 #include "storage/storage_manager.h"
@@ -108,6 +110,8 @@ class HeapTableStorage : public TableStorage {
   }
 
   std::unique_ptr<TableScanIterator> NewScan() override;
+  std::unique_ptr<TableScanIterator> NewRangeScan(PageNo begin_page,
+                                                  PageNo end_page) override;
 
   uint64_t row_count() const override { return row_count_; }
   uint64_t page_count() const override {
@@ -141,10 +145,14 @@ class HeapTableStorage : public TableStorage {
 
 class HeapScanIterator : public TableScanIterator {
  public:
-  explicit HeapScanIterator(HeapTableStorage* table) : table_(table) {}
+  /// Walks pages [begin_page, min(end_page, PageCount)).
+  HeapScanIterator(HeapTableStorage* table, PageNo begin_page,
+                   PageNo end_page)
+      : table_(table), page_(begin_page), end_page_(end_page) {}
 
   Result<bool> Next(Row* row, Rid* rid) override {
-    size_t num_pages = table_->pool()->pager()->PageCount(table_->file());
+    size_t num_pages = std::min<size_t>(
+        table_->pool()->pager()->PageCount(table_->file()), end_page_);
     while (page_ < num_pages) {
       const Page* page = table_->pool()->GetPage(table_->file(),
                                                  static_cast<PageNo>(page_));
@@ -168,12 +176,19 @@ class HeapScanIterator : public TableScanIterator {
 
  private:
   HeapTableStorage* table_;
-  size_t page_ = 0;
+  size_t page_;
+  size_t end_page_;
   uint16_t slot_ = 0;
 };
 
 std::unique_ptr<TableScanIterator> HeapTableStorage::NewScan() {
-  return std::make_unique<HeapScanIterator>(this);
+  return std::make_unique<HeapScanIterator>(this, 0,
+                                            std::numeric_limits<PageNo>::max());
+}
+
+std::unique_ptr<TableScanIterator> HeapTableStorage::NewRangeScan(
+    PageNo begin_page, PageNo end_page) {
+  return std::make_unique<HeapScanIterator>(this, begin_page, end_page);
 }
 
 class HeapStorageManager : public StorageManager {

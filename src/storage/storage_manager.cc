@@ -2,6 +2,37 @@
 
 namespace starburst {
 
+namespace {
+
+/// Fallback range scan for storage managers without a page-bounded walk:
+/// drains a full scan and keeps rows whose Rid lands in the range.
+class FilteredRangeScanIterator : public TableScanIterator {
+ public:
+  FilteredRangeScanIterator(std::unique_ptr<TableScanIterator> inner,
+                            PageNo begin_page, PageNo end_page)
+      : inner_(std::move(inner)), begin_(begin_page), end_(end_page) {}
+
+  Result<bool> Next(Row* row, Rid* rid) override {
+    while (true) {
+      STARBURST_ASSIGN_OR_RETURN(bool more, inner_->Next(row, rid));
+      if (!more) return false;
+      if (rid->page >= begin_ && rid->page < end_) return true;
+    }
+  }
+
+ private:
+  std::unique_ptr<TableScanIterator> inner_;
+  PageNo begin_, end_;
+};
+
+}  // namespace
+
+std::unique_ptr<TableScanIterator> TableStorage::NewRangeScan(
+    PageNo begin_page, PageNo end_page) {
+  return std::make_unique<FilteredRangeScanIterator>(NewScan(), begin_page,
+                                                     end_page);
+}
+
 StorageManagerRegistry::StorageManagerRegistry() {
   (void)Register(MakeHeapStorageManager());
   (void)Register(MakeFixedStorageManager());

@@ -34,6 +34,14 @@ class TableStorage {
   virtual Result<Rid> Update(Rid rid, const Row& row) = 0;
   virtual std::unique_ptr<TableScanIterator> NewScan() = 0;
 
+  /// Scan restricted to pages [begin_page, end_page) — the unit of a
+  /// parallel morsel. Disjoint ranges covering [0, page_count()) yield
+  /// every row exactly once. The default walks a full scan and filters
+  /// by the returned Rid's page; page-structured managers override it
+  /// with a bounded walk.
+  virtual std::unique_ptr<TableScanIterator> NewRangeScan(PageNo begin_page,
+                                                          PageNo end_page);
+
   virtual uint64_t row_count() const = 0;
   virtual uint64_t page_count() const = 0;
 };

@@ -2,6 +2,7 @@
 
 #include "engine/database.h"
 #include "exec/operators.h"
+#include "qgm/box.h"
 
 namespace starburst {
 namespace {
@@ -302,6 +303,182 @@ TEST_F(JoinKindTest, MergeJoinKindsAgreeWithNl) {
               [](const Row& a, const Row& b) { return a.CompareTotal(b) < 0; });
     EXPECT_EQ(expected, actual) << "kind " << optimizer::JoinKindName(kind);
   }
+}
+
+TEST_F(JoinKindTest, HashJoinNullKeysThreeValuedSemantics) {
+  // NULL join keys on *either* side must follow three-valued logic:
+  // NULL = x is unknown, so a NULL inner key matches nothing (invisible
+  // to regular/semi matching, cannot block anti), and a NULL outer key
+  // probes nothing (dropped by regular/semi, null-padded by left-outer,
+  // emitted by anti -- NOT EXISTS semantics).
+  auto inner_with_nulls = [] {
+    return exec::MakeValuesOp({R({Value::Int(2)}), R({Value::Null()}),
+                               R({Value::Int(3)}), R({Value::Null()})});
+  };
+  auto run = [&](JoinKind kind) {
+    JoinSpec spec;
+    spec.kind = kind;
+    spec.inner_width = 1;
+    auto join = exec::MakeHashJoinOp(Outer(), inner_with_nulls(), {{0, 0}},
+                                     std::move(spec));
+    std::vector<Row> rows = RunOp(join.get(), &ctx_);
+    std::sort(rows.begin(), rows.end(),
+              [](const Row& a, const Row& b) { return a.CompareTotal(b) < 0; });
+    return rows;
+  };
+
+  std::vector<Row> regular = run(JoinKind::kRegular);
+  ASSERT_EQ(regular.size(), 2u);  // (2,2), (3,3); NULL keys never match
+  EXPECT_EQ(regular[0], R({Value::Int(2), Value::Int(2)}));
+  EXPECT_EQ(regular[1], R({Value::Int(3), Value::Int(3)}));
+
+  std::vector<Row> semi = run(JoinKind::kExists);
+  ASSERT_EQ(semi.size(), 2u);
+  EXPECT_EQ(semi[0], R({Value::Int(2)}));
+  EXPECT_EQ(semi[1], R({Value::Int(3)}));
+
+  std::vector<Row> anti = run(JoinKind::kAnti);
+  ASSERT_EQ(anti.size(), 2u);  // 1 and NULL: neither has a match
+  EXPECT_TRUE(anti[0][0].is_null());
+  EXPECT_EQ(anti[1], R({Value::Int(1)}));
+
+  std::vector<Row> outer = run(JoinKind::kLeftOuter);
+  ASSERT_EQ(outer.size(), 4u);
+  EXPECT_TRUE(outer[0][0].is_null());  // NULL outer, null-padded
+  EXPECT_TRUE(outer[0][1].is_null());
+  EXPECT_EQ(outer[1], R({Value::Int(1), Value::Null()}));  // unmatched 1
+  EXPECT_EQ(outer[2], R({Value::Int(2), Value::Int(2)}));
+  EXPECT_EQ(outer[3], R({Value::Int(3), Value::Int(3)}));
+
+  // And the NL join -- the semantic reference -- agrees kind by kind.
+  for (JoinKind kind : {JoinKind::kRegular, JoinKind::kExists, JoinKind::kAnti,
+                        JoinKind::kLeftOuter}) {
+    auto nl = exec::MakeNlJoinOp(Outer(), inner_with_nulls(), EqSpec(kind));
+    std::vector<Row> expected = RunOp(nl.get(), &ctx_);
+    std::sort(expected.begin(), expected.end(),
+              [](const Row& a, const Row& b) { return a.CompareTotal(b) < 0; });
+    EXPECT_EQ(expected, run(kind)) << "kind " << optimizer::JoinKindName(kind);
+  }
+}
+
+TEST_F(JoinKindTest, HashJoinRejectsQuantifiedCompare) {
+  // Quantified compares (x <op> ALL/ANY inner) need per-outer verdict
+  // folds that the hash probe cannot provide; the operator must refuse
+  // at Open rather than silently compute regular-join semantics.
+  JoinSpec spec;
+  spec.kind = JoinKind::kOpAll;
+  spec.inner_width = 1;
+  spec.cmp_op = ast::BinaryOp::kNe;
+  spec.quant_operand = Slot(0);
+  auto join =
+      exec::MakeHashJoinOp(Outer(), Inner(), {{0, 0}}, std::move(spec));
+  EXPECT_FALSE(join->Open(&ctx_).ok());
+}
+
+TEST_F(JoinKindTest, HashJoinRejectsUnsupportedKinds) {
+  for (JoinKind kind : {JoinKind::kScalar, JoinKind::kOpAll,
+                        JoinKind::kSetPred}) {
+    JoinSpec spec;
+    spec.kind = kind;
+    spec.inner_width = 1;
+    auto join =
+        exec::MakeHashJoinOp(Outer(), Inner(), {{0, 0}}, std::move(spec));
+    EXPECT_FALSE(join->Open(&ctx_).ok())
+        << "kind " << optimizer::JoinKindName(kind);
+  }
+}
+
+TEST_F(JoinKindTest, MergeJoinRejectsUnsupportedKinds) {
+  // kAnti needs the full-inner-scan verdict; quantified compares need
+  // the fold. Both must fail loudly at Open.
+  JoinSpec anti;
+  anti.kind = JoinKind::kAnti;
+  anti.inner_width = 1;
+  auto merge =
+      exec::MakeMergeJoinOp(Outer(), Inner(), {{0, 0}}, std::move(anti));
+  EXPECT_FALSE(merge->Open(&ctx_).ok());
+
+  JoinSpec quant;
+  quant.kind = JoinKind::kRegular;
+  quant.inner_width = 1;
+  quant.cmp_op = ast::BinaryOp::kNe;
+  quant.quant_operand = Slot(0);
+  auto merge2 =
+      exec::MakeMergeJoinOp(Outer(), Inner(), {{0, 0}}, std::move(quant));
+  EXPECT_FALSE(merge2->Open(&ctx_).ok());
+}
+
+// ---------------------------------------------------------------------------
+// Correlated-subquery memo cache (SubqueryRuntime)
+// ---------------------------------------------------------------------------
+
+TEST_F(ExecOpTest, SubqueryMemoNullCorrelationKeys) {
+  // The memo key is the correlation-value row, compared structurally by
+  // Row::operator== (NULL == NULL there, unlike SQL). All NULL-correlated
+  // outer rows therefore share ONE memo entry. That aliasing is safe --
+  // the subquery result is a pure function of the correlation values --
+  // but this test pins it: NULL rows must get the NULL-key result (empty
+  // under an equality predicate), never a non-NULL row's cached rows.
+  static qgm::Quantifier q;  // identity only; never dereferenced
+  auto make_plan = [] {
+    auto param = std::make_unique<exec::CompiledExpr>();
+    param->kind = qgm::Expr::Kind::kColumnRef;
+    param->slot = -1;
+    param->param_q = &q;
+    param->param_col = 0;
+    std::vector<CompiledExprPtr> preds;
+    preds.push_back(Cmp(ast::BinaryOp::kEq, std::move(param), Slot(0)));
+    return exec::MakeFilterOp(
+        exec::MakeValuesOp({R({Value::Int(10)}), R({Value::Int(20)})}),
+        std::move(preds));
+  };
+  exec::SubqueryRuntime runtime(
+      make_plan(), {{&q, 0, /*outer_slot=*/0}}, exec::SubqueryCacheMode::kMemo);
+
+  auto eval = [&](Value correlation) {
+    Result<const std::vector<Row>*> r =
+        runtime.Evaluate(R({std::move(correlation)}), &ctx_);
+    EXPECT_TRUE(r.ok()) << r.status().ToString();
+    return r.ok() ? **r : std::vector<Row>{};
+  };
+
+  EXPECT_EQ(eval(Value::Int(10)), (std::vector<Row>{R({Value::Int(10)})}));
+  EXPECT_TRUE(eval(Value::Null()).empty());  // NULL = x is unknown
+  EXPECT_EQ(ctx_.stats().subquery_evaluations, 2u);
+
+  // Replays: both keys must hit the cache and return their own results.
+  EXPECT_EQ(eval(Value::Int(10)), (std::vector<Row>{R({Value::Int(10)})}));
+  EXPECT_TRUE(eval(Value::Null()).empty());
+  EXPECT_TRUE(eval(Value::Null()).empty());
+  EXPECT_EQ(ctx_.stats().subquery_evaluations, 2u);  // no re-execution
+  EXPECT_EQ(ctx_.stats().subquery_cache_hits, 3u);
+}
+
+TEST(SubqueryMemoEndToEnd, NullCorrelationValuesStayDistinct) {
+  // End-to-end pin of the same property through the engine: outer rows
+  // with NULL correlation values must all see the empty-match result,
+  // regardless of how the subquery is cached or decorrelated.
+  Database db;
+  auto exec_ok = [&](const std::string& sql) {
+    Result<ResultSet> r = db.Execute(sql);
+    ASSERT_TRUE(r.ok()) << sql << " -> " << r.status().ToString();
+  };
+  exec_ok("CREATE TABLE outer_t (id INT, k INT)");
+  exec_ok("CREATE TABLE inner_t (k INT, v INT)");
+  exec_ok("INSERT INTO outer_t VALUES "
+          "(1, 10), (2, NULL), (3, 10), (4, NULL), (5, 20)");
+  exec_ok("INSERT INTO inner_t VALUES (10, 100), (20, 200), (NULL, 999)");
+  Result<std::vector<Row>> r = db.Query(
+      "SELECT id, (SELECT SUM(v) FROM inner_t WHERE inner_t.k = outer_t.k) "
+      "FROM outer_t ORDER BY id");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  const std::vector<Row>& rows = *r;
+  ASSERT_EQ(rows.size(), 5u);
+  EXPECT_EQ(rows[0][1], Value::Int(100));  // k=10
+  EXPECT_TRUE(rows[1][1].is_null());       // k=NULL: no inner row matches
+  EXPECT_EQ(rows[2][1], Value::Int(100));  // k=10 again (cacheable)
+  EXPECT_TRUE(rows[3][1].is_null());       // k=NULL again: must stay NULL
+  EXPECT_EQ(rows[4][1], Value::Int(200));  // k=20
 }
 
 // ---------------------------------------------------------------------------

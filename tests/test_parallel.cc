@@ -1,0 +1,315 @@
+#include <algorithm>
+#include <atomic>
+#include <set>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "engine/database.h"
+#include "exec/parallel/morsel.h"
+#include "exec/parallel/task_scheduler.h"
+
+namespace starburst {
+namespace {
+
+// ---------------------------------------------------------------------------
+// TaskScheduler
+// ---------------------------------------------------------------------------
+
+TEST(TaskScheduler, RunsEveryTaskExactlyOnce) {
+  exec::parallel::TaskScheduler scheduler(3);
+  std::atomic<int> counter{0};
+  std::vector<std::function<Status()>> tasks;
+  for (int i = 0; i < 100; ++i) {
+    tasks.push_back([&counter] {
+      counter.fetch_add(1, std::memory_order_relaxed);
+      return Status::OK();
+    });
+  }
+  ASSERT_TRUE(scheduler.RunParallel(std::move(tasks)).ok());
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(TaskScheduler, SerialFastPathWithZeroWorkers) {
+  exec::parallel::TaskScheduler scheduler(0);
+  std::atomic<int> counter{0};
+  std::vector<std::function<Status()>> tasks;
+  for (int i = 0; i < 10; ++i) {
+    tasks.push_back([&counter] {
+      ++counter;
+      return Status::OK();
+    });
+  }
+  ASSERT_TRUE(scheduler.RunParallel(std::move(tasks)).ok());
+  EXPECT_EQ(counter.load(), 10);
+}
+
+TEST(TaskScheduler, PropagatesFirstErrorAndStillRunsEveryTask) {
+  exec::parallel::TaskScheduler scheduler(2);
+  std::atomic<int> counter{0};
+  std::vector<std::function<Status()>> tasks;
+  for (int i = 0; i < 20; ++i) {
+    tasks.push_back([&counter, i]() -> Status {
+      counter.fetch_add(1, std::memory_order_relaxed);
+      if (i == 7) return Status::Internal("task seven failed");
+      return Status::OK();
+    });
+  }
+  Status status = scheduler.RunParallel(std::move(tasks));
+  EXPECT_FALSE(status.ok());
+  EXPECT_NE(status.ToString().find("task seven failed"), std::string::npos);
+  EXPECT_EQ(counter.load(), 20);
+}
+
+TEST(TaskScheduler, ConvertsExceptionsToStatus) {
+  exec::parallel::TaskScheduler scheduler(2);
+  std::vector<std::function<Status()>> tasks;
+  tasks.push_back([]() -> Status { throw std::runtime_error("boom"); });
+  Status status = scheduler.RunParallel(std::move(tasks));
+  EXPECT_FALSE(status.ok());
+}
+
+TEST(TaskScheduler, ReusableAcrossBatches) {
+  exec::parallel::TaskScheduler scheduler(2);
+  for (int round = 0; round < 5; ++round) {
+    std::atomic<int> counter{0};
+    std::vector<std::function<Status()>> tasks;
+    for (int i = 0; i < 16; ++i) {
+      tasks.push_back([&counter] {
+        counter.fetch_add(1, std::memory_order_relaxed);
+        return Status::OK();
+      });
+    }
+    ASSERT_TRUE(scheduler.RunParallel(std::move(tasks)).ok());
+    EXPECT_EQ(counter.load(), 16);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// MorselSource
+// ---------------------------------------------------------------------------
+
+TEST(MorselSource, CoversRangeDisjointly) {
+  exec::parallel::MorselSource source;
+  source.Reset(/*total_pages=*/41, /*grain=*/4);
+  std::vector<bool> covered(41, false);
+  PageNo begin, end;
+  size_t morsels = 0;
+  while (source.Claim(&begin, &end)) {
+    ++morsels;
+    ASSERT_LT(begin, end);
+    ASSERT_LE(end, 41u);
+    for (PageNo p = begin; p < end; ++p) {
+      EXPECT_FALSE(covered[p]) << "page " << p << " claimed twice";
+      covered[p] = true;
+    }
+  }
+  EXPECT_EQ(morsels, 11u);  // ceil(41 / 4)
+  for (size_t p = 0; p < covered.size(); ++p) {
+    EXPECT_TRUE(covered[p]) << "page " << p << " never claimed";
+  }
+}
+
+TEST(MorselSource, EmptyTableYieldsNothing) {
+  exec::parallel::MorselSource source;
+  source.Reset(0);
+  PageNo begin, end;
+  EXPECT_FALSE(source.Claim(&begin, &end));
+}
+
+TEST(MorselSource, ResetRestartsDispensing) {
+  exec::parallel::MorselSource source;
+  source.Reset(8, 4);
+  PageNo begin, end;
+  while (source.Claim(&begin, &end)) {
+  }
+  source.Reset(8, 4);
+  ASSERT_TRUE(source.Claim(&begin, &end));
+  EXPECT_EQ(begin, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Parallel execution matches serial execution on a SQL corpus
+// ---------------------------------------------------------------------------
+
+class ParallelExecTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Must("CREATE TABLE t (id INT, grp INT, val DOUBLE, tag STRING)");
+    Must("CREATE TABLE dim (grp INT, label STRING)");
+    // Enough rows to span many pages (morsels), with NULLs mixed into
+    // join keys, group keys, and aggregated values.
+    std::string insert = "INSERT INTO t VALUES ";
+    for (int i = 0; i < 500; ++i) {
+      if (i > 0) insert += ", ";
+      std::string grp = i % 11 == 0 ? "NULL" : std::to_string(i % 7);
+      std::string val = i % 13 == 0 ? "NULL" : std::to_string(i * 0.5);
+      std::string tag = i % 3 == 0 ? "'a'" : "'b'";
+      insert += "(" + std::to_string(i) + ", " + grp + ", " + val + ", " +
+                tag + ")";
+    }
+    Must(insert);
+    Must("INSERT INTO dim VALUES (0, 'zero'), (1, 'one'), (2, 'two'), "
+         "(3, 'three'), (NULL, 'null-key'), (9, 'unmatched')");
+    Must("ANALYZE");
+    // Parallelize everything, however small.
+    Must("SET parallel_min_rows = 0");
+  }
+
+  void Must(const std::string& sql) {
+    Result<ResultSet> r = db_.Execute(sql);
+    ASSERT_TRUE(r.ok()) << sql << " -> " << r.status().ToString();
+  }
+
+  std::vector<Row> RunAt(const std::string& sql, int parallelism) {
+    Result<ResultSet> set_result =
+        db_.Execute("SET parallelism = " + std::to_string(parallelism));
+    EXPECT_TRUE(set_result.ok());
+    Result<std::vector<Row>> r = db_.Query(sql);
+    EXPECT_TRUE(r.ok()) << sql << " @ parallelism=" << parallelism << " -> "
+                        << r.status().ToString();
+    if (!r.ok()) return {};
+    return r.TakeValue();
+  }
+
+  /// Runs `sql` serially and at parallelism 2 and 8; all three must
+  /// produce identical multisets of rows (sorted compare — the corpus
+  /// queries below either have no ORDER BY or a total one).
+  void ExpectParallelMatchesSerial(const std::string& sql) {
+    std::vector<Row> serial = RunAt(sql, 1);
+    for (int workers : {2, 8}) {
+      std::vector<Row> parallel = RunAt(sql, workers);
+      std::vector<Row> a = serial, b = parallel;
+      std::sort(a.begin(), a.end(),
+                [](const Row& x, const Row& y) { return x.CompareTotal(y) < 0; });
+      std::sort(b.begin(), b.end(),
+                [](const Row& x, const Row& y) { return x.CompareTotal(y) < 0; });
+      ASSERT_EQ(a.size(), b.size())
+          << sql << " row count differs at parallelism=" << workers;
+      for (size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].CompareTotal(b[i]), 0)
+            << sql << " differs at row " << i << " parallelism=" << workers;
+      }
+    }
+  }
+
+  Database db_;
+};
+
+TEST_F(ParallelExecTest, PlainScan) {
+  ExpectParallelMatchesSerial("SELECT id, grp, val FROM t");
+}
+
+TEST_F(ParallelExecTest, FilteredScan) {
+  ExpectParallelMatchesSerial(
+      "SELECT id, val FROM t WHERE val > 50 AND tag = 'a'");
+}
+
+TEST_F(ParallelExecTest, ScanWithExpressionHead) {
+  ExpectParallelMatchesSerial(
+      "SELECT id * 2, val + 1 FROM t WHERE id % 5 = 0");
+}
+
+TEST_F(ParallelExecTest, HashJoin) {
+  ExpectParallelMatchesSerial(
+      "SELECT t.id, dim.label FROM t, dim WHERE t.grp = dim.grp");
+}
+
+TEST_F(ParallelExecTest, LeftOuterJoin) {
+  ExpectParallelMatchesSerial(
+      "SELECT t.id, dim.label FROM t LEFT JOIN dim ON t.grp = dim.grp");
+}
+
+TEST_F(ParallelExecTest, SemiJoinIn) {
+  ExpectParallelMatchesSerial(
+      "SELECT id FROM t WHERE grp IN (SELECT grp FROM dim)");
+}
+
+TEST_F(ParallelExecTest, AntiJoinNotExists) {
+  ExpectParallelMatchesSerial(
+      "SELECT id FROM t WHERE NOT EXISTS "
+      "(SELECT 1 FROM dim WHERE dim.grp = t.grp)");
+}
+
+TEST_F(ParallelExecTest, GroupByAggregates) {
+  ExpectParallelMatchesSerial(
+      "SELECT grp, COUNT(*), SUM(val), MIN(val), MAX(val) FROM t GROUP BY grp");
+}
+
+TEST_F(ParallelExecTest, GroupByDistinctAggregate) {
+  ExpectParallelMatchesSerial(
+      "SELECT tag, COUNT(DISTINCT grp) FROM t GROUP BY tag");
+}
+
+TEST_F(ParallelExecTest, GlobalAggregate) {
+  ExpectParallelMatchesSerial("SELECT COUNT(*), SUM(val), AVG(val) FROM t");
+}
+
+TEST_F(ParallelExecTest, Distinct) {
+  ExpectParallelMatchesSerial("SELECT DISTINCT grp, tag FROM t");
+}
+
+TEST_F(ParallelExecTest, OrderByAboveGather) {
+  // ORDER BY sits above the gather; row order itself must match.
+  Result<ResultSet> set_result = db_.Execute("SET parallelism = 8");
+  ASSERT_TRUE(set_result.ok());
+  Result<std::vector<Row>> parallel =
+      db_.Query("SELECT id, val FROM t WHERE tag = 'b' ORDER BY id");
+  ASSERT_TRUE(parallel.ok());
+  ASSERT_TRUE(db_.Execute("SET parallelism = 1").ok());
+  Result<std::vector<Row>> serial =
+      db_.Query("SELECT id, val FROM t WHERE tag = 'b' ORDER BY id");
+  ASSERT_TRUE(serial.ok());
+  ASSERT_EQ(serial->size(), parallel->size());
+  for (size_t i = 0; i < serial->size(); ++i) {
+    EXPECT_EQ((*serial)[i].CompareTotal((*parallel)[i]), 0) << "row " << i;
+  }
+}
+
+TEST_F(ParallelExecTest, JoinOfJoins) {
+  Must("CREATE TABLE dim2 (label STRING, rank INT)");
+  Must("INSERT INTO dim2 VALUES ('zero', 10), ('one', 11), ('two', 12)");
+  Must("ANALYZE");
+  ExpectParallelMatchesSerial(
+      "SELECT t.id, dim2.rank FROM t, dim, dim2 "
+      "WHERE t.grp = dim.grp AND dim.label = dim2.label");
+}
+
+TEST_F(ParallelExecTest, ExplainAnalyzeShowsGather) {
+  Must("SET parallelism = 4");
+  Result<std::vector<Row>> rows =
+      db_.Query("EXPLAIN ANALYZE SELECT id FROM t WHERE val > 10");
+  ASSERT_TRUE(rows.ok());
+  bool saw_gather = false;
+  for (const Row& row : *rows) {
+    if (row[0].string_value().find("GATHER") != std::string::npos) {
+      saw_gather = true;
+    }
+  }
+  EXPECT_TRUE(saw_gather) << "EXPLAIN ANALYZE should show the gather node";
+}
+
+TEST_F(ParallelExecTest, SetStatementValidation) {
+  EXPECT_FALSE(db_.Execute("SET parallelism = -2").ok());
+  EXPECT_FALSE(db_.Execute("SET no_such_option = 1").ok());
+  ASSERT_TRUE(db_.Execute("SET parallelism = DEFAULT").ok());
+  EXPECT_GE(db_.options().exec.parallelism, 1u);
+  ASSERT_TRUE(db_.Execute("SET parallel_min_rows = DEFAULT").ok());
+  EXPECT_EQ(db_.options().exec.parallel_min_rows, 1024.0);
+}
+
+TEST_F(ParallelExecTest, WorthGateKeepsSmallQueriesSerial) {
+  // With a high row threshold no gather is inserted for this table.
+  Must("SET parallel_min_rows = 1000000");
+  Must("SET parallelism = 8");
+  Result<std::vector<Row>> rows =
+      db_.Query("EXPLAIN ANALYZE SELECT id FROM t");
+  ASSERT_TRUE(rows.ok());
+  for (const Row& row : *rows) {
+    EXPECT_EQ(row[0].string_value().find("GATHER"), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace starburst

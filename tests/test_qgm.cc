@@ -287,5 +287,100 @@ TEST_F(QgmTest, TableMutationBind) {
   EXPECT_EQ(bind->assignments[0].first, 1u);  // onhand_qty position
 }
 
+// ---------------------------------------------------------------------------
+// Graph invariant checker (the paranoid mode RuleEngine runs after each
+// rule firing under sanitizer builds)
+// ---------------------------------------------------------------------------
+
+class QgmValidateTest : public QgmTest {
+ protected:
+  // First box owning a quantifier, searched root-down (boxes are stored in
+  // creation order; the root select is created before its inputs' boxes).
+  qgm::Box* FindBoxWithQuantifier(qgm::Graph* g) {
+    for (const auto& b : g->boxes()) {
+      if (!b->quantifiers.empty()) return b.get();
+    }
+    return nullptr;
+  }
+};
+
+TEST_F(QgmValidateTest, AcceptsBoundGraphs) {
+  auto graph = MustBind(
+      "SELECT partno, price FROM quotations WHERE order_qty > 5");
+  ASSERT_NE(graph, nullptr);
+  EXPECT_TRUE(graph->Validate().ok());
+}
+
+TEST_F(QgmValidateTest, DetectsForeignRangeEdge) {
+  auto graph = MustBind("SELECT partno FROM quotations");
+  ASSERT_NE(graph, nullptr);
+  qgm::Box* box = FindBoxWithQuantifier(graph.get());
+  ASSERT_NE(box, nullptr);
+  // Re-point a range edge at a box the graph does not own (as if a rule
+  // freed the input and forgot to rewrite the edge).
+  qgm::Box orphan;
+  orphan.kind = BoxKind::kBaseTable;
+  box->quantifiers[0]->input = &orphan;
+  Status s = graph->Validate();
+  ASSERT_FALSE(s.ok());
+  EXPECT_NE(s.ToString().find("does not own"), std::string::npos)
+      << s.ToString();
+}
+
+TEST_F(QgmValidateTest, DetectsDanglingQuantifierReference) {
+  auto graph = MustBind("SELECT partno FROM quotations WHERE order_qty > 5");
+  ASSERT_NE(graph, nullptr);
+  qgm::Box* box = FindBoxWithQuantifier(graph.get());
+  ASSERT_NE(box, nullptr);
+  // Detach the quantifier from its owner but keep it alive: the box's
+  // head/predicate expressions still reference it.
+  std::unique_ptr<qgm::Quantifier> detached =
+      box->RemoveQuantifier(box->quantifiers[0].get());
+  ASSERT_NE(detached, nullptr);
+  Status s = graph->Validate();
+  ASSERT_FALSE(s.ok());
+  EXPECT_NE(s.ToString().find("dangling"), std::string::npos) << s.ToString();
+}
+
+TEST_F(QgmValidateTest, DetectsColumnPastInputArity) {
+  auto graph = MustBind("SELECT partno FROM quotations");
+  ASSERT_NE(graph, nullptr);
+  // Find any head column reference and push it past its input's arity.
+  qgm::Expr* ref = nullptr;
+  for (const auto& b : graph->boxes()) {
+    for (const qgm::HeadColumn& h : b->head) {
+      if (h.expr != nullptr && h.expr->kind == qgm::Expr::Kind::kColumnRef &&
+          h.expr->quantifier != nullptr) {
+        ref = h.expr.get();
+        break;
+      }
+    }
+    if (ref != nullptr) break;
+  }
+  ASSERT_NE(ref, nullptr);
+  ref->column = 999;
+  Status s = graph->Validate();
+  ASSERT_FALSE(s.ok());
+  EXPECT_NE(s.ToString().find("head arity"), std::string::npos)
+      << s.ToString();
+}
+
+TEST_F(QgmValidateTest, DetectsBaseTableHeadArityMismatch) {
+  auto graph = MustBind("SELECT partno FROM quotations");
+  ASSERT_NE(graph, nullptr);
+  qgm::Box* base = nullptr;
+  for (const auto& b : graph->boxes()) {
+    if (b->kind == BoxKind::kBaseTable && b->table != nullptr) {
+      base = b.get();
+      break;
+    }
+  }
+  ASSERT_NE(base, nullptr);
+  base->head.pop_back();
+  Status s = graph->Validate();
+  ASSERT_FALSE(s.ok());
+  EXPECT_NE(s.ToString().find("arity"), std::string::npos) << s.ToString();
+}
+
 }  // namespace
 }  // namespace starburst

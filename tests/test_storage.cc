@@ -51,6 +51,36 @@ TEST(BufferPoolTest, LruEvictionOrder) {
   EXPECT_EQ(pool.stats().disk_reads, 1u);
 }
 
+TEST(BufferPoolTest, StatsSinceClampsAcrossReset) {
+  // Regression: Since() is unsigned-delta arithmetic. If ResetStats() runs
+  // between the two snapshots, the later counters are *smaller* and naive
+  // subtraction wraps to ~2^64. The clamp reports the post-reset count.
+  Pager pager;
+  BufferPool pool(&pager, /*capacity_pages=*/2);
+  FileId f = pager.CreateFile();
+  PageNo p0 = pool.NewPage(f);
+  pool.GetPage(f, p0);
+  pool.GetPage(f, p0);
+  BufferPoolStats before = pool.stats();
+  EXPECT_GE(before.logical_reads, 2u);
+
+  pool.ResetStats();
+  pool.GetPage(f, p0);  // one post-reset touch
+  BufferPoolStats delta = pool.stats().Since(before);
+  EXPECT_EQ(delta.logical_reads, 1u);  // not 1 - before.logical_reads (wrapped)
+  EXPECT_LT(delta.cache_hits, 1u << 20);
+  EXPECT_LT(delta.disk_reads, 1u << 20);
+  EXPECT_LT(delta.disk_writes, 1u << 20);
+
+  // Monotone case still subtracts exactly.
+  BufferPoolStats base = pool.stats();
+  pool.GetPage(f, p0);
+  pool.GetPage(f, p0);
+  BufferPoolStats d2 = pool.stats().Since(base);
+  EXPECT_EQ(d2.logical_reads, 2u);
+  EXPECT_EQ(d2.disk_reads, 0u);
+}
+
 // ---------------------------------------------------------------------------
 // Record codecs
 // ---------------------------------------------------------------------------
