@@ -44,6 +44,20 @@ inline double MedianUs(const std::function<void()>& fn, int reps = 3) {
   return times[times.size() / 2];
 }
 
+/// Minimum wall time of `fn` over `reps` runs, in microseconds. Preferred for
+/// CPU-bound sections on contended machines: interference only ever adds
+/// time, so the minimum is the robust estimate of the true cost.
+inline double MinUs(const std::function<void()>& fn, int reps = 5) {
+  double best = 0;
+  for (int i = 0; i < reps; ++i) {
+    Timer t;
+    fn();
+    double us = t.ElapsedUs();
+    if (i == 0 || us < best) best = us;
+  }
+  return best;
+}
+
 inline void Must(const Result<ResultSet>& r, const char* what) {
   if (!r.ok()) {
     std::fprintf(stderr, "FATAL (%s): %s\n", what, r.status().ToString().c_str());
@@ -69,6 +83,88 @@ inline size_t MustRows(Database* db, const std::string& sql) {
   }
   return r->size();
 }
+
+/// Machine-readable bench results. Construct with argv and a bench name;
+/// when the binary was invoked with `--json`, every Add()ed record is
+/// written to `BENCH_<name>.json` in the working directory on Flush()
+/// (or destruction). Without the flag the reporter is inert, so benches
+/// can call Add() unconditionally next to their printf tables.
+class JsonReporter {
+ public:
+  JsonReporter(std::string bench_name, int argc, char** argv)
+      : name_(std::move(bench_name)) {
+    for (int i = 1; i < argc; ++i) {
+      if (std::string(argv[i]) == "--json") enabled_ = true;
+    }
+  }
+  ~JsonReporter() { Flush(); }
+  JsonReporter(const JsonReporter&) = delete;
+  JsonReporter& operator=(const JsonReporter&) = delete;
+
+  bool enabled() const { return enabled_; }
+
+  /// Records one measurement: a series label, the parameter point it was
+  /// taken at (name -> numeric value), and the two canonical metrics.
+  void Add(std::string series,
+           std::vector<std::pair<std::string, double>> params, double wall_ms,
+           double rows_per_sec) {
+    if (!enabled_) return;
+    records_.push_back(Record{std::move(series), std::move(params), wall_ms,
+                              rows_per_sec});
+  }
+
+  void Flush() {
+    if (!enabled_ || flushed_) return;
+    flushed_ = true;
+    std::string path = "BENCH_" + name_ + ".json";
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "WARN: cannot write %s\n", path.c_str());
+      return;
+    }
+    std::fprintf(f, "{\n  \"bench\": \"%s\",\n  \"results\": [", name_.c_str());
+    for (size_t i = 0; i < records_.size(); ++i) {
+      const Record& r = records_[i];
+      std::fprintf(f, "%s\n    {\"series\": \"%s\", \"params\": {",
+                   i == 0 ? "" : ",", r.series.c_str());
+      for (size_t p = 0; p < r.params.size(); ++p) {
+        std::fprintf(f, "%s\"%s\": %s", p == 0 ? "" : ", ",
+                     r.params[p].first.c_str(), Num(r.params[p].second).c_str());
+      }
+      std::fprintf(f, "}, \"wall_ms\": %s, \"rows_per_sec\": %s}",
+                   Num(r.wall_ms).c_str(), Num(r.rows_per_sec).c_str());
+    }
+    std::fprintf(f, "\n  ]\n}\n");
+    std::fclose(f);
+    std::printf("wrote %s (%zu records)\n", path.c_str(), records_.size());
+  }
+
+ private:
+  struct Record {
+    std::string series;
+    std::vector<std::pair<std::string, double>> params;
+    double wall_ms;
+    double rows_per_sec;
+  };
+
+  /// JSON-safe number: plain integers stay integral, everything else gets
+  /// enough digits to round-trip a measurement.
+  static std::string Num(double v) {
+    char buf[64];
+    if (v == static_cast<int64_t>(v)) {
+      std::snprintf(buf, sizeof(buf), "%lld",
+                    static_cast<long long>(static_cast<int64_t>(v)));
+    } else {
+      std::snprintf(buf, sizeof(buf), "%.6g", v);
+    }
+    return buf;
+  }
+
+  std::string name_;
+  bool enabled_ = false;
+  bool flushed_ = false;
+  std::vector<Record> records_;
+};
 
 /// The paper's quotations/inventory schema at a given scale factor:
 /// |inventory| = 5·scale parts (unique partno), |quotations| = 5·scale

@@ -1,0 +1,151 @@
+#ifndef STARBURST_COMMON_ROW_BATCH_H_
+#define STARBURST_COMMON_ROW_BATCH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "common/row.h"
+
+namespace starburst {
+
+/// A fixed-capacity block of tuples flowing between QES operators — the
+/// batch-at-a-time (X100-style) counterpart of the single Row the paper's
+/// lazy streams pass. Row storage is owned by the batch and reused across
+/// Clear(), so a steady-state pipeline performs no per-row allocation:
+/// producers fill slots in place via AppendSlot(), filters mark survivors
+/// in a selection vector instead of copying them out.
+///
+/// Two sizes matter:
+///   - the physical size: rows filled by the producer (<= fill limit);
+///   - the active size (`size()`): rows visible to consumers — the
+///     selection vector, when set, narrows the physical rows to the
+///     subset that passed downstream predicates.
+/// The selection vector holds strictly increasing physical indices, so
+/// Compact() can squash survivors in place with forward moves.
+///
+/// The fill limit lets a consumer cap how many rows the producer stages
+/// without shrinking capacity (LIMIT clamps it to the rows remaining so a
+/// scan never overfetches); Clear() preserves it for the next refill.
+class RowBatch {
+ public:
+  static constexpr size_t kDefaultCapacity = 1024;
+
+  RowBatch() = default;
+  explicit RowBatch(size_t capacity) { Reset(capacity); }
+
+  RowBatch(const RowBatch&) = delete;
+  RowBatch& operator=(const RowBatch&) = delete;
+
+  /// Sizes the batch to `capacity` rows (>= 1). Keeps existing row storage
+  /// when the capacity is unchanged — dependent joins re-Open batched
+  /// subtrees per outer row, and their staging batches must not churn.
+  void Reset(size_t capacity) {
+    if (capacity == 0) capacity = 1;
+    if (capacity != rows_.size()) {
+      rows_.resize(capacity);
+      rows_.shrink_to_fit();
+    }
+    limit_ = capacity;
+    Clear();
+  }
+
+  size_t capacity() const { return rows_.size(); }
+
+  /// Active rows: selected rows if a selection vector is set, else all
+  /// physically filled rows.
+  size_t size() const { return sel_active_ ? sel_.size() : count_; }
+  bool empty() const { return size() == 0; }
+
+  /// i-th active row (selection-aware).
+  const Row& row(size_t i) const { return rows_[physical_index(i)]; }
+  Row& row(size_t i) { return rows_[physical_index(i)]; }
+
+  /// Physical index of the i-th active row — what a refining filter must
+  /// store into its narrowed selection vector.
+  size_t physical_index(size_t i) const { return sel_active_ ? sel_[i] : i; }
+
+  size_t physical_size() const { return count_; }
+  const Row& physical_row(size_t i) const { return rows_[i]; }
+
+  /// --- producer side -----------------------------------------------------
+
+  /// True once the producer has staged `fill_limit()` rows.
+  bool full() const { return count_ >= limit_; }
+  /// Rows the producer may still stage.
+  size_t remaining() const { return limit_ > count_ ? limit_ - count_ : 0; }
+
+  /// Claims the next physical slot for in-place filling (storage from the
+  /// slot's previous tenant is reused). Caller must check !full() first.
+  Row* AppendSlot() { return &rows_[count_++]; }
+  /// Un-claims the most recently appended slot (predicate rejected the row).
+  void PopLast() { --count_; }
+
+  /// Bulk producers (storage scans) write a run of rows directly into the
+  /// physical slot array starting at physical_size(), then account for them
+  /// here. `n` must be <= remaining().
+  Row* raw_slots() { return rows_.data(); }
+  void AdvanceFilled(size_t n) { count_ += n; }
+
+  void Append(Row r) { rows_[count_++] = std::move(r); }
+
+  /// Caps how many rows producers stage; clamped to [1, capacity].
+  void set_fill_limit(size_t n) {
+    if (n == 0) n = 1;
+    if (n > rows_.size()) n = rows_.size();
+    limit_ = n;
+  }
+  size_t fill_limit() const { return limit_; }
+
+  /// --- selection ---------------------------------------------------------
+
+  bool selection_active() const { return sel_active_; }
+
+  /// Installs a selection of physical indices (strictly increasing; each
+  /// must be < physical_size()). An empty vector selects nothing.
+  void SetSelection(std::vector<uint32_t> sel) {
+    sel_ = std::move(sel);
+    sel_active_ = true;
+  }
+
+  /// Squashes the selected rows to the front and drops the selection, so
+  /// active row i == physical row i again.
+  void Compact() {
+    if (!sel_active_) return;
+    for (size_t i = 0; i < sel_.size(); ++i) {
+      if (sel_[i] != i) rows_[i] = std::move(rows_[sel_[i]]);
+    }
+    count_ = sel_.size();
+    sel_active_ = false;
+  }
+
+  /// --- bulk transfer -----------------------------------------------------
+
+  /// Moves every active row into `out` (appending), then clears the batch.
+  void MoveRowsTo(std::vector<Row>* out) {
+    size_t n = size();
+    if (out->capacity() < out->size() + n) out->reserve(out->size() + n);
+    for (size_t i = 0; i < n; ++i) out->push_back(std::move(row(i)));
+    Clear();
+  }
+
+  /// Forgets all rows (storage retained) and drops the selection; the fill
+  /// limit is preserved.
+  void Clear() {
+    count_ = 0;
+    sel_.clear();
+    sel_active_ = false;
+  }
+
+ private:
+  std::vector<Row> rows_;  // slot storage, reused across Clear()
+  size_t count_ = 0;       // physical rows staged
+  size_t limit_ = 0;       // producer fill cap (<= rows_.size())
+  std::vector<uint32_t> sel_;
+  bool sel_active_ = false;
+};
+
+}  // namespace starburst
+
+#endif  // STARBURST_COMMON_ROW_BATCH_H_

@@ -72,7 +72,7 @@ Result<ResultSet> Database::ExecuteScript(const std::string& sql) {
 
 Result<std::vector<Row>> Database::Query(const std::string& sql) {
   STARBURST_ASSIGN_OR_RETURN(ResultSet rs, Execute(sql));
-  return rs.mutable_rows();
+  return std::move(rs.mutable_rows());
 }
 
 Result<ResultSet> Database::ExecuteStatement(const ast::Statement& stmt) {
@@ -147,6 +147,17 @@ Result<ResultSet> Database::RunSet(const ast::SetStatement& stmt) {
     return ResultSet::Message("SET PARALLEL_MIN_ROWS = " +
                               std::to_string(static_cast<int64_t>(rows)));
   }
+  if (stmt.name == "BATCH_SIZE") {
+    // 1 pins exact row-at-a-time execution (differential testing);
+    // DEFAULT restores the vectorized default (1024).
+    if (!stmt.is_default && stmt.value < 1) {
+      return Status::SemanticError("BATCH_SIZE must be >= 1");
+    }
+    size_t n = stmt.is_default ? RowBatch::kDefaultCapacity
+                               : static_cast<size_t>(stmt.value);
+    options_.exec.batch_size = n;
+    return ResultSet::Message("SET BATCH_SIZE = " + std::to_string(n));
+  }
   return Status::SemanticError("unknown session option '" + stmt.name + "'");
 }
 
@@ -220,6 +231,8 @@ Result<Database::QueryOutput> Database::RunQueryPipeline(
   refine_options.parallelism =
       options_.exec.parallelism == 0 ? 1 : options_.exec.parallelism;
   refine_options.parallel_min_rows = options_.exec.parallel_min_rows;
+  refine_options.batch_size =
+      options_.exec.batch_size == 0 ? 1 : options_.exec.batch_size;
   exec::PlanRefiner refiner(&catalog_, &opt.box_plans(), refine_options);
   STARBURST_ASSIGN_OR_RETURN(exec::OperatorPtr root, refiner.Refine(plan));
   if (graph->limit >= 0) {
@@ -243,8 +256,13 @@ Result<Database::QueryOutput> Database::RunQueryPipeline(
   Timer exec_timer;
   StorageEngine::Stats storage_before = storage_.GatherStats();
   exec::ExecContext ctx(&storage_, &catalog_);
+  ctx.set_batch_size(refine_options.batch_size);
   STARBURST_RETURN_IF_ERROR(root->Open(&ctx));
-  Result<std::vector<Row>> rows = exec::DrainOperator(root.get());
+  size_t reserve_hint = plan->props.cardinality > 0
+                            ? static_cast<size_t>(plan->props.cardinality)
+                            : 0;
+  Result<std::vector<Row>> rows =
+      exec::DrainOperator(root.get(), ctx.batch_size(), reserve_hint);
   root->Close();
   metrics_.execute_us = exec_timer.ElapsedUs();
   metrics_.exec_stats = ctx.stats();

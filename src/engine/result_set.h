@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "common/row.h"
+#include "common/row_batch.h"
 
 namespace starburst {
 
@@ -26,6 +27,11 @@ class ResultSet {
   const std::vector<std::string>& column_names() const { return column_names_; }
   const std::vector<Row>& rows() const { return rows_; }
   std::vector<Row>& mutable_rows() { return rows_; }
+
+  /// Batched fetch: reserve ahead of a drain loop, then move each fetched
+  /// batch's active rows onto the result (the batch is left cleared).
+  void Reserve(size_t n) { rows_.reserve(rows_.size() + n); }
+  void AppendBatch(RowBatch* batch) { batch->MoveRowsTo(&rows_); }
   const std::string& message() const { return message_; }
   int64_t affected_rows() const { return affected_rows_; }
   size_t row_count() const { return rows_.size(); }

@@ -49,31 +49,46 @@ class GroupAggOp : public Operator {
     }
 
     STARBURST_RETURN_IF_ERROR(input_->Open(ctx));
-    Row in;
+    RowBatch in_batch(ctx->batch_size());
     while (true) {
-      STARBURST_ASSIGN_OR_RETURN(bool more, input_->Next(&in));
+      STARBURST_ASSIGN_OR_RETURN(bool more, input_->NextBatch(&in_batch));
       if (!more) break;
-      std::vector<Value> key_values;
-      key_values.reserve(group_keys_.size());
+      // Group keys and aggregate args can reference correlation params
+      // (dependent aggregate subqueries) — fold them once per batch.
+      ScopedParamFold fold;
       for (const CompiledExprPtr& k : group_keys_) {
-        STARBURST_ASSIGN_OR_RETURN(Value v, k->Eval(in, ctx));
-        key_values.push_back(std::move(v));
+        STARBURST_RETURN_IF_ERROR(fold.Add(k.get(), ctx));
       }
-      Row key(std::move(key_values));
-      auto it = groups.find(key);
-      if (it == groups.end()) {
-        it = groups.emplace(std::move(key), new_group_state()).first;
-      }
-      GroupState& group = it->second;
-      for (size_t a = 0; a < aggregates_.size(); ++a) {
-        Value v = Value::Int(1);  // COUNT(*) counts every row
-        if (aggregates_[a].arg != nullptr) {
-          STARBURST_ASSIGN_OR_RETURN(v, aggregates_[a].arg->Eval(in, ctx));
+      for (const AggSpec& spec : aggregates_) {
+        if (spec.arg != nullptr) {
+          STARBURST_RETURN_IF_ERROR(fold.Add(spec.arg.get(), ctx));
         }
-        if (aggregates_[a].distinct) {
-          if (!v.is_null()) group.distinct_inputs[a].insert(std::move(v));
-        } else {
-          STARBURST_RETURN_IF_ERROR(group.states[a]->Accumulate(v));
+      }
+      size_t n = in_batch.size();
+      for (size_t bi = 0; bi < n; ++bi) {
+        const Row& in = in_batch.row(bi);
+        std::vector<Value> key_values;
+        key_values.reserve(group_keys_.size());
+        for (const CompiledExprPtr& k : group_keys_) {
+          STARBURST_ASSIGN_OR_RETURN(Value v, k->Eval(in, ctx));
+          key_values.push_back(std::move(v));
+        }
+        Row key(std::move(key_values));
+        auto it = groups.find(key);
+        if (it == groups.end()) {
+          it = groups.emplace(std::move(key), new_group_state()).first;
+        }
+        GroupState& group = it->second;
+        for (size_t a = 0; a < aggregates_.size(); ++a) {
+          Value v = Value::Int(1);  // COUNT(*) counts every row
+          if (aggregates_[a].arg != nullptr) {
+            STARBURST_ASSIGN_OR_RETURN(v, aggregates_[a].arg->Eval(in, ctx));
+          }
+          if (aggregates_[a].distinct) {
+            if (!v.is_null()) group.distinct_inputs[a].insert(std::move(v));
+          } else {
+            STARBURST_RETURN_IF_ERROR(group.states[a]->Accumulate(v));
+          }
         }
       }
     }
@@ -110,6 +125,13 @@ class GroupAggOp : public Operator {
     *row = results_[pos_++];
     ++ctx_->stats().rows_emitted;
     return true;
+  }
+
+  Result<bool> NextBatchImpl(RowBatch* batch) override {
+    size_t before = pos_;
+    bool any = FillBatchFromRows(results_, &pos_, batch);
+    ctx_->stats().rows_emitted += pos_ - before;
+    return any;
   }
 
   void CloseImpl() override { results_.clear(); }

@@ -26,6 +26,7 @@ Result<std::vector<Row>> Executor::Execute(const optimizer::PlanPtr& plan,
   refine_options.stats = options.stats;
   refine_options.parallelism = options.parallelism == 0 ? 1 : options.parallelism;
   refine_options.parallel_min_rows = options.parallel_min_rows;
+  refine_options.batch_size = options.batch_size == 0 ? 1 : options.batch_size;
   PlanRefiner refiner(catalog_, &optimizer.box_plans(), refine_options);
   STARBURST_ASSIGN_OR_RETURN(OperatorPtr root, refiner.Refine(plan));
   if (graph.limit >= 0) {
@@ -39,8 +40,12 @@ Result<std::vector<Row>> Executor::Execute(const optimizer::PlanPtr& plan,
   }
 
   ExecContext ctx(storage_, catalog_);
+  ctx.set_batch_size(refine_options.batch_size);
   STARBURST_RETURN_IF_ERROR(root->Open(&ctx));
-  Result<std::vector<Row>> rows = DrainOperator(root.get());
+  double est = plan->props.cardinality;
+  size_t reserve_hint = est > 0 ? static_cast<size_t>(est) : 0;
+  Result<std::vector<Row>> rows =
+      DrainOperator(root.get(), ctx.batch_size(), reserve_hint);
   root->Close();
   last_stats_ = ctx.stats();
   if (!rows.ok()) return rows.status();

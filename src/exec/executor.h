@@ -21,6 +21,9 @@ class Executor {
     size_t parallelism = DefaultParallelism();
     /// Minimum estimated scanned rows before a subtree is parallelized.
     double parallel_min_rows = 1024;
+    /// Rows per NextBatch call (SET BATCH_SIZE; 1 pins exact
+    /// row-at-a-time behavior for differential testing).
+    size_t batch_size = RowBatch::kDefaultCapacity;
 
     static size_t DefaultParallelism();
   };

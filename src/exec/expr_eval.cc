@@ -1,5 +1,6 @@
 #include "exec/expr_eval.h"
 
+#include <algorithm>
 #include <set>
 
 namespace starburst::exec {
@@ -121,7 +122,7 @@ bool LikeMatch(const std::string& text, const std::string& pattern) {
 Result<const std::vector<Row>*> SubqueryRuntime::Evaluate(const Row& outer_row,
                                                           ExecContext* ctx) {
   // Gather the correlation values for this outer row.
-  ExecContext::ParamFrame frame;
+  frame_.Clear();
   std::vector<Value> key_values;
   key_values.reserve(params_.size());
   for (const ParamSource& src : params_) {
@@ -131,7 +132,7 @@ Result<const std::vector<Row>*> SubqueryRuntime::Evaluate(const Row& outer_row,
     } else {
       STARBURST_ASSIGN_OR_RETURN(v, ctx->LookupParam(src.q, src.column));
     }
-    frame.values[{src.q, src.column}] = v;
+    frame_.Set(src.q, src.column, v);
     key_values.push_back(std::move(v));
   }
   Row key(std::move(key_values));
@@ -150,25 +151,32 @@ Result<const std::vector<Row>*> SubqueryRuntime::Evaluate(const Row& outer_row,
   }
 
   ++ctx->stats().subquery_evaluations;
-  ctx->PushParams(&frame);
+  ctx->PushParams(&frame_);
   Status open = plan_->Open(ctx);
   if (!open.ok()) {
     ctx->PopParams();
     return open;
   }
-  Result<std::vector<Row>> rows = DrainOperator(plan_.get());
+  // Dependent evaluation re-runs per outer row, so the drain's staging
+  // batch is a member reused across calls (small: subquery results are
+  // typically tiny, and batch_size = 1 keeps this exactly row-at-a-time).
+  if (scratch_.capacity() == 0) {
+    scratch_.Reset(std::min<size_t>(ctx->batch_size(), size_t{64}));
+  }
+  std::vector<Row> drained;
+  Status drain = DrainOperatorInto(plan_.get(), &scratch_, &drained);
   plan_->Close();
   ctx->PopParams();
-  if (!rows.ok()) return rows.status();
+  if (!drain.ok()) return drain;
 
   if (mode_ == SubqueryCacheMode::kMemo) {
     if (memo_.size() > 65536) memo_.clear();  // bound memory
-    auto [it, inserted] = memo_.emplace(std::move(key), rows.TakeValue());
+    auto [it, inserted] = memo_.emplace(std::move(key), std::move(drained));
     (void)inserted;
     return &it->second;
   }
   last_key_ = std::move(key);
-  last_result_ = rows.TakeValue();
+  last_result_ = std::move(drained);
   has_last_ = true;
   return &last_result_;
 }
@@ -201,6 +209,7 @@ Result<Value> CompiledExpr::Eval(const Row& row, ExecContext* ctx) const {
         return (*rows)[0][subquery_column];
       }
       if (slot >= 0) return row[static_cast<size_t>(slot)];
+      if (param_folded_) return folded_param_;
       return ctx->LookupParam(param_q, param_col);
     }
 
@@ -360,6 +369,135 @@ Result<bool> CompiledExpr::EvalPredicate(const Row& row,
     return Status::TypeError("predicate did not evaluate to a boolean");
   }
   return v.bool_value();
+}
+
+Status CompiledExpr::FoldParams(ExecContext* ctx) const {
+  if (kind == Kind::kColumnRef && subquery == nullptr && slot < 0) {
+    // Tolerant: an unbound parameter stays unfolded so lazily-skipped
+    // branches (short-circuit AND, untaken CASE arms) behave exactly as
+    // in the row-at-a-time path.
+    Result<Value> v = ctx->LookupParam(param_q, param_col);
+    if (v.ok()) {
+      folded_param_ = v.TakeValue();
+      param_folded_ = true;
+    }
+    return Status::OK();
+  }
+  // Subquery subplans resolve their own parameters per evaluation; only
+  // this tree's direct children are folded.
+  for (const auto& c : children) {
+    Status st = c->FoldParams(ctx);
+    if (!st.ok()) {
+      UnfoldParams();
+      return st;
+    }
+  }
+  return Status::OK();
+}
+
+void CompiledExpr::UnfoldParams() const {
+  param_folded_ = false;
+  folded_param_ = Value();
+  for (const auto& c : children) c->UnfoldParams();
+}
+
+bool CompiledExpr::AsSlotConstCompare(int* slot_out, ast::BinaryOp* op_out,
+                                      const Value** constant) const {
+  if (kind != Kind::kBinary) return false;
+  switch (bop) {
+    case ast::BinaryOp::kEq:
+    case ast::BinaryOp::kNe:
+    case ast::BinaryOp::kLt:
+    case ast::BinaryOp::kLe:
+    case ast::BinaryOp::kGt:
+    case ast::BinaryOp::kGe:
+      break;
+    default:
+      return false;
+  }
+  auto is_slot = [](const CompiledExpr& e) {
+    return e.kind == Kind::kColumnRef && e.subquery == nullptr && e.slot >= 0;
+  };
+  auto as_const = [](const CompiledExpr& e) -> const Value* {
+    if (e.kind == Kind::kLiteral) return &e.literal;
+    if (e.kind == Kind::kColumnRef && e.subquery == nullptr && e.slot < 0 &&
+        e.param_folded_) {
+      return &e.folded_param_;
+    }
+    return nullptr;
+  };
+  const CompiledExpr& l = *children[0];
+  const CompiledExpr& r = *children[1];
+  if (is_slot(l)) {
+    const Value* c = as_const(r);
+    if (c == nullptr) return false;
+    *slot_out = l.slot;
+    *op_out = bop;
+    *constant = c;
+    return true;
+  }
+  if (is_slot(r)) {
+    const Value* c = as_const(l);
+    if (c == nullptr) return false;
+    *slot_out = r.slot;
+    // const op slot == slot mirrored(op) const
+    switch (bop) {
+      case ast::BinaryOp::kLt: *op_out = ast::BinaryOp::kGt; break;
+      case ast::BinaryOp::kLe: *op_out = ast::BinaryOp::kGe; break;
+      case ast::BinaryOp::kGt: *op_out = ast::BinaryOp::kLt; break;
+      case ast::BinaryOp::kGe: *op_out = ast::BinaryOp::kLe; break;
+      default: *op_out = bop; break;  // = and <> are symmetric
+    }
+    *constant = c;
+    return true;
+  }
+  return false;
+}
+
+Result<bool> EvalSlotConstCompare(const Row& row, int slot, ast::BinaryOp op,
+                                  const Value& constant) {
+  const Value& v = row[static_cast<size_t>(slot)];
+  if (v.is_null() || constant.is_null()) return false;  // UNKNOWN rejects
+  STARBURST_ASSIGN_OR_RETURN(int cmp, v.Compare(constant));
+  switch (op) {
+    case ast::BinaryOp::kEq: return cmp == 0;
+    case ast::BinaryOp::kNe: return cmp != 0;
+    case ast::BinaryOp::kLt: return cmp < 0;
+    case ast::BinaryOp::kLe: return cmp <= 0;
+    case ast::BinaryOp::kGt: return cmp > 0;
+    default: return cmp >= 0;
+  }
+}
+
+Status FilterBatch(const std::vector<CompiledExprPtr>& predicates,
+                   RowBatch* batch, ExecContext* ctx) {
+  if (predicates.empty() || batch->empty()) return Status::OK();
+  ScopedParamFold fold;
+  for (const auto& p : predicates) {
+    STARBURST_RETURN_IF_ERROR(fold.Add(p.get(), ctx));
+  }
+  std::vector<PreparedPredicate> prepared;
+  prepared.reserve(predicates.size());
+  for (const auto& p : predicates) {
+    prepared.push_back(PreparedPredicate::For(p.get()));
+  }
+  std::vector<uint32_t> keep;
+  size_t n = batch->size();
+  keep.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    const Row& r = batch->row(i);
+    bool pass = true;
+    for (const PreparedPredicate& p : prepared) {
+      STARBURST_ASSIGN_OR_RETURN(bool ok, p.Test(r, ctx));
+      if (!ok) {
+        pass = false;
+        break;
+      }
+    }
+    if (pass) keep.push_back(static_cast<uint32_t>(batch->physical_index(i)));
+  }
+  batch->SetSelection(std::move(keep));
+  return Status::OK();
 }
 
 // ---------------------------------------------------------------------------

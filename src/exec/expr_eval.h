@@ -55,9 +55,94 @@ struct CompiledExpr {
 
   /// Eval folded to two-valued acceptance (NULL/unknown = false).
   Result<bool> EvalPredicate(const Row& row, ExecContext* ctx) const;
+
+  /// Per-batch constant folding of correlation parameters: resolves every
+  /// parameter reference in this tree through the context's current frames
+  /// once and caches the value, so a batch of Eval calls pays one
+  /// LookupParam per parameter instead of one per row. The caller MUST
+  /// UnfoldParams before the frames can change (fold scope = one batch) —
+  /// use ScopedParamFold, never the raw pair.
+  Status FoldParams(ExecContext* ctx) const;
+  void UnfoldParams() const;
+
+  /// Vectorized predicate fast path: true when this tree is a plain
+  /// comparison between an input slot and a per-batch constant (a literal,
+  /// or a correlation param folded by FoldParams). `*constant` points into
+  /// this tree and is valid only while the fold is active. Callers then
+  /// run EvalSlotConstCompare per row — identical semantics to
+  /// EvalPredicate, minus the per-row tree walk.
+  bool AsSlotConstCompare(int* slot_out, ast::BinaryOp* op_out,
+                          const Value** constant) const;
+
+ private:
+  // Fold cache (mutable: Eval is const on the shared compiled tree; safe
+  // because parallel clones compile their own trees).
+  mutable bool param_folded_ = false;
+  mutable Value folded_param_;
 };
 
 using CompiledExprPtr = std::unique_ptr<CompiledExpr>;
+
+/// RAII fold scope: folds each added expression's correlation params and
+/// unfolds all of them on destruction, keeping the cache strictly within
+/// one batch evaluation (stale caches across dependent-join re-opens would
+/// be silent wrong answers).
+class ScopedParamFold {
+ public:
+  ScopedParamFold() = default;
+  ScopedParamFold(const ScopedParamFold&) = delete;
+  ScopedParamFold& operator=(const ScopedParamFold&) = delete;
+  ~ScopedParamFold() {
+    for (const CompiledExpr* e : folded_) e->UnfoldParams();
+  }
+
+  Status Add(const CompiledExpr* e, ExecContext* ctx) {
+    Status st = e->FoldParams(ctx);
+    if (st.ok()) folded_.push_back(e);  // on error the expr self-unfolds
+    return st;
+  }
+
+ private:
+  std::vector<const CompiledExpr*> folded_;
+};
+
+/// Two-valued `row[slot] op constant` (NULL operand = false), the per-row
+/// core of the AsSlotConstCompare fast path. Runs the same comparison
+/// routine as the general evaluator, so failure modes (e.g. type errors)
+/// are identical.
+Result<bool> EvalSlotConstCompare(const Row& row, int slot, ast::BinaryOp op,
+                                  const Value& constant);
+
+/// One predicate prepared for a batch: the slot-vs-constant fast form when
+/// the tree allows it, the general interpreter otherwise. Build AFTER
+/// folding params (folded params count as constants) and discard before
+/// the fold scope ends.
+struct PreparedPredicate {
+  const CompiledExpr* expr = nullptr;
+  bool fast = false;
+  int slot = -1;
+  ast::BinaryOp op = ast::BinaryOp::kEq;
+  const Value* constant = nullptr;
+
+  static PreparedPredicate For(const CompiledExpr* e) {
+    PreparedPredicate p;
+    p.expr = e;
+    p.fast = e->AsSlotConstCompare(&p.slot, &p.op, &p.constant);
+    return p;
+  }
+
+  Result<bool> Test(const Row& row, ExecContext* ctx) const {
+    if (fast) return EvalSlotConstCompare(row, slot, op, *constant);
+    return expr->EvalPredicate(row, ctx);
+  }
+};
+
+/// Batch entry point for predicate conjunctions: evaluates `predicates`
+/// over every active row of `batch` and narrows the selection to the
+/// passing rows (composes with an existing selection). Correlation
+/// parameters are folded once per batch.
+Status FilterBatch(const std::vector<CompiledExprPtr>& predicates,
+                   RowBatch* batch, ExecContext* ctx);
 
 /// Binary operator evaluation shared by expressions and join operators.
 Result<Value> EvalBinaryValues(ast::BinaryOp op, const Value& l, const Value& r);
@@ -92,6 +177,8 @@ class SubqueryRuntime {
   OperatorPtr plan_;
   std::vector<ParamSource> params_;
   SubqueryCacheMode mode_;
+  ExecContext::ParamFrame frame_;  // reused across Evaluate calls
+  RowBatch scratch_;               // reused drain staging (sized lazily)
   std::unordered_map<Row, std::vector<Row>, RowHash> memo_;
   Row last_key_;
   std::vector<Row> last_result_;

@@ -120,7 +120,7 @@ class NlJoinOp : public Operator {
       params_pushed_ = false;
     }
     if (!spec_.inner_params.empty()) {
-      frame_.values.clear();
+      frame_.Clear();
       for (const SubqueryRuntime::ParamSource& src : spec_.inner_params) {
         Value v;
         if (src.outer_slot >= 0) {
@@ -128,7 +128,7 @@ class NlJoinOp : public Operator {
         } else {
           STARBURST_ASSIGN_OR_RETURN(v, ctx_->LookupParam(src.q, src.column));
         }
-        frame_.values[{src.q, src.column}] = std::move(v);
+        frame_.Set(src.q, src.column, std::move(v));
       }
       ctx_->PushParams(&frame_);
       params_pushed_ = true;
@@ -260,22 +260,29 @@ class HashJoinOp : public Operator {
     table_.clear();
     if (shared_ == nullptr) {
       STARBURST_RETURN_IF_ERROR(inner_->Open(ctx));
-      Row inner_row;
+      RowBatch build_batch(ctx->batch_size());
       while (true) {
-        STARBURST_ASSIGN_OR_RETURN(bool more, inner_->Next(&inner_row));
+        STARBURST_ASSIGN_OR_RETURN(bool more, inner_->NextBatch(&build_batch));
         if (!more) break;
-        Row key = InnerKey(inner_row);
-        bool has_null = false;
-        for (const Value& v : key.values()) {
-          if (v.is_null()) has_null = true;
+        size_t n = build_batch.size();
+        for (size_t i = 0; i < n; ++i) {
+          Row& inner_row = build_batch.row(i);
+          Row key = InnerKey(inner_row);
+          bool has_null = false;
+          for (const Value& v : key.values()) {
+            if (v.is_null()) has_null = true;
+          }
+          if (has_null) continue;  // NULL keys never join
+          table_[std::move(key)].push_back(std::move(inner_row));
         }
-        if (has_null) continue;  // NULL keys never join
-        table_[std::move(key)].push_back(inner_row);
       }
       inner_->Close();
     }
     STARBURST_RETURN_IF_ERROR(outer_->Open(ctx));
+    outer_batch_.Reset(ctx->batch_size());
+    outer_pos_ = 0;
     have_outer_ = false;
+    cur_outer_ = nullptr;
     return Status::OK();
   }
 
@@ -344,6 +351,82 @@ class HashJoinOp : public Operator {
     }
   }
 
+  /// Batch-native probe: consumes the outer side batch-at-a-time and
+  /// stages joined rows into the caller's batch, suspending mid-bucket
+  /// when it fills. A consumer drives either Next or NextBatch for the
+  /// lifetime of one Open, never both, so the row- and batch-path cursors
+  /// (outer_row_ vs outer_batch_/cur_outer_) cannot interleave.
+  Result<bool> NextBatchImpl(RowBatch* out) override {
+    ScopedParamFold fold;
+    for (const CompiledExprPtr& p : spec_.predicates) {
+      STARBURST_RETURN_IF_ERROR(fold.Add(p.get(), ctx_));
+    }
+    while (!out->full()) {
+      if (!have_outer_) {
+        if (outer_pos_ >= outer_batch_.size()) {
+          STARBURST_ASSIGN_OR_RETURN(bool more,
+                                     outer_->NextBatch(&outer_batch_));
+          if (!more) break;
+          outer_pos_ = 0;
+        }
+        cur_outer_ = &outer_batch_.row(outer_pos_++);
+        have_outer_ = true;
+        matched_ = false;
+        bucket_ = nullptr;
+        bucket_pos_ = 0;
+        Row key = OuterKey(*cur_outer_);
+        bool has_null = false;
+        for (const Value& v : key.values()) {
+          if (v.is_null()) has_null = true;
+        }
+        if (!has_null) {
+          if (shared_ != nullptr) {
+            bucket_ = shared_->Probe(key);
+          } else {
+            auto it = table_.find(key);
+            if (it != table_.end()) bucket_ = &it->second;
+          }
+        }
+      }
+      // Walk the bucket (suspend if the output batch fills mid-bucket).
+      bool suspended = false;
+      while (bucket_ != nullptr && bucket_pos_ < bucket_->size()) {
+        if (out->full()) {
+          suspended = true;
+          break;
+        }
+        Row joined = ConcatRows(*cur_outer_, (*bucket_)[bucket_pos_++]);
+        STARBURST_ASSIGN_OR_RETURN(bool pass, PredsPass(spec_, joined, ctx_));
+        if (!pass) continue;
+        matched_ = true;
+        if (spec_.kind == JoinKind::kRegular ||
+            spec_.kind == JoinKind::kLeftOuter) {
+          out->Append(std::move(joined));
+          continue;
+        }
+        if (spec_.kind == JoinKind::kExists) {
+          out->Append(*cur_outer_);
+        }
+        // kExists emitted; kAnti matched: rejected — either way, done
+        // with this outer row and the rest of its bucket.
+        have_outer_ = false;
+        bucket_ = nullptr;
+        break;
+      }
+      if (suspended) break;
+      if (have_outer_) {
+        // Bucket exhausted for a streaming kind (or never existed).
+        if (spec_.kind == JoinKind::kLeftOuter && !matched_) {
+          out->Append(NullPad(*cur_outer_, spec_.inner_width));
+        } else if (spec_.kind == JoinKind::kAnti && !matched_) {
+          out->Append(*cur_outer_);
+        }
+        have_outer_ = false;
+      }
+    }
+    return !out->empty();
+  }
+
   void CloseImpl() override {
     outer_->Close();
     table_.clear();
@@ -368,6 +451,9 @@ class HashJoinOp : public Operator {
   ExecContext* ctx_ = nullptr;
   std::unordered_map<Row, std::vector<Row>, RowHash> table_;
   Row outer_row_;
+  RowBatch outer_batch_;          // batch-path outer staging
+  size_t outer_pos_ = 0;          // next unconsumed row in outer_batch_
+  const Row* cur_outer_ = nullptr;  // into outer_batch_; stable until refill
   bool have_outer_ = false;
   bool matched_ = false;
   const std::vector<Row>* bucket_ = nullptr;
@@ -400,7 +486,8 @@ class MergeJoinOp : public Operator {
         return Status::Internal("unsupported merge join kind");
     }
     STARBURST_RETURN_IF_ERROR(inner_->Open(ctx));
-    Result<std::vector<Row>> rows = DrainOperator(inner_.get());
+    Result<std::vector<Row>> rows =
+        DrainOperator(inner_.get(), ctx->batch_size());
     inner_->Close();
     if (!rows.ok()) return rows.status();
     inner_rows_ = rows.TakeValue();

@@ -6,22 +6,23 @@ namespace starburst::exec::parallel {
 
 namespace {
 
-/// Drains `op` (already open) calling `sink` per row, then closes it.
-/// The first error still closes the operator so clones are quiesced.
-template <typename Sink>
-Status DrainInto(Operator* op, Sink&& sink) {
-  Row row;
+/// Drains `op` (already open) batch-at-a-time, calling `sink(batch)` for
+/// every non-empty batch, then closes it — whole batches move through the
+/// exchange instead of single rows. The first error still closes the
+/// operator so clones are quiesced.
+template <typename BatchSink>
+Status DrainBatchesInto(Operator* op, size_t batch_size, BatchSink&& sink) {
+  RowBatch batch(batch_size);
   Status status;
   while (true) {
-    Result<bool> more = op->Next(&row);
+    Result<bool> more = op->NextBatch(&batch);
     if (!more.ok()) {
       status = more.status();
       break;
     }
     if (!*more) break;
-    status = sink(std::move(row));
+    status = sink(batch);
     if (!status.ok()) break;
-    row = Row();
   }
   op->Close();
   return status;
@@ -69,6 +70,19 @@ class GatherOp : public Operator {
     return false;
   }
 
+  Result<bool> NextBatchImpl(RowBatch* batch) override {
+    while (!batch->full() && cursor_buffer_ < buffers_.size()) {
+      std::vector<Row>& buf = buffers_[cursor_buffer_];
+      if (cursor_row_ >= buf.size()) {
+        ++cursor_buffer_;
+        cursor_row_ = 0;
+        continue;
+      }
+      batch->Append(std::move(buf[cursor_row_++]));
+    }
+    return !batch->empty();
+  }
+
   void CloseImpl() override {
     buffers_.clear();
     for (auto& per_worker : pctx_->exchange.staged) {
@@ -98,19 +112,25 @@ class GatherOp : public Operator {
         tasks.push_back([this, ctx, jb, w] {
           Operator* clone = jb->build_clones[w].get();
           STARBURST_RETURN_IF_ERROR(clone->Open(ctx));
-          return DrainInto(clone, [jb, w](Row row) {
-            std::vector<Value> key_values;
-            key_values.reserve(jb->key_slots.size());
-            bool has_null = false;
-            for (size_t slot : jb->key_slots) {
-              if (row[slot].is_null()) has_null = true;
-              key_values.push_back(row[slot]);
-            }
-            if (!has_null) {  // NULL keys never join
-              jb->table.Stage(w, Row(std::move(key_values)), std::move(row));
-            }
-            return Status::OK();
-          });
+          return DrainBatchesInto(
+              clone, ctx->batch_size(), [jb, w](RowBatch& batch) {
+                size_t n = batch.size();
+                for (size_t i = 0; i < n; ++i) {
+                  Row& row = batch.row(i);
+                  std::vector<Value> key_values;
+                  key_values.reserve(jb->key_slots.size());
+                  bool has_null = false;
+                  for (size_t slot : jb->key_slots) {
+                    if (row[slot].is_null()) has_null = true;
+                    key_values.push_back(row[slot]);
+                  }
+                  if (!has_null) {  // NULL keys never join
+                    jb->table.Stage(w, Row(std::move(key_values)),
+                                    std::move(row));
+                  }
+                }
+                return Status::OK();
+              });
         });
       }
       STARBURST_RETURN_IF_ERROR(pctx_->scheduler.RunParallel(std::move(tasks)));
@@ -133,10 +153,11 @@ class GatherOp : public Operator {
       tasks.push_back([this, ctx, w] {
         Operator* clone = pipelines_[w].get();
         STARBURST_RETURN_IF_ERROR(clone->Open(ctx));
-        return DrainInto(clone, [this, w](Row row) {
-          buffers_[w].push_back(std::move(row));
-          return Status::OK();
-        });
+        return DrainBatchesInto(
+            clone, ctx->batch_size(), [this, w](RowBatch& batch) {
+              batch.MoveRowsTo(&buffers_[w]);
+              return Status::OK();
+            });
       });
     }
     return pctx_->scheduler.RunParallel(std::move(tasks));
@@ -152,20 +173,25 @@ class GatherOp : public Operator {
         const size_t nparts = agg_clones_.size();
         auto& staged = pctx_->exchange.staged[w];
         const auto& keys = partition_keys_[w];
-        return DrainInto(clone, [&, ctx](Row row) -> Status {
-          size_t p = 0;
-          if (nparts > 1) {
-            std::vector<Value> key_values;
-            key_values.reserve(keys.size());
-            for (const CompiledExprPtr& k : keys) {
-              STARBURST_ASSIGN_OR_RETURN(Value v, k->Eval(row, ctx));
-              key_values.push_back(std::move(v));
-            }
-            p = RowHash{}(Row(std::move(key_values))) % nparts;
-          }
-          staged[p].push_back(std::move(row));
-          return Status::OK();
-        });
+        return DrainBatchesInto(
+            clone, ctx->batch_size(), [&, ctx](RowBatch& batch) -> Status {
+              size_t n = batch.size();
+              for (size_t i = 0; i < n; ++i) {
+                Row& row = batch.row(i);
+                size_t p = 0;
+                if (nparts > 1) {
+                  std::vector<Value> key_values;
+                  key_values.reserve(keys.size());
+                  for (const CompiledExprPtr& k : keys) {
+                    STARBURST_ASSIGN_OR_RETURN(Value v, k->Eval(row, ctx));
+                    key_values.push_back(std::move(v));
+                  }
+                  p = RowHash{}(Row(std::move(key_values))) % nparts;
+                }
+                staged[p].push_back(std::move(row));
+              }
+              return Status::OK();
+            });
       });
     }
     return pctx_->scheduler.RunParallel(std::move(tasks));
@@ -177,10 +203,11 @@ class GatherOp : public Operator {
       tasks.push_back([this, ctx, p] {
         Operator* clone = agg_clones_[p].get();
         STARBURST_RETURN_IF_ERROR(clone->Open(ctx));
-        return DrainInto(clone, [this, p](Row row) {
-          buffers_[p].push_back(std::move(row));
-          return Status::OK();
-        });
+        return DrainBatchesInto(
+            clone, ctx->batch_size(), [this, p](RowBatch& batch) {
+              batch.MoveRowsTo(&buffers_[p]);
+              return Status::OK();
+            });
       });
     }
     return pctx_->scheduler.RunParallel(std::move(tasks));
@@ -217,6 +244,19 @@ class ExchangeSourceOp : public Operator {
       pos_ = 0;
     }
     return false;
+  }
+
+  Result<bool> NextBatchImpl(RowBatch* batch) override {
+    while (!batch->full() && worker_ < exchange_->staged.size()) {
+      const std::vector<Row>& rows = exchange_->staged[worker_][partition_];
+      if (pos_ >= rows.size()) {
+        ++worker_;
+        pos_ = 0;
+        continue;
+      }
+      batch->Append(rows[pos_++]);
+    }
+    return !batch->empty();
   }
 
   void CloseImpl() override {}

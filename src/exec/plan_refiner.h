@@ -53,6 +53,10 @@ class PlanRefiner {
     /// Worth gate: estimated base-table rows a subtree must scan before
     /// it is worth parallelizing (thread handoff isn't free). 0 = always.
     double parallel_min_rows = 1024;
+    /// Rows a batched operator stages per NextBatch call; the caller
+    /// (Executor / Database) installs this on the ExecContext before
+    /// opening the refined tree. 1 pins exact row-at-a-time behavior.
+    size_t batch_size = RowBatch::kDefaultCapacity;
   };
 
   PlanRefiner(const Catalog* catalog,

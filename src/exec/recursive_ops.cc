@@ -25,8 +25,9 @@ class RecurseOp : public Operator {
     pos_ = 0;
 
     STARBURST_RETURN_IF_ERROR(base_->Open(ctx));
-    STARBURST_ASSIGN_OR_RETURN(std::vector<Row> base_rows,
-                               DrainOperator(base_.get()));
+    STARBURST_ASSIGN_OR_RETURN(
+        std::vector<Row> base_rows,
+        DrainOperator(base_.get(), ctx->batch_size()));
     base_->Close();
     std::vector<Row> delta;
     for (Row& r : base_rows) {
@@ -46,7 +47,8 @@ class RecurseOp : public Operator {
       const std::vector<Row>& visible = semi_naive_ ? delta : working_;
       ctx->SetIterationTable(recursion_, &visible);
       STARBURST_RETURN_IF_ERROR(step_->Open(ctx));
-      Result<std::vector<Row>> produced = DrainOperator(step_.get());
+      Result<std::vector<Row>> produced =
+          DrainOperator(step_.get(), ctx->batch_size());
       step_->Close();
       ctx->SetIterationTable(recursion_, nullptr);
       if (!produced.ok()) return produced.status();
@@ -67,6 +69,10 @@ class RecurseOp : public Operator {
     if (pos_ >= working_.size()) return false;
     *row = working_[pos_++];
     return true;
+  }
+
+  Result<bool> NextBatchImpl(RowBatch* batch) override {
+    return FillBatchFromRows(working_, &pos_, batch);
   }
 
   void CloseImpl() override {

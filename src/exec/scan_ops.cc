@@ -1,3 +1,5 @@
+#include <algorithm>
+
 #include "exec/operators.h"
 #include "exec/parallel/morsel.h"
 #include "storage/attachment.h"
@@ -15,7 +17,19 @@ class ScanOp : public Operator {
          std::vector<CompiledExprPtr> predicates,
          parallel::MorselSource* morsels = nullptr)
       : table_(table), columns_(std::move(columns)),
-        predicates_(std::move(predicates)), morsels_(morsels) {}
+        predicates_(std::move(predicates)), morsels_(morsels) {
+    identity_prefix_ = true;
+    for (size_t i = 0; i < columns_.size(); ++i) {
+      if (columns_[i] != i) {
+        identity_prefix_ = false;
+        break;
+      }
+    }
+    // Whole-row identity projection: batched refills may then decode pages
+    // straight into the batch's slots with no staging block at all.
+    direct_fill_ = identity_prefix_ &&
+                   columns_.size() == table_->schema.num_columns();
+  }
 
   Status OpenImpl(ExecContext* ctx) override {
     ctx_ = ctx;
@@ -23,6 +37,8 @@ class ScanOp : public Operator {
                                ctx->storage()->GetTable(table_->name));
     storage_ = storage;
     scan_ = morsels_ == nullptr ? storage->NewScan() : nullptr;
+    block_pos_ = 0;
+    block_n_ = 0;
     return Status::OK();
   }
 
@@ -64,9 +80,135 @@ class ScanOp : public Operator {
     }
   }
 
+  /// Batch-native path: refills a block of full rows straight from the
+  /// page scan (one page resolution per page, decode into reused row
+  /// storage), then projects into the batch's slots and evaluates
+  /// predicates with correlation params folded once per batch.
+  Result<bool> NextBatchImpl(RowBatch* batch) override {
+    ScopedParamFold fold;
+    for (const CompiledExprPtr& p : predicates_) {
+      STARBURST_RETURN_IF_ERROR(fold.Add(p.get(), ctx_));
+    }
+    prepared_.clear();
+    for (const CompiledExprPtr& p : predicates_) {
+      prepared_.push_back(PreparedPredicate::For(p.get()));
+    }
+    if (direct_fill_) return FillBatchDirect(batch);
+    if (block_.empty()) {
+      size_t target = std::min<size_t>(ctx_->batch_size(), kMaxBlock);
+      block_.resize(target);
+      block_rids_.resize(target);
+    }
+    size_t emitted = 0;
+    while (!batch->full()) {
+      if (block_pos_ >= block_n_) {
+        if (scan_ == nullptr) {
+          PageNo begin, end;
+          if (morsels_ == nullptr || !morsels_->Claim(&begin, &end)) break;
+          scan_ = storage_->NewRangeScan(begin, end);
+        }
+        STARBURST_ASSIGN_OR_RETURN(
+            block_n_,
+            scan_->NextBlock(block_.data(), block_rids_.data(), block_.size()));
+        block_pos_ = 0;
+        if (block_n_ == 0) {
+          if (morsels_ != nullptr) {
+            scan_.reset();  // morsel drained; claim the next one
+            continue;
+          }
+          break;
+        }
+      }
+      Row& full = block_[block_pos_++];
+      Row* slot = batch->AppendSlot();
+      if (identity_prefix_ && full.size() == columns_.size()) {
+        // Whole-row projection: trade buffers with the block row so both
+        // sides keep reusable storage (no copies, no allocation).
+        slot->values().swap(full.values());
+      } else {
+        ProjectInto(full, slot);
+      }
+      bool pass = true;
+      for (const PreparedPredicate& p : prepared_) {
+        STARBURST_ASSIGN_OR_RETURN(bool ok, p.Test(*slot, ctx_));
+        if (!ok) {
+          pass = false;
+          break;
+        }
+      }
+      if (!pass) {
+        batch->PopLast();
+        continue;
+      }
+      ++emitted;
+    }
+    ctx_->stats().rows_emitted += emitted;
+    return !batch->empty();
+  }
+
   void CloseImpl() override { scan_.reset(); }
 
  private:
+  /// Whole-row scans bypass the staging block: pages decode directly into
+  /// the batch's physical slots, and predicates mark survivors in a
+  /// selection vector instead of popping rejected slots one by one. The
+  /// batch must arrive cleared (it does: this is a leaf, and every caller
+  /// drains or clears between refills).
+  Result<bool> FillBatchDirect(RowBatch* batch) {
+    if (block_rids_.size() < batch->capacity()) {
+      block_rids_.resize(batch->capacity());
+    }
+    while (true) {
+      bool exhausted = false;
+      while (!batch->full()) {
+        if (scan_ == nullptr) {
+          PageNo begin, end;
+          if (morsels_ == nullptr || !morsels_->Claim(&begin, &end)) {
+            exhausted = true;
+            break;
+          }
+          scan_ = storage_->NewRangeScan(begin, end);
+        }
+        STARBURST_ASSIGN_OR_RETURN(
+            size_t got,
+            scan_->NextBlock(batch->raw_slots() + batch->physical_size(),
+                             block_rids_.data(), batch->remaining()));
+        if (got == 0) {
+          if (morsels_ != nullptr) {
+            scan_.reset();  // morsel drained; claim the next one
+            continue;
+          }
+          exhausted = true;
+          break;
+        }
+        batch->AdvanceFilled(got);
+      }
+      if (!prepared_.empty() && batch->physical_size() > 0) {
+        sel_.clear();
+        for (size_t i = 0; i < batch->physical_size(); ++i) {
+          bool pass = true;
+          for (const PreparedPredicate& p : prepared_) {
+            STARBURST_ASSIGN_OR_RETURN(bool ok,
+                                       p.Test(batch->physical_row(i), ctx_));
+            if (!ok) {
+              pass = false;
+              break;
+            }
+          }
+          if (pass) sel_.push_back(static_cast<uint32_t>(i));
+        }
+        batch->SetSelection(std::move(sel_));
+        sel_.clear();
+      }
+      if (!batch->empty()) {
+        ctx_->stats().rows_emitted += batch->size();
+        return true;
+      }
+      if (exhausted) return false;
+      batch->Clear();  // every staged row was rejected; refill
+    }
+  }
+
   Row Project(const Row& full) const {
     std::vector<Value> values;
     values.reserve(columns_.size());
@@ -74,13 +216,42 @@ class ScanOp : public Operator {
     return Row(std::move(values));
   }
 
+  /// Projection into a batch slot, reusing the slot's Value storage.
+  void ProjectInto(const Row& full, Row* out) const {
+    std::vector<Value>& v = out->values();
+    v.clear();
+    v.reserve(columns_.size());
+    for (size_t c : columns_) v.push_back(full[c]);
+  }
+
+  /// Upper bound on the refill block so a huge SET batch_size cannot
+  /// balloon the per-scan row buffer.
+  static constexpr size_t kMaxBlock = 1024;
+
   const TableDef* table_;
   std::vector<size_t> columns_;
   std::vector<CompiledExprPtr> predicates_;
   parallel::MorselSource* morsels_;
+  /// True when columns_ is 0,1,2,...: projecting a full row is then a
+  /// buffer swap instead of a value-by-value copy.
+  bool identity_prefix_ = false;
+  /// True when the projection is the whole row: batched refills decode
+  /// pages directly into batch slots (see FillBatchDirect).
+  bool direct_fill_ = false;
   ExecContext* ctx_ = nullptr;
   TableStorage* storage_ = nullptr;
   std::unique_ptr<TableScanIterator> scan_;
+  /// Batched path's refill block: full rows decoded in place, consumed
+  /// through [block_pos_, block_n_).
+  std::vector<Row> block_;
+  std::vector<Rid> block_rids_;
+  size_t block_pos_ = 0;
+  size_t block_n_ = 0;
+  /// Per-batch prepared predicates (valid only inside one NextBatchImpl
+  /// call, while the param fold is active); member to reuse capacity.
+  std::vector<PreparedPredicate> prepared_;
+  /// Selection scratch for FillBatchDirect.
+  std::vector<uint32_t> sel_;
 };
 
 class IndexScanOp : public Operator {
@@ -201,6 +372,12 @@ class ValuesOp : public Operator {
     ++ctx_->stats().rows_emitted;
     return true;
   }
+  Result<bool> NextBatchImpl(RowBatch* batch) override {
+    size_t before = pos_;
+    bool any = FillBatchFromRows(rows_, &pos_, batch);
+    ctx_->stats().rows_emitted += pos_ - before;
+    return any;
+  }
   void CloseImpl() override {}
 
  private:
@@ -225,6 +402,9 @@ class IterRefOp : public Operator {
     if (pos_ >= rows_->size()) return false;
     *row = (*rows_)[pos_++];
     return true;
+  }
+  Result<bool> NextBatchImpl(RowBatch* batch) override {
+    return FillBatchFromRows(*rows_, &pos_, batch);
   }
   void CloseImpl() override { rows_ = nullptr; }
 

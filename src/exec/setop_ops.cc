@@ -19,11 +19,13 @@ class SetOpOp : public Operator {
     if (op_ == ast::SetOpKind::kUnion && all_) {
       // UNION ALL streams both sides without bookkeeping.
       STARBURST_RETURN_IF_ERROR(left_->Open(ctx));
-      STARBURST_ASSIGN_OR_RETURN(results_, DrainOperator(left_.get()));
+      STARBURST_ASSIGN_OR_RETURN(results_,
+                                 DrainOperator(left_.get(), ctx->batch_size()));
       left_->Close();
       STARBURST_RETURN_IF_ERROR(right_->Open(ctx));
-      STARBURST_ASSIGN_OR_RETURN(std::vector<Row> rest,
-                                 DrainOperator(right_.get()));
+      STARBURST_ASSIGN_OR_RETURN(
+          std::vector<Row> rest,
+          DrainOperator(right_.get(), ctx->batch_size()));
       right_->Close();
       for (Row& r : rest) results_.push_back(std::move(r));
       return Status::OK();
@@ -88,6 +90,10 @@ class SetOpOp : public Operator {
     return true;
   }
 
+  Result<bool> NextBatchImpl(RowBatch* batch) override {
+    return FillBatchFromRows(results_, &pos_, batch);
+  }
+
   void CloseImpl() override { results_.clear(); }
 
  private:
@@ -110,8 +116,9 @@ class TableFuncOp : public Operator {
     std::vector<std::vector<Row>> tables;
     for (OperatorPtr& input : inputs_) {
       STARBURST_RETURN_IF_ERROR(input->Open(ctx));
-      STARBURST_ASSIGN_OR_RETURN(std::vector<Row> rows,
-                                 DrainOperator(input.get()));
+      STARBURST_ASSIGN_OR_RETURN(
+          std::vector<Row> rows,
+          DrainOperator(input.get(), ctx->batch_size()));
       input->Close();
       tables.push_back(std::move(rows));
     }
@@ -124,6 +131,10 @@ class TableFuncOp : public Operator {
     if (pos_ >= results_.size()) return false;
     *row = results_[pos_++];
     return true;
+  }
+
+  Result<bool> NextBatchImpl(RowBatch* batch) override {
+    return FillBatchFromRows(results_, &pos_, batch);
   }
 
   void CloseImpl() override { results_.clear(); }

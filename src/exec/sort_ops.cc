@@ -1,4 +1,5 @@
 #include <algorithm>
+#include <cstdint>
 #include <unordered_set>
 
 #include "exec/operators.h"
@@ -14,7 +15,8 @@ class SortOp : public Operator {
 
   Status OpenImpl(ExecContext* ctx) override {
     STARBURST_RETURN_IF_ERROR(input_->Open(ctx));
-    Result<std::vector<Row>> rows = DrainOperator(input_.get());
+    Result<std::vector<Row>> rows =
+        DrainOperator(input_.get(), ctx->batch_size());
     input_->Close();
     if (!rows.ok()) return rows.status();
     rows_ = rows.TakeValue();
@@ -34,6 +36,10 @@ class SortOp : public Operator {
     if (pos_ >= rows_.size()) return false;
     *row = rows_[pos_++];
     return true;
+  }
+
+  Result<bool> NextBatchImpl(RowBatch* batch) override {
+    return FillBatchFromRows(rows_, &pos_, batch);
   }
 
   void CloseImpl() override { rows_.clear(); }
@@ -59,6 +65,24 @@ class DistinctOp : public Operator {
       STARBURST_ASSIGN_OR_RETURN(bool more, input_->Next(row));
       if (!more) return false;
       if (seen_.insert(*row).second) return true;
+    }
+  }
+
+  /// Batched DISTINCT: first-seen rows are marked in the selection vector.
+  Result<bool> NextBatchImpl(RowBatch* batch) override {
+    while (true) {
+      STARBURST_ASSIGN_OR_RETURN(bool more, input_->NextBatch(batch));
+      if (!more) return false;
+      std::vector<uint32_t> keep;
+      size_t n = batch->size();
+      keep.reserve(n);
+      for (size_t i = 0; i < n; ++i) {
+        if (seen_.insert(batch->row(i)).second) {
+          keep.push_back(static_cast<uint32_t>(batch->physical_index(i)));
+        }
+      }
+      batch->SetSelection(std::move(keep));
+      if (!batch->empty()) return true;
     }
   }
 

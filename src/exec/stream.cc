@@ -1,5 +1,7 @@
 #include "exec/stream.h"
 
+#include <algorithm>
+
 #include "obs/trace.h"
 
 namespace starburst::exec {
@@ -21,32 +23,67 @@ Result<bool> Operator::NextTimed(Row* row) {
   return more;
 }
 
+Result<bool> Operator::NextBatchTimed(RowBatch* batch) {
+  double start = obs::NowUs();
+  Result<bool> more = NextBatchImpl(batch);
+  stats_->wall_us += obs::NowUs() - start;
+  ++stats_->next_calls;
+  if (more.ok() && *more) stats_->rows_out += batch->size();
+  return more;
+}
+
 void Operator::CloseTimed() {
   double start = obs::NowUs();
   CloseImpl();
   stats_->wall_us += obs::NowUs() - start;
 }
 
+Result<bool> Operator::NextBatchImpl(RowBatch* batch) {
+  while (!batch->full()) {
+    Row* slot = batch->AppendSlot();
+    STARBURST_ASSIGN_OR_RETURN(bool more, NextImpl(slot));
+    if (!more) {
+      batch->PopLast();
+      break;
+    }
+  }
+  return !batch->empty();
+}
+
 Result<Value> ExecContext::LookupParam(const qgm::Quantifier* q,
                                        size_t column) const {
   for (auto it = param_stack_.rbegin(); it != param_stack_.rend(); ++it) {
-    auto found = (*it)->values.find(ParamKey{q, column});
-    if (found != (*it)->values.end()) return found->second;
+    const Value* found = (*it)->Find(q, column);
+    if (found != nullptr) return *found;
   }
   return Status::Internal("unbound correlation parameter " +
                           (q != nullptr ? q->DisplayName() : std::string("?")) +
                           "." + std::to_string(column));
 }
 
-Result<std::vector<Row>> DrainOperator(Operator* op) {
-  std::vector<Row> rows;
-  Row row;
+Status DrainOperatorInto(Operator* op, RowBatch* scratch,
+                         std::vector<Row>* out) {
   while (true) {
-    STARBURST_ASSIGN_OR_RETURN(bool more, op->Next(&row));
-    if (!more) break;
-    rows.push_back(std::move(row));
+    STARBURST_ASSIGN_OR_RETURN(bool more, op->NextBatch(scratch));
+    if (!more) return Status::OK();
+    scratch->MoveRowsTo(out);
   }
+}
+
+Result<std::vector<Row>> DrainOperator(Operator* op, size_t batch_size,
+                                       size_t reserve_hint) {
+  std::vector<Row> rows;
+  // Cap the reserve: cardinality estimates can be wildly wrong, and an
+  // over-reserve is pure wasted RSS.
+  constexpr size_t kMaxReserve = size_t{1} << 20;
+  if (reserve_hint > 0) rows.reserve(std::min(reserve_hint, kMaxReserve));
+  RowBatch batch(batch_size);
+  STARBURST_RETURN_IF_ERROR(DrainOperatorInto(op, &batch, &rows));
   return rows;
+}
+
+Result<std::vector<Row>> DrainOperator(Operator* op) {
+  return DrainOperator(op, RowBatch::kDefaultCapacity);
 }
 
 }  // namespace starburst::exec

@@ -2,12 +2,14 @@
 #define STARBURST_EXEC_STREAM_H_
 
 #include <atomic>
-#include <map>
 #include <memory>
+#include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "common/result.h"
 #include "common/row.h"
+#include "common/row_batch.h"
 #include "obs/op_stats.h"
 #include "qgm/box.h"
 #include "storage/storage_engine.h"
@@ -54,12 +56,39 @@ class ExecContext {
   const Catalog* catalog() const { return catalog_; }
   ExecStats& stats() { return stats_; }
 
+  /// Rows a batched operator stages per NextBatch call. 1 pins exact
+  /// row-at-a-time behavior (`SET batch_size = 1`); set before Open —
+  /// operators size their staging batches when opened.
+  size_t batch_size() const { return batch_size_; }
+  void set_batch_size(size_t n) { batch_size_ = n == 0 ? 1 : n; }
+
   /// Correlation frames. A dependent join or subquery invocation pushes a
   /// frame of (quantifier, column) -> value before (re)opening the inner
-  /// stream; frames nest for multi-level correlation.
+  /// stream; frames nest for multi-level correlation. A frame holds the
+  /// handful of columns one correlation site binds, so it is a flat
+  /// vector scanned linearly — LookupParam sits on the per-row hot path
+  /// of every dependent join and must not chase red-black trees.
   using ParamKey = std::pair<const qgm::Quantifier*, size_t>;
   struct ParamFrame {
-    std::map<ParamKey, Value> values;
+    std::vector<std::pair<ParamKey, Value>> values;
+
+    void Clear() { values.clear(); }  // keeps capacity for the next rebind
+    void Set(const qgm::Quantifier* q, size_t column, Value v) {
+      for (auto& kv : values) {
+        if (kv.first.first == q && kv.first.second == column) {
+          kv.second = std::move(v);
+          return;
+        }
+      }
+      values.emplace_back(ParamKey{q, column}, std::move(v));
+    }
+    const Value* Find(const qgm::Quantifier* q, size_t column) const {
+      for (const auto& kv : values) {
+        if (kv.first.first == q && kv.first.second == column)
+          return &kv.second;
+      }
+      return nullptr;
+    }
   };
   void PushParams(const ParamFrame* frame) { param_stack_.push_back(frame); }
   void PopParams() { param_stack_.pop_back(); }
@@ -93,25 +122,46 @@ class ExecContext {
  private:
   StorageEngine* storage_;
   const Catalog* catalog_;
+  size_t batch_size_ = RowBatch::kDefaultCapacity;
   std::vector<const ParamFrame*> param_stack_;
-  std::map<const qgm::Box*, const std::vector<Row>*> iteration_tables_;
-  std::map<const void*, std::vector<Row>> shared_tables_;
+  std::unordered_map<const qgm::Box*, const std::vector<Row>*>
+      iteration_tables_;
+  std::unordered_map<const void*, std::vector<Row>> shared_tables_;
   ExecStats stats_;
 };
 
 /// A QES operator (§7): "Each operator takes one or more streams of tuples
 /// as input and produces one or more streams of tuples (usually one) as
 /// output. We implement the concept of streams by lazy evaluation" — the
-/// classic open/next/close protocol. Operators are re-openable: a dependent
-/// join re-Opens its inner stream per outer row under fresh parameters.
+/// classic open/next/close protocol, extended batch-at-a-time: NextBatch
+/// is the primary path and moves up to ExecContext::batch_size() tuples
+/// per call. Operators are re-openable: a dependent join re-Opens its
+/// inner stream per outer row under fresh parameters.
 ///
-/// The public Open/Next/Close entry points are non-virtual shims: with no
-/// stats sink attached (the default) they forward straight to the *Impl
-/// virtuals at the cost of one branch; with one attached (EXPLAIN ANALYZE,
-/// SessionOptions::collect_op_stats) they also count invocations, rows,
-/// and inclusive wall time. Subclasses implement OpenImpl/NextImpl/
-/// CloseImpl and call their children through the public protocol, so
-/// instrumentation composes through the whole tree.
+/// Every operator still implements the row protocol (NextImpl); batch-
+/// native operators additionally override NextBatchImpl. The default
+/// NextBatchImpl adapts row-at-a-time operators (subquery runtimes,
+/// recursion, quantified compares) into a batched pipeline by looping
+/// NextImpl — one-directional, so there is no shim recursion and no
+/// operator ever prefetches rows it was not asked for (EXPLAIN ANALYZE
+/// row counts stay exact at any batch size).
+///
+/// NextBatch contract: the shim clears `batch` before dispatch; the impl
+/// stages up to batch->fill_limit() rows and the call returns true iff at
+/// least one *active* row was produced. false means end of stream with an
+/// empty batch; an impl must never return true with an empty batch (the
+/// driving loops use emptiness to terminate).
+///
+/// The public Open/Next/NextBatch/Close entry points are non-virtual
+/// shims: with no stats sink attached (the default) they forward straight
+/// to the *Impl virtuals at the cost of one branch; with one attached
+/// (EXPLAIN ANALYZE, SessionOptions::collect_op_stats) they also count
+/// invocations, rows, and inclusive wall time. Batched calls amortize the
+/// accounting: one timestamp pair and one next_calls tick per batch,
+/// rows_out += the batch's row count. Subclasses implement OpenImpl/
+/// NextImpl/CloseImpl (and optionally NextBatchImpl) and call their
+/// children through the public protocol, so instrumentation composes
+/// through the whole tree.
 class Operator {
  public:
   virtual ~Operator() = default;
@@ -124,6 +174,14 @@ class Operator {
   Result<bool> Next(Row* row) {
     if (stats_ == nullptr) return NextImpl(row);
     return NextTimed(row);
+  }
+  /// Produces the next batch of tuples; false at end of stream (with
+  /// `batch` left empty). The batch is cleared on entry; its capacity and
+  /// fill limit are the caller's to choose.
+  Result<bool> NextBatch(RowBatch* batch) {
+    batch->Clear();
+    if (stats_ == nullptr) return NextBatchImpl(batch);
+    return NextBatchTimed(batch);
   }
   void Close() {
     if (stats_ == nullptr) {
@@ -140,11 +198,16 @@ class Operator {
  protected:
   virtual Status OpenImpl(ExecContext* ctx) = 0;
   virtual Result<bool> NextImpl(Row* row) = 0;
+  /// Row-compat adapter: fills `batch` by looping NextImpl. Batch-native
+  /// operators override this; they must still implement NextImpl (used
+  /// by row-at-a-time consumers like dependent nested-loop joins).
+  virtual Result<bool> NextBatchImpl(RowBatch* batch);
   virtual void CloseImpl() = 0;
 
  private:
   Status OpenTimed(ExecContext* ctx);
   Result<bool> NextTimed(Row* row);
+  Result<bool> NextBatchTimed(RowBatch* batch);
   void CloseTimed();
 
   obs::OperatorStats* stats_ = nullptr;
@@ -152,8 +215,32 @@ class Operator {
 
 using OperatorPtr = std::unique_ptr<Operator>;
 
-/// Drains an operator into a vector (operator must be Open).
+/// Copies rows [*pos, rows.size()) into `batch` until it fills, advancing
+/// *pos — the emit loop shared by every operator that batches out of a
+/// materialized buffer (sort, temp, gather, aggregation results).
+/// Returns true iff at least one row was staged.
+inline bool FillBatchFromRows(const std::vector<Row>& rows, size_t* pos,
+                              RowBatch* batch) {
+  while (!batch->full() && *pos < rows.size()) {
+    batch->Append(rows[(*pos)++]);
+  }
+  return !batch->empty();
+}
+
+/// Drains an operator into a vector (operator must be Open), pulling
+/// `batch_size` rows per NextBatch call and moving them out of the batch.
+/// `reserve_hint` (the plan's estimated cardinality, when known)
+/// pre-reserves the output — clamped, so a wild misestimate cannot
+/// balloon memory.
+Result<std::vector<Row>> DrainOperator(Operator* op, size_t batch_size,
+                                       size_t reserve_hint = 0);
+/// Convenience overload: default batch size, no reserve hint.
 Result<std::vector<Row>> DrainOperator(Operator* op);
+/// Core drain loop: appends into `out`, staging through caller-owned
+/// `scratch` (reused across calls by per-row drains like the subquery
+/// runtime, which would otherwise rebuild a batch per outer row).
+Status DrainOperatorInto(Operator* op, RowBatch* scratch,
+                         std::vector<Row>* out);
 
 }  // namespace starburst::exec
 

@@ -169,6 +169,30 @@ class FixedScanIterator : public TableScanIterator {
     return false;
   }
 
+  /// Block fill: one page resolution per visited page.
+  Result<size_t> NextBlock(Row* rows, Rid* rids, size_t max_rows) override {
+    size_t n = 0;
+    size_t num_pages = std::min<size_t>(
+        table_->pool()->pager()->PageCount(table_->file()), end_page_);
+    while (n < max_rows && page_ < num_pages) {
+      const Page* page = table_->pool()->GetPage(table_->file(),
+                                                 static_cast<PageNo>(page_));
+      while (n < max_rows && slot_ < table_->capacity()) {
+        uint16_t s = static_cast<uint16_t>(slot_++);
+        if (!table_->Occupied(*page, s)) continue;
+        STARBURST_ASSIGN_OR_RETURN(Row decoded, table_->DecodeSlot(*page, s));
+        rows[n] = std::move(decoded);
+        rids[n] = Rid{static_cast<PageNo>(page_), s};
+        ++n;
+      }
+      if (slot_ >= table_->capacity()) {
+        ++page_;
+        slot_ = 0;
+      }
+    }
+    return n;
+  }
+
  private:
   FixedTableStorage* table_;
   size_t page_;

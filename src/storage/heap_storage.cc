@@ -174,6 +174,33 @@ class HeapScanIterator : public TableScanIterator {
     return false;
   }
 
+  /// Block fill: the page is resolved once per visited page (not once
+  /// per record) and rows decode into the caller's reused storage.
+  Result<size_t> NextBlock(Row* rows, Rid* rids, size_t max_rows) override {
+    size_t n = 0;
+    size_t num_pages = std::min<size_t>(
+        table_->pool()->pager()->PageCount(table_->file()), end_page_);
+    while (n < max_rows && page_ < num_pages) {
+      const Page* page = table_->pool()->GetPage(table_->file(),
+                                                 static_cast<PageNo>(page_));
+      uint16_t slots = page->ReadU16(0);
+      while (n < max_rows && slot_ < slots) {
+        uint16_t s = slot_++;
+        uint16_t off = SlotOffset(*page, s);
+        if (off == 0) continue;  // deleted
+        STARBURST_RETURN_IF_ERROR(VarRecordCodec::DecodeInto(
+            page->data.data() + off, SlotLen(*page, s), &rows[n]));
+        rids[n] = Rid{static_cast<PageNo>(page_), s};
+        ++n;
+      }
+      if (slot_ >= slots) {
+        ++page_;
+        slot_ = 0;
+      }
+    }
+    return n;
+  }
+
  private:
   HeapTableStorage* table_;
   size_t page_;

@@ -75,9 +75,16 @@ Result<Row> VarRecordCodec::Decode(const std::string& bytes) {
 }
 
 Result<Row> VarRecordCodec::Decode(const uint8_t* data, size_t len) {
+  Row row;
+  STARBURST_RETURN_IF_ERROR(DecodeInto(data, len, &row));
+  return row;
+}
+
+Status VarRecordCodec::DecodeInto(const uint8_t* data, size_t len, Row* row) {
   size_t pos = 0;
   STARBURST_ASSIGN_OR_RETURN(uint32_t n, GetU32(data, len, &pos));
-  std::vector<Value> values;
+  std::vector<Value>& values = row->values();
+  values.clear();
   values.reserve(n);
   for (uint32_t i = 0; i < n; ++i) {
     if (pos >= len) return Status::Internal("record decode: truncated tag");
@@ -126,7 +133,7 @@ Result<Row> VarRecordCodec::Decode(const uint8_t* data, size_t len) {
         return Status::Internal("record decode: bad type tag");
     }
   }
-  return Row(std::move(values));
+  return Status::OK();
 }
 
 Result<FixedRecordCodec> FixedRecordCodec::ForSchema(const TableSchema& schema) {

@@ -16,6 +16,9 @@ class VarRecordCodec {
   static std::string Encode(const Row& row);
   static Result<Row> Decode(const std::string& bytes);
   static Result<Row> Decode(const uint8_t* data, size_t len);
+  /// Decodes into an existing row, reusing its value-vector capacity —
+  /// the allocation-free path batched scans refill blocks through.
+  static Status DecodeInto(const uint8_t* data, size_t len, Row* row);
 };
 
 /// Fixed-offset record encoding used by the paper's example fixed-length

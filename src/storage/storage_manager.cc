@@ -27,6 +27,17 @@ class FilteredRangeScanIterator : public TableScanIterator {
 
 }  // namespace
 
+Result<size_t> TableScanIterator::NextBlock(Row* rows, Rid* rids,
+                                            size_t max_rows) {
+  size_t n = 0;
+  while (n < max_rows) {
+    STARBURST_ASSIGN_OR_RETURN(bool more, Next(&rows[n], &rids[n]));
+    if (!more) break;
+    ++n;
+  }
+  return n;
+}
+
 std::unique_ptr<TableScanIterator> TableStorage::NewRangeScan(
     PageNo begin_page, PageNo end_page) {
   return std::make_unique<FilteredRangeScanIterator>(NewScan(), begin_page,

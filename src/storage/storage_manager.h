@@ -19,6 +19,11 @@ class TableScanIterator {
   virtual ~TableScanIterator() = default;
   /// Advances; false at end. On true, `*row` and `*rid` are filled.
   virtual Result<bool> Next(Row* row, Rid* rid) = 0;
+  /// Batched scan: fills up to `max_rows` rows (reusing their storage)
+  /// and returns how many were produced; 0 means end of scan. The
+  /// default adapter loops Next(); page-structured managers override it
+  /// to resolve each page once per block instead of once per record.
+  virtual Result<size_t> NextBlock(Row* rows, Rid* rids, size_t max_rows);
 };
 
 /// One stored table's data, managed by some storage manager. All I/O goes
