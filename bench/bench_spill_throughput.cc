@@ -1,0 +1,161 @@
+// E13 — memory-governed spilling: vectorized aggregation and external
+// merge sort.
+//
+// Two claims, two workloads:
+//
+//   1. Vectorized in-memory aggregation: the batched hash build (probe
+//      and insert over whole RowBatches, amortized accounting) should
+//      sustain >= 1.5x the rows/s of the exact row-at-a-time protocol
+//      (batch_size 1) on a CPU-bound GROUP BY.
+//
+//   2. Spilling degrades gracefully: an external sort whose input is
+//      >10x over budget (stable runs spilled batch-at-a-time, k-way
+//      merged back) should finish within 5x of the fully in-memory sort
+//      of the same input. The spilled output is also byte-compared to
+//      the in-memory one — same tie-breaking, same NULL order — so the
+//      throughput claim can never mask a wrong or unstable answer.
+//
+// Both sections differential-check results before timing anything.
+
+#include "bench_util.h"
+
+using namespace starburst;
+using namespace starburst::bench;
+
+namespace {
+
+constexpr int kAggRows = 200000;   // section 1: CPU-bound GROUP BY
+constexpr int kAggGroups = 1000;
+constexpr int kSortRows = 60000;   // section 2: sort with string payload
+constexpr int kSortBudgetKb = 256; // >10x oversubscribed by the input
+
+std::vector<Row> SortedRows(Database* db, const std::string& sql) {
+  Result<std::vector<Row>> r = db->Query(sql);
+  if (!r.ok()) {
+    std::fprintf(stderr, "FATAL: %s\n", r.status().ToString().c_str());
+    std::exit(1);
+  }
+  std::vector<Row> rows = r.TakeValue();
+  std::sort(rows.begin(), rows.end(),
+            [](const Row& a, const Row& b) { return a.CompareTotal(b) < 0; });
+  return rows;
+}
+
+std::vector<Row> MustQuery(Database* db, const std::string& sql) {
+  Result<std::vector<Row>> r = db->Query(sql);
+  if (!r.ok()) {
+    std::fprintf(stderr, "FATAL: %s\n", r.status().ToString().c_str());
+    std::exit(1);
+  }
+  return r.TakeValue();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  JsonReporter json("spill_throughput", argc, argv);
+
+  // ---- Section 1: vectorized vs row-at-a-time aggregation ----
+  Database db;
+  MakeIntTable(&db, "t", kAggRows, kAggGroups);
+  MustExec(&db, "ANALYZE");
+  MustExec(&db, "SET parallelism = 1");
+
+  const std::string agg_query =
+      "SELECT v, COUNT(*), SUM(k), MIN(k), MAX(k) FROM t GROUP BY v";
+
+  MustExec(&db, "SET BATCH_SIZE = 1");
+  std::vector<Row> agg_reference = SortedRows(&db, agg_query);
+  if (agg_reference.size() != static_cast<size_t>(kAggGroups)) {
+    std::fprintf(stderr, "FATAL: expected %d groups, got %zu\n", kAggGroups,
+                 agg_reference.size());
+    return 1;
+  }
+
+  std::printf("E13.1: in-memory GROUP BY, %d rows -> %d groups, "
+              "parallelism 1\n",
+              kAggRows, kAggGroups);
+  std::printf("%10s | %10s | %12s | %8s\n", "batch_size", "us", "rows/s",
+              "speedup");
+
+  double agg_rps_bs1 = 0;
+  double agg_speedup = 0;
+  for (int bs : {1, 1024}) {
+    MustExec(&db, "SET BATCH_SIZE = " + std::to_string(bs));
+    if (SortedRows(&db, agg_query) != agg_reference) {
+      std::fprintf(stderr, "FATAL: agg output differs at batch_size %d\n", bs);
+      return 1;
+    }
+    double us = MinUs([&] { MustQuery(&db, agg_query); }, 5);
+    double rps = static_cast<double>(kAggRows) / (us / 1e6);
+    if (bs == 1) agg_rps_bs1 = rps;
+    double speedup = rps / agg_rps_bs1;
+    if (bs == 1024) agg_speedup = speedup;
+    std::printf("%10d | %10.0f | %12.0f | %7.2fx\n", bs, us, rps, speedup);
+    json.Add("group_agg",
+             {{"batch_size", static_cast<double>(bs)}, {"parallelism", 1}},
+             us / 1e3, rps);
+  }
+
+  // ---- Section 2: external merge sort vs in-memory sort ----
+  Database sort_db;
+  MustExec(&sort_db, "CREATE TABLE s (k INT, payload STRING)");
+  {
+    std::mt19937 rng(23);
+    for (int base = 0; base < kSortRows; base += 500) {
+      std::string sql = "INSERT INTO s VALUES ";
+      for (int i = base; i < base + 500; ++i) {
+        if (i > base) sql += ", ";
+        sql += "(" + std::to_string(static_cast<int>(rng() % 997)) +
+               ", 'payload-" + std::to_string(i) + "-xxxxxxxxxxxxxxxx')";
+      }
+      MustExec(&sort_db, sql);
+    }
+  }
+  MustExec(&sort_db, "ANALYZE");
+  MustExec(&sort_db, "SET parallelism = 1");
+
+  const std::string sort_query = "SELECT k, payload FROM s ORDER BY k";
+
+  MustExec(&sort_db, "SET SORT_MEMORY = DEFAULT");
+  std::vector<Row> sort_reference = MustQuery(&sort_db, sort_query);
+
+  std::printf("\nE13.2: ORDER BY, %d rows, budget %d KB vs unlimited\n",
+              kSortRows, kSortBudgetKb);
+  std::printf("%10s | %10s | %12s | %8s\n", "budget", "us", "rows/s",
+              "slowdown");
+
+  double in_memory_us = 0;
+  double spill_ratio = 0;
+  for (int budget_kb : {0, kSortBudgetKb}) {  // 0 = unlimited
+    MustExec(&sort_db, budget_kb == 0
+                           ? "SET SORT_MEMORY = DEFAULT"
+                           : "SET SORT_MEMORY = " + std::to_string(budget_kb) +
+                                 " KB");
+    // Spilled output must be byte-identical to the in-memory stable sort
+    // (run-index tie-breaking), not just set-equal.
+    if (MustQuery(&sort_db, sort_query) != sort_reference) {
+      std::fprintf(stderr, "FATAL: sort output differs at budget %d KB\n",
+                   budget_kb);
+      return 1;
+    }
+    double us = MinUs([&] { MustQuery(&sort_db, sort_query); }, 5);
+    if (budget_kb == 0) in_memory_us = us;
+    double ratio = us / in_memory_us;
+    if (budget_kb != 0) spill_ratio = ratio;
+    double rps = static_cast<double>(kSortRows) / (us / 1e6);
+    std::printf("%10s | %10.0f | %12.0f | %7.2fx\n",
+                budget_kb == 0 ? "unlimited"
+                               : (std::to_string(budget_kb) + " KB").c_str(),
+                us, rps, ratio);
+    json.Add("external_sort", {{"budget_kb", static_cast<double>(budget_kb)}},
+             us / 1e3, rps);
+  }
+
+  std::printf("\nShape check: identical results in both sections; vectorized "
+              "agg speedup = %.2fx (target >= 1.5x), spilled sort slowdown = "
+              "%.2fx (target <= 5x).\n",
+              agg_speedup, spill_ratio);
+  json.Flush();
+  return (agg_speedup >= 1.5 && spill_ratio <= 5.0) ? 0 : 1;
+}

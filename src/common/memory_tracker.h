@@ -1,0 +1,91 @@
+#ifndef STARBURST_COMMON_MEMORY_TRACKER_H_
+#define STARBURST_COMMON_MEMORY_TRACKER_H_
+
+#include <atomic>
+#include <cstdint>
+
+namespace starburst {
+
+/// Byte accounting for a memory-governed consumer (a blocking operator's
+/// build buffer, or the whole query). Trackers form a chain: an operator
+/// tracker reserves against itself *and* its parent (the query-level
+/// tracker on the ExecContext), so one operator blowing through the query
+/// budget makes every sibling start spilling too.
+///
+/// Counters are atomic because parallel pipeline clones share the query
+/// tracker and reserve concurrently. Budget 0 means unlimited: the
+/// tracker still counts (peak() feeds EXPLAIN ANALYZE) but over_budget()
+/// never fires.
+///
+/// Reservations are estimates (Row::MemoryBytes), not allocator truth —
+/// the point is a spill trigger and an observable peak, not rlimits.
+class MemoryTracker {
+ public:
+  MemoryTracker() = default;
+  explicit MemoryTracker(uint64_t budget_bytes, MemoryTracker* parent = nullptr)
+      : budget_(budget_bytes), parent_(parent) {}
+
+  MemoryTracker(const MemoryTracker&) = delete;
+  MemoryTracker& operator=(const MemoryTracker&) = delete;
+
+  /// Rebinds budget/parent (an operator reuses its tracker across
+  /// re-Opens). Does not touch used/peak; call Reset() for that.
+  void Configure(uint64_t budget_bytes, MemoryTracker* parent) {
+    budget_ = budget_bytes;
+    parent_ = parent;
+  }
+
+  uint64_t budget() const { return budget_; }
+  uint64_t used() const { return used_.load(std::memory_order_relaxed); }
+  uint64_t peak() const { return peak_.load(std::memory_order_relaxed); }
+
+  /// Counts `bytes` here and up the parent chain, unconditionally. Pair
+  /// with over_budget(): blocking operators reserve first, then spill
+  /// when the ledger tips — a single row larger than the whole budget
+  /// must still be admissible.
+  void Reserve(uint64_t bytes) {
+    for (MemoryTracker* t = this; t != nullptr; t = t->parent_) {
+      uint64_t now =
+          t->used_.fetch_add(bytes, std::memory_order_relaxed) + bytes;
+      uint64_t peak = t->peak_.load(std::memory_order_relaxed);
+      while (now > peak && !t->peak_.compare_exchange_weak(
+                               peak, now, std::memory_order_relaxed)) {
+      }
+    }
+  }
+
+  void Release(uint64_t bytes) {
+    for (MemoryTracker* t = this; t != nullptr; t = t->parent_) {
+      t->used_.fetch_sub(bytes, std::memory_order_relaxed);
+    }
+  }
+
+  /// True when this tracker or any ancestor with a budget is past it.
+  bool over_budget() const {
+    for (const MemoryTracker* t = this; t != nullptr; t = t->parent_) {
+      if (t->budget_ > 0 &&
+          t->used_.load(std::memory_order_relaxed) > t->budget_) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+  /// Forgets this tracker's usage (releasing it from ancestors too) and
+  /// clears the local peak. For operator Close/re-Open.
+  void Reset() {
+    uint64_t mine = used_.exchange(0, std::memory_order_relaxed);
+    if (parent_ != nullptr && mine > 0) parent_->Release(mine);
+    peak_.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  uint64_t budget_ = 0;  // 0 = unlimited
+  MemoryTracker* parent_ = nullptr;
+  std::atomic<uint64_t> used_{0};
+  std::atomic<uint64_t> peak_{0};
+};
+
+}  // namespace starburst
+
+#endif  // STARBURST_COMMON_MEMORY_TRACKER_H_

@@ -29,6 +29,13 @@ size_t Row::Hash() const {
   return h;
 }
 
+size_t Row::MemoryBytes() const {
+  size_t bytes = sizeof(Row) +
+                 (values_.capacity() - values_.size()) * sizeof(Value);
+  for (const Value& v : values_) bytes += v.MemoryBytes();
+  return bytes;
+}
+
 std::string Row::ToString() const {
   std::string out = "(";
   for (size_t i = 0; i < values_.size(); ++i) {

@@ -41,6 +41,10 @@ class Row {
 
   size_t Hash() const;
 
+  /// Approximate resident bytes: the value vector plus heap payloads.
+  /// Feeds MemoryTracker reservations in blocking operators.
+  size_t MemoryBytes() const;
+
   /// "(1, 'a', NULL)"
   std::string ToString() const;
 

@@ -115,6 +115,26 @@ size_t Value::Hash() const {
   return 0;
 }
 
+size_t Value::MemoryBytes() const {
+  size_t bytes = sizeof(Value);
+  switch (type_id()) {
+    case TypeId::kString: {
+      const std::string& s = string_value();
+      // SSO strings keep their payload inside sizeof(Value).
+      if (s.capacity() > sizeof(std::string)) bytes += s.capacity();
+      break;
+    }
+    case TypeId::kExtension: {
+      const Ext& e = ext_value();
+      bytes += e.type_name.capacity() + e.payload.capacity();
+      break;
+    }
+    default:
+      break;
+  }
+  return bytes;
+}
+
 std::string Value::ToString() const {
   switch (type_id()) {
     case TypeId::kNull: return "NULL";

@@ -67,6 +67,10 @@ class Value {
 
   size_t Hash() const;
 
+  /// Approximate resident bytes of this value, heap payloads included.
+  /// Feeds MemoryTracker reservations — an estimate, not allocator truth.
+  size_t MemoryBytes() const;
+
   /// Display form: NULL, TRUE, 42, 1.5, 'text', or the extension renderer.
   std::string ToString() const;
 

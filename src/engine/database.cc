@@ -158,6 +158,28 @@ Result<ResultSet> Database::RunSet(const ast::SetStatement& stmt) {
     options_.exec.batch_size = n;
     return ResultSet::Message("SET BATCH_SIZE = " + std::to_string(n));
   }
+  // Memory-governance knobs (bytes; parser accepts KB/MB/GB suffixes).
+  // 0 and DEFAULT both mean unlimited.
+  auto memory_knob = [&](const char* name,
+                         uint64_t* slot) -> Result<ResultSet> {
+    if (!stmt.is_default && stmt.value < 0) {
+      return Status::SemanticError(std::string(name) + " must be >= 0");
+    }
+    uint64_t bytes =
+        stmt.is_default ? 0 : static_cast<uint64_t>(stmt.value);
+    *slot = bytes;
+    return ResultSet::Message("SET " + std::string(name) + " = " +
+                              std::to_string(bytes));
+  };
+  if (stmt.name == "SORT_MEMORY") {
+    return memory_knob("SORT_MEMORY", &options_.exec.sort_memory_bytes);
+  }
+  if (stmt.name == "AGG_MEMORY") {
+    return memory_knob("AGG_MEMORY", &options_.exec.agg_memory_bytes);
+  }
+  if (stmt.name == "QUERY_MEMORY") {
+    return memory_knob("QUERY_MEMORY", &options_.exec.query_memory_bytes);
+  }
   return Status::SemanticError("unknown session option '" + stmt.name + "'");
 }
 
@@ -233,6 +255,8 @@ Result<Database::QueryOutput> Database::RunQueryPipeline(
   refine_options.parallel_min_rows = options_.exec.parallel_min_rows;
   refine_options.batch_size =
       options_.exec.batch_size == 0 ? 1 : options_.exec.batch_size;
+  refine_options.sort_memory_bytes = options_.exec.sort_memory_bytes;
+  refine_options.agg_memory_bytes = options_.exec.agg_memory_bytes;
   exec::PlanRefiner refiner(&catalog_, &opt.box_plans(), refine_options);
   STARBURST_ASSIGN_OR_RETURN(exec::OperatorPtr root, refiner.Refine(plan));
   if (graph->limit >= 0) {
@@ -257,6 +281,7 @@ Result<Database::QueryOutput> Database::RunQueryPipeline(
   StorageEngine::Stats storage_before = storage_.GatherStats();
   exec::ExecContext ctx(&storage_, &catalog_);
   ctx.set_batch_size(refine_options.batch_size);
+  ctx.set_query_memory_budget(options_.exec.query_memory_bytes);
   STARBURST_RETURN_IF_ERROR(root->Open(&ctx));
   size_t reserve_hint = plan->props.cardinality > 0
                             ? static_cast<size_t>(plan->props.cardinality)

@@ -1,8 +1,14 @@
-#include <map>
+#include <algorithm>
+#include <array>
+#include <cstdint>
+#include <deque>
 #include <set>
 #include <unordered_map>
+#include <utility>
 
+#include "common/memory_tracker.h"
 #include "exec/operators.h"
+#include "storage/spill_file.h"
 
 namespace starburst::exec {
 
@@ -14,88 +20,248 @@ struct ValueTotalLess {
   }
 };
 
-/// Hash aggregation. With zero group keys there is exactly one group —
-/// even over empty input (SQL scalar-aggregate semantics).
+/// Grouping equality must match the old ordered map's RowTotalLess
+/// semantics (numerics inter-compare, NULLs group together). Value::Hash
+/// already hashes integral doubles like the equal int, so pairing it with
+/// CompareTotal equality is a consistent unordered_map configuration.
+struct RowTotalEq {
+  bool operator()(const Row& a, const Row& b) const {
+    return a.CompareTotal(b) == 0;
+  }
+};
+
+/// Depth-salted partition hash (splitmix64 finalizer) over the *group
+/// key*, so every row of one group lands in one partition and an
+/// overflowing partition redistributes at the next depth.
+size_t AggPartitionHash(const Row& key, int depth) {
+  uint64_t x = key.Hash() +
+               0x9e3779b97f4a7c15ULL * static_cast<uint64_t>(depth + 1);
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ULL;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebULL;
+  x ^= x >> 31;
+  return static_cast<size_t>(x);
+}
+
+/// Vectorized hash aggregation with grace-partitioned overflow. The
+/// probe/insert loop runs per input batch (correlation params folded once
+/// per batch, the key row built into a reused scratch) against an
+/// unordered map. Past the memory budget the table freezes: resident
+/// groups keep absorbing their rows, rows for *new* keys spill whole to
+/// hash partitions on temp storage. Frozen-set keys and partition keys
+/// are disjoint by construction — and partitions are mutually disjoint —
+/// so each partition re-aggregates independently after the input drains,
+/// with no partial-state merge; a partition that itself overflows
+/// re-partitions at depth+1 under a re-salted hash.
+///
+/// Output comes in waves (the resident table, then each partition), every
+/// wave sorted by group key — so the unspilled path emits exactly the
+/// order the previous std::map-based operator did. With zero group keys
+/// there is exactly one (resident, never spilled) group — even over empty
+/// input (SQL scalar-aggregate semantics).
 class GroupAggOp : public Operator {
  public:
   GroupAggOp(OperatorPtr input, std::vector<CompiledExprPtr> group_keys,
-             std::vector<AggSpec> aggregates, std::vector<GroupHeadItem> head)
+             std::vector<AggSpec> aggregates, std::vector<GroupHeadItem> head,
+             uint64_t budget)
       : input_(std::move(input)), group_keys_(std::move(group_keys)),
-        aggregates_(std::move(aggregates)), head_(std::move(head)) {}
+        aggregates_(std::move(aggregates)), head_(std::move(head)),
+        budget_(budget) {}
+
+  static constexpr size_t kPartitions = 16;
+  /// Each aggregation level admits at least one new group before
+  /// freezing, so depth only grows on pathological budgets; past the cap
+  /// we stop governing rather than thrash.
+  static constexpr int kMaxDepth = 32;
+  /// Rough per-group cost beyond the key payload: table node, state
+  /// vectors, one aggregate-state object per spec.
+  static constexpr uint64_t kGroupOverhead = 64;
+  static constexpr uint64_t kPerAggOverhead = 48;
 
   Status OpenImpl(ExecContext* ctx) override {
     ctx_ = ctx;
+    DropState();
+    tracker_.Configure(budget_, ctx->query_memory());
+    batch_size_ = ctx->batch_size();
+    if (group_keys_.empty()) {
+      groups_.emplace(Row(), NewGroupState());
+    }
+    STARBURST_RETURN_IF_ERROR(input_->Open(ctx));
+    Status built = BuildFromInput();
+    input_->Close();
+    if (!built.ok()) return built;
+    STARBURST_RETURN_IF_ERROR(QueuePartitions(&partitions_, 1));
+    StatPeakMemory(tracker_.peak());
+    return FinalizeGroups();
+  }
+
+  Result<bool> NextImpl(Row* row) override {
+    while (true) {
+      if (pos_ < results_.size()) {
+        *row = results_[pos_++];
+        ++ctx_->stats().rows_emitted;
+        return true;
+      }
+      if (pending_.empty()) return false;
+      STARBURST_RETURN_IF_ERROR(ProcessNextPartition());
+    }
+  }
+
+  Result<bool> NextBatchImpl(RowBatch* batch) override {
+    while (true) {
+      size_t before = pos_;
+      if (FillBatchFromRows(results_, &pos_, batch)) {
+        ctx_->stats().rows_emitted += pos_ - before;
+        return true;
+      }
+      if (pending_.empty()) return false;
+      STARBURST_RETURN_IF_ERROR(ProcessNextPartition());
+    }
+  }
+
+  void CloseImpl() override { DropState(); }
+
+ private:
+  struct GroupState {
+    std::vector<std::unique_ptr<AggregateState>> states;
+    // DISTINCT aggregates buffer their input set first.
+    std::vector<std::set<Value, ValueTotalLess>> distinct_inputs;
+  };
+  using GroupMap = std::unordered_map<Row, GroupState, RowHash, RowTotalEq>;
+  struct Pending {
+    std::unique_ptr<SpillFile> file;
+    int depth = 0;
+  };
+  using Parts = std::array<std::unique_ptr<SpillFile>, kPartitions>;
+
+  void DropState() {
+    groups_.clear();
     results_.clear();
     pos_ = 0;
+    for (auto& p : partitions_) p.reset();
+    pending_.clear();
+    frozen_ = false;
+    tracker_.Reset();
+  }
 
-    struct GroupState {
-      std::vector<std::unique_ptr<AggregateState>> states;
-      // DISTINCT aggregates buffer their input set first.
-      std::vector<std::set<Value, ValueTotalLess>> distinct_inputs;
-    };
-    std::map<Row, GroupState, RowTotalLess> groups;
-
-    auto new_group_state = [&]() {
-      GroupState state;
-      for (const AggSpec& spec : aggregates_) {
-        state.states.push_back(spec.def->make_state());
-        state.distinct_inputs.emplace_back();
-      }
-      return state;
-    };
-
-    if (group_keys_.empty()) {
-      groups.emplace(Row(), new_group_state());
+  GroupState NewGroupState() {
+    GroupState state;
+    for (const AggSpec& spec : aggregates_) {
+      state.states.push_back(spec.def->make_state());
+      state.distinct_inputs.emplace_back();
     }
+    return state;
+  }
 
-    STARBURST_RETURN_IF_ERROR(input_->Open(ctx));
-    RowBatch in_batch(ctx->batch_size());
+  /// Evaluates the group-key exprs for one input row into the reused
+  /// scratch key.
+  Status BuildKey(const Row& in, Row* key) {
+    std::vector<Value>& vals = key->values();
+    vals.clear();
+    vals.reserve(group_keys_.size());
+    for (const CompiledExprPtr& k : group_keys_) {
+      STARBURST_ASSIGN_OR_RETURN(Value v, k->Eval(in, ctx_));
+      vals.push_back(std::move(v));
+    }
+    return Status::OK();
+  }
+
+  Status AccumulateRow(const Row& in, GroupState* group) {
+    for (size_t a = 0; a < aggregates_.size(); ++a) {
+      Value v = Value::Int(1);  // COUNT(*) counts every row
+      if (aggregates_[a].arg != nullptr) {
+        STARBURST_ASSIGN_OR_RETURN(v, aggregates_[a].arg->Eval(in, ctx_));
+      }
+      if (aggregates_[a].distinct) {
+        if (!v.is_null()) {
+          uint64_t bytes = v.MemoryBytes();
+          if (group->distinct_inputs[a].insert(std::move(v)).second) {
+            tracker_.Reserve(bytes);
+          }
+        }
+      } else {
+        STARBURST_RETURN_IF_ERROR(group->states[a]->Accumulate(v));
+      }
+    }
+    return Status::OK();
+  }
+
+  /// The batched build loop: fold correlation params once per batch, then
+  /// probe/insert each row's key against the group table.
+  Status BuildFromInput() {
+    RowBatch batch(batch_size_);
     while (true) {
-      STARBURST_ASSIGN_OR_RETURN(bool more, input_->NextBatch(&in_batch));
-      if (!more) break;
-      // Group keys and aggregate args can reference correlation params
-      // (dependent aggregate subqueries) — fold them once per batch.
+      STARBURST_ASSIGN_OR_RETURN(bool more, input_->NextBatch(&batch));
+      if (!more) return Status::OK();
       ScopedParamFold fold;
       for (const CompiledExprPtr& k : group_keys_) {
-        STARBURST_RETURN_IF_ERROR(fold.Add(k.get(), ctx));
+        STARBURST_RETURN_IF_ERROR(fold.Add(k.get(), ctx_));
       }
       for (const AggSpec& spec : aggregates_) {
         if (spec.arg != nullptr) {
-          STARBURST_RETURN_IF_ERROR(fold.Add(spec.arg.get(), ctx));
+          STARBURST_RETURN_IF_ERROR(fold.Add(spec.arg.get(), ctx_));
         }
       }
-      size_t n = in_batch.size();
+      size_t n = batch.size();
       for (size_t bi = 0; bi < n; ++bi) {
-        const Row& in = in_batch.row(bi);
-        std::vector<Value> key_values;
-        key_values.reserve(group_keys_.size());
-        for (const CompiledExprPtr& k : group_keys_) {
-          STARBURST_ASSIGN_OR_RETURN(Value v, k->Eval(in, ctx));
-          key_values.push_back(std::move(v));
-        }
-        Row key(std::move(key_values));
-        auto it = groups.find(key);
-        if (it == groups.end()) {
-          it = groups.emplace(std::move(key), new_group_state()).first;
-        }
-        GroupState& group = it->second;
-        for (size_t a = 0; a < aggregates_.size(); ++a) {
-          Value v = Value::Int(1);  // COUNT(*) counts every row
-          if (aggregates_[a].arg != nullptr) {
-            STARBURST_ASSIGN_OR_RETURN(v, aggregates_[a].arg->Eval(in, ctx));
+        const Row& in = batch.row(bi);
+        STARBURST_RETURN_IF_ERROR(BuildKey(in, &key_scratch_));
+        auto it = groups_.find(key_scratch_);
+        if (it == groups_.end()) {
+          if (frozen_) {
+            STARBURST_RETURN_IF_ERROR(
+                SpillInputRow(in, key_scratch_, 0, &partitions_));
+            continue;
           }
-          if (aggregates_[a].distinct) {
-            if (!v.is_null()) group.distinct_inputs[a].insert(std::move(v));
-          } else {
-            STARBURST_RETURN_IF_ERROR(group.states[a]->Accumulate(v));
-          }
+          tracker_.Reserve(key_scratch_.MemoryBytes() + kGroupOverhead +
+                           aggregates_.size() * kPerAggOverhead);
+          it = groups_.emplace(std::move(key_scratch_), NewGroupState()).first;
+          if (tracker_.over_budget()) frozen_ = true;
         }
+        STARBURST_RETURN_IF_ERROR(AccumulateRow(in, &it->second));
       }
     }
-    input_->Close();
+  }
 
-    // Finalize each group into its output row, per the head mapping.
-    for (auto& [key, group] : groups) {
+  Status SpillInputRow(const Row& in, const Row& key, int depth,
+                       Parts* parts) {
+    auto& slot = (*parts)[AggPartitionHash(key, depth) % kPartitions];
+    if (slot == nullptr) {
+      STARBURST_ASSIGN_OR_RETURN(slot, SpillFile::Create());
+    }
+    return slot->AppendRow(in);
+  }
+
+  Status QueuePartitions(Parts* parts, int depth) {
+    for (auto& p : *parts) {
+      if (p == nullptr) continue;
+      STARBURST_RETURN_IF_ERROR(p->Finish());
+      StatSpill(1, p->bytes_written());
+      pending_.push_back(Pending{std::move(p), depth});
+    }
+    return Status::OK();
+  }
+
+  /// Drains the group table into the emission buffer, sorted by group key
+  /// (the order the std::map-based operator produced), and releases its
+  /// memory reservation.
+  Status FinalizeGroups() {
+    std::vector<std::pair<Row, GroupState>> items;
+    items.reserve(groups_.size());
+    while (!groups_.empty()) {
+      auto node = groups_.extract(groups_.begin());
+      items.emplace_back(std::move(node.key()), std::move(node.mapped()));
+    }
+    std::sort(items.begin(), items.end(),
+              [](const std::pair<Row, GroupState>& a,
+                 const std::pair<Row, GroupState>& b) {
+                return a.first.CompareTotal(b.first) < 0;
+              });
+    results_.clear();
+    pos_ = 0;
+    results_.reserve(items.size());
+    for (auto& [key, group] : items) {
       std::vector<Value> agg_values;
       for (size_t a = 0; a < aggregates_.size(); ++a) {
         if (aggregates_[a].distinct) {
@@ -117,31 +283,66 @@ class GroupAggOp : public Operator {
       }
       results_.push_back(Row(std::move(out)));
     }
+    tracker_.Reset();
     return Status::OK();
   }
 
-  Result<bool> NextImpl(Row* row) override {
-    if (pos_ >= results_.size()) return false;
-    *row = results_[pos_++];
-    ++ctx_->stats().rows_emitted;
-    return true;
+  /// Re-aggregates one spilled partition into the next emission wave.
+  /// Correlation params cannot change within one Open, so re-folding and
+  /// re-evaluating the key/arg exprs over spilled rows is sound.
+  Status ProcessNextPartition() {
+    Pending part = std::move(pending_.front());
+    pending_.pop_front();
+    STARBURST_ASSIGN_OR_RETURN(std::unique_ptr<SpillFile::Reader> reader,
+                               part.file->OpenReader());
+    ScopedParamFold fold;
+    for (const CompiledExprPtr& k : group_keys_) {
+      STARBURST_RETURN_IF_ERROR(fold.Add(k.get(), ctx_));
+    }
+    for (const AggSpec& spec : aggregates_) {
+      if (spec.arg != nullptr) {
+        STARBURST_RETURN_IF_ERROR(fold.Add(spec.arg.get(), ctx_));
+      }
+    }
+    Parts subs;
+    bool frozen = false;
+    Row in;
+    while (true) {
+      STARBURST_ASSIGN_OR_RETURN(bool more, reader->NextRow(&in));
+      if (!more) break;
+      STARBURST_RETURN_IF_ERROR(BuildKey(in, &key_scratch_));
+      auto it = groups_.find(key_scratch_);
+      if (it == groups_.end()) {
+        if (frozen) {
+          STARBURST_RETURN_IF_ERROR(
+              SpillInputRow(in, key_scratch_, part.depth, &subs));
+          continue;
+        }
+        tracker_.Reserve(key_scratch_.MemoryBytes() + kGroupOverhead +
+                         aggregates_.size() * kPerAggOverhead);
+        it = groups_.emplace(std::move(key_scratch_), NewGroupState()).first;
+        if (tracker_.over_budget() && part.depth < kMaxDepth) frozen = true;
+      }
+      STARBURST_RETURN_IF_ERROR(AccumulateRow(in, &it->second));
+    }
+    STARBURST_RETURN_IF_ERROR(QueuePartitions(&subs, part.depth + 1));
+    StatPeakMemory(tracker_.peak());
+    return FinalizeGroups();
   }
 
-  Result<bool> NextBatchImpl(RowBatch* batch) override {
-    size_t before = pos_;
-    bool any = FillBatchFromRows(results_, &pos_, batch);
-    ctx_->stats().rows_emitted += pos_ - before;
-    return any;
-  }
-
-  void CloseImpl() override { results_.clear(); }
-
- private:
   OperatorPtr input_;
   std::vector<CompiledExprPtr> group_keys_;
   std::vector<AggSpec> aggregates_;
   std::vector<GroupHeadItem> head_;
+  uint64_t budget_;
+  MemoryTracker tracker_;
+  size_t batch_size_ = RowBatch::kDefaultCapacity;
   ExecContext* ctx_ = nullptr;
+  GroupMap groups_;
+  Row key_scratch_;  // reused per-row key build
+  bool frozen_ = false;
+  Parts partitions_;
+  std::deque<Pending> pending_;
   std::vector<Row> results_;
   size_t pos_ = 0;
 };
@@ -151,9 +352,11 @@ class GroupAggOp : public Operator {
 OperatorPtr MakeGroupAggOp(OperatorPtr input,
                            std::vector<CompiledExprPtr> group_keys,
                            std::vector<AggSpec> aggregates,
-                           std::vector<GroupHeadItem> head) {
+                           std::vector<GroupHeadItem> head,
+                           uint64_t memory_budget_bytes) {
   return std::make_unique<GroupAggOp>(std::move(input), std::move(group_keys),
-                                      std::move(aggregates), std::move(head));
+                                      std::move(aggregates), std::move(head),
+                                      memory_budget_bytes);
 }
 
 }  // namespace starburst::exec

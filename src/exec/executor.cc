@@ -27,6 +27,8 @@ Result<std::vector<Row>> Executor::Execute(const optimizer::PlanPtr& plan,
   refine_options.parallelism = options.parallelism == 0 ? 1 : options.parallelism;
   refine_options.parallel_min_rows = options.parallel_min_rows;
   refine_options.batch_size = options.batch_size == 0 ? 1 : options.batch_size;
+  refine_options.sort_memory_bytes = options.sort_memory_bytes;
+  refine_options.agg_memory_bytes = options.agg_memory_bytes;
   PlanRefiner refiner(catalog_, &optimizer.box_plans(), refine_options);
   STARBURST_ASSIGN_OR_RETURN(OperatorPtr root, refiner.Refine(plan));
   if (graph.limit >= 0) {
@@ -41,6 +43,7 @@ Result<std::vector<Row>> Executor::Execute(const optimizer::PlanPtr& plan,
 
   ExecContext ctx(storage_, catalog_);
   ctx.set_batch_size(refine_options.batch_size);
+  ctx.set_query_memory_budget(options.query_memory_bytes);
   STARBURST_RETURN_IF_ERROR(root->Open(&ctx));
   double est = plan->props.cardinality;
   size_t reserve_hint = est > 0 ? static_cast<size_t>(est) : 0;

@@ -24,6 +24,15 @@ class Executor {
     /// Rows per NextBatch call (SET BATCH_SIZE; 1 pins exact
     /// row-at-a-time behavior for differential testing).
     size_t batch_size = RowBatch::kDefaultCapacity;
+    /// Per-operator build budgets (bytes, 0 = unlimited): past them a
+    /// sort cuts spilled runs and an aggregation/DISTINCT grace-
+    /// partitions new keys to temp storage (SET SORT_MEMORY /
+    /// SET AGG_MEMORY).
+    uint64_t sort_memory_bytes = 0;
+    uint64_t agg_memory_bytes = 0;
+    /// Query-wide cap over every governed operator's sum
+    /// (SET QUERY_MEMORY; 0 = unlimited).
+    uint64_t query_memory_bytes = 0;
 
     static size_t DefaultParallelism();
   };

@@ -54,10 +54,18 @@ OperatorPtr MakeOrRouteOp(OperatorPtr input,
 OperatorPtr MakeProjectOp(OperatorPtr input,
                           std::vector<CompiledExprPtr> exprs);
 
+/// `memory_budget_bytes` caps the in-memory build (0 = unlimited): past
+/// it, the sort writes stable-sorted runs to spill files and streams a
+/// k-way merge back; the merge tie-breaks equal keys by run order, so
+/// spilled output is byte-identical to the in-memory stable sort.
 OperatorPtr MakeSortOp(OperatorPtr input,
-                       std::vector<std::pair<size_t, bool>> keys);
+                       std::vector<std::pair<size_t, bool>> keys,
+                       uint64_t memory_budget_bytes = 0);
 
-OperatorPtr MakeDistinctOp(OperatorPtr input);
+/// Past the budget the seen-set freezes and unseen rows grace-partition
+/// to spill files, deduplicated per partition after the input drains.
+OperatorPtr MakeDistinctOp(OperatorPtr input,
+                           uint64_t memory_budget_bytes = 0);
 
 OperatorPtr MakeTempOp(OperatorPtr input);
 /// Shared materialization: all operators created with the same key read
@@ -113,10 +121,15 @@ struct GroupHeadItem {
   size_t index = 0;
 };
 
+/// Past the budget the group table freezes: resident groups keep
+/// absorbing rows, new keys grace-partition to spill files and are
+/// aggregated partition-at-a-time after the input drains (partition key
+/// sets are disjoint from the resident set, so no partial-state merge).
 OperatorPtr MakeGroupAggOp(OperatorPtr input,
                            std::vector<CompiledExprPtr> group_keys,
                            std::vector<AggSpec> aggregates,
-                           std::vector<GroupHeadItem> head);
+                           std::vector<GroupHeadItem> head,
+                           uint64_t memory_budget_bytes = 0);
 
 OperatorPtr MakeSetOpOp(OperatorPtr left, OperatorPtr right,
                         ast::SetOpKind op, bool all);

@@ -381,12 +381,13 @@ Result<OperatorPtr> PlanRefiner::BuildOp(const Plan& plan) {
 
     case Lolepop::kSort: {
       STARBURST_ASSIGN_OR_RETURN(OperatorPtr input, Build(*plan.inputs[0]));
-      return MakeSortOp(std::move(input), plan.sort_keys);
+      return MakeSortOp(std::move(input), plan.sort_keys,
+                        options_.sort_memory_bytes);
     }
 
     case Lolepop::kDistinct: {
       STARBURST_ASSIGN_OR_RETURN(OperatorPtr input, Build(*plan.inputs[0]));
-      return MakeDistinctOp(std::move(input));
+      return MakeDistinctOp(std::move(input), options_.agg_memory_bytes);
     }
 
     case Lolepop::kTemp: {
@@ -617,7 +618,7 @@ Result<OperatorPtr> PlanRefiner::BuildGroupAggOver(const Plan& plan,
     head.push_back(item);
   }
   return MakeGroupAggOp(std::move(input), std::move(keys), std::move(aggs),
-                        std::move(head));
+                        std::move(head), options_.agg_memory_bytes);
 }
 
 }  // namespace starburst::exec

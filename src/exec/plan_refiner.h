@@ -57,6 +57,12 @@ class PlanRefiner {
     /// (Executor / Database) installs this on the ExecContext before
     /// opening the refined tree. 1 pins exact row-at-a-time behavior.
     size_t batch_size = RowBatch::kDefaultCapacity;
+    /// Build budgets (bytes, 0 = unlimited) handed to the blocking
+    /// operators: sorts spill runs past sort_memory_bytes; aggregations
+    /// and DISTINCT grace-partition past agg_memory_bytes. The query-
+    /// wide cap lives on the ExecContext, not here.
+    uint64_t sort_memory_bytes = 0;
+    uint64_t agg_memory_bytes = 0;
   };
 
   PlanRefiner(const Catalog* catalog,

@@ -24,13 +24,18 @@ class RecurseOp : public Operator {
     seen_.clear();
     pos_ = 0;
 
+    // One staging batch and one produced-rows buffer serve every fixpoint
+    // iteration — a deep recursion re-drains the step hundreds of times
+    // and must not rebuild its batch (or regrow a vector) per round.
+    RowBatch scratch(ctx->batch_size());
+    std::vector<Row> produced;
+
     STARBURST_RETURN_IF_ERROR(base_->Open(ctx));
-    STARBURST_ASSIGN_OR_RETURN(
-        std::vector<Row> base_rows,
-        DrainOperator(base_.get(), ctx->batch_size()));
+    Status drained = DrainOperatorInto(base_.get(), &scratch, &produced);
     base_->Close();
+    STARBURST_RETURN_IF_ERROR(drained);
     std::vector<Row> delta;
-    for (Row& r : base_rows) {
+    for (Row& r : produced) {
       if (seen_.insert(r).second) {
         working_.push_back(r);
         delta.push_back(std::move(r));
@@ -47,14 +52,14 @@ class RecurseOp : public Operator {
       const std::vector<Row>& visible = semi_naive_ ? delta : working_;
       ctx->SetIterationTable(recursion_, &visible);
       STARBURST_RETURN_IF_ERROR(step_->Open(ctx));
-      Result<std::vector<Row>> produced =
-          DrainOperator(step_.get(), ctx->batch_size());
+      produced.clear();
+      drained = DrainOperatorInto(step_.get(), &scratch, &produced);
       step_->Close();
       ctx->SetIterationTable(recursion_, nullptr);
-      if (!produced.ok()) return produced.status();
+      STARBURST_RETURN_IF_ERROR(drained);
 
       std::vector<Row> next_delta;
-      for (Row& r : *produced) {
+      for (Row& r : produced) {
         if (seen_.insert(r).second) {
           working_.push_back(r);
           next_delta.push_back(std::move(r));

@@ -38,25 +38,31 @@ class SetOpOp : public Operator {
     std::unordered_map<Row, Counts, RowHash> counts;
     size_t order = 0;
 
-    STARBURST_RETURN_IF_ERROR(left_->Open(ctx));
-    Row row;
-    while (true) {
-      STARBURST_ASSIGN_OR_RETURN(bool more, left_->Next(&row));
-      if (!more) break;
-      auto [it, inserted] = counts.emplace(row, Counts{});
-      if (inserted) it->second.first_seen = order++;
-      ++it->second.left;
-    }
-    left_->Close();
-    STARBURST_RETURN_IF_ERROR(right_->Open(ctx));
-    while (true) {
-      STARBURST_ASSIGN_OR_RETURN(bool more, right_->Next(&row));
-      if (!more) break;
-      auto [it, inserted] = counts.emplace(row, Counts{});
-      if (inserted) it->second.first_seen = order++;
-      ++it->second.right;
-    }
-    right_->Close();
+    // Both sides drain through NextBatch so batch-native subtrees keep
+    // their vectorized path; the count table absorbs rows by move.
+    RowBatch batch(ctx->batch_size());
+    auto drain_side = [&](Operator* side, bool is_left) -> Status {
+      STARBURST_RETURN_IF_ERROR(side->Open(ctx));
+      while (true) {
+        Result<bool> more = side->NextBatch(&batch);
+        if (!more.ok()) {
+          side->Close();
+          return more.status();
+        }
+        if (!*more) break;
+        size_t n = batch.size();
+        for (size_t i = 0; i < n; ++i) {
+          auto [it, inserted] = counts.emplace(std::move(batch.row(i)),
+                                               Counts{});
+          if (inserted) it->second.first_seen = order++;
+          ++(is_left ? it->second.left : it->second.right);
+        }
+      }
+      side->Close();
+      return Status::OK();
+    };
+    STARBURST_RETURN_IF_ERROR(drain_side(left_.get(), true));
+    STARBURST_RETURN_IF_ERROR(drain_side(right_.get(), false));
 
     std::vector<std::pair<size_t, std::pair<Row, size_t>>> ordered;
     for (auto& [r, c] : counts) {

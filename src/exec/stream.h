@@ -7,6 +7,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/memory_tracker.h"
 #include "common/result.h"
 #include "common/row.h"
 #include "common/row_batch.h"
@@ -61,6 +62,15 @@ class ExecContext {
   /// operators size their staging batches when opened.
   size_t batch_size() const { return batch_size_; }
   void set_batch_size(size_t n) { batch_size_ = n == 0 ? 1 : n; }
+
+  /// Query-level memory governor: every blocking operator parents its own
+  /// tracker here, so `SET query_memory` caps their *sum* — one operator
+  /// over-consuming forces the others to spill. Budget 0 = unlimited
+  /// (still counts, for observability). Set before Open.
+  MemoryTracker* query_memory() { return &query_memory_; }
+  void set_query_memory_budget(uint64_t bytes) {
+    query_memory_.Configure(bytes, nullptr);
+  }
 
   /// Correlation frames. A dependent join or subquery invocation pushes a
   /// frame of (quantifier, column) -> value before (re)opening the inner
@@ -127,6 +137,7 @@ class ExecContext {
   std::unordered_map<const qgm::Box*, const std::vector<Row>*>
       iteration_tables_;
   std::unordered_map<const void*, std::vector<Row>> shared_tables_;
+  MemoryTracker query_memory_;
   ExecStats stats_;
 };
 
@@ -203,6 +214,22 @@ class Operator {
   /// by row-at-a-time consumers like dependent nested-loop joins).
   virtual Result<bool> NextBatchImpl(RowBatch* batch);
   virtual void CloseImpl() = 0;
+
+  /// Spill/memory accounting hooks for blocking operators; no-ops when no
+  /// stats sink is attached, so governed operators call them
+  /// unconditionally.
+  void StatSpill(uint64_t runs, uint64_t bytes) {
+    if (stats_ == nullptr) return;
+    stats_->spill_runs.fetch_add(runs, std::memory_order_relaxed);
+    stats_->spill_bytes.fetch_add(bytes, std::memory_order_relaxed);
+  }
+  void StatPeakMemory(uint64_t bytes) {
+    if (stats_ == nullptr) return;
+    uint64_t prev = stats_->peak_memory_bytes.load(std::memory_order_relaxed);
+    while (prev < bytes && !stats_->peak_memory_bytes.compare_exchange_weak(
+                               prev, bytes, std::memory_order_relaxed)) {
+    }
+  }
 
  private:
   Status OpenTimed(ExecContext* ctx);

@@ -61,10 +61,20 @@ void RenderNode(const PlanStatsTree::Node& node, int indent, bool with_actuals,
                     static_cast<unsigned long long>(node.actual.rows_out),
                     static_cast<double>(node.actual.wall_us),
                     static_cast<unsigned long long>(node.actual.opens));
+      *out << buf;
+      if (node.actual.peak_memory_bytes > 0 || node.actual.spill_runs > 0) {
+        std::snprintf(
+            buf, sizeof(buf),
+            " (mem peak=%.1fKiB spill runs=%llu spilled=%.1fKiB)",
+            static_cast<double>(node.actual.peak_memory_bytes) / 1024.0,
+            static_cast<unsigned long long>(node.actual.spill_runs),
+            static_cast<double>(node.actual.spill_bytes) / 1024.0);
+        *out << buf;
+      }
     } else {
       std::snprintf(buf, sizeof(buf), " (actual: never executed)");
+      *out << buf;
     }
-    *out << buf;
   }
   *out << "\n";
   for (const PlanStatsTree::Node* child : node.children) {

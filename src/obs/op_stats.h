@@ -22,6 +22,14 @@ struct OperatorStats {
   std::atomic<uint64_t> next_calls{0};
   std::atomic<uint64_t> rows_out{0};
   std::atomic<double> wall_us{0};
+  /// Memory-governed blocking operators (sort, aggregation, distinct)
+  /// additionally report their spill activity and high-water memory mark:
+  /// runs/partitions written to temp storage, bytes written, and the peak
+  /// tracked reservation. Zero spill_runs with nonzero peak_memory_bytes
+  /// means the operator stayed within budget.
+  std::atomic<uint64_t> spill_runs{0};
+  std::atomic<uint64_t> spill_bytes{0};
+  std::atomic<uint64_t> peak_memory_bytes{0};
 };
 
 /// The refined plan tree annotated with estimates (from the optimizer's

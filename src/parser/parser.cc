@@ -195,6 +195,17 @@ Result<ast::StatementPtr> Parser::ParseStatementInner() {
       STARBURST_ASSIGN_OR_RETURN(Token value,
                                  Expect(TokenKind::kIntLiteral, "integer"));
       stmt->value = negative ? -value.int_value : value.int_value;
+      // Optional byte-unit suffix for the memory knobs:
+      // SET SORT_MEMORY = 64 KB.
+      int64_t unit = 1;
+      if (MatchKeyword("K") || MatchKeyword("KB")) {
+        unit = 1024;
+      } else if (MatchKeyword("M") || MatchKeyword("MB")) {
+        unit = 1024 * 1024;
+      } else if (MatchKeyword("G") || MatchKeyword("GB")) {
+        unit = 1024 * 1024 * 1024;
+      }
+      stmt->value *= unit;
     }
     return ast::StatementPtr(std::move(stmt));
   }

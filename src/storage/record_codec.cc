@@ -34,6 +34,12 @@ Result<uint64_t> GetU64(const uint8_t* data, size_t len, size_t* pos) {
 
 std::string VarRecordCodec::Encode(const Row& row) {
   std::string out;
+  EncodeTo(row, &out);
+  return out;
+}
+
+void VarRecordCodec::EncodeTo(const Row& row, std::string* out_str) {
+  std::string& out = *out_str;
   PutU32(&out, static_cast<uint32_t>(row.size()));
   for (const Value& v : row.values()) {
     out.push_back(static_cast<char>(v.type_id()));
@@ -67,7 +73,6 @@ std::string VarRecordCodec::Encode(const Row& row) {
       }
     }
   }
-  return out;
 }
 
 Result<Row> VarRecordCodec::Decode(const std::string& bytes) {

@@ -14,6 +14,9 @@ namespace starburst {
 class VarRecordCodec {
  public:
   static std::string Encode(const Row& row);
+  /// Appends the encoding to `out` (buffer reused across rows by callers
+  /// on allocation-sensitive paths like spill writers).
+  static void EncodeTo(const Row& row, std::string* out);
   static Result<Row> Decode(const std::string& bytes);
   static Result<Row> Decode(const uint8_t* data, size_t len);
   /// Decodes into an existing row, reusing its value-vector capacity —

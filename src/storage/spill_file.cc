@@ -1,0 +1,134 @@
+#include "storage/spill_file.h"
+
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+
+#include "storage/record_codec.h"
+
+namespace starburst {
+
+namespace {
+
+std::atomic<uint64_t> g_live_count{0};
+std::atomic<uint64_t> g_live_bytes{0};
+
+std::string SpillDir() {
+  const char* dir = std::getenv("STARBURST_SPILL_DIR");
+  if (dir != nullptr && dir[0] != '\0') return dir;
+  const char* tmp = std::getenv("TMPDIR");
+  if (tmp != nullptr && tmp[0] != '\0') return tmp;
+  return "/tmp";
+}
+
+}  // namespace
+
+Result<std::unique_ptr<SpillFile>> SpillFile::Create() {
+  std::string path = SpillDir();
+  if (!path.empty() && path.back() != '/') path += '/';
+  path += "starburst-spill-XXXXXX";
+  int fd = ::mkstemp(path.data());
+  if (fd < 0) {
+    return Status::Internal("cannot create spill file in '" + path +
+                            "': " + std::strerror(errno));
+  }
+  std::FILE* f = ::fdopen(fd, "w+b");
+  if (f == nullptr) {
+    ::close(fd);
+    ::unlink(path.c_str());
+    return Status::Internal("cannot open spill file stream: " +
+                            std::string(std::strerror(errno)));
+  }
+  g_live_count.fetch_add(1, std::memory_order_relaxed);
+  return std::unique_ptr<SpillFile>(new SpillFile(std::move(path), f));
+}
+
+SpillFile::~SpillFile() {
+  if (file_ != nullptr) std::fclose(file_);
+  ::unlink(path_.c_str());
+  g_live_count.fetch_sub(1, std::memory_order_relaxed);
+  g_live_bytes.fetch_sub(bytes_written_, std::memory_order_relaxed);
+}
+
+uint64_t SpillFile::live_count() {
+  return g_live_count.load(std::memory_order_relaxed);
+}
+
+uint64_t SpillFile::live_bytes() {
+  return g_live_bytes.load(std::memory_order_relaxed);
+}
+
+Status SpillFile::AppendRow(const Row& row) {
+  encode_scratch_.clear();
+  VarRecordCodec::EncodeTo(row, &encode_scratch_);
+  uint32_t len = static_cast<uint32_t>(encode_scratch_.size());
+  if (std::fwrite(&len, sizeof(len), 1, file_) != 1 ||
+      (len > 0 &&
+       std::fwrite(encode_scratch_.data(), 1, len, file_) != len)) {
+    return Status::Internal("spill write failed (disk full?)");
+  }
+  ++rows_written_;
+  bytes_written_ += sizeof(len) + len;
+  g_live_bytes.fetch_add(sizeof(len) + len, std::memory_order_relaxed);
+  return Status::OK();
+}
+
+Status SpillFile::AppendBatch(const RowBatch& batch) {
+  size_t n = batch.size();
+  for (size_t i = 0; i < n; ++i) {
+    STARBURST_RETURN_IF_ERROR(AppendRow(batch.row(i)));
+  }
+  return Status::OK();
+}
+
+Status SpillFile::Finish() {
+  if (std::fflush(file_) != 0) {
+    return Status::Internal("spill flush failed (disk full?)");
+  }
+  return Status::OK();
+}
+
+Result<std::unique_ptr<SpillFile::Reader>> SpillFile::OpenReader() const {
+  std::FILE* f = std::fopen(path_.c_str(), "rb");
+  if (f == nullptr) {
+    return Status::Internal("cannot reopen spill file '" + path_ +
+                            "': " + std::strerror(errno));
+  }
+  return std::unique_ptr<Reader>(new Reader(f));
+}
+
+SpillFile::Reader::~Reader() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+Result<bool> SpillFile::Reader::NextRow(Row* row) {
+  uint32_t len = 0;
+  size_t got = std::fread(&len, 1, sizeof(len), file_);
+  if (got == 0) return false;  // clean end of file
+  if (got != sizeof(len)) {
+    return Status::Internal("spill read: truncated row header");
+  }
+  scratch_.resize(len);
+  if (len > 0 && std::fread(scratch_.data(), 1, len, file_) != len) {
+    return Status::Internal("spill read: truncated row payload");
+  }
+  STARBURST_RETURN_IF_ERROR(VarRecordCodec::DecodeInto(
+      reinterpret_cast<const uint8_t*>(scratch_.data()), len, row));
+  return true;
+}
+
+Result<bool> SpillFile::Reader::NextBatch(RowBatch* batch) {
+  while (!batch->full()) {
+    Row* slot = batch->AppendSlot();
+    STARBURST_ASSIGN_OR_RETURN(bool more, NextRow(slot));
+    if (!more) {
+      batch->PopLast();
+      break;
+    }
+  }
+  return !batch->empty();
+}
+
+}  // namespace starburst

@@ -1,0 +1,92 @@
+#ifndef STARBURST_STORAGE_SPILL_FILE_H_
+#define STARBURST_STORAGE_SPILL_FILE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "common/result.h"
+#include "common/row.h"
+#include "common/row_batch.h"
+
+namespace starburst {
+
+/// An append-only temporary file of encoded rows — the spill substrate
+/// blocking operators (external sort runs, grace-partition buckets) write
+/// batch-at-a-time and stream back sequentially. Rows are framed as
+/// `u32 length + VarRecordCodec payload`.
+///
+/// Lifecycle: Create() makes a unique file in the spill directory
+/// (`$STARBURST_SPILL_DIR`, else the system temp dir); the destructor
+/// closes and unlinks it. Ownership therefore IS the cleanup contract:
+/// operators hold their spill files in members, so Close()/destruction —
+/// including the error and cancel paths — removes the bytes from disk.
+/// live_count()/live_bytes() expose the outstanding file population for
+/// leak regression tests.
+class SpillFile {
+ public:
+  static Result<std::unique_ptr<SpillFile>> Create();
+
+  ~SpillFile();
+  SpillFile(const SpillFile&) = delete;
+  SpillFile& operator=(const SpillFile&) = delete;
+
+  /// Spill files alive process-wide (created, not yet destroyed).
+  static uint64_t live_count();
+  /// Bytes written to files currently alive.
+  static uint64_t live_bytes();
+
+  Status AppendRow(const Row& row);
+  /// Appends every active row of `batch` (the batch-at-a-time write path).
+  Status AppendBatch(const RowBatch& batch);
+
+  uint64_t rows_written() const { return rows_written_; }
+  uint64_t bytes_written() const { return bytes_written_; }
+
+  /// Flushes buffered writes; call before opening readers. Appending
+  /// after Finish is allowed (partition files interleave with reads of
+  /// sibling partitions), but requires another Finish before new readers
+  /// see the tail.
+  Status Finish();
+
+  /// Sequential scan over the rows of one spill file. Each reader owns an
+  /// independent descriptor, so a k-way merge holds k readers over k run
+  /// files concurrently. The parent SpillFile must outlive its readers.
+  class Reader {
+   public:
+    ~Reader();
+    Reader(const Reader&) = delete;
+    Reader& operator=(const Reader&) = delete;
+
+    /// False at end of file.
+    Result<bool> NextRow(Row* row);
+    /// Fills `batch` (cleared by the caller) up to its fill limit; false
+    /// at end of file with no rows staged.
+    Result<bool> NextBatch(RowBatch* batch);
+
+   private:
+    friend class SpillFile;
+    explicit Reader(std::FILE* f) : file_(f) {}
+
+    std::FILE* file_;
+    std::string scratch_;  // payload buffer reused across rows
+  };
+
+  Result<std::unique_ptr<Reader>> OpenReader() const;
+
+ private:
+  SpillFile(std::string path, std::FILE* file)
+      : path_(std::move(path)), file_(file) {}
+
+  std::string path_;
+  std::FILE* file_;
+  uint64_t rows_written_ = 0;
+  uint64_t bytes_written_ = 0;
+  std::string encode_scratch_;  // row encoding buffer reused across appends
+};
+
+}  // namespace starburst
+
+#endif  // STARBURST_STORAGE_SPILL_FILE_H_

@@ -1,0 +1,363 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/memory_tracker.h"
+#include "engine/database.h"
+#include "obs/op_stats.h"
+#include "storage/spill_file.h"
+
+namespace starburst {
+namespace {
+
+// ---------------------------------------------------------------------------
+// MemoryTracker
+// ---------------------------------------------------------------------------
+
+TEST(MemoryTrackerTest, ReserveReleasePeakAndBudget) {
+  MemoryTracker t(100, nullptr);
+  EXPECT_FALSE(t.over_budget());
+  t.Reserve(60);
+  EXPECT_EQ(t.used(), 60u);
+  EXPECT_EQ(t.peak(), 60u);
+  EXPECT_FALSE(t.over_budget());
+  t.Reserve(60);
+  EXPECT_TRUE(t.over_budget());  // 120 > 100
+  EXPECT_EQ(t.peak(), 120u);
+  t.Release(100);
+  EXPECT_EQ(t.used(), 20u);
+  EXPECT_FALSE(t.over_budget());
+  EXPECT_EQ(t.peak(), 120u);  // high-water mark sticks
+  t.Reset();
+  EXPECT_EQ(t.used(), 0u);
+  EXPECT_EQ(t.peak(), 0u);
+}
+
+TEST(MemoryTrackerTest, UnlimitedStillCounts) {
+  MemoryTracker t;  // budget 0 = unlimited
+  t.Reserve(1 << 30);
+  EXPECT_FALSE(t.over_budget());
+  EXPECT_EQ(t.peak(), static_cast<uint64_t>(1 << 30));
+}
+
+TEST(MemoryTrackerTest, ParentChainGoverns) {
+  // The query tracker caps the *sum* of its children: a child with no
+  // budget of its own still reports over_budget when the parent tips.
+  MemoryTracker query(100, nullptr);
+  MemoryTracker op_a(0, &query);
+  MemoryTracker op_b(0, &query);
+  op_a.Reserve(70);
+  op_b.Reserve(70);
+  EXPECT_TRUE(op_a.over_budget());
+  EXPECT_TRUE(op_b.over_budget());
+  EXPECT_EQ(query.used(), 140u);
+  op_a.Reset();  // releases its share from the parent
+  EXPECT_EQ(query.used(), 70u);
+  EXPECT_FALSE(op_b.over_budget());
+}
+
+// ---------------------------------------------------------------------------
+// SpillFile
+// ---------------------------------------------------------------------------
+
+Row MixedRow(int64_t i) {
+  return Row({Value::Int(i), Value::String("payload-" + std::to_string(i)),
+              i % 3 == 0 ? Value::Null() : Value::Double(i * 0.5)});
+}
+
+TEST(SpillFileTest, RoundTripsRowsAndBatches) {
+  uint64_t live_before = SpillFile::live_count();
+  {
+    Result<std::unique_ptr<SpillFile>> created = SpillFile::Create();
+    ASSERT_TRUE(created.ok()) << created.status().ToString();
+    std::unique_ptr<SpillFile> file = created.TakeValue();
+    EXPECT_EQ(SpillFile::live_count(), live_before + 1);
+
+    RowBatch batch(4);
+    for (int64_t i = 0; i < 3; ++i) *batch.AppendSlot() = MixedRow(i);
+    ASSERT_TRUE(file->AppendBatch(batch).ok());
+    ASSERT_TRUE(file->AppendRow(MixedRow(3)).ok());
+    ASSERT_TRUE(file->Finish().ok());
+    EXPECT_EQ(file->rows_written(), 4u);
+    EXPECT_GT(file->bytes_written(), 0u);
+
+    // Two independent readers must both see the full sequence.
+    for (int pass = 0; pass < 2; ++pass) {
+      Result<std::unique_ptr<SpillFile::Reader>> r = file->OpenReader();
+      ASSERT_TRUE(r.ok());
+      Row row;
+      for (int64_t i = 0; i < 4; ++i) {
+        Result<bool> more = (*r)->NextRow(&row);
+        ASSERT_TRUE(more.ok() && *more);
+        EXPECT_EQ(row, MixedRow(i));
+      }
+      Result<bool> end = (*r)->NextRow(&row);
+      ASSERT_TRUE(end.ok());
+      EXPECT_FALSE(*end);
+    }
+  }
+  // Destruction unlinks: the cleanup contract spill consumers rely on.
+  EXPECT_EQ(SpillFile::live_count(), live_before);
+}
+
+TEST(SpillFileTest, BatchReaderHonoursFillLimit) {
+  Result<std::unique_ptr<SpillFile>> created = SpillFile::Create();
+  ASSERT_TRUE(created.ok());
+  std::unique_ptr<SpillFile> file = created.TakeValue();
+  for (int64_t i = 0; i < 10; ++i) {
+    ASSERT_TRUE(file->AppendRow(MixedRow(i)).ok());
+  }
+  ASSERT_TRUE(file->Finish().ok());
+  Result<std::unique_ptr<SpillFile::Reader>> r = file->OpenReader();
+  ASSERT_TRUE(r.ok());
+  RowBatch batch(4);
+  size_t seen = 0;
+  while (true) {
+    batch.Clear();
+    Result<bool> more = (*r)->NextBatch(&batch);
+    ASSERT_TRUE(more.ok());
+    if (!*more) break;
+    ASSERT_LE(batch.size(), 4u);
+    for (size_t i = 0; i < batch.size(); ++i) {
+      EXPECT_EQ(batch.row(i), MixedRow(static_cast<int64_t>(seen + i)));
+    }
+    seen += batch.size();
+  }
+  EXPECT_EQ(seen, 10u);
+}
+
+// ---------------------------------------------------------------------------
+// Differential corpus: serial == batched == spilled
+// ---------------------------------------------------------------------------
+
+class SpillQueryTest : public ::testing::Test {
+ protected:
+  static constexpr int kRows = 12000;
+
+  void SetUp() override {
+    ASSERT_TRUE(
+        db_.Execute("CREATE TABLE t (id INT, k INT, grp INT, payload STRING)")
+            .ok());
+    // Duplicate sort keys (k cycles mod 53), periodic NULL keys, and a
+    // payload that records insertion order — enough bulk that a 64 KiB
+    // budget is over 10x oversubscribed.
+    std::string insert;
+    for (int i = 0; i < kRows; ++i) {
+      if (insert.empty()) {
+        insert = "INSERT INTO t VALUES ";
+      } else {
+        insert += ",";
+      }
+      std::string k = i % 97 == 0 ? "NULL" : std::to_string(i % 53);
+      insert += "(" + std::to_string(i) + "," + k + "," +
+                std::to_string(i % 400) + ",'pay-" + std::to_string(i) +
+                "-xxxxxxxxxxxxxxxx')";
+      if (insert.size() > 30000 || i == kRows - 1) {
+        ASSERT_TRUE(db_.Execute(insert).ok());
+        insert.clear();
+      }
+    }
+  }
+
+  std::vector<Row> Q(const std::string& sql) {
+    Result<std::vector<Row>> rows = db_.Query(sql);
+    EXPECT_TRUE(rows.ok()) << sql << ": " << rows.status().ToString();
+    return rows.ok() ? rows.TakeValue() : std::vector<Row>{};
+  }
+
+  void Set(const std::string& stmt) {
+    Result<ResultSet> rs = db_.Execute(stmt);
+    ASSERT_TRUE(rs.ok()) << stmt << ": " << rs.status().ToString();
+  }
+
+  static std::vector<Row> Sorted(std::vector<Row> rows) {
+    std::sort(rows.begin(), rows.end(), RowTotalLess{});
+    return rows;
+  }
+
+  // Sums spill counters over the last EXPLAIN ANALYZE's stats tree.
+  void SumSpill(uint64_t* runs, uint64_t* bytes, uint64_t* peak) {
+    *runs = *bytes = *peak = 0;
+    std::shared_ptr<const obs::PlanStatsTree> tree =
+        db_.last_metrics().op_stats;
+    ASSERT_NE(tree, nullptr);
+    std::vector<const obs::PlanStatsTree::Node*> stack(tree->roots().begin(),
+                                                       tree->roots().end());
+    while (!stack.empty()) {
+      const obs::PlanStatsTree::Node* node = stack.back();
+      stack.pop_back();
+      *runs += node->actual.spill_runs.load();
+      *bytes += node->actual.spill_bytes.load();
+      *peak += node->actual.peak_memory_bytes.load();
+      stack.insert(stack.end(), node->children.begin(), node->children.end());
+    }
+  }
+
+  Database db_;
+};
+
+TEST_F(SpillQueryTest, OrderByIsDeterministicAcrossBudgets) {
+  // Serial reference: unlimited in-memory stable sort.
+  Set("SET PARALLELISM = 1");
+  Set("SET SORT_MEMORY = DEFAULT");
+  const std::string query = "SELECT k, payload FROM t ORDER BY k";
+  std::vector<Row> reference = Q(query);
+  ASSERT_EQ(reference.size(), static_cast<size_t>(kRows));
+  // NULL keys sort first.
+  EXPECT_TRUE(reference[0][0].is_null());
+
+  for (const char* budget : {"64 KB", "1 MB"}) {
+    Set(std::string("SET SORT_MEMORY = ") + budget);
+    // Spilled runs merge back to the byte-identical sequence — same
+    // tie-breaking for duplicate keys, same NULL placement.
+    EXPECT_EQ(Q(query), reference) << "budget " << budget;
+  }
+  Set("SET SORT_MEMORY = DEFAULT");
+}
+
+TEST_F(SpillQueryTest, DifferentialCorpusAcrossBudgetsAndParallelism) {
+  const char* queries[] = {
+      "SELECT k, payload FROM t ORDER BY k",
+      "SELECT grp, COUNT(*), SUM(k) FROM t GROUP BY grp",
+      "SELECT DISTINCT k, grp FROM t",
+  };
+  Set("SET PARALLELISM = 1");
+  Set("SET SORT_MEMORY = DEFAULT");
+  Set("SET AGG_MEMORY = DEFAULT");
+  std::vector<std::vector<Row>> reference;
+  for (const char* q : queries) reference.push_back(Sorted(Q(q)));
+  ASSERT_EQ(reference[1].size(), 400u);
+
+  for (const char* budget : {"64 KB", "1 MB", "DEFAULT"}) {
+    for (int parallelism : {1, 4}) {
+      Set(std::string("SET SORT_MEMORY = ") + budget);
+      Set(std::string("SET AGG_MEMORY = ") + budget);
+      Set("SET PARALLELISM = " + std::to_string(parallelism));
+      for (size_t qi = 0; qi < 3; ++qi) {
+        EXPECT_EQ(Sorted(Q(queries[qi])), reference[qi])
+            << queries[qi] << " budget=" << budget
+            << " parallelism=" << parallelism;
+      }
+    }
+  }
+}
+
+TEST_F(SpillQueryTest, BatchSizeOneMatchesVectorized) {
+  Set("SET PARALLELISM = 1");
+  Set("SET SORT_MEMORY = 64 KB");
+  Set("SET AGG_MEMORY = 64 KB");
+  const std::string sort_q = "SELECT k, payload FROM t ORDER BY k";
+  const std::string agg_q =
+      "SELECT grp, COUNT(*), SUM(k) FROM t GROUP BY grp";
+  std::vector<Row> sort_ref = Q(sort_q);
+  std::vector<Row> agg_ref = Sorted(Q(agg_q));
+  Set("SET BATCH_SIZE = 1");
+  EXPECT_EQ(Q(sort_q), sort_ref);  // exact order, row-at-a-time
+  EXPECT_EQ(Sorted(Q(agg_q)), agg_ref);
+  Set("SET BATCH_SIZE = DEFAULT");
+}
+
+TEST_F(SpillQueryTest, QueryMemoryBudgetForcesSpill) {
+  // Operator budgets stay unlimited; the query-wide cap alone must
+  // trigger spilling, visible through the operator stats.
+  Set("SET PARALLELISM = 1");
+  Set("SET QUERY_MEMORY = 64 KB");
+  std::vector<Row> rows = Q("SELECT k, payload FROM t ORDER BY k");
+  ASSERT_EQ(rows.size(), static_cast<size_t>(kRows));
+  Set("SET QUERY_MEMORY = DEFAULT");
+  Set("SET SORT_MEMORY = DEFAULT");
+
+  ASSERT_TRUE(
+      db_.Execute("EXPLAIN ANALYZE SELECT k FROM t ORDER BY k").ok());
+  // With everything unlimited again, no spill is reported...
+  uint64_t runs = 0, bytes = 0, peak = 0;
+  SumSpill(&runs, &bytes, &peak);
+  EXPECT_EQ(runs, 0u);
+  EXPECT_GT(peak, 0u);  // ...but the peak reservation is still tracked.
+
+  Set("SET QUERY_MEMORY = 64 KB");
+  ASSERT_TRUE(
+      db_.Execute("EXPLAIN ANALYZE SELECT k FROM t ORDER BY k").ok());
+  SumSpill(&runs, &bytes, &peak);
+  EXPECT_GT(runs, 0u);
+  EXPECT_GT(bytes, 0u);
+  Set("SET QUERY_MEMORY = DEFAULT");
+}
+
+TEST_F(SpillQueryTest, ExplainAnalyzeShowsSpillColumns) {
+  Set("SET PARALLELISM = 1");
+  Set("SET SORT_MEMORY = 64 KB");
+  Set("SET AGG_MEMORY = 64 KB");
+  Result<ResultSet> rs = db_.Execute(
+      "EXPLAIN ANALYZE SELECT grp, COUNT(*) FROM t GROUP BY grp "
+      "ORDER BY grp");
+  ASSERT_TRUE(rs.ok()) << rs.status().ToString();
+  std::string text;
+  for (const Row& r : rs->rows()) text += r[0].string_value() + "\n";
+  EXPECT_NE(text.find("mem peak="), std::string::npos) << text;
+  EXPECT_NE(text.find("spill runs="), std::string::npos) << text;
+  EXPECT_NE(text.find("spilled="), std::string::npos) << text;
+  EXPECT_EQ(text.find("spill runs=0"), std::string::npos) << text;
+  // A spilling operator must report its true high-water mark, not the
+  // post-spill residue (the run-cut path resets the tracker).
+  EXPECT_EQ(text.find("mem peak=0.0KiB"), std::string::npos) << text;
+  Set("SET SORT_MEMORY = DEFAULT");
+  Set("SET AGG_MEMORY = DEFAULT");
+}
+
+// ---------------------------------------------------------------------------
+// Cleanup on error / cancel
+// ---------------------------------------------------------------------------
+
+TEST_F(SpillQueryTest, SpillFilesUnlinkedOnQueryError) {
+  Set("SET PARALLELISM = 1");
+  Set("SET SORT_MEMORY = 64 KB");
+  uint64_t live_before = SpillFile::live_count();
+  // The projected expression divides by zero near the end of the input,
+  // long after the sort build has cut spill runs: the error must unwind
+  // through Close and unlink every temp file.
+  Result<std::vector<Row>> rows = db_.Query(
+      "SELECT k, payload, 100 / (id - 11000) FROM t ORDER BY k");
+  EXPECT_FALSE(rows.ok());
+  EXPECT_EQ(SpillFile::live_count(), live_before);
+  Set("SET SORT_MEMORY = DEFAULT");
+}
+
+TEST_F(SpillQueryTest, SpillFilesUnlinkedOnEarlyLimitClose) {
+  Set("SET PARALLELISM = 1");
+  Set("SET SORT_MEMORY = 64 KB");
+  uint64_t live_before = SpillFile::live_count();
+  // LIMIT abandons the merge mid-stream: the sort still holds open runs
+  // and readers when the tree closes.
+  std::vector<Row> rows = Q("SELECT k, payload FROM t ORDER BY k LIMIT 5");
+  EXPECT_EQ(rows.size(), 5u);
+  EXPECT_EQ(SpillFile::live_count(), live_before);
+  Set("SET SORT_MEMORY = DEFAULT");
+}
+
+// ---------------------------------------------------------------------------
+// Knob parsing
+// ---------------------------------------------------------------------------
+
+TEST(SpillKnobTest, MemoryKnobsParseUnitsAndDefault) {
+  Database db;
+  Result<ResultSet> rs = db.Execute("SET SORT_MEMORY = 64 KB");
+  ASSERT_TRUE(rs.ok());
+  EXPECT_EQ(rs->message(), "SET SORT_MEMORY = 65536");
+  rs = db.Execute("SET AGG_MEMORY = 2 MB");
+  ASSERT_TRUE(rs.ok());
+  EXPECT_EQ(rs->message(), "SET AGG_MEMORY = 2097152");
+  rs = db.Execute("SET QUERY_MEMORY = 1 GB");
+  ASSERT_TRUE(rs.ok());
+  EXPECT_EQ(rs->message(), "SET QUERY_MEMORY = 1073741824");
+  rs = db.Execute("SET QUERY_MEMORY = DEFAULT");
+  ASSERT_TRUE(rs.ok());
+  EXPECT_EQ(rs->message(), "SET QUERY_MEMORY = 0");
+  EXPECT_FALSE(db.Execute("SET SORT_MEMORY = -1").ok());
+}
+
+}  // namespace
+}  // namespace starburst
