@@ -44,6 +44,10 @@ int main() {
                  static_cast<uint32_t>(100 + t));
   }
   if (!db.AnalyzeAll().ok()) return 1;
+  // The tracer's phase spans and rule-firing instants live in the
+  // compile half; a plan-cache hit would skip the very code being
+  // measured.
+  MustExec(&db, "SET PLAN_CACHE_SIZE = 0");
 
   // The Figure-1 bench's query shapes: a scan+filter, a 3-way chained
   // join, and the nested (rewrite-exercising) variant.

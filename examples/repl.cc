@@ -6,9 +6,11 @@
 //   ./example_repl            # interactive
 //   ./example_repl < file.sql # batch
 
+#include <cctype>
 #include <cstdio>
 #include <fstream>
 #include <iostream>
+#include <map>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -19,15 +21,82 @@
 using starburst::Database;
 using starburst::Result;
 using starburst::ResultSet;
+using starburst::Value;
 
 namespace {
 
+/// Parses one `\exec` argument into a parameter value: NULL, an integer,
+/// a double, or (with or without surrounding single quotes) a string.
+Value ParseParamValue(const std::string& token) {
+  if (token == "NULL" || token == "null") return Value::Null();
+  if (token.size() >= 2 && token.front() == '\'' && token.back() == '\'') {
+    return Value::String(token.substr(1, token.size() - 2));
+  }
+  try {
+    size_t used = 0;
+    long long i = std::stoll(token, &used);
+    if (used == token.size()) return Value::Int(i);
+    double d = std::stod(token, &used);
+    if (used == token.size()) return Value::Double(d);
+  } catch (...) {
+  }
+  return Value::String(token);
+}
+
+void PrintResult(const ResultSet& result);
+
 /// Handles one meta command (without its leading '\' or '.'); returns
 /// false for \q.
-bool RunMetaCommand(const std::string& cmd, Database* db, bool* timing) {
+bool RunMetaCommand(const std::string& cmd, Database* db, bool* timing,
+                    std::map<std::string, Database::PreparedHandle>* prepared) {
   std::istringstream in(cmd);
   std::string word, arg1, arg2;
-  in >> word >> arg1 >> arg2;
+  in >> word;
+  if (word == "prepare") {
+    // \prepare <name> <SELECT ... with ? markers>
+    in >> arg1;
+    std::string sql;
+    std::getline(in, sql);
+    if (arg1.empty() || sql.find_first_not_of(" \t") == std::string::npos) {
+      std::printf("usage: \\prepare <name> <select statement>\n");
+      return true;
+    }
+    Result<Database::PreparedHandle> handle = db->Prepare(sql);
+    if (!handle.ok()) {
+      std::printf("ERROR: %s\n", handle.status().ToString().c_str());
+      return true;
+    }
+    (*prepared)[arg1] = *handle;
+    std::printf("prepared '%s' (%zu parameter%s)\n", arg1.c_str(),
+                (*handle)->num_params,
+                (*handle)->num_params == 1 ? "" : "s");
+    return true;
+  }
+  if (word == "exec") {
+    // \exec <name> [value ...] — NULL, numbers, and 'strings' bind to
+    // the statement's ? markers in order.
+    in >> arg1;
+    if (arg1.empty()) {
+      std::printf("usage: \\exec <name> [value ...]\n");
+      return true;
+    }
+    auto it = prepared->find(arg1);
+    if (it == prepared->end()) {
+      std::printf("no prepared statement '%s'\n", arg1.c_str());
+      return true;
+    }
+    std::vector<Value> params;
+    std::string token;
+    while (in >> token) params.push_back(ParseParamValue(token));
+    Result<ResultSet> result = db->ExecutePrepared(it->second, params);
+    if (!result.ok()) {
+      std::printf("ERROR: %s\n", result.status().ToString().c_str());
+      return true;
+    }
+    PrintResult(*result);
+    return true;
+  }
+  in >> arg1 >> arg2;
   if (word == "q" || word == "quit") return false;
   if (word == "timing") {
     *timing = !*timing;
@@ -62,12 +131,35 @@ bool RunMetaCommand(const std::string& cmd, Database* db, bool* timing) {
   return true;
 }
 
+void PrintResult(const ResultSet& result) {
+  if (!result.rows().empty() && result.column_names().size() == 1 &&
+      result.column_names()[0] == "plan") {
+    std::printf("%s", result.rows()[0][0].string_value().c_str());
+  } else if (!result.rows().empty() && result.column_names().size() == 1 &&
+             result.column_names()[0] == "EXPLAIN") {
+    // EXPLAIN ANALYZE report: one line per row, rendered verbatim.
+    for (const starburst::Row& r : result.rows()) {
+      std::printf("%s\n", r[0].string_value().c_str());
+    }
+  } else {
+    std::printf("%s", result.ToString().c_str());
+  }
+}
+
 void PrintTimingReport(const Database& db) {
   const starburst::QueryMetrics& m = db.last_metrics();
   std::printf("parse %.0f | bind %.0f | rewrite %.0f | optimize %.0f | "
-              "refine %.0f | execute %.0f (us)\n",
+              "refine %.0f | execute %.0f (us)%s\n",
               m.parse_us, m.bind_us, m.rewrite_us, m.optimize_us,
-              m.refine_us, m.execute_us);
+              m.refine_us, m.execute_us,
+              m.plan_cache_hit ? " [plan cache hit]" : "");
+  std::printf("  plan cache: %llu entries | hits %llu | misses %llu | "
+              "invalidations %llu | evictions %llu\n",
+              static_cast<unsigned long long>(m.plan_cache_entries),
+              static_cast<unsigned long long>(m.plan_cache.hits),
+              static_cast<unsigned long long>(m.plan_cache.misses),
+              static_cast<unsigned long long>(m.plan_cache.invalidations),
+              static_cast<unsigned long long>(m.plan_cache.evictions));
   for (const auto& f : m.rewrite_stats.firings) {
     std::printf("  rule %s box=%s [id=%d] pass=%d\n", f.rule.c_str(),
                 f.box_label.c_str(), f.box_id, f.pass);
@@ -92,10 +184,16 @@ int main() {
   (void)starburst::ext::RegisterAllExtensions(&db);
   bool timing = false;
   bool tty = true;
+  std::map<std::string, Database::PreparedHandle> prepared;
 
-  std::printf("Starburst/Corona shell — Hydrogen statements end with ';'\n"
-              "meta: \\timing toggles phase timings, \\trace on|off|show|"
-              "export <file> drives the tracer, \\q quits\n");
+  std::printf(
+      "Starburst/Corona shell — Hydrogen statements end with ';'\n"
+      "meta: \\timing toggles phase timings (incl. plan-cache counters),\n"
+      "      \\prepare <name> <select with ? markers> compiles once,\n"
+      "      \\exec <name> [value ...] runs it with bound parameters,\n"
+      "      \\trace on|off|show|export <file> drives the tracer, \\q "
+      "quits\n"
+      "SET PLAN_CACHE_SIZE = <n> bounds the plan cache (0 disables)\n");
 
   std::string buffer;
   std::string line;
@@ -105,7 +203,7 @@ int main() {
 
     if (buffer.empty() && !line.empty() &&
         (line[0] == '\\' || line[0] == '.')) {
-      if (!RunMetaCommand(line.substr(1), &db, &timing)) break;
+      if (!RunMetaCommand(line.substr(1), &db, &timing, &prepared)) break;
       continue;
     }
 
@@ -121,18 +219,7 @@ int main() {
       std::printf("ERROR: %s\n", result.status().ToString().c_str());
       continue;
     }
-    if (!result->rows().empty() && result->column_names().size() == 1 &&
-        result->column_names()[0] == "plan") {
-      std::printf("%s", result->rows()[0][0].string_value().c_str());
-    } else if (!result->rows().empty() && result->column_names().size() == 1 &&
-               result->column_names()[0] == "EXPLAIN") {
-      // EXPLAIN ANALYZE report: one line per row, rendered verbatim.
-      for (const starburst::Row& r : result->rows()) {
-        std::printf("%s\n", r[0].string_value().c_str());
-      }
-    } else {
-      std::printf("%s", result->ToString().c_str());
-    }
+    PrintResult(*result);
     if (timing) PrintTimingReport(db);
   }
   return 0;

@@ -24,6 +24,7 @@ Status Catalog::CreateTable(TableDef def) {
     return Status::InvalidArgument("table '" + key + "' has no columns");
   }
   tables_.emplace(key, std::move(def));
+  BumpVersion("T:" + key);
   return Status::OK();
 }
 
@@ -40,6 +41,7 @@ Status Catalog::DropTable(const std::string& name) {
       ++it;
     }
   }
+  BumpVersion("T:" + key);
   return Status::OK();
 }
 
@@ -75,6 +77,7 @@ Status Catalog::CreateView(ViewDef def) {
     return Status::AlreadyExists("table or view '" + key + "' already exists");
   }
   views_.emplace(key, std::move(def));
+  BumpVersion("V:" + key);
   return Status::OK();
 }
 
@@ -82,6 +85,7 @@ Status Catalog::DropView(const std::string& name) {
   if (views_.erase(IdentUpper(name)) == 0) {
     return Status::NotFound("view '" + IdentUpper(name) + "' does not exist");
   }
+  BumpVersion("V:" + IdentUpper(name));
   return Status::OK();
 }
 
@@ -97,6 +101,12 @@ bool Catalog::HasView(const std::string& name) const {
   return views_.count(IdentUpper(name)) > 0;
 }
 
+std::vector<std::string> Catalog::ViewNames() const {
+  std::vector<std::string> names;
+  for (const auto& [name, def] : views_) names.push_back(name);
+  return names;
+}
+
 Status Catalog::CreateIndex(IndexDef def) {
   std::string key = IdentUpper(def.name);
   if (indexes_.count(key)) {
@@ -110,14 +120,23 @@ Status Catalog::CreateIndex(IndexDef def) {
                                    "' in table " + def.table_name);
     }
   }
+  // Attachments change a table's access paths, so plans over the table
+  // (whether or not they use this index) must notice: the bump lands on
+  // the owning table's key.
+  std::string table_key = "T:" + IdentUpper(def.table_name);
   indexes_.emplace(key, std::move(def));
+  BumpVersion(table_key);
   return Status::OK();
 }
 
 Status Catalog::DropIndex(const std::string& name) {
-  if (indexes_.erase(IdentUpper(name)) == 0) {
+  auto it = indexes_.find(IdentUpper(name));
+  if (it == indexes_.end()) {
     return Status::NotFound("index '" + IdentUpper(name) + "' does not exist");
   }
+  std::string table_key = "T:" + IdentUpper(it->second.table_name);
+  indexes_.erase(it);
+  BumpVersion(table_key);
   return Status::OK();
 }
 
@@ -141,6 +160,10 @@ std::vector<const IndexDef*> Catalog::IndexesOnTable(
 Status Catalog::UpdateStats(const std::string& table_name, TableStats stats) {
   STARBURST_ASSIGN_OR_RETURN(TableDef* def, GetMutableTable(table_name));
   def->stats = std::move(stats);
+  // Refreshed statistics change optimizer choices, so cached plans over
+  // the table are stale (ANALYZE invalidates; plain DML does not route
+  // through here).
+  BumpVersion("T:" + IdentUpper(table_name));
   return Status::OK();
 }
 

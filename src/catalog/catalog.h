@@ -72,6 +72,7 @@ class Catalog {
   Status DropView(const std::string& name);
   Result<const ViewDef*> GetView(const std::string& name) const;
   bool HasView(const std::string& name) const;
+  std::vector<std::string> ViewNames() const;
 
   // -- attachments (indexes) --
   Status CreateIndex(IndexDef def);
@@ -83,14 +84,36 @@ class Catalog {
   // -- statistics --
   Status UpdateStats(const std::string& table_name, TableStats stats);
 
+  // -- versioning --
+  /// Monotonic catalog version, bumped by every successful DDL mutation
+  /// and statistics refresh. A plan compiled at version v is trivially
+  /// fresh while version() still equals v.
+  uint64_t version() const { return version_; }
+  /// The version at which the named object last changed (created,
+  /// dropped, attachment added/removed, statistics refreshed). Keys are
+  /// the binder's dependency keys: "T:NAME" / "V:NAME", uppercase. An
+  /// object never touched reports 0; a dropped object keeps reporting its
+  /// drop version, so plans compiled before a re-CREATE notice too.
+  uint64_t ObjectVersion(const std::string& key) const {
+    auto it = object_versions_.find(key);
+    return it == object_versions_.end() ? 0 : it->second;
+  }
+
   FunctionRegistry& functions() { return *functions_; }
   const FunctionRegistry& functions() const { return *functions_; }
 
  private:
+  /// Records that `key` changed in a fresh version.
+  void BumpVersion(const std::string& key) {
+    object_versions_[key] = ++version_;
+  }
+
   std::map<std::string, TableDef> tables_;   // keyed by upper-cased name
   std::map<std::string, ViewDef> views_;
   std::map<std::string, IndexDef> indexes_;
   std::unique_ptr<FunctionRegistry> functions_;
+  uint64_t version_ = 0;
+  std::map<std::string, uint64_t> object_versions_;
 };
 
 }  // namespace starburst

@@ -3,6 +3,7 @@
 #include <chrono>
 #include <set>
 
+#include "exec/expr_eval.h"
 #include "parser/parser.h"
 #include "qgm/binder.h"
 #include "qgm/printer.h"
@@ -50,24 +51,184 @@ Result<ResultSet> Database::Execute(const std::string& sql) {
   obs::Span statement_span(&tracer_, "statement", "query");
   statement_span.AddArg("sql",
                         sql.size() > 120 ? sql.substr(0, 117) + "..." : sql);
+  // Plan-cache fast path: a fresh entry under (normalized SQL, session
+  // knobs) re-executes the compiled operator tree without touching the
+  // parser — the whole compile half of Figure 1 is skipped.
+  std::string cache_key;
+  if (plan_cache_.capacity() > 0) {
+    cache_key = PlanCacheKey(sql);
+    if (PreparedStatementPtr hit = plan_cache_.Lookup(cache_key, catalog_)) {
+      if (hit->num_params > 0) {
+        return Status::InvalidArgument(
+            "statement contains ? parameters; supply values through "
+            "ExecutePrepared");
+      }
+      metrics_.plan_cache_hit = true;
+      STARBURST_ASSIGN_OR_RETURN(QueryOutput out,
+                                 ExecuteCompiled(*hit, nullptr));
+      SnapshotPlanCacheMetrics();
+      return ResultSet(std::move(out.column_names), std::move(out.rows));
+    }
+  }
   obs::Span parse_span(&tracer_, "parse", "phase");
   Timer parse_timer;
   Parser parser(sql);
   STARBURST_ASSIGN_OR_RETURN(ast::StatementPtr stmt, parser.ParseStatement());
   metrics_.parse_us = parse_timer.ElapsedUs();
   parse_span.End();
-  return ExecuteStatement(*stmt);
+  return ExecuteStatement(*stmt, cache_key);
 }
 
 Result<ResultSet> Database::ExecuteScript(const std::string& sql) {
   Parser parser(sql);
   STARBURST_ASSIGN_OR_RETURN(std::vector<ast::StatementPtr> stmts,
                              parser.ParseScript());
+  const std::vector<double>& parse_us = parser.statement_parse_us();
   ResultSet last = ResultSet::Message("empty script");
-  for (const ast::StatementPtr& stmt : stmts) {
-    STARBURST_ASSIGN_OR_RETURN(last, ExecuteStatement(*stmt));
+  for (size_t i = 0; i < stmts.size(); ++i) {
+    // Each statement reports its own metrics: without the reset, phase
+    // timings and exec stats of earlier statements bleed into the
+    // metrics of the last one.
+    metrics_ = QueryMetrics{};
+    metrics_.parse_us = i < parse_us.size() ? parse_us[i] : 0;
+    STARBURST_ASSIGN_OR_RETURN(last, ExecuteStatement(*stmts[i]));
   }
   return last;
+}
+
+Result<Database::PreparedHandle> Database::Prepare(const std::string& sql) {
+  metrics_ = QueryMetrics{};
+  obs::Span statement_span(&tracer_, "prepare", "query");
+  std::string cache_key;
+  if (plan_cache_.capacity() > 0) {
+    cache_key = PlanCacheKey(sql);
+    if (PreparedStatementPtr hit = plan_cache_.Lookup(cache_key, catalog_)) {
+      metrics_.plan_cache_hit = true;
+      SnapshotPlanCacheMetrics();
+      return hit;
+    }
+  }
+  obs::Span parse_span(&tracer_, "parse", "phase");
+  Timer parse_timer;
+  Parser parser(sql);
+  STARBURST_ASSIGN_OR_RETURN(ast::StatementPtr stmt, parser.ParseStatement());
+  metrics_.parse_us = parse_timer.ElapsedUs();
+  parse_span.End();
+  if (stmt->kind != ast::StatementKind::kSelect) {
+    return Status::InvalidArgument("only SELECT statements can be prepared");
+  }
+  const ast::Query& query =
+      *static_cast<const ast::SelectStatement&>(*stmt).query;
+  STARBURST_ASSIGN_OR_RETURN(PreparedStatementPtr ps,
+                             CompileSelect(query, nullptr));
+  ps->sql = sql;
+  if (!cache_key.empty()) {
+    plan_cache_.CountMiss();
+    plan_cache_.Insert(cache_key, ps);
+  }
+  SnapshotPlanCacheMetrics();
+  return ps;
+}
+
+namespace {
+
+/// Swaps in a freshly compiled artifact under an existing handle. Old
+/// execution state is torn down first, top of the reference chain first
+/// (operators → plan → optimizer → graph), so nothing dangles mid-swap.
+void ReplaceCompiled(PreparedStatement& dst, PreparedStatement&& src) {
+  dst.root.reset();
+  dst.stats_tree.reset();
+  dst.plan.reset();
+  dst.optimizer.reset();
+  dst.graph.reset();
+  dst.graph = std::move(src.graph);
+  dst.optimizer = std::move(src.optimizer);
+  dst.plan = std::move(src.plan);
+  dst.stats_tree = std::move(src.stats_tree);
+  dst.root = std::move(src.root);
+  dst.num_params = src.num_params;
+  dst.column_names = std::move(src.column_names);
+  dst.visible_columns = src.visible_columns;
+  dst.hidden_order_columns = src.hidden_order_columns;
+  dst.batch_size = src.batch_size;
+  dst.reserve_hint = src.reserve_hint;
+  dst.plan_cost = src.plan_cost;
+  dst.plan_cardinality = src.plan_cardinality;
+  dst.catalog_version = src.catalog_version;
+  dst.dependencies = std::move(src.dependencies);
+}
+
+}  // namespace
+
+Result<ResultSet> Database::ExecutePrepared(const PreparedHandle& handle,
+                                            const std::vector<Value>& params) {
+  if (handle == nullptr) {
+    return Status::InvalidArgument("null prepared statement handle");
+  }
+  metrics_ = QueryMetrics{};
+  obs::Span statement_span(&tracer_, "statement", "query");
+  PreparedStatement& ps = *handle;
+  if (!ps.FreshAgainst(catalog_)) {
+    // A referenced object changed (DDL or ANALYZE): transparently
+    // recompile in place, so this handle — and any plan-cache entry
+    // sharing it — serves the fresh plan from now on.
+    plan_cache_.CountInvalidation();
+    obs::Span parse_span(&tracer_, "parse", "phase");
+    Timer parse_timer;
+    Parser parser(ps.sql);
+    STARBURST_ASSIGN_OR_RETURN(ast::StatementPtr stmt, parser.ParseStatement());
+    metrics_.parse_us = parse_timer.ElapsedUs();
+    parse_span.End();
+    if (stmt->kind != ast::StatementKind::kSelect) {
+      return Status::Internal("prepared statement is not a SELECT");
+    }
+    const ast::Query& query =
+        *static_cast<const ast::SelectStatement&>(*stmt).query;
+    STARBURST_ASSIGN_OR_RETURN(PreparedStatementPtr fresh,
+                               CompileSelect(query, nullptr));
+    ReplaceCompiled(ps, std::move(*fresh));
+  } else {
+    metrics_.plan_cache_hit = true;
+    plan_cache_.CountHit();
+  }
+  STARBURST_ASSIGN_OR_RETURN(QueryOutput out, ExecuteCompiled(ps, &params));
+  SnapshotPlanCacheMetrics();
+  return ResultSet(std::move(out.column_names), std::move(out.rows));
+}
+
+void Database::SnapshotPlanCacheMetrics() {
+  metrics_.plan_cache = plan_cache_.stats();
+  metrics_.plan_cache_entries = plan_cache_.size();
+}
+
+std::string Database::KnobFingerprint() const {
+  const SessionOptions& o = options_;
+  std::string fp;
+  auto add = [&fp](const std::string& v) {
+    fp += v;
+    fp += ',';
+  };
+  add(std::to_string(o.rewrite_enabled));
+  add(std::to_string(static_cast<int>(o.rewrite.control)));
+  add(std::to_string(static_cast<int>(o.rewrite.search)));
+  add(std::to_string(o.rewrite.budget));
+  add(std::to_string(o.rewrite.seed));
+  add(std::to_string(o.rewrite.paranoid_validation));
+  for (const std::string& c : o.rewrite.enabled_classes) add(c);
+  add(std::to_string(o.optimizer.materialize_shared));
+  add(std::to_string(static_cast<int>(o.exec.cache_mode)));
+  add(std::to_string(o.exec.ship_delay_us));
+  add(std::to_string(o.exec.semi_naive_recursion));
+  add(std::to_string(o.exec.parallelism));
+  add(std::to_string(o.exec.parallel_min_rows));
+  add(std::to_string(o.exec.batch_size));
+  add(std::to_string(o.exec.sort_memory_bytes));
+  add(std::to_string(o.exec.agg_memory_bytes));
+  add(std::to_string(o.exec.query_memory_bytes));
+  // Stats-collecting sessions refine stats-instrumented trees; lean
+  // sessions must not inherit (or shed) that instrumentation via cache.
+  add(std::to_string(o.collect_op_stats));
+  return fp;
 }
 
 Result<std::vector<Row>> Database::Query(const std::string& sql) {
@@ -75,35 +236,26 @@ Result<std::vector<Row>> Database::Query(const std::string& sql) {
   return std::move(rs.mutable_rows());
 }
 
-Result<ResultSet> Database::ExecuteStatement(const ast::Statement& stmt) {
+Result<ResultSet> Database::ExecuteStatement(const ast::Statement& stmt,
+                                             const std::string& cache_key) {
   switch (stmt.kind) {
     case ast::StatementKind::kSelect:
-      return RunSelect(*static_cast<const ast::SelectStatement&>(stmt).query);
+      return RunSelect(*static_cast<const ast::SelectStatement&>(stmt).query,
+                       cache_key);
     case ast::StatementKind::kExplain:
       return RunExplain(static_cast<const ast::ExplainStatement&>(stmt));
     case ast::StatementKind::kCreateTable:
       return RunCreateTable(static_cast<const ast::CreateTableStatement&>(stmt));
-    case ast::StatementKind::kDropTable: {
-      const auto& drop = static_cast<const ast::DropTableStatement&>(stmt);
-      STARBURST_RETURN_IF_ERROR(catalog_.DropTable(drop.name));
-      STARBURST_RETURN_IF_ERROR(storage_.DropTable(drop.name));
-      return ResultSet::Message("DROP TABLE");
-    }
+    case ast::StatementKind::kDropTable:
+      return RunDropTable(static_cast<const ast::DropTableStatement&>(stmt).name);
     case ast::StatementKind::kCreateIndex:
       return RunCreateIndex(static_cast<const ast::CreateIndexStatement&>(stmt));
-    case ast::StatementKind::kDropIndex: {
-      const auto& drop = static_cast<const ast::DropIndexStatement&>(stmt);
-      STARBURST_RETURN_IF_ERROR(catalog_.DropIndex(drop.name));
-      STARBURST_RETURN_IF_ERROR(storage_.DropIndex(drop.name));
-      return ResultSet::Message("DROP INDEX");
-    }
+    case ast::StatementKind::kDropIndex:
+      return RunDropIndex(static_cast<const ast::DropIndexStatement&>(stmt).name);
     case ast::StatementKind::kCreateView:
       return RunCreateView(static_cast<const ast::CreateViewStatement&>(stmt));
-    case ast::StatementKind::kDropView: {
-      const auto& drop = static_cast<const ast::DropViewStatement&>(stmt);
-      STARBURST_RETURN_IF_ERROR(catalog_.DropView(drop.name));
-      return ResultSet::Message("DROP VIEW");
-    }
+    case ast::StatementKind::kDropView:
+      return RunDropView(static_cast<const ast::DropViewStatement&>(stmt).name);
     case ast::StatementKind::kInsert:
       return RunInsert(static_cast<const ast::InsertStatement&>(stmt));
     case ast::StatementKind::kDelete:
@@ -180,6 +332,17 @@ Result<ResultSet> Database::RunSet(const ast::SetStatement& stmt) {
   if (stmt.name == "QUERY_MEMORY") {
     return memory_knob("QUERY_MEMORY", &options_.exec.query_memory_bytes);
   }
+  if (stmt.name == "PLAN_CACHE_SIZE") {
+    // 0 disables plan caching entirely (and clears resident entries);
+    // DEFAULT restores the default capacity.
+    if (!stmt.is_default && stmt.value < 0) {
+      return Status::SemanticError("PLAN_CACHE_SIZE must be >= 0");
+    }
+    size_t n = stmt.is_default ? PlanCache::kDefaultCapacity
+                               : static_cast<size_t>(stmt.value);
+    plan_cache_.set_capacity(n);
+    return ResultSet::Message("SET PLAN_CACHE_SIZE = " + std::to_string(n));
+  }
   return Status::SemanticError("unknown session option '" + stmt.name + "'");
 }
 
@@ -189,20 +352,38 @@ Result<ResultSet> Database::RunSet(const ast::SetStatement& stmt) {
 
 Result<Database::QueryOutput> Database::RunQueryPipeline(
     const ast::Query& query, PipelineCapture* capture) {
+  STARBURST_ASSIGN_OR_RETURN(PreparedStatementPtr ps,
+                             CompileSelect(query, capture));
+  if (capture != nullptr && !capture->execute) return QueryOutput{};
+  return ExecuteCompiled(*ps, nullptr);
+}
+
+Result<PreparedStatementPtr> Database::CompileSelect(const ast::Query& query,
+                                                     PipelineCapture* capture) {
+  auto ps = std::make_shared<PreparedStatement>();
+
   obs::Span bind_span(&tracer_, "bind", "phase");
   Timer bind_timer;
   qgm::Binder binder(&catalog_);
-  STARBURST_ASSIGN_OR_RETURN(std::unique_ptr<qgm::Graph> graph,
-                             binder.BindQuery(query));
+  STARBURST_ASSIGN_OR_RETURN(ps->graph, binder.BindQuery(query));
+  // Freshness contract: the compiled plan is valid while none of the
+  // objects the binder resolved (transitively, through views) changes.
+  for (const std::string& dep : binder.referenced_objects()) {
+    ps->dependencies.emplace_back(dep, catalog_.ObjectVersion(dep));
+  }
+  ps->catalog_version = catalog_.version();
   metrics_.bind_us = bind_timer.ElapsedUs();
   bind_span.End();
+
+  qgm::Graph* graph = ps->graph.get();
+  ps->num_params = graph->num_params;
 
   if (options_.rewrite_enabled) {
     obs::Span rewrite_span(&tracer_, "rewrite", "phase");
     Timer rewrite_timer;
     STARBURST_ASSIGN_OR_RETURN(
         metrics_.rewrite_stats,
-        rule_engine_.Run(graph.get(), &catalog_, options_.rewrite));
+        rule_engine_.Run(graph, &catalog_, options_.rewrite));
     metrics_.rewrite_us = rewrite_timer.ElapsedUs();
     rewrite_span.End();
     // Replay the rule firings into the trace: one provenance log, two
@@ -224,15 +405,20 @@ Result<Database::QueryOutput> Database::RunQueryPipeline(
 
   obs::Span optimize_span(&tracer_, "optimize", "phase");
   Timer optimize_timer;
-  optimizer::Optimizer opt(&catalog_, options_.optimizer);
+  ps->optimizer =
+      std::make_unique<optimizer::Optimizer>(&catalog_, options_.optimizer);
+  optimizer::Optimizer& opt = *ps->optimizer;
   for (const optimizer::Star& star : extra_stars_) {
     STARBURST_RETURN_IF_ERROR(opt.stars().Add(star));
   }
-  STARBURST_ASSIGN_OR_RETURN(optimizer::PlanPtr plan, opt.Optimize(*graph));
+  STARBURST_ASSIGN_OR_RETURN(ps->plan, opt.Optimize(*graph));
+  const optimizer::PlanPtr& plan = ps->plan;
   metrics_.optimize_us = optimize_timer.ElapsedUs();
   metrics_.optimizer_stats = opt.stats();
   metrics_.plan_cost = plan->props.cost;
   metrics_.plan_cardinality = plan->props.cardinality;
+  ps->plan_cost = plan->props.cost;
+  ps->plan_cardinality = plan->props.cardinality;
   optimize_span.End();
   if (capture != nullptr && capture->want_texts) {
     capture->plan_text = plan->ToString();
@@ -240,8 +426,7 @@ Result<Database::QueryOutput> Database::RunQueryPipeline(
 
   bool collect_stats = options_.collect_op_stats ||
                        (capture != nullptr && capture->collect_stats);
-  std::shared_ptr<obs::PlanStatsTree> stats_tree;
-  if (collect_stats) stats_tree = std::make_shared<obs::PlanStatsTree>();
+  if (collect_stats) ps->stats_tree = std::make_shared<obs::PlanStatsTree>();
 
   obs::Span refine_span(&tracer_, "refine", "phase");
   Timer refine_timer;
@@ -249,7 +434,7 @@ Result<Database::QueryOutput> Database::RunQueryPipeline(
   refine_options.cache_mode = options_.exec.cache_mode;
   refine_options.ship_delay_us = options_.exec.ship_delay_us;
   refine_options.semi_naive_recursion = options_.exec.semi_naive_recursion;
-  refine_options.stats = stats_tree.get();
+  refine_options.stats = ps->stats_tree.get();
   refine_options.parallelism =
       options_.exec.parallelism == 0 ? 1 : options_.exec.parallelism;
   refine_options.parallel_min_rows = options_.exec.parallel_min_rows;
@@ -258,37 +443,71 @@ Result<Database::QueryOutput> Database::RunQueryPipeline(
   refine_options.sort_memory_bytes = options_.exec.sort_memory_bytes;
   refine_options.agg_memory_bytes = options_.exec.agg_memory_bytes;
   exec::PlanRefiner refiner(&catalog_, &opt.box_plans(), refine_options);
-  STARBURST_ASSIGN_OR_RETURN(exec::OperatorPtr root, refiner.Refine(plan));
+  STARBURST_ASSIGN_OR_RETURN(ps->root, refiner.Refine(plan));
   if (graph->limit >= 0) {
-    root = exec::MakeLimitOp(std::move(root), graph->limit);
-    if (stats_tree != nullptr) {
-      obs::PlanStatsTree::Node* limit_node = stats_tree->WrapRoot(
+    ps->root = exec::MakeLimitOp(std::move(ps->root), graph->limit);
+    if (ps->stats_tree != nullptr) {
+      obs::PlanStatsTree::Node* limit_node = ps->stats_tree->WrapRoot(
           "LIMIT " + std::to_string(graph->limit), plan->props.cardinality,
           plan->props.cost);
-      root->set_stats(&limit_node->actual);
+      ps->root->set_stats(&limit_node->actual);
     }
   }
   metrics_.refine_us = refine_timer.ElapsedUs();
   refine_span.End();
-  metrics_.op_stats = stats_tree;
+  metrics_.op_stats = ps->stats_tree;
 
-  if (capture != nullptr && !capture->execute) {
-    return QueryOutput{};
+  ps->batch_size = refine_options.batch_size;
+  ps->reserve_hint = plan->props.cardinality > 0
+                         ? static_cast<size_t>(plan->props.cardinality)
+                         : 0;
+  ps->hidden_order_columns = graph->hidden_order_columns;
+  ps->visible_columns =
+      graph->root()->head.size() - graph->hidden_order_columns;
+  for (size_t i = 0; i < ps->visible_columns; ++i) {
+    ps->column_names.push_back(graph->root()->head[i].name);
+  }
+  return ps;
+}
+
+Result<Database::QueryOutput> Database::ExecuteCompiled(
+    PreparedStatement& ps, const std::vector<Value>* params) {
+  size_t given = params == nullptr ? 0 : params->size();
+  if (given != ps.num_params) {
+    return Status::InvalidArgument(
+        "statement expects " + std::to_string(ps.num_params) +
+        " parameter value(s), got " + std::to_string(given));
   }
 
   obs::Span exec_span(&tracer_, "execute", "phase");
   Timer exec_timer;
   StorageEngine::Stats storage_before = storage_.GatherStats();
+  // A cached stats tree still carries the previous run's actuals.
+  if (ps.stats_tree != nullptr) ps.stats_tree->ResetActuals();
   exec::ExecContext ctx(&storage_, &catalog_);
-  ctx.set_batch_size(refine_options.batch_size);
+  ctx.set_batch_size(ps.batch_size);
   ctx.set_query_memory_budget(options_.exec.query_memory_bytes);
-  STARBURST_RETURN_IF_ERROR(root->Open(&ctx));
-  size_t reserve_hint = plan->props.cardinality > 0
-                            ? static_cast<size_t>(plan->props.cardinality)
-                            : 0;
+  // Parameter values ride the correlation-parameter machinery: one frame
+  // under the sentinel quantifier, visible to every operator and
+  // subquery in the tree.
+  exec::ExecContext::ParamFrame frame;
+  if (ps.num_params > 0) {
+    for (size_t i = 0; i < params->size(); ++i) {
+      frame.Set(exec::QueryParamQuantifier(), i, (*params)[i]);
+    }
+    ctx.PushParams(&frame);
+  }
+  Status opened = ps.root->Open(&ctx);
+  if (!opened.ok()) {
+    // The tree stays alive (cached/prepared); release whatever a
+    // partially failed Open accumulated rather than waiting for the
+    // destructor that may never come.
+    ps.root->Close();
+    return opened;
+  }
   Result<std::vector<Row>> rows =
-      exec::DrainOperator(root.get(), ctx.batch_size(), reserve_hint);
-  root->Close();
+      exec::DrainOperator(ps.root.get(), ctx.batch_size(), ps.reserve_hint);
+  ps.root->Close();
   metrics_.execute_us = exec_timer.ElapsedUs();
   metrics_.exec_stats = ctx.stats();
   StorageEngine::Stats storage_after = storage_.GatherStats();
@@ -296,25 +515,38 @@ Result<Database::QueryOutput> Database::RunQueryPipeline(
       storage_after.buffer_pool.Since(storage_before.buffer_pool);
   metrics_.index_node_visits =
       storage_after.index_node_visits - storage_before.index_node_visits;
+  metrics_.op_stats = ps.stats_tree;
+  metrics_.plan_cost = ps.plan_cost;
+  metrics_.plan_cardinality = ps.plan_cardinality;
   exec_span.End();
   if (!rows.ok()) return rows.status();
 
   QueryOutput out;
-  size_t visible = graph->root()->head.size() - graph->hidden_order_columns;
-  for (size_t i = 0; i < visible; ++i) {
-    out.column_names.push_back(graph->root()->head[i].name);
-  }
+  out.column_names = ps.column_names;
   out.rows = rows.TakeValue();
-  if (graph->hidden_order_columns > 0) {
+  if (ps.hidden_order_columns > 0) {
     for (Row& row : out.rows) {
-      row.values().resize(visible);
+      row.values().resize(ps.visible_columns);
     }
   }
   return out;
 }
 
-Result<ResultSet> Database::RunSelect(const ast::Query& query) {
-  STARBURST_ASSIGN_OR_RETURN(QueryOutput out, RunQueryPipeline(query));
+Result<ResultSet> Database::RunSelect(const ast::Query& query,
+                                      const std::string& cache_key) {
+  STARBURST_ASSIGN_OR_RETURN(PreparedStatementPtr ps,
+                             CompileSelect(query, nullptr));
+  if (ps->num_params > 0) {
+    return Status::InvalidArgument(
+        "statement contains ? parameters; prepare it and supply values "
+        "through ExecutePrepared");
+  }
+  if (!cache_key.empty() && plan_cache_.capacity() > 0) {
+    plan_cache_.CountMiss();
+    plan_cache_.Insert(cache_key, ps);
+  }
+  STARBURST_ASSIGN_OR_RETURN(QueryOutput out, ExecuteCompiled(*ps, nullptr));
+  SnapshotPlanCacheMetrics();
   return ResultSet(std::move(out.column_names), std::move(out.rows));
 }
 
@@ -440,6 +672,19 @@ Result<ResultSet> Database::RunExplainReport(const ast::ExplainStatement& stmt) 
     std::snprintf(buf, sizeof(buf), "index node visits: %llu",
                   static_cast<unsigned long long>(metrics_.index_node_visits));
     line(buf);
+    // EXPLAIN itself always compiles fresh; the counters are the
+    // session's cumulative plan-cache activity.
+    SnapshotPlanCacheMetrics();
+    std::snprintf(
+        buf, sizeof(buf),
+        "plan cache: %llu entries; session hits=%llu misses=%llu "
+        "invalidations=%llu evictions=%llu",
+        static_cast<unsigned long long>(metrics_.plan_cache_entries),
+        static_cast<unsigned long long>(metrics_.plan_cache.hits),
+        static_cast<unsigned long long>(metrics_.plan_cache.misses),
+        static_cast<unsigned long long>(metrics_.plan_cache.invalidations),
+        static_cast<unsigned long long>(metrics_.plan_cache.evictions));
+    line(buf);
   }
   return ResultSet({"EXPLAIN"}, std::move(rows));
 }
@@ -531,6 +776,69 @@ Result<ResultSet> Database::RunCreateView(
   def.body_sql = stmt.body_text;
   STARBURST_RETURN_IF_ERROR(catalog_.CreateView(def));
   return ResultSet::Message("CREATE VIEW");
+}
+
+std::vector<std::string> Database::ViewsReferencing(
+    const std::string& dep_key) const {
+  std::vector<std::string> out;
+  for (const std::string& view_name : catalog_.ViewNames()) {
+    if (dep_key == "V:" + view_name) continue;
+    Result<const ViewDef*> view = catalog_.GetView(view_name);
+    if (!view.ok()) continue;
+    auto parsed = Parser::ParseQueryText((*view)->body_sql);
+    if (!parsed.ok()) continue;
+    qgm::Binder binder(&catalog_);
+    // A body that no longer binds cannot be consulted; it does not block
+    // the drop (it is already broken).
+    if (!binder.BindQuery(**parsed).ok()) continue;
+    if (binder.referenced_objects().count(dep_key) > 0) {
+      out.push_back(view_name);
+    }
+  }
+  return out;
+}
+
+// Drop ordering: verify → dependency check → storage → catalog. The
+// storage call is the only step that can fail after verification, and it
+// runs before any mutation; the catalog erases that follow are pure map
+// operations on entries verified to exist. A failure at any step
+// therefore leaves catalog and storage exactly as they were — no
+// half-dropped state where one layer knows the object and the other
+// does not.
+
+Result<ResultSet> Database::RunDropTable(const std::string& name) {
+  STARBURST_RETURN_IF_ERROR(catalog_.GetTable(name).status());
+  std::vector<std::string> dependents =
+      ViewsReferencing("T:" + IdentUpper(name));
+  if (!dependents.empty()) {
+    return Status::SemanticError("cannot drop table '" + IdentUpper(name) +
+                                 "': view '" + dependents.front() +
+                                 "' references it");
+  }
+  // Storage drops the table and its attachments in one step.
+  STARBURST_RETURN_IF_ERROR(storage_.DropTable(name));
+  STARBURST_RETURN_IF_ERROR(catalog_.DropTable(name));
+  return ResultSet::Message("DROP TABLE");
+}
+
+Result<ResultSet> Database::RunDropIndex(const std::string& name) {
+  STARBURST_RETURN_IF_ERROR(catalog_.GetIndex(name).status());
+  STARBURST_RETURN_IF_ERROR(storage_.DropIndex(name));
+  STARBURST_RETURN_IF_ERROR(catalog_.DropIndex(name));
+  return ResultSet::Message("DROP INDEX");
+}
+
+Result<ResultSet> Database::RunDropView(const std::string& name) {
+  STARBURST_RETURN_IF_ERROR(catalog_.GetView(name).status());
+  std::vector<std::string> dependents =
+      ViewsReferencing("V:" + IdentUpper(name));
+  if (!dependents.empty()) {
+    return Status::SemanticError("cannot drop view '" + IdentUpper(name) +
+                                 "': view '" + dependents.front() +
+                                 "' references it");
+  }
+  STARBURST_RETURN_IF_ERROR(catalog_.DropView(name));
+  return ResultSet::Message("DROP VIEW");
 }
 
 // ---------------------------------------------------------------------------

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "catalog/catalog.h"
+#include "engine/plan_cache.h"
 #include "engine/result_set.h"
 #include "exec/executor.h"
 #include "obs/op_stats.h"
@@ -37,6 +38,13 @@ struct QueryMetrics {
   BufferPoolStats buffer_pool;
   /// Attachment node visits during the execute phase (counter delta).
   uint64_t index_node_visits = 0;
+  /// True when this statement reused a cached/prepared plan, skipping
+  /// parse/bind/rewrite/optimize/refine (those timings stay ~0).
+  bool plan_cache_hit = false;
+  /// Session-cumulative plan-cache counters at statement end.
+  PlanCache::Stats plan_cache;
+  /// Entries resident in the plan cache at statement end.
+  uint64_t plan_cache_entries = 0;
 };
 
 /// The embedded Starburst engine: Corona's language-processing pipeline
@@ -67,12 +75,25 @@ class Database {
   Database(const Database&) = delete;
   Database& operator=(const Database&) = delete;
 
-  /// Executes one statement (query, DDL, or DML).
+  /// Executes one statement (query, DDL, or DML). SELECTs are
+  /// transparently cached: re-executing the same text under the same
+  /// session knobs reuses the compiled plan (see plan_cache()).
   Result<ResultSet> Execute(const std::string& sql);
   /// Executes a ';'-separated script, returning the last result.
   Result<ResultSet> ExecuteScript(const std::string& sql);
   /// Convenience: Execute + rows (errors if the statement returns none).
   Result<std::vector<Row>> Query(const std::string& sql);
+
+  /// Compiles a SELECT (which may contain `?` positional parameters)
+  /// down to a re-executable plan. The handle stays valid until the
+  /// Database dies, even if the plan cache evicts it.
+  using PreparedHandle = PreparedStatementPtr;
+  Result<PreparedHandle> Prepare(const std::string& sql);
+  /// Runs a prepared statement with one value per `?` marker (left to
+  /// right). Stale handles (DDL/ANALYZE touched a referenced object) are
+  /// transparently recompiled first.
+  Result<ResultSet> ExecutePrepared(const PreparedHandle& handle,
+                                    const std::vector<Value>& params = {});
 
   /// Recomputes optimizer statistics (row counts, per-column NDV/min/max)
   /// for one table or all tables.
@@ -84,6 +105,8 @@ class Database {
   StorageEngine& storage() { return storage_; }
   rewrite::RuleEngine& rule_engine() { return rule_engine_; }
   SessionOptions& options() { return options_; }
+  PlanCache& plan_cache() { return plan_cache_; }
+  const PlanCache& plan_cache() const { return plan_cache_; }
 
   /// Adds a DBC STAR to every future query's optimizer.
   Status RegisterStar(optimizer::Star star);
@@ -98,8 +121,15 @@ class Database {
   const obs::Tracer& tracer() const { return tracer_; }
 
  private:
-  Result<ResultSet> ExecuteStatement(const ast::Statement& stmt);
-  Result<ResultSet> RunSelect(const ast::Query& query);
+  /// `cache_key` is non-empty only for single statements arriving through
+  /// Execute with caching enabled; a compiled SELECT is inserted under it.
+  Result<ResultSet> ExecuteStatement(const ast::Statement& stmt,
+                                     const std::string& cache_key = {});
+  Result<ResultSet> RunSelect(const ast::Query& query,
+                              const std::string& cache_key = {});
+  Result<ResultSet> RunDropTable(const std::string& name);
+  Result<ResultSet> RunDropIndex(const std::string& name);
+  Result<ResultSet> RunDropView(const std::string& name);
   Result<ResultSet> RunExplain(const ast::ExplainStatement& stmt);
   /// EXPLAIN ANALYZE / EXPLAIN VERBOSE: the multi-section report
   /// (QGM, rule firings, annotated plan, execution summary).
@@ -129,6 +159,25 @@ class Database {
   };
   Result<QueryOutput> RunQueryPipeline(const ast::Query& query,
                                        PipelineCapture* capture = nullptr);
+  /// Figure 1's compile half (bind → rewrite → optimize → refine) into a
+  /// re-executable artifact, filling the compile-phase metrics.
+  Result<PreparedStatementPtr> CompileSelect(const ast::Query& query,
+                                             PipelineCapture* capture);
+  /// Figure 1's run half: re-opens the compiled operator tree under a
+  /// fresh ExecContext (binding `params` when given) and drains it.
+  Result<QueryOutput> ExecuteCompiled(PreparedStatement& ps,
+                                      const std::vector<Value>* params);
+  /// The session-knob half of a plan-cache key: every SET knob that
+  /// changes what compilation produces. Knob changes key-miss rather
+  /// than invalidate.
+  std::string KnobFingerprint() const;
+  std::string PlanCacheKey(const std::string& sql) const {
+    return NormalizeSql(sql) + '\x1f' + KnobFingerprint();
+  }
+  void SnapshotPlanCacheMetrics();
+  /// Names of views whose bodies (transitively) reference the object
+  /// `dep_key` ("T:NAME" / "V:NAME"), excluding `dep_key` itself.
+  std::vector<std::string> ViewsReferencing(const std::string& dep_key) const;
 
   /// §2: "Update through views will be allowed when the update is
   /// unambiguous; otherwise an error will be returned." A view is
@@ -161,6 +210,7 @@ class Database {
   SessionOptions options_;
   QueryMetrics metrics_;
   obs::Tracer tracer_;
+  PlanCache plan_cache_;
 };
 
 }  // namespace starburst

@@ -80,6 +80,15 @@ class GroupAggOp : public Operator {
   static constexpr uint64_t kPerAggOverhead = 48;
 
   Status OpenImpl(ExecContext* ctx) override {
+    Status st = OpenAgg(ctx);
+    // A failed Open must not strand grace-partition files: cached/
+    // prepared plans keep the operator tree alive long after the query,
+    // so cleanup cannot be left to the destructor.
+    if (!st.ok()) DropState();
+    return st;
+  }
+
+  Status OpenAgg(ExecContext* ctx) {
     ctx_ = ctx;
     DropState();
     tracker_.Configure(budget_, ctx->query_memory());

@@ -121,6 +121,14 @@ bool LikeMatch(const std::string& text, const std::string& pattern) {
 
 Result<const std::vector<Row>*> SubqueryRuntime::Evaluate(const Row& outer_row,
                                                           ExecContext* ctx) {
+  // Cached plans re-execute the same operator tree under a fresh
+  // ExecContext; memoized results from an earlier run may be stale (DML
+  // in between, different query parameters), so caches are scoped to one
+  // execution epoch.
+  if (run_id_ != ctx->run_id()) {
+    ResetCache();
+    run_id_ = ctx->run_id();
+  }
   // Gather the correlation values for this outer row.
   frame_.Clear();
   std::vector<Value> key_values;
@@ -567,6 +575,11 @@ Result<std::shared_ptr<SubqueryRuntime>> BuildSubquery(const qgm::Box* sub,
 
 }  // namespace
 
+const Quantifier* QueryParamQuantifier() {
+  static const Quantifier sentinel;
+  return &sentinel;
+}
+
 Result<CompiledExprPtr> CompileExpr(const Expr& e, const CompileEnv& env) {
   auto out = std::make_unique<CompiledExpr>();
   out->kind = e.kind;
@@ -597,6 +610,15 @@ Result<CompiledExprPtr> CompileExpr(const Expr& e, const CompileEnv& env) {
       out->param_q = e.quantifier;
       out->param_col = e.column;
       if (env.on_param) env.on_param(e.quantifier, e.column);
+      return CompiledExprPtr(std::move(out));
+    }
+    case Expr::Kind::kParam: {
+      // Query-level `?` parameter: a param-frame lookup under the
+      // sentinel quantifier. Deliberately NOT reported through on_param —
+      // the frame is pushed once at the plan root, not per outer row.
+      out->kind = Expr::Kind::kColumnRef;
+      out->param_q = QueryParamQuantifier();
+      out->param_col = e.param_index;
       return CompiledExprPtr(std::move(out));
     }
     case Expr::Kind::kExistsTest: {

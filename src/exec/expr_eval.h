@@ -177,6 +177,7 @@ class SubqueryRuntime {
   OperatorPtr plan_;
   std::vector<ParamSource> params_;
   SubqueryCacheMode mode_;
+  uint64_t run_id_ = 0;  // execution epoch the caches belong to
   ExecContext::ParamFrame frame_;  // reused across Evaluate calls
   RowBatch scratch_;               // reused drain staging (sized lazily)
   std::unordered_map<Row, std::vector<Row>, RowHash> memo_;
@@ -198,6 +199,13 @@ struct CompileEnv {
 };
 
 Result<CompiledExprPtr> CompileExpr(const qgm::Expr& e, const CompileEnv& env);
+
+/// The sentinel quantifier under which query-level `?` parameters live in
+/// the ExecContext param frames: parameter i is (QueryParamQuantifier(), i).
+/// A distinct address no real QGM graph can contain, so query params never
+/// collide with correlation params and never look like free correlation
+/// variables to the dependent-join machinery.
+const qgm::Quantifier* QueryParamQuantifier();
 
 /// The correlation signature of a subquery box: every (quantifier, column)
 /// referenced inside its subtree but owned outside it.

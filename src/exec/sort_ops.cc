@@ -117,6 +117,15 @@ class SortOp : public Operator {
   static constexpr size_t kMergeFanIn = 64;
 
   Status OpenImpl(ExecContext* ctx) override {
+    Status st = OpenSort(ctx);
+    // A failed Open must not strand spill runs: cached/prepared plans
+    // keep the operator tree alive long after the query, so cleanup
+    // cannot be left to the destructor.
+    if (!st.ok()) DropState();
+    return st;
+  }
+
+  Status OpenSort(ExecContext* ctx) {
     DropState();
     tracker_.Configure(budget_, ctx->query_memory());
     batch_size_ = ctx->batch_size();

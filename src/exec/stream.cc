@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "exec/expr_eval.h"
 #include "obs/trace.h"
 
 namespace starburst::exec {
@@ -55,6 +56,12 @@ Result<Value> ExecContext::LookupParam(const qgm::Quantifier* q,
   for (auto it = param_stack_.rbegin(); it != param_stack_.rend(); ++it) {
     const Value* found = (*it)->Find(q, column);
     if (found != nullptr) return *found;
+  }
+  if (q == QueryParamQuantifier()) {
+    return Status::InvalidArgument(
+        "query parameter ?" + std::to_string(column + 1) +
+        " has no bound value; prepare the statement and supply values "
+        "through ExecutePrepared");
   }
   return Status::Internal("unbound correlation parameter " +
                           (q != nullptr ? q->DisplayName() : std::string("?")) +

@@ -51,11 +51,17 @@ struct ExecStats {
 class ExecContext {
  public:
   ExecContext(StorageEngine* storage, const Catalog* catalog)
-      : storage_(storage), catalog_(catalog) {}
+      : storage_(storage), catalog_(catalog), run_id_(NextRunId()) {}
 
   StorageEngine* storage() { return storage_; }
   const Catalog* catalog() const { return catalog_; }
   ExecStats& stats() { return stats_; }
+
+  /// Unique execution epoch, distinct for every ExecContext in the
+  /// process. Operator trees that outlive one execution (cached/prepared
+  /// plans) compare this against the epoch they last saw to notice a new
+  /// run and drop per-run memo state (e.g. subquery caches).
+  uint64_t run_id() const { return run_id_; }
 
   /// Rows a batched operator stages per NextBatch call. 1 pins exact
   /// row-at-a-time behavior (`SET batch_size = 1`); set before Open —
@@ -130,8 +136,14 @@ class ExecContext {
   }
 
  private:
+  static uint64_t NextRunId() {
+    static std::atomic<uint64_t> counter{0};
+    return ++counter;
+  }
+
   StorageEngine* storage_;
   const Catalog* catalog_;
+  uint64_t run_id_ = 0;
   size_t batch_size_ = RowBatch::kDefaultCapacity;
   std::vector<const ParamFrame*> param_stack_;
   std::unordered_map<const qgm::Box*, const std::vector<Row>*>

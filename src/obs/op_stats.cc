@@ -22,6 +22,18 @@ PlanStatsTree::Node* PlanStatsTree::AddNode(Node* parent, std::string name,
   return node;
 }
 
+void PlanStatsTree::ResetActuals() {
+  for (Node& node : nodes_) {
+    node.actual.opens.store(0, std::memory_order_relaxed);
+    node.actual.next_calls.store(0, std::memory_order_relaxed);
+    node.actual.rows_out.store(0, std::memory_order_relaxed);
+    node.actual.wall_us.store(0, std::memory_order_relaxed);
+    node.actual.spill_runs.store(0, std::memory_order_relaxed);
+    node.actual.spill_bytes.store(0, std::memory_order_relaxed);
+    node.actual.peak_memory_bytes.store(0, std::memory_order_relaxed);
+  }
+}
+
 PlanStatsTree::Node* PlanStatsTree::WrapRoot(std::string name,
                                              double est_rows,
                                              double est_cost) {

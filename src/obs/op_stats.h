@@ -73,6 +73,11 @@ class PlanStatsTree {
   /// the estimates ("-" for operators that never opened).
   std::string Render(bool with_actuals) const;
 
+  /// Zeroes every node's actual counters. A cached plan keeps its stats
+  /// tree across executions; without a reset, actuals would accumulate
+  /// and EXPLAIN-style output would mix runs.
+  void ResetActuals();
+
   /// The k nodes with the largest self time, descending (opened ones only).
   std::vector<const Node*> TopBySelfTime(size_t k) const;
 

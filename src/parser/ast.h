@@ -30,6 +30,7 @@ enum class ExprKind {
   kScalarSubquery,
   kLike,
   kCase,
+  kParam,          // ? positional parameter, numbered in parse order
 };
 
 enum class BinaryOp {
@@ -61,6 +62,14 @@ struct LiteralExpr : Expr {
   explicit LiteralExpr(Value v) : Expr(ExprKind::kLiteral), value(std::move(v)) {}
   std::string ToString() const override { return value.ToString(); }
   Value value;
+};
+
+struct ParamExpr : Expr {
+  explicit ParamExpr(size_t i) : Expr(ExprKind::kParam), index(i) {}
+  std::string ToString() const override {
+    return "?" + std::to_string(index + 1);
+  }
+  size_t index;  // zero-based position among the statement's ? markers
 };
 
 struct ColumnRefExpr : Expr {

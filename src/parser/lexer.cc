@@ -156,6 +156,7 @@ Result<Token> Lexer::NextToken() {
     case '-': return MakeToken(TokenKind::kMinus, start);
     case '/': return MakeToken(TokenKind::kSlash, start);
     case '%': return MakeToken(TokenKind::kPercent, start);
+    case '?': return MakeToken(TokenKind::kQuestion, start);
     case '=': return MakeToken(TokenKind::kEq, start);
     case '<':
       if (Peek() == '=') {

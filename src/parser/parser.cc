@@ -1,5 +1,7 @@
 #include "parser/parser.h"
 
+#include <chrono>
+
 #include "catalog/schema.h"
 #include "parser/lexer.h"
 
@@ -145,10 +147,16 @@ Result<ast::StatementPtr> Parser::ParseStatement() {
 
 Result<std::vector<ast::StatementPtr>> Parser::ParseScript() {
   STARBURST_RETURN_IF_ERROR(EnsureTokens());
+  statement_parse_us_.clear();
   std::vector<ast::StatementPtr> out;
   while (!Check(TokenKind::kEof)) {
     if (MatchToken(TokenKind::kSemicolon)) continue;
+    auto start = std::chrono::steady_clock::now();
     STARBURST_ASSIGN_OR_RETURN(ast::StatementPtr stmt, ParseStatementInner());
+    statement_parse_us_.push_back(
+        std::chrono::duration<double, std::micro>(
+            std::chrono::steady_clock::now() - start)
+            .count());
     out.push_back(std::move(stmt));
     if (!Check(TokenKind::kEof)) {
       STARBURST_RETURN_IF_ERROR(
@@ -874,6 +882,10 @@ Result<ExprPtr> Parser::ParsePrimaryExpr() {
     case TokenKind::kStringLiteral: {
       Token tok = Advance();
       return ExprPtr(new ast::LiteralExpr(Value::String(tok.text)));
+    }
+    case TokenKind::kQuestion: {
+      Advance();
+      return ExprPtr(new ast::ParamExpr(num_params_++));
     }
     case TokenKind::kLParen: {
       if (AtQueryStart(1)) {

@@ -33,6 +33,17 @@ class Parser {
   static Result<std::unique_ptr<ast::Query>> ParseQueryText(
       const std::string& sql);
 
+  /// Number of `?` positional parameter markers seen so far (valid after a
+  /// successful parse; markers are numbered left to right in parse order).
+  size_t num_params() const { return num_params_; }
+
+  /// Per-statement parse durations (microseconds, statement order) from
+  /// the last ParseScript call, so script execution can attribute parse
+  /// time to the statement that incurred it.
+  const std::vector<double>& statement_parse_us() const {
+    return statement_parse_us_;
+  }
+
  private:
   Status EnsureTokens();
 
@@ -87,6 +98,8 @@ class Parser {
   std::vector<Token> tokens_;
   size_t pos_ = 0;
   bool tokenized_ = false;
+  size_t num_params_ = 0;
+  std::vector<double> statement_parse_us_;
 };
 
 }  // namespace starburst

@@ -15,7 +15,8 @@ enum class TokenKind {
   kLParen, kRParen, kComma, kDot, kSemicolon, kStar,
   kPlus, kMinus, kSlash, kPercent,
   kEq, kNe, kLt, kLe, kGt, kGe,
-  kConcat,  // ||
+  kConcat,    // ||
+  kQuestion,  // ? positional parameter marker
 };
 
 /// One lexical token of Hydrogen. Keywords are identifiers; the parser

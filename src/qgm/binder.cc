@@ -596,10 +596,12 @@ Result<Box*> Binder::ResolveNamedTable(const std::string& name, CteEnv* env) {
   }
   if (catalog_->HasView(name)) {
     STARBURST_ASSIGN_OR_RETURN(const ViewDef* view, catalog_->GetView(name));
+    referenced_objects_.insert("V:" + IdentUpper(name));
     return BindView(*view);
   }
   if (catalog_->HasTable(name)) {
     STARBURST_ASSIGN_OR_RETURN(const TableDef* table, catalog_->GetTable(name));
+    referenced_objects_.insert("T:" + IdentUpper(name));
     return BaseTableBox(table);
   }
   return Status::SemanticError("no table, view, or table expression named '" +
@@ -1002,6 +1004,16 @@ Result<ExprPtr> Binder::BindExpr(const ast::Expr& e, ExprContext* ctx) {
   switch (e.kind) {
     case ast::ExprKind::kLiteral:
       return MakeLiteral(static_cast<const ast::LiteralExpr&>(e).value);
+
+    case ast::ExprKind::kParam: {
+      const auto& p = static_cast<const ast::ParamExpr&>(e);
+      auto out = std::make_unique<Expr>();
+      out->kind = Expr::Kind::kParam;
+      out->param_index = p.index;
+      out->type = DataType::Null();  // unknown until a value is bound
+      graph_->num_params = std::max(graph_->num_params, p.index + 1);
+      return ExprPtr(std::move(out));
+    }
 
     case ast::ExprKind::kColumnRef:
       return BindColumnRef(static_cast<const ast::ColumnRefExpr&>(e), ctx);

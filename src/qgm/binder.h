@@ -3,6 +3,7 @@
 
 #include <map>
 #include <memory>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -51,6 +52,14 @@ class Binder {
     ExprPtr expr;
   };
   Result<StandaloneExprBind> BindConstantExpr(const ast::Expr& e);
+
+  /// Catalog objects this binder resolved, keyed "T:NAME" / "V:NAME"
+  /// (uppercase). View bodies bind through the same binder, so references
+  /// made inside expanded views are included — the transitive dependency
+  /// set a cached plan must be invalidated on.
+  const std::set<std::string>& referenced_objects() const {
+    return referenced_objects_;
+  }
 
  private:
   /// A name visible in a FROM scope: alias -> a slice of a quantifier's
@@ -128,6 +137,7 @@ class Binder {
   const Catalog* catalog_;
   Graph* graph_ = nullptr;  // graph under construction
   std::map<std::string, Box*> base_table_boxes_;
+  std::set<std::string> referenced_objects_;
   int view_depth_ = 0;
 };
 

@@ -206,6 +206,10 @@ class Graph {
   /// Trailing root head columns added only so ORDER BY can reference
   /// non-output columns; the engine strips them from the final result.
   size_t hidden_order_columns = 0;
+  /// Number of `?` positional parameters the query contains (kParam
+  /// expressions carry indexes in [0, num_params)). Execution must supply
+  /// exactly this many values.
+  size_t num_params = 0;
 
  private:
   std::vector<std::unique_ptr<Box>> boxes_;

@@ -16,6 +16,7 @@ std::unique_ptr<Expr> Expr::Clone() const {
   out->func = func;
   out->func_name = func_name;
   out->agg_index = agg_index;
+  out->param_index = param_index;
   out->has_else = has_else;
   out->negated = negated;
   out->children.reserve(children.size());
@@ -49,6 +50,8 @@ std::string Expr::ToString() const {
     }
     case Kind::kAggRef:
       return "agg#" + std::to_string(agg_index);
+    case Kind::kParam:
+      return "?" + std::to_string(param_index + 1);
     case Kind::kCase: {
       std::string out = "CASE";
       size_t pairs = (children.size() - (has_else ? 1 : 0)) / 2;

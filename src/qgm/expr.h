@@ -41,6 +41,10 @@ struct Expr {
     /// kSetPredicate: the quantifier's registered set-predicate function
     /// (the paper's MAJORITY example) over per-element truth.
     kQuantCompare,
+    /// `?` positional parameter: a late-bound constant supplied at
+    /// execution time through the ExecContext param frames. Typed kNull
+    /// (unknown) at bind time, comparable with anything.
+    kParam,
   };
 
   Kind kind = Kind::kLiteral;
@@ -63,6 +67,9 @@ struct Expr {
 
   // kAggRef
   size_t agg_index = 0;
+
+  // kParam
+  size_t param_index = 0;
 
   // kCase: true when an ELSE arm is present (last child)
   bool has_else = false;

@@ -16,6 +16,10 @@ Status StorageEngine::CreateTable(const TableDef& def) {
 }
 
 Status StorageEngine::DropTable(const std::string& name) {
+  if (fail_next_drop_) {
+    fail_next_drop_ = false;
+    return Status::Internal("injected drop failure");
+  }
   std::string key = IdentUpper(name);
   if (tables_.erase(key) == 0) {
     return Status::NotFound("table storage '" + key + "' does not exist");
@@ -59,6 +63,10 @@ Status StorageEngine::CreateIndex(const IndexDef& def,
 }
 
 Status StorageEngine::DropIndex(const std::string& name) {
+  if (fail_next_drop_) {
+    fail_next_drop_ = false;
+    return Status::Internal("injected drop failure");
+  }
   std::string key = IdentUpper(name);
   if (indexes_.erase(key) == 0) {
     return Status::NotFound("index '" + key + "' does not exist");

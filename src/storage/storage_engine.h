@@ -32,6 +32,11 @@ class StorageEngine {
   Status CreateIndex(const IndexDef& def, const TableSchema& table_schema);
   Status DropIndex(const std::string& name);
 
+  /// Test hook: the next DropTable/DropIndex call fails with an injected
+  /// error before mutating anything, exercising the engine's DDL failure
+  /// paths (catalog and storage must not diverge).
+  void InjectDropFailure() { fail_next_drop_ = true; }
+
   // -- access --
   Result<TableStorage*> GetTable(const std::string& name);
   Result<Attachment*> GetIndex(const std::string& name);
@@ -69,6 +74,7 @@ class StorageEngine {
   std::map<std::string, std::unique_ptr<TableStorage>> tables_;
   std::map<std::string, std::unique_ptr<Attachment>> indexes_;
   std::map<std::string, std::string> index_table_;  // index -> table
+  bool fail_next_drop_ = false;
 };
 
 }  // namespace starburst

@@ -1,0 +1,476 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "engine/database.h"
+#include "engine/plan_cache.h"
+
+namespace starburst {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Fixture
+// ---------------------------------------------------------------------------
+
+class PlanCacheTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Run("CREATE TABLE t (id INT, grp INT, payload VARCHAR)");
+    Run("CREATE TABLE other (x INT)");
+    for (int i = 0; i < 50; ++i) {
+      Run("INSERT INTO t VALUES (" + std::to_string(i) + ", " +
+          std::to_string(i % 5) + ", 'p" + std::to_string(i) + "')");
+    }
+    Run("INSERT INTO other VALUES (1)");
+  }
+
+  ResultSet Run(const std::string& sql) {
+    Result<ResultSet> rs = db_.Execute(sql);
+    EXPECT_TRUE(rs.ok()) << sql << ": " << rs.status().ToString();
+    return rs.ok() ? rs.TakeValue() : ResultSet::Message("error");
+  }
+
+  /// Rows of `rs` stringified and sorted — order-insensitive comparison.
+  static std::vector<std::string> Canon(const ResultSet& rs) {
+    std::vector<std::string> out;
+    for (const Row& r : rs.rows()) {
+      std::string line;
+      for (size_t i = 0; i < r.size(); ++i) {
+        line += r[i].ToString();
+        line += '|';
+      }
+      out.push_back(std::move(line));
+    }
+    std::sort(out.begin(), out.end());
+    return out;
+  }
+
+  const QueryMetrics& M() const { return db_.last_metrics(); }
+
+  Database db_;
+};
+
+// ---------------------------------------------------------------------------
+// Transparent caching through Execute
+// ---------------------------------------------------------------------------
+
+TEST_F(PlanCacheTest, RepeatedExecuteHitsAndSkipsCompilation) {
+  const std::string q = "SELECT grp, COUNT(*) FROM t GROUP BY grp";
+  ResultSet first = Run(q);
+  EXPECT_FALSE(M().plan_cache_hit);
+  EXPECT_GT(M().bind_us, 0.0);
+  uint64_t misses = M().plan_cache.misses;
+  EXPECT_GE(misses, 1u);
+
+  ResultSet second = Run(q);
+  EXPECT_TRUE(M().plan_cache_hit);
+  EXPECT_EQ(M().plan_cache.hits, 1u);
+  EXPECT_EQ(M().plan_cache.misses, misses);  // no new miss
+  // The whole compile half is skipped: its phase timings stay zero.
+  EXPECT_EQ(M().parse_us, 0.0);
+  EXPECT_EQ(M().bind_us, 0.0);
+  EXPECT_EQ(M().rewrite_us, 0.0);
+  EXPECT_EQ(M().optimize_us, 0.0);
+  EXPECT_EQ(M().refine_us, 0.0);
+  EXPECT_GT(M().execute_us, 0.0);
+  EXPECT_EQ(Canon(first), Canon(second));
+}
+
+TEST_F(PlanCacheTest, NormalizationSharesOneEntry) {
+  Run("SELECT id FROM t WHERE grp = 3");
+  ResultSet hit = Run("select   id\nfrom T where GRP = 3;");
+  EXPECT_TRUE(M().plan_cache_hit);
+  EXPECT_EQ(M().plan_cache_entries, 1u);
+  // Literal case stays significant inside quoted strings.
+  Run("SELECT id FROM t WHERE payload = 'p1'");
+  Run("SELECT id FROM t WHERE payload = 'P1'");
+  EXPECT_FALSE(M().plan_cache_hit);
+}
+
+TEST_F(PlanCacheTest, CachedPlanSeesFreshData) {
+  const std::string q = "SELECT COUNT(*) FROM t";
+  ResultSet before = Run(q);
+  EXPECT_EQ(before.rows()[0][0].int_value(), 50);
+  Run("INSERT INTO t VALUES (99, 9, 'x')");
+  ResultSet after = Run(q);
+  // DML neither invalidates nor staleness-poisons: the cached plan
+  // re-scans storage on every execution.
+  EXPECT_TRUE(M().plan_cache_hit);
+  EXPECT_EQ(after.rows()[0][0].int_value(), 51);
+}
+
+TEST_F(PlanCacheTest, KnobChangeMissesInsteadOfInvalidating) {
+  const std::string q = "SELECT id FROM t WHERE grp = 1";
+  Run(q);
+  Run("SET PARALLELISM = 4");
+  Run(q);
+  EXPECT_FALSE(M().plan_cache_hit);  // different knob fingerprint
+  EXPECT_EQ(M().plan_cache.invalidations, 0u);
+  EXPECT_EQ(M().plan_cache_entries, 2u);  // both entries live side by side
+  Run("SET PARALLELISM = DEFAULT");
+  Run(q);
+  EXPECT_TRUE(M().plan_cache_hit);  // the original entry survived
+}
+
+TEST_F(PlanCacheTest, LruEvictsPastCapacity) {
+  Run("SET PLAN_CACHE_SIZE = 2");
+  Run("SELECT id FROM t WHERE grp = 0");
+  Run("SELECT id FROM t WHERE grp = 1");
+  Run("SELECT id FROM t WHERE grp = 2");
+  EXPECT_EQ(M().plan_cache_entries, 2u);
+  EXPECT_GE(M().plan_cache.evictions, 1u);
+  // grp=0 was least recently used and evicted; grp=2 is resident.
+  Run("SELECT id FROM t WHERE grp = 2");
+  EXPECT_TRUE(M().plan_cache_hit);
+  Run("SELECT id FROM t WHERE grp = 0");
+  EXPECT_FALSE(M().plan_cache_hit);
+}
+
+TEST_F(PlanCacheTest, SizeZeroDisablesCaching) {
+  Run("SELECT id FROM t WHERE grp = 1");
+  Run("SET PLAN_CACHE_SIZE = 0");
+  EXPECT_EQ(db_.plan_cache().size(), 0u);  // clears resident entries
+  Run("SELECT id FROM t WHERE grp = 1");
+  EXPECT_FALSE(M().plan_cache_hit);
+  EXPECT_GT(M().bind_us, 0.0);
+  Run("SELECT id FROM t WHERE grp = 1");
+  EXPECT_FALSE(M().plan_cache_hit);
+}
+
+// ---------------------------------------------------------------------------
+// Invalidation matrix: what must (and must not) drop a cached plan
+// ---------------------------------------------------------------------------
+
+TEST_F(PlanCacheTest, UnrelatedDdlDoesNotInvalidate) {
+  const std::string q = "SELECT id FROM t WHERE grp = 1";
+  Run(q);
+  Run("CREATE TABLE unrelated (y INT)");
+  Run("CREATE INDEX other_x ON other (x)");
+  Run("DROP TABLE unrelated");
+  Run("ANALYZE other");
+  Run(q);
+  EXPECT_TRUE(M().plan_cache_hit);
+  EXPECT_EQ(M().plan_cache.invalidations, 0u);
+}
+
+TEST_F(PlanCacheTest, DropAndRecreateTableInvalidates) {
+  const std::string q = "SELECT COUNT(*) FROM other";
+  Run(q);
+  Run("DROP TABLE other");
+  Run("CREATE TABLE other (x INT, z INT)");
+  ResultSet rs = Run(q);
+  EXPECT_FALSE(M().plan_cache_hit);
+  EXPECT_GE(M().plan_cache.invalidations, 1u);
+  EXPECT_EQ(rs.rows()[0][0].int_value(), 0);  // fresh plan, fresh table
+}
+
+TEST_F(PlanCacheTest, CreateIndexOnReferencedTableInvalidates) {
+  const std::string q = "SELECT id FROM t WHERE id = 7";
+  Run(q);
+  Run("CREATE INDEX t_id ON t (id)");
+  Run(q);
+  // Access paths changed; the plan must be rebuilt (and may now use the
+  // index).
+  EXPECT_FALSE(M().plan_cache_hit);
+  EXPECT_GE(M().plan_cache.invalidations, 1u);
+
+  Run(q);
+  EXPECT_TRUE(M().plan_cache_hit);
+  Run("DROP INDEX t_id");
+  Run(q);
+  EXPECT_FALSE(M().plan_cache_hit);
+  EXPECT_GE(M().plan_cache.invalidations, 2u);
+}
+
+TEST_F(PlanCacheTest, AnalyzeInvalidates) {
+  const std::string q = "SELECT grp FROM t WHERE id < 10";
+  Run(q);
+  Run("ANALYZE t");
+  Run(q);
+  EXPECT_FALSE(M().plan_cache_hit);
+  EXPECT_GE(M().plan_cache.invalidations, 1u);
+}
+
+TEST_F(PlanCacheTest, ViewDependenciesAreTransitive) {
+  Run("CREATE VIEW low AS SELECT id, grp FROM t WHERE id < 10");
+  const std::string q = "SELECT COUNT(*) FROM low";
+  Run(q);
+  Run(q);
+  EXPECT_TRUE(M().plan_cache_hit);
+  // DDL on the *underlying table* invalidates the view query.
+  Run("CREATE INDEX t_grp ON t (grp)");
+  Run(q);
+  EXPECT_FALSE(M().plan_cache_hit);
+  EXPECT_GE(M().plan_cache.invalidations, 1u);
+  // Re-defining the view invalidates too.
+  Run(q);
+  EXPECT_TRUE(M().plan_cache_hit);
+  Run("DROP VIEW low");
+  Run("CREATE VIEW low AS SELECT id, grp FROM t WHERE id < 20");
+  ResultSet rs = Run(q);
+  EXPECT_FALSE(M().plan_cache_hit);
+  EXPECT_EQ(rs.rows()[0][0].int_value(), 20);
+}
+
+// ---------------------------------------------------------------------------
+// Prepared statements and ? parameters
+// ---------------------------------------------------------------------------
+
+TEST_F(PlanCacheTest, PreparedStatementBindsParams) {
+  Result<Database::PreparedHandle> ps =
+      db_.Prepare("SELECT id, payload FROM t WHERE grp = ? AND id >= ?");
+  ASSERT_TRUE(ps.ok()) << ps.status().ToString();
+
+  Result<ResultSet> got =
+      db_.ExecutePrepared(*ps, {Value::Int(3), Value::Int(10)});
+  ASSERT_TRUE(got.ok()) << got.status().ToString();
+  ResultSet want =
+      Run("SELECT id, payload FROM t WHERE grp = 3 AND id >= 10");
+  EXPECT_EQ(Canon(*got), Canon(want));
+  EXPECT_FALSE(got->rows().empty());
+
+  // Rebind different values on the same handle: no recompilation.
+  got = db_.ExecutePrepared(*ps, {Value::Int(1), Value::Int(40)});
+  ASSERT_TRUE(got.ok());
+  EXPECT_TRUE(db_.last_metrics().plan_cache_hit);
+  want = Run("SELECT id, payload FROM t WHERE grp = 1 AND id >= 40");
+  EXPECT_EQ(Canon(*got), Canon(want));
+}
+
+TEST_F(PlanCacheTest, NullParameterBehavesLikeNullLiteral) {
+  Result<Database::PreparedHandle> ps =
+      db_.Prepare("SELECT id FROM t WHERE grp = ?");
+  ASSERT_TRUE(ps.ok());
+  Result<ResultSet> got = db_.ExecutePrepared(*ps, {Value::Null()});
+  ASSERT_TRUE(got.ok()) << got.status().ToString();
+  ResultSet want = Run("SELECT id FROM t WHERE grp = NULL");
+  EXPECT_EQ(Canon(*got), Canon(want));
+  EXPECT_TRUE(got->rows().empty());  // NULL = anything is not true
+}
+
+TEST_F(PlanCacheTest, ParamArityIsChecked) {
+  Result<Database::PreparedHandle> ps =
+      db_.Prepare("SELECT id FROM t WHERE grp = ?");
+  ASSERT_TRUE(ps.ok());
+  EXPECT_FALSE(db_.ExecutePrepared(*ps, {}).ok());
+  EXPECT_FALSE(
+      db_.ExecutePrepared(*ps, {Value::Int(1), Value::Int(2)}).ok());
+  EXPECT_FALSE(db_.ExecutePrepared(nullptr, {}).ok());
+}
+
+TEST_F(PlanCacheTest, ParamsRejectedOutsidePreparedExecution) {
+  Result<ResultSet> rs = db_.Execute("SELECT id FROM t WHERE grp = ?");
+  ASSERT_FALSE(rs.ok());
+  EXPECT_NE(rs.status().message().find("ExecutePrepared"), std::string::npos);
+  // Non-SELECTs cannot be prepared.
+  EXPECT_FALSE(db_.Prepare("INSERT INTO t VALUES (1, 1, 'x')").ok());
+}
+
+TEST_F(PlanCacheTest, StalePreparedHandleRecompilesTransparently) {
+  Result<Database::PreparedHandle> ps =
+      db_.Prepare("SELECT COUNT(*) FROM t WHERE id = ?");
+  ASSERT_TRUE(ps.ok());
+  ASSERT_TRUE(db_.ExecutePrepared(*ps, {Value::Int(7)}).ok());
+
+  Run("CREATE INDEX t_id2 ON t (id)");  // invalidates the handle
+  Result<ResultSet> got = db_.ExecutePrepared(*ps, {Value::Int(7)});
+  ASSERT_TRUE(got.ok()) << got.status().ToString();
+  EXPECT_FALSE(db_.last_metrics().plan_cache_hit);
+  EXPECT_GE(db_.last_metrics().plan_cache.invalidations, 1u);
+  EXPECT_EQ(got->rows()[0][0].int_value(), 1);
+
+  // The recompiled handle is fresh again.
+  got = db_.ExecutePrepared(*ps, {Value::Int(8)});
+  ASSERT_TRUE(got.ok());
+  EXPECT_TRUE(db_.last_metrics().plan_cache_hit);
+}
+
+TEST_F(PlanCacheTest, DifferentialPreparedVsLiteralCorpus) {
+  struct Case {
+    std::string prepared;
+    std::string literal;
+    std::vector<Value> params;
+  };
+  const std::vector<Case> corpus = {
+      {"SELECT id FROM t WHERE grp = ? ORDER BY id",
+       "SELECT id FROM t WHERE grp = 2 ORDER BY id",
+       {Value::Int(2)}},
+      {"SELECT grp, COUNT(*) FROM t WHERE id < ? GROUP BY grp",
+       "SELECT grp, COUNT(*) FROM t WHERE id < 30 GROUP BY grp",
+       {Value::Int(30)}},
+      {"SELECT id + ? FROM t WHERE payload = ?",
+       "SELECT id + 100 FROM t WHERE payload = 'p4'",
+       {Value::Int(100), Value::String("p4")}},
+      {"SELECT a.id FROM t a, t b WHERE a.id = b.id AND a.grp = ?",
+       "SELECT a.id FROM t a, t b WHERE a.id = b.id AND a.grp = 4",
+       {Value::Int(4)}},
+      {"SELECT id FROM t WHERE grp = ? AND id IN "
+       "(SELECT x FROM other) ",
+       "SELECT id FROM t WHERE grp = 1 AND id IN (SELECT x FROM other)",
+       {Value::Int(1)}},
+      {"SELECT id FROM t WHERE ? IS NULL OR grp = ?",
+       "SELECT id FROM t WHERE NULL IS NULL OR grp = 0",
+       {Value::Null(), Value::Int(0)}},
+  };
+  for (size_t parallelism : {size_t{1}, size_t{4}}) {
+    Run("SET PARALLELISM = " + std::to_string(parallelism));
+    for (const Case& c : corpus) {
+      Result<Database::PreparedHandle> ps = db_.Prepare(c.prepared);
+      ASSERT_TRUE(ps.ok()) << c.prepared << ": " << ps.status().ToString();
+      EXPECT_EQ((*ps)->num_params, c.params.size());
+      Result<ResultSet> got = db_.ExecutePrepared(*ps, c.params);
+      ASSERT_TRUE(got.ok()) << c.prepared << ": " << got.status().ToString();
+      ResultSet want = Run(c.literal);
+      EXPECT_EQ(Canon(*got), Canon(want))
+          << c.prepared << " (parallelism " << parallelism << ")";
+    }
+  }
+}
+
+TEST_F(PlanCacheTest, PrepareSharesCacheWithExecute) {
+  const std::string q = "SELECT id FROM t WHERE grp = 2";
+  Run(q);
+  Result<Database::PreparedHandle> ps = db_.Prepare(q);
+  ASSERT_TRUE(ps.ok());
+  EXPECT_TRUE(db_.last_metrics().plan_cache_hit);  // reused Execute's entry
+  Result<Database::PreparedHandle> again = db_.Prepare(q);
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(ps->get(), again->get());  // same shared artifact
+}
+
+// ---------------------------------------------------------------------------
+// DROP consistency: catalog and storage must never diverge
+// ---------------------------------------------------------------------------
+
+TEST_F(PlanCacheTest, DropTableCascadesIndexes) {
+  Run("CREATE INDEX other_x ON other (x)");
+  Run("DROP TABLE other");
+  EXPECT_FALSE(db_.catalog().GetTable("other").ok());
+  EXPECT_FALSE(db_.catalog().GetIndex("other_x").ok());
+  EXPECT_FALSE(db_.storage().GetTable("other").ok());
+  EXPECT_FALSE(db_.storage().GetIndex("other_x").ok());
+}
+
+TEST_F(PlanCacheTest, DropTableBlockedByDependentView) {
+  Run("CREATE VIEW ov AS SELECT x FROM other");
+  Result<ResultSet> rs = db_.Execute("DROP TABLE other");
+  ASSERT_FALSE(rs.ok());
+  EXPECT_NE(rs.status().message().find("OV"), std::string::npos);
+  // Nothing was mutated: both layers still serve the table.
+  EXPECT_TRUE(db_.catalog().GetTable("other").ok());
+  EXPECT_TRUE(db_.storage().GetTable("other").ok());
+  EXPECT_EQ(Run("SELECT COUNT(*) FROM ov").rows()[0][0].int_value(), 1);
+  Run("DROP VIEW ov");
+  Run("DROP TABLE other");  // now unblocked
+}
+
+TEST_F(PlanCacheTest, DropViewBlockedByDependentView) {
+  Run("CREATE VIEW base_v AS SELECT x FROM other");
+  Run("CREATE VIEW top_v AS SELECT x FROM base_v");
+  EXPECT_FALSE(db_.Execute("DROP VIEW base_v").ok());
+  EXPECT_TRUE(db_.catalog().GetView("base_v").ok());
+  Run("DROP VIEW top_v");
+  Run("DROP VIEW base_v");
+}
+
+TEST_F(PlanCacheTest, InjectedDropTableFailureLeavesNoSkew) {
+  Run("CREATE INDEX other_x ON other (x)");
+  db_.storage().InjectDropFailure();
+  Result<ResultSet> rs = db_.Execute("DROP TABLE other");
+  ASSERT_FALSE(rs.ok());
+  // The failure hit before any mutation: no layer dropped anything.
+  EXPECT_TRUE(db_.catalog().GetTable("other").ok());
+  EXPECT_TRUE(db_.catalog().GetIndex("other_x").ok());
+  EXPECT_TRUE(db_.storage().GetTable("other").ok());
+  EXPECT_TRUE(db_.storage().GetIndex("other_x").ok());
+  EXPECT_EQ(Run("SELECT COUNT(*) FROM other").rows()[0][0].int_value(), 1);
+  // The injection is one-shot; the retry completes and drops everything.
+  Run("DROP TABLE other");
+  EXPECT_FALSE(db_.catalog().GetTable("other").ok());
+  EXPECT_FALSE(db_.catalog().GetIndex("other_x").ok());
+  EXPECT_FALSE(db_.storage().GetIndex("other_x").ok());
+}
+
+TEST_F(PlanCacheTest, InjectedDropIndexFailureLeavesNoSkew) {
+  Run("CREATE INDEX other_x ON other (x)");
+  db_.storage().InjectDropFailure();
+  ASSERT_FALSE(db_.Execute("DROP INDEX other_x").ok());
+  EXPECT_TRUE(db_.catalog().GetIndex("other_x").ok());
+  EXPECT_TRUE(db_.storage().GetIndex("other_x").ok());
+  Run("DROP INDEX other_x");
+  EXPECT_FALSE(db_.catalog().GetIndex("other_x").ok());
+  EXPECT_FALSE(db_.storage().GetIndex("other_x").ok());
+}
+
+TEST_F(PlanCacheTest, DropOfMissingObjectsFailsCleanly) {
+  EXPECT_FALSE(db_.Execute("DROP TABLE nope").ok());
+  EXPECT_FALSE(db_.Execute("DROP INDEX nope").ok());
+  EXPECT_FALSE(db_.Execute("DROP VIEW nope").ok());
+}
+
+// ---------------------------------------------------------------------------
+// ExecuteScript per-statement metrics
+// ---------------------------------------------------------------------------
+
+TEST_F(PlanCacheTest, ScriptMetricsReflectLastStatementOnly) {
+  // First statement compiles and executes a real query; the last is a
+  // SET, which runs no pipeline at all. Without the per-statement reset,
+  // the SELECT's phase timings would leak into the script's final
+  // metrics.
+  Result<ResultSet> rs = db_.ExecuteScript(
+      "SELECT grp, COUNT(*) FROM t GROUP BY grp ORDER BY grp;\n"
+      "SET PARALLELISM = 2");
+  ASSERT_TRUE(rs.ok()) << rs.status().ToString();
+  const QueryMetrics& m = db_.last_metrics();
+  EXPECT_GT(m.parse_us, 0.0);  // the SET's own parse time
+  EXPECT_EQ(m.bind_us, 0.0);
+  EXPECT_EQ(m.optimize_us, 0.0);
+  EXPECT_EQ(m.refine_us, 0.0);
+  EXPECT_EQ(m.execute_us, 0.0);
+  EXPECT_EQ(m.exec_stats.rows_emitted, 0u);
+  EXPECT_FALSE(m.plan_cache_hit);
+}
+
+TEST_F(PlanCacheTest, ScriptStatementsAttributeOwnParseTime) {
+  Result<ResultSet> rs = db_.ExecuteScript(
+      "INSERT INTO other VALUES (2);\n"
+      "SELECT x FROM other ORDER BY x");
+  ASSERT_TRUE(rs.ok());
+  const QueryMetrics& m = db_.last_metrics();
+  EXPECT_GT(m.parse_us, 0.0);
+  EXPECT_GT(m.bind_us, 0.0);       // the SELECT compiled
+  EXPECT_EQ(rs->rows().size(), 2u);
+}
+
+// ---------------------------------------------------------------------------
+// Re-execution correctness under stats collection
+// ---------------------------------------------------------------------------
+
+TEST_F(PlanCacheTest, CachedStatsTreeResetsBetweenRuns) {
+  db_.options().collect_op_stats = true;
+  // Fingerprint changed relative to SetUp traffic → fresh compile.
+  const std::string q = "SELECT COUNT(*) FROM t";
+  Run(q);
+  ASSERT_NE(M().op_stats, nullptr);
+  Run(q);
+  EXPECT_TRUE(M().plan_cache_hit);
+  ASSERT_NE(M().op_stats, nullptr);
+  // Actuals are per-run, not cumulative across cached executions: the
+  // root emits exactly one row (the count) each run.
+  EXPECT_EQ(M().op_stats->roots().front()->actual.rows_out.load(), 1u);
+}
+
+TEST_F(PlanCacheTest, ExplainAnalyzeReportsPlanCacheLine) {
+  Run("SELECT id FROM t WHERE grp = 1");
+  Run("SELECT id FROM t WHERE grp = 1");
+  ResultSet rs = Run("EXPLAIN ANALYZE SELECT id FROM t WHERE grp = 1");
+  std::string text;
+  for (const Row& r : rs.rows()) text += r[0].string_value() + "\n";
+  EXPECT_NE(text.find("plan cache:"), std::string::npos) << text;
+  EXPECT_NE(text.find("hits=1"), std::string::npos) << text;
+}
+
+}  // namespace
+}  // namespace starburst
