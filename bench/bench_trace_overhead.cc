@@ -37,7 +37,9 @@ double RunMix(Database* db, const std::vector<std::string>& queries,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  JsonReporter json("trace_overhead", argc, argv);
+
   Database db;
   for (int t = 1; t <= 4; ++t) {
     MakeIntTable(&db, "t" + std::to_string(t), 1000, 50,
@@ -91,5 +93,9 @@ int main() {
   double rerun_drift = 100.0 * (off2_us - off_us) / off_us;
   std::printf("\n(disabled-path drift between first and last 'off' runs: "
               "%+.1f%% — the noise floor for the <5%% target)\n", rerun_drift);
+
+  json.Add("off", {}, base_us / 1e3, 0);
+  json.Add("trace", {}, trace_us / 1e3, 0);
+  json.Add("trace_ops", {}, both_us / 1e3, 0);
   return 0;
 }

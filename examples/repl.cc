@@ -112,6 +112,9 @@ bool RunMetaCommand(const std::string& cmd, Database* db, bool* timing,
       if (arg1 == "on") db->tracer().Clear();
       std::printf("trace %s\n", arg1.c_str());
     } else if (arg1 == "show") {
+      std::printf("trace: capacity %zu, %llu dropped\n",
+                  db->tracer().capacity(),
+                  static_cast<unsigned long long>(db->tracer().dropped()));
       std::printf("%s", db->tracer().ToText().c_str());
     } else if (arg1 == "export" && !arg2.empty()) {
       std::ofstream out(arg2);
@@ -124,6 +127,35 @@ bool RunMetaCommand(const std::string& cmd, Database* db, bool* timing,
       }
     } else {
       std::printf("usage: \\trace on|off|show|export <file>\n");
+    }
+    return true;
+  }
+  if (word == "metrics") {
+    // Prometheus-style exposition of every engine metric, mirrors
+    // refreshed first so the numbers are current.
+    db->RefreshMetricsMirrors();
+    std::printf("%s", db->metrics_registry().RenderText().c_str());
+    return true;
+  }
+  if (word == "querylog") {
+    std::vector<starburst::obs::QueryLogEntry> entries =
+        db->query_log().Snapshot();
+    std::printf("query log: %llu total, %llu dropped "
+                "(SET SLOW_QUERY_US = <n> flags slow statements)\n",
+                static_cast<unsigned long long>(db->query_log().total()),
+                static_cast<unsigned long long>(db->query_log().dropped()));
+    for (const starburst::obs::QueryLogEntry& e : entries) {
+      std::printf("#%llu [%s]%s%s %llu rows, %llu us%s: %s\n",
+                  static_cast<unsigned long long>(e.id), e.status.c_str(),
+                  e.plan_cache_hit ? " [cached]" : "",
+                  e.slow ? " [SLOW]" : "",
+                  static_cast<unsigned long long>(e.rows),
+                  static_cast<unsigned long long>(e.total_us),
+                  e.parallelism > 1
+                      ? (" (dop " + std::to_string(e.parallelism) + ")").c_str()
+                      : "",
+                  e.sql.c_str());
+      if (!e.error.empty()) std::printf("    error: %s\n", e.error.c_str());
     }
     return true;
   }
@@ -191,7 +223,10 @@ int main() {
       "meta: \\timing toggles phase timings (incl. plan-cache counters),\n"
       "      \\prepare <name> <select with ? markers> compiles once,\n"
       "      \\exec <name> [value ...] runs it with bound parameters,\n"
-      "      \\trace on|off|show|export <file> drives the tracer, \\q "
+      "      \\trace on|off|show|export <file> drives the tracer,\n"
+      "      \\metrics dumps engine counters (also: SELECT * FROM "
+      "sys.metrics),\n"
+      "      \\querylog shows recent statements (also: sys.query_log), \\q "
       "quits\n"
       "SET PLAN_CACHE_SIZE = <n> bounds the plan cache (0 disables)\n");
 

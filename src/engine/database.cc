@@ -1,12 +1,15 @@
 #include "engine/database.h"
 
+#include <algorithm>
 #include <chrono>
 #include <set>
 
 #include "exec/expr_eval.h"
+#include "exec/parallel/task_scheduler.h"
 #include "parser/parser.h"
 #include "qgm/binder.h"
 #include "qgm/printer.h"
+#include "storage/spill_file.h"
 
 namespace starburst {
 
@@ -39,6 +42,32 @@ Database::Database(size_t buffer_pool_pages)
   // Sanitizer builds re-validate the whole QGM after every rule firing.
   options_.rewrite.paranoid_validation = true;
 #endif
+  // Resolve every engine metric once; statement-end bookkeeping then
+  // touches only the returned atomics.
+  obs::MetricsRegistry& r = metrics_registry_;
+  em_.queries_total = r.counter("queries_total");
+  em_.query_errors_total = r.counter("query_errors_total");
+  em_.slow_queries_total = r.counter("slow_queries_total");
+  em_.query_latency_us =
+      r.histogram("query_latency_us", obs::MetricsRegistry::LatencyBoundsUs());
+  em_.plan_cache_hits = r.counter("plan_cache_hits_total");
+  em_.plan_cache_misses = r.counter("plan_cache_misses_total");
+  em_.plan_cache_invalidations = r.counter("plan_cache_invalidations_total");
+  em_.plan_cache_evictions = r.counter("plan_cache_evictions_total");
+  em_.plan_cache_entries = r.gauge("plan_cache_entries");
+  em_.buffer_pool_logical_reads = r.counter("buffer_pool_logical_reads_total");
+  em_.buffer_pool_cache_hits = r.counter("buffer_pool_cache_hits_total");
+  em_.buffer_pool_disk_reads = r.counter("buffer_pool_disk_reads_total");
+  em_.buffer_pool_disk_writes = r.counter("buffer_pool_disk_writes_total");
+  em_.spill_files_created = r.counter("spill_files_created_total");
+  em_.spill_bytes_written = r.counter("spill_bytes_written_total");
+  em_.spill_live_files = r.gauge("spill_live_files");
+  em_.spill_live_bytes = r.gauge("spill_live_bytes");
+  em_.scheduler_tasks_run = r.counter("scheduler_tasks_run_total");
+  em_.scheduler_workers_spawned = r.counter("scheduler_workers_spawned_total");
+  em_.memory_query_peak_bytes = r.gauge("memory_query_peak_bytes");
+  em_.memory_query_peak_max_bytes = r.gauge("memory_query_peak_max_bytes");
+  RegisterSystemTables();
 }
 
 Status Database::RegisterStar(optimizer::Star star) {
@@ -46,7 +75,48 @@ Status Database::RegisterStar(optimizer::Star star) {
   return Status::OK();
 }
 
+namespace {
+
+/// Rows a statement produced, for the query log: result rows for
+/// queries, affected rows for DML, 0 on error.
+uint64_t LoggedRowCount(const Result<ResultSet>& r) {
+  if (!r.ok()) return 0;
+  if ((*r).row_count() > 0) return (*r).row_count();
+  return static_cast<uint64_t>(std::max<int64_t>(0, (*r).affected_rows()));
+}
+
+/// Fallback query-log label for script statements, whose original text
+/// is not retained per statement.
+const char* StatementKindLabel(ast::StatementKind kind) {
+  switch (kind) {
+    case ast::StatementKind::kSelect: return "<script SELECT>";
+    case ast::StatementKind::kExplain: return "<script EXPLAIN>";
+    case ast::StatementKind::kCreateTable: return "<script CREATE TABLE>";
+    case ast::StatementKind::kDropTable: return "<script DROP TABLE>";
+    case ast::StatementKind::kCreateIndex: return "<script CREATE INDEX>";
+    case ast::StatementKind::kDropIndex: return "<script DROP INDEX>";
+    case ast::StatementKind::kCreateView: return "<script CREATE VIEW>";
+    case ast::StatementKind::kDropView: return "<script DROP VIEW>";
+    case ast::StatementKind::kInsert: return "<script INSERT>";
+    case ast::StatementKind::kDelete: return "<script DELETE>";
+    case ast::StatementKind::kUpdate: return "<script UPDATE>";
+    case ast::StatementKind::kSet: return "<script SET>";
+    case ast::StatementKind::kAnalyze: return "<script ANALYZE>";
+  }
+  return "<script statement>";
+}
+
+}  // namespace
+
 Result<ResultSet> Database::Execute(const std::string& sql) {
+  Timer total_timer;
+  Result<ResultSet> result = ExecuteInternal(sql);
+  FinishStatement(sql, result.status(), LoggedRowCount(result),
+                  total_timer.ElapsedUs());
+  return result;
+}
+
+Result<ResultSet> Database::ExecuteInternal(const std::string& sql) {
   metrics_ = QueryMetrics{};
   obs::Span statement_span(&tracer_, "statement", "query");
   statement_span.AddArg("sql",
@@ -91,7 +161,13 @@ Result<ResultSet> Database::ExecuteScript(const std::string& sql) {
     // metrics of the last one.
     metrics_ = QueryMetrics{};
     metrics_.parse_us = i < parse_us.size() ? parse_us[i] : 0;
-    STARBURST_ASSIGN_OR_RETURN(last, ExecuteStatement(*stmts[i]));
+    Timer stmt_timer;
+    Result<ResultSet> r = ExecuteStatement(*stmts[i]);
+    FinishStatement(StatementKindLabel(stmts[i]->kind), r.status(),
+                    LoggedRowCount(r),
+                    metrics_.parse_us + stmt_timer.ElapsedUs());
+    if (!r.ok()) return r.status();
+    last = r.TakeValue();
   }
   return last;
 }
@@ -165,6 +241,8 @@ Result<ResultSet> Database::ExecutePrepared(const PreparedHandle& handle,
   if (handle == nullptr) {
     return Status::InvalidArgument("null prepared statement handle");
   }
+  Timer total_timer;
+  Result<ResultSet> result = [&]() -> Result<ResultSet> {
   metrics_ = QueryMetrics{};
   obs::Span statement_span(&tracer_, "statement", "query");
   PreparedStatement& ps = *handle;
@@ -194,6 +272,10 @@ Result<ResultSet> Database::ExecutePrepared(const PreparedHandle& handle,
   STARBURST_ASSIGN_OR_RETURN(QueryOutput out, ExecuteCompiled(ps, &params));
   SnapshotPlanCacheMetrics();
   return ResultSet(std::move(out.column_names), std::move(out.rows));
+  }();
+  FinishStatement(handle->sql, result.status(), LoggedRowCount(result),
+                  total_timer.ElapsedUs());
+  return result;
 }
 
 void Database::SnapshotPlanCacheMetrics() {
@@ -343,6 +425,29 @@ Result<ResultSet> Database::RunSet(const ast::SetStatement& stmt) {
     plan_cache_.set_capacity(n);
     return ResultSet::Message("SET PLAN_CACHE_SIZE = " + std::to_string(n));
   }
+  // Observability knobs. Neither affects what compilation produces, so
+  // neither participates in KnobFingerprint().
+  if (stmt.name == "SLOW_QUERY_US") {
+    // Statements at or above the threshold are flagged in sys.query_log
+    // and emit a trace instant. 0 and DEFAULT both disable flagging.
+    if (!stmt.is_default && stmt.value < 0) {
+      return Status::SemanticError("SLOW_QUERY_US must be >= 0");
+    }
+    uint64_t us = stmt.is_default ? 0 : static_cast<uint64_t>(stmt.value);
+    slow_query_us_ = us;
+    return ResultSet::Message("SET SLOW_QUERY_US = " + std::to_string(us));
+  }
+  if (stmt.name == "TRACE_BUFFER") {
+    // Capacity of the tracer's event ring; DEFAULT restores 8192.
+    // Shrinking discards the oldest events (they count as dropped).
+    if (!stmt.is_default && stmt.value < 0) {
+      return Status::SemanticError("TRACE_BUFFER must be >= 0");
+    }
+    size_t n = stmt.is_default ? obs::Tracer::kDefaultCapacity
+                               : static_cast<size_t>(stmt.value);
+    tracer_.set_capacity(n);
+    return ResultSet::Message("SET TRACE_BUFFER = " + std::to_string(n));
+  }
   return Status::SemanticError("unknown session option '" + stmt.name + "'");
 }
 
@@ -482,6 +587,7 @@ Result<Database::QueryOutput> Database::ExecuteCompiled(
   obs::Span exec_span(&tracer_, "execute", "phase");
   Timer exec_timer;
   StorageEngine::Stats storage_before = storage_.GatherStats();
+  uint64_t spill_before = SpillFile::total_bytes();
   // A cached stats tree still carries the previous run's actuals.
   if (ps.stats_tree != nullptr) ps.stats_tree->ResetActuals();
   exec::ExecContext ctx(&storage_, &catalog_);
@@ -515,6 +621,8 @@ Result<Database::QueryOutput> Database::ExecuteCompiled(
       storage_after.buffer_pool.Since(storage_before.buffer_pool);
   metrics_.index_node_visits =
       storage_after.index_node_visits - storage_before.index_node_visits;
+  metrics_.spill_bytes = SpillFile::total_bytes() - spill_before;
+  metrics_.peak_memory_bytes = ctx.query_memory()->peak();
   metrics_.op_stats = ps.stats_tree;
   metrics_.plan_cost = ps.plan_cost;
   metrics_.plan_cardinality = ps.plan_cardinality;
@@ -695,6 +803,7 @@ Result<ResultSet> Database::RunExplainReport(const ast::ExplainStatement& stmt) 
 
 Result<ResultSet> Database::RunCreateTable(
     const ast::CreateTableStatement& stmt) {
+  STARBURST_RETURN_IF_ERROR(RejectSystemTarget(stmt.name, "create table"));
   TableDef def;
   def.name = stmt.name;
   for (const ast::ColumnSpec& col : stmt.columns) {
@@ -746,6 +855,7 @@ Result<ResultSet> Database::RunCreateTable(
 
 Result<ResultSet> Database::RunCreateIndex(
     const ast::CreateIndexStatement& stmt) {
+  STARBURST_RETURN_IF_ERROR(RejectSystemTarget(stmt.table, "index"));
   IndexDef def;
   def.name = stmt.name;
   def.table_name = stmt.table;
@@ -767,6 +877,7 @@ Result<ResultSet> Database::RunCreateIndex(
 
 Result<ResultSet> Database::RunCreateView(
     const ast::CreateViewStatement& stmt) {
+  STARBURST_RETURN_IF_ERROR(RejectSystemTarget(stmt.name, "create view"));
   // Views must bind cleanly at definition time (semantic validation).
   qgm::Binder binder(&catalog_);
   STARBURST_RETURN_IF_ERROR(binder.BindQuery(*stmt.query).status());
@@ -807,6 +918,7 @@ std::vector<std::string> Database::ViewsReferencing(
 // does not.
 
 Result<ResultSet> Database::RunDropTable(const std::string& name) {
+  STARBURST_RETURN_IF_ERROR(RejectSystemTarget(name, "drop"));
   STARBURST_RETURN_IF_ERROR(catalog_.GetTable(name).status());
   std::vector<std::string> dependents =
       ViewsReferencing("T:" + IdentUpper(name));
@@ -822,6 +934,7 @@ Result<ResultSet> Database::RunDropTable(const std::string& name) {
 }
 
 Result<ResultSet> Database::RunDropIndex(const std::string& name) {
+  STARBURST_RETURN_IF_ERROR(RejectSystemTarget(name, "drop"));
   STARBURST_RETURN_IF_ERROR(catalog_.GetIndex(name).status());
   STARBURST_RETURN_IF_ERROR(storage_.DropIndex(name));
   STARBURST_RETURN_IF_ERROR(catalog_.DropIndex(name));
@@ -829,6 +942,7 @@ Result<ResultSet> Database::RunDropIndex(const std::string& name) {
 }
 
 Result<ResultSet> Database::RunDropView(const std::string& name) {
+  STARBURST_RETURN_IF_ERROR(RejectSystemTarget(name, "drop"));
   STARBURST_RETURN_IF_ERROR(catalog_.GetView(name).status());
   std::vector<std::string> dependents =
       ViewsReferencing("V:" + IdentUpper(name));
@@ -969,6 +1083,7 @@ void Database::RefreshRowStats(const std::string& table_name) {
 }
 
 Result<ResultSet> Database::RunInsert(const ast::InsertStatement& stmt) {
+  STARBURST_RETURN_IF_ERROR(RejectSystemTarget(stmt.table, "insert into"));
   const TableDef* table = nullptr;
   std::unique_ptr<UpdatableView> view;
   if (catalog_.HasView(stmt.table)) {
@@ -1040,6 +1155,7 @@ Row ProjectViewRow(const Row& base_row, const std::vector<size_t>& map) {
 }  // namespace
 
 Result<ResultSet> Database::RunDelete(const ast::DeleteStatement& stmt) {
+  STARBURST_RETURN_IF_ERROR(RejectSystemTarget(stmt.table, "delete from"));
   const TableDef* table = nullptr;
   std::unique_ptr<UpdatableView> view;
   if (catalog_.HasView(stmt.table)) {
@@ -1130,6 +1246,7 @@ Result<ResultSet> Database::RunDelete(const ast::DeleteStatement& stmt) {
 }
 
 Result<ResultSet> Database::RunUpdate(const ast::UpdateStatement& stmt) {
+  STARBURST_RETURN_IF_ERROR(RejectSystemTarget(stmt.table, "update"));
   const TableDef* table = nullptr;
   std::unique_ptr<UpdatableView> view;
   if (catalog_.HasView(stmt.table)) {
@@ -1289,9 +1406,204 @@ Status Database::Analyze(const std::string& table_name) {
 
 Status Database::AnalyzeAll() {
   for (const std::string& name : catalog_.TableNames()) {
+    // sys.* rows are materialized fresh on every scan; there is nothing
+    // durable to gather statistics over.
+    if (IsSystemTableName(name)) continue;
     STARBURST_RETURN_IF_ERROR(Analyze(name));
   }
   return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// Observability: statement bookkeeping and the sys.* virtual tables
+// ---------------------------------------------------------------------------
+
+void Database::FinishStatement(const std::string& sql, const Status& status,
+                               uint64_t rows, double total_us) {
+  ++statement_seq_;
+  if (!metrics_enabled_) return;
+
+  em_.queries_total->Increment();
+  if (!status.ok()) em_.query_errors_total->Increment();
+  em_.query_latency_us->Observe(total_us);
+  em_.memory_query_peak_bytes->Set(
+      static_cast<double>(metrics_.peak_memory_bytes));
+  if (static_cast<double>(metrics_.peak_memory_bytes) >
+      em_.memory_query_peak_max_bytes->value()) {
+    em_.memory_query_peak_max_bytes->Set(
+        static_cast<double>(metrics_.peak_memory_bytes));
+  }
+
+  obs::QueryLogEntry entry;
+  entry.ts_us = std::chrono::duration_cast<std::chrono::microseconds>(
+                    std::chrono::system_clock::now().time_since_epoch())
+                    .count();
+  entry.sql = NormalizeSql(sql);
+  entry.status = status.ok() ? "ok" : "error";
+  if (!status.ok()) entry.error = status.message();
+  entry.rows = rows;
+  entry.parse_us = static_cast<uint64_t>(metrics_.parse_us);
+  entry.bind_us = static_cast<uint64_t>(metrics_.bind_us);
+  entry.rewrite_us = static_cast<uint64_t>(metrics_.rewrite_us);
+  entry.optimize_us = static_cast<uint64_t>(metrics_.optimize_us);
+  entry.refine_us = static_cast<uint64_t>(metrics_.refine_us);
+  entry.execute_us = static_cast<uint64_t>(metrics_.execute_us);
+  entry.total_us = static_cast<uint64_t>(total_us);
+  entry.plan_cache_hit = metrics_.plan_cache_hit;
+  entry.spill_bytes = metrics_.spill_bytes;
+  entry.peak_memory_bytes = metrics_.peak_memory_bytes;
+  entry.parallelism = options_.exec.parallelism == 0
+                          ? 1
+                          : static_cast<int>(options_.exec.parallelism);
+  entry.slow = slow_query_us_ > 0 &&
+               total_us >= static_cast<double>(slow_query_us_);
+  if (entry.slow) {
+    em_.slow_queries_total->Increment();
+    tracer_.RecordInstant(
+        "slow query", "engine", obs::NowUs(),
+        "\"sql\":\"" + obs::JsonEscape(entry.sql) + "\",\"total_us\":\"" +
+            std::to_string(entry.total_us) + "\"");
+  }
+  query_log_.Append(std::move(entry));
+
+  RefreshMetricsMirrors();
+}
+
+void Database::RefreshMetricsMirrors() {
+  const PlanCache::Stats& pc = plan_cache_.stats();
+  em_.plan_cache_hits->Set(pc.hits);
+  em_.plan_cache_misses->Set(pc.misses);
+  em_.plan_cache_invalidations->Set(pc.invalidations);
+  em_.plan_cache_evictions->Set(pc.evictions);
+  em_.plan_cache_entries->Set(static_cast<double>(plan_cache_.size()));
+
+  StorageEngine::Stats st = storage_.GatherStats();
+  em_.buffer_pool_logical_reads->Set(st.buffer_pool.logical_reads);
+  em_.buffer_pool_cache_hits->Set(st.buffer_pool.cache_hits);
+  em_.buffer_pool_disk_reads->Set(st.buffer_pool.disk_reads);
+  em_.buffer_pool_disk_writes->Set(st.buffer_pool.disk_writes);
+
+  em_.spill_files_created->Set(SpillFile::total_count());
+  em_.spill_bytes_written->Set(SpillFile::total_bytes());
+  em_.spill_live_files->Set(static_cast<double>(SpillFile::live_count()));
+  em_.spill_live_bytes->Set(static_cast<double>(SpillFile::live_bytes()));
+
+  em_.scheduler_tasks_run->Set(exec::parallel::TaskScheduler::total_tasks_run());
+  em_.scheduler_workers_spawned->Set(
+      exec::parallel::TaskScheduler::total_workers_spawned());
+}
+
+void Database::RegisterSystemTables() {
+  std::unique_ptr<SystemStorageManager> manager = MakeSystemStorageManager();
+  manager->RegisterTable("sys.metrics", [this] { return MetricsRows(); });
+  manager->RegisterTable("sys.query_log", [this] { return QueryLogRows(); });
+  manager->RegisterTable("sys.plan_cache", [this] { return PlanCacheRows(); });
+  Status registered = storage_.storage_managers().Register(std::move(manager));
+  (void)registered;  // fresh registry: "SYSTEM" cannot collide
+
+  auto define = [this](const char* name, TableSchema schema) {
+    TableDef def;
+    def.name = name;
+    def.schema = std::move(schema);
+    def.storage_manager = "SYSTEM";
+    // Nominal stats: the optimizer should not treat a system view as
+    // empty (rows materialize at scan time).
+    def.stats.row_count = 64;
+    def.stats.page_count = 1;
+    if (catalog_.CreateTable(def).ok()) {
+      (void)storage_.CreateTable(def);
+    }
+  };
+
+  TableSchema metrics;
+  metrics.AddColumn(ColumnDef{"name", DataType::String(), false});
+  metrics.AddColumn(ColumnDef{"kind", DataType::String(), false});
+  metrics.AddColumn(ColumnDef{"value", DataType::Double(), false});
+  define("sys.metrics", std::move(metrics));
+
+  TableSchema qlog;
+  qlog.AddColumn(ColumnDef{"id", DataType::Int(), false});
+  qlog.AddColumn(ColumnDef{"ts_us", DataType::Int(), false});
+  qlog.AddColumn(ColumnDef{"sql", DataType::String(), false});
+  qlog.AddColumn(ColumnDef{"status", DataType::String(), false});
+  qlog.AddColumn(ColumnDef{"error", DataType::String(), true});
+  qlog.AddColumn(ColumnDef{"rows", DataType::Int(), false});
+  qlog.AddColumn(ColumnDef{"parse_us", DataType::Int(), false});
+  qlog.AddColumn(ColumnDef{"bind_us", DataType::Int(), false});
+  qlog.AddColumn(ColumnDef{"rewrite_us", DataType::Int(), false});
+  qlog.AddColumn(ColumnDef{"optimize_us", DataType::Int(), false});
+  qlog.AddColumn(ColumnDef{"refine_us", DataType::Int(), false});
+  qlog.AddColumn(ColumnDef{"execute_us", DataType::Int(), false});
+  qlog.AddColumn(ColumnDef{"total_us", DataType::Int(), false});
+  qlog.AddColumn(ColumnDef{"plan_cache_hit", DataType::Int(), false});
+  qlog.AddColumn(ColumnDef{"spill_bytes", DataType::Int(), false});
+  qlog.AddColumn(ColumnDef{"peak_memory_bytes", DataType::Int(), false});
+  qlog.AddColumn(ColumnDef{"parallelism", DataType::Int(), false});
+  qlog.AddColumn(ColumnDef{"slow", DataType::Int(), false});
+  define("sys.query_log", std::move(qlog));
+
+  TableSchema pcache;
+  pcache.AddColumn(ColumnDef{"position", DataType::Int(), false});
+  pcache.AddColumn(ColumnDef{"sql", DataType::String(), false});
+  pcache.AddColumn(ColumnDef{"num_params", DataType::Int(), false});
+  pcache.AddColumn(ColumnDef{"cost", DataType::Double(), false});
+  pcache.AddColumn(ColumnDef{"cardinality", DataType::Double(), false});
+  pcache.AddColumn(ColumnDef{"catalog_version", DataType::Int(), false});
+  pcache.AddColumn(ColumnDef{"fresh", DataType::Int(), false});
+  define("sys.plan_cache", std::move(pcache));
+}
+
+std::vector<Row> Database::MetricsRows() {
+  RefreshMetricsMirrors();
+  std::vector<Row> rows;
+  for (const obs::MetricsRegistry::Sample& s : metrics_registry_.Snapshot()) {
+    rows.push_back(Row({Value::String(s.name), Value::String(s.kind),
+                        Value::Double(s.value)}));
+  }
+  return rows;
+}
+
+std::vector<Row> Database::QueryLogRows() const {
+  std::vector<Row> rows;
+  for (const obs::QueryLogEntry& e : query_log_.Snapshot()) {
+    auto u = [](uint64_t v) { return Value::Int(static_cast<int64_t>(v)); };
+    rows.push_back(Row({u(e.id), Value::Int(e.ts_us), Value::String(e.sql),
+                        Value::String(e.status),
+                        e.error.empty() ? Value::Null()
+                                        : Value::String(e.error),
+                        u(e.rows), u(e.parse_us), u(e.bind_us),
+                        u(e.rewrite_us), u(e.optimize_us), u(e.refine_us),
+                        u(e.execute_us), u(e.total_us),
+                        Value::Int(e.plan_cache_hit ? 1 : 0), u(e.spill_bytes),
+                        u(e.peak_memory_bytes), Value::Int(e.parallelism),
+                        Value::Int(e.slow ? 1 : 0)}));
+  }
+  return rows;
+}
+
+std::vector<Row> Database::PlanCacheRows() const {
+  std::vector<Row> rows;
+  int64_t position = 0;  // 0 = most recently used
+  for (const auto& [key, ps] : plan_cache_.Entries()) {
+    // The cache key is `normalized SQL \x1f knob fingerprint`; expose
+    // only the SQL half.
+    std::string sql = key.substr(0, key.find('\x1f'));
+    rows.push_back(Row({Value::Int(position++), Value::String(std::move(sql)),
+                        Value::Int(static_cast<int64_t>(ps->num_params)),
+                        Value::Double(ps->plan_cost),
+                        Value::Double(ps->plan_cardinality),
+                        Value::Int(static_cast<int64_t>(ps->catalog_version)),
+                        Value::Int(ps->FreshAgainst(catalog_) ? 1 : 0)}));
+  }
+  return rows;
+}
+
+Status Database::RejectSystemTarget(const std::string& name,
+                                    const char* verb) const {
+  if (!IsSystemTableName(name)) return Status::OK();
+  return Status::InvalidArgument(std::string("cannot ") + verb + " '" +
+                                 IdentUpper(name) +
+                                 "': sys.* tables are read-only");
 }
 
 }  // namespace starburst

@@ -9,11 +9,14 @@
 #include "engine/plan_cache.h"
 #include "engine/result_set.h"
 #include "exec/executor.h"
+#include "obs/metrics.h"
 #include "obs/op_stats.h"
+#include "obs/query_log.h"
 #include "obs/trace.h"
 #include "optimizer/optimizer.h"
 #include "rewrite/rule_engine.h"
 #include "storage/storage_engine.h"
+#include "storage/system_storage.h"
 
 namespace starburst {
 
@@ -45,6 +48,10 @@ struct QueryMetrics {
   PlanCache::Stats plan_cache;
   /// Entries resident in the plan cache at statement end.
   uint64_t plan_cache_entries = 0;
+  /// Bytes this statement spilled to disk (external sort runs, grace
+  /// partitions) and the query-memory high-water mark it reached.
+  uint64_t spill_bytes = 0;
+  uint64_t peak_memory_bytes = 0;
 };
 
 /// The embedded Starburst engine: Corona's language-processing pipeline
@@ -120,7 +127,50 @@ class Database {
   obs::Tracer& tracer() { return tracer_; }
   const obs::Tracer& tracer() const { return tracer_; }
 
+  /// Engine-wide named counters/gauges/histograms — the registry behind
+  /// `sys.metrics` and RenderText (Prometheus-style exposition).
+  obs::MetricsRegistry& metrics_registry() { return metrics_registry_; }
+  const obs::MetricsRegistry& metrics_registry() const {
+    return metrics_registry_;
+  }
+
+  /// Ring-buffered per-statement history — the relation behind
+  /// `sys.query_log`.
+  obs::QueryLog& query_log() { return query_log_; }
+  const obs::QueryLog& query_log() const { return query_log_; }
+
+  /// Statement bookkeeping switch (query log + registry updates). On by
+  /// default; benches flip it off to measure the disabled-path cost.
+  bool metrics_enabled() const { return metrics_enabled_; }
+  void set_metrics_enabled(bool on) { metrics_enabled_ = on; }
+
+  /// SLOW_QUERY_US threshold; 0 (the default) disables slow-query
+  /// flagging.
+  uint64_t slow_query_us() const { return slow_query_us_; }
+
+  /// Re-mirrors layer counters (plan cache, buffer pool, spill files,
+  /// scheduler) into the registry so an externally taken snapshot is
+  /// current. `sys.metrics` scans and \metrics call this implicitly.
+  void RefreshMetricsMirrors();
+
  private:
+  /// Execute minus the statement bookkeeping wrapper.
+  Result<ResultSet> ExecuteInternal(const std::string& sql);
+  /// Statement epilogue: appends the query-log entry, advances the
+  /// engine counters, observes the latency histogram, flags/traces slow
+  /// statements, and re-mirrors layer counters. No-op when metrics are
+  /// disabled.
+  void FinishStatement(const std::string& sql, const Status& status,
+                       uint64_t rows, double total_us);
+  /// Registers the SYSTEM storage manager, its row providers, and the
+  /// sys.* table definitions (constructor-time).
+  void RegisterSystemTables();
+  std::vector<Row> MetricsRows();
+  std::vector<Row> QueryLogRows() const;
+  std::vector<Row> PlanCacheRows() const;
+  /// Clear error for any DDL/DML aimed at the reserved sys schema.
+  Status RejectSystemTarget(const std::string& name, const char* verb) const;
+
   /// `cache_key` is non-empty only for single statements arriving through
   /// Execute with caching enabled; a compiled SELECT is inserted under it.
   Result<ResultSet> ExecuteStatement(const ast::Statement& stmt,
@@ -211,6 +261,39 @@ class Database {
   QueryMetrics metrics_;
   obs::Tracer tracer_;
   PlanCache plan_cache_;
+
+  obs::MetricsRegistry metrics_registry_;
+  obs::QueryLog query_log_;
+  bool metrics_enabled_ = true;
+  uint64_t slow_query_us_ = 0;  // 0 = off
+  uint64_t statement_seq_ = 0;  // statements finished (metrics on or off)
+
+  /// Registry pointers resolved once at construction; statement-end
+  /// bookkeeping then touches only their atomics.
+  struct EngineMetrics {
+    obs::Counter* queries_total = nullptr;
+    obs::Counter* query_errors_total = nullptr;
+    obs::Counter* slow_queries_total = nullptr;
+    obs::Histogram* query_latency_us = nullptr;
+    obs::Counter* plan_cache_hits = nullptr;
+    obs::Counter* plan_cache_misses = nullptr;
+    obs::Counter* plan_cache_invalidations = nullptr;
+    obs::Counter* plan_cache_evictions = nullptr;
+    obs::Gauge* plan_cache_entries = nullptr;
+    obs::Counter* buffer_pool_logical_reads = nullptr;
+    obs::Counter* buffer_pool_cache_hits = nullptr;
+    obs::Counter* buffer_pool_disk_reads = nullptr;
+    obs::Counter* buffer_pool_disk_writes = nullptr;
+    obs::Counter* spill_files_created = nullptr;
+    obs::Counter* spill_bytes_written = nullptr;
+    obs::Gauge* spill_live_files = nullptr;
+    obs::Gauge* spill_live_bytes = nullptr;
+    obs::Counter* scheduler_tasks_run = nullptr;
+    obs::Counter* scheduler_workers_spawned = nullptr;
+    obs::Gauge* memory_query_peak_bytes = nullptr;
+    obs::Gauge* memory_query_peak_max_bytes = nullptr;
+  };
+  EngineMetrics em_;
 };
 
 }  // namespace starburst

@@ -66,6 +66,14 @@ void PlanCache::Insert(const std::string& key, PreparedStatementPtr stmt) {
   }
 }
 
+std::vector<std::pair<std::string, PreparedStatementPtr>> PlanCache::Entries()
+    const {
+  std::vector<std::pair<std::string, PreparedStatementPtr>> out;
+  out.reserve(lru_.size());
+  for (const Entry& e : lru_) out.emplace_back(e.key, e.stmt);
+  return out;
+}
+
 std::string NormalizeSql(const std::string& sql) {
   std::string out;
   out.reserve(sql.size());

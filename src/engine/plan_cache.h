@@ -104,6 +104,10 @@ class PlanCache {
   /// recently used entry past capacity. No-op when disabled.
   void Insert(const std::string& key, PreparedStatementPtr stmt);
 
+  /// LRU-ordered view (most recently used first) of the cached entries:
+  /// (cache key, statement) pairs. Powers `sys.plan_cache`.
+  std::vector<std::pair<std::string, PreparedStatementPtr>> Entries() const;
+
   void CountMiss() { ++stats_.misses; }
   /// A plan reuse that bypassed Lookup (ExecutePrepared on a live
   /// handle); Lookup counts its own hits.

@@ -5,6 +5,19 @@
 
 namespace starburst::exec::parallel {
 
+namespace {
+std::atomic<uint64_t> g_tasks_run{0};
+std::atomic<uint64_t> g_workers_spawned{0};
+}  // namespace
+
+uint64_t TaskScheduler::total_tasks_run() {
+  return g_tasks_run.load(std::memory_order_relaxed);
+}
+
+uint64_t TaskScheduler::total_workers_spawned() {
+  return g_workers_spawned.load(std::memory_order_relaxed);
+}
+
 TaskScheduler::~TaskScheduler() {
   {
     std::lock_guard<std::mutex> lock(mu_);
@@ -30,6 +43,7 @@ Status TaskScheduler::RunParallel(std::vector<std::function<Status()>> tasks) {
       }
       if (!s.ok() && first.ok()) first = s;
     }
+    g_tasks_run.fetch_add(tasks.size(), std::memory_order_relaxed);
     return first;
   }
 
@@ -42,6 +56,7 @@ Status TaskScheduler::RunParallel(std::vector<std::function<Status()>> tasks) {
       for (size_t i = 0; i < target_workers_; ++i) {
         threads_.emplace_back([this] { WorkerLoop(); });
       }
+      g_workers_spawned.fetch_add(target_workers_, std::memory_order_relaxed);
       spawned_ = true;
     }
     error_ = Status::OK();
@@ -76,6 +91,7 @@ size_t TaskScheduler::DrainBatch(Batch* batch) {
       s = Status::Internal("parallel task threw");
     }
     ++ran;
+    g_tasks_run.fetch_add(1, std::memory_order_relaxed);
     std::lock_guard<std::mutex> lock(mu_);
     if (!s.ok() && error_.ok()) error_ = s;
     if (++batch->done == n) done_cv_.notify_all();

@@ -32,6 +32,12 @@ class TaskScheduler {
 
   size_t workers() const { return target_workers_; }
 
+  /// Process-wide scheduler activity (monotonic; feeds sys.metrics):
+  /// tasks executed across every scheduler instance, including the
+  /// serial fast path, and worker threads ever spawned.
+  static uint64_t total_tasks_run();
+  static uint64_t total_workers_spawned();
+
   /// Runs every task, concurrently when workers are available. Returns
   /// the first non-OK status (remaining tasks still run to completion so
   /// shared state is quiesced when this returns). Exceptions escaping a

@@ -1,0 +1,150 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace starburst::obs {
+
+Histogram::Histogram(std::vector<double> bounds)
+    : bounds_(std::move(bounds)), buckets_(bounds_.size() + 1) {
+  std::sort(bounds_.begin(), bounds_.end());
+}
+
+void Histogram::Observe(double v) {
+  size_t i = 0;
+  while (i < bounds_.size() && v > bounds_[i]) ++i;
+  buckets_[i].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  // No atomic<double>::fetch_add until C++20; CAS-loop the sum and max.
+  double cur = sum_.load(std::memory_order_relaxed);
+  while (!sum_.compare_exchange_weak(cur, cur + v, std::memory_order_relaxed)) {
+  }
+  double m = max_.load(std::memory_order_relaxed);
+  while (v > m &&
+         !max_.compare_exchange_weak(m, v, std::memory_order_relaxed)) {
+  }
+}
+
+std::vector<uint64_t> Histogram::BucketCounts() const {
+  std::vector<uint64_t> out(buckets_.size());
+  for (size_t i = 0; i < buckets_.size(); ++i) {
+    out[i] = buckets_[i].load(std::memory_order_relaxed);
+  }
+  return out;
+}
+
+double Histogram::Quantile(double q) const {
+  std::vector<uint64_t> counts = BucketCounts();
+  uint64_t total = 0;
+  for (uint64_t c : counts) total += c;
+  if (total == 0) return 0;
+
+  // Rank of the target observation (1-based), then walk the cumulative
+  // distribution to the bucket that holds it.
+  const double rank = q * static_cast<double>(total);
+  uint64_t cumulative = 0;
+  for (size_t i = 0; i < counts.size(); ++i) {
+    const uint64_t prev = cumulative;
+    cumulative += counts[i];
+    if (static_cast<double>(cumulative) < rank) continue;
+    if (i == bounds_.size()) return max();  // overflow bucket
+    const double lo = i == 0 ? 0 : bounds_[i - 1];
+    const double hi = bounds_[i];
+    if (counts[i] == 0) return hi;
+    const double frac =
+        (rank - static_cast<double>(prev)) / static_cast<double>(counts[i]);
+    return lo + (hi - lo) * std::min(1.0, std::max(0.0, frac));
+  }
+  return max();
+}
+
+Counter* MetricsRegistry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return slot.get();
+}
+
+Gauge* MetricsRegistry::gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return slot.get();
+}
+
+Histogram* MetricsRegistry::histogram(const std::string& name,
+                                      std::vector<double> bounds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<Histogram>(std::move(bounds));
+  return slot.get();
+}
+
+std::vector<double> MetricsRegistry::LatencyBoundsUs() {
+  return {100,     250,     500,     1000,    2500,     5000,    10000,
+          25000,   50000,   100000,  250000,  500000,   1000000, 2500000,
+          5000000, 10000000};
+}
+
+std::vector<MetricsRegistry::Sample> MetricsRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<Sample> out;
+  out.reserve(counters_.size() + gauges_.size() + histograms_.size() * 5);
+  for (const auto& [name, c] : counters_) {
+    out.push_back({name, "counter", static_cast<double>(c->value())});
+  }
+  for (const auto& [name, g] : gauges_) {
+    out.push_back({name, "gauge", g->value()});
+  }
+  for (const auto& [name, h] : histograms_) {
+    out.push_back(
+        {name + "_count", "histogram", static_cast<double>(h->count())});
+    out.push_back({name + "_sum", "histogram", h->sum()});
+    out.push_back({name + "_p50", "histogram", h->Quantile(0.50)});
+    out.push_back({name + "_p95", "histogram", h->Quantile(0.95)});
+    out.push_back({name + "_p99", "histogram", h->Quantile(0.99)});
+  }
+  return out;
+}
+
+namespace {
+
+std::string FormatValue(double v) {
+  char buf[64];
+  // Counters and bucket counts are integral; render them without a
+  // fractional tail so the exposition stays diff-friendly.
+  if (v == static_cast<double>(static_cast<int64_t>(v))) {
+    std::snprintf(buf, sizeof(buf), "%lld",
+                  static_cast<long long>(static_cast<int64_t>(v)));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.6g", v);
+  }
+  return buf;
+}
+
+}  // namespace
+
+std::string MetricsRegistry::RenderText() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out;
+  for (const auto& [name, c] : counters_) {
+    out += "# TYPE " + name + " counter\n";
+    out += name + " " + FormatValue(static_cast<double>(c->value())) + "\n";
+  }
+  for (const auto& [name, g] : gauges_) {
+    out += "# TYPE " + name + " gauge\n";
+    out += name + " " + FormatValue(g->value()) + "\n";
+  }
+  for (const auto& [name, h] : histograms_) {
+    out += "# TYPE " + name + " summary\n";
+    out += name + "{quantile=\"0.5\"} " + FormatValue(h->Quantile(0.50)) + "\n";
+    out += name + "{quantile=\"0.95\"} " + FormatValue(h->Quantile(0.95)) + "\n";
+    out += name + "{quantile=\"0.99\"} " + FormatValue(h->Quantile(0.99)) + "\n";
+    out += name + "_sum " + FormatValue(h->sum()) + "\n";
+    out += name + "_count " + FormatValue(static_cast<double>(h->count())) +
+           "\n";
+  }
+  return out;
+}
+
+}  // namespace starburst::obs

@@ -1,0 +1,115 @@
+#ifndef STARBURST_OBS_METRICS_H_
+#define STARBURST_OBS_METRICS_H_
+
+#include <atomic>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace starburst::obs {
+
+/// A monotonic event count. Incrementing is one relaxed atomic add — the
+/// same discipline as the Tracer's disabled path — so instrumentation can
+/// stay compiled into hot paths unconditionally.
+class Counter {
+ public:
+  void Increment(uint64_t n = 1) {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  /// Mirrors an externally maintained monotonic counter (a layer that
+  /// already keeps its own atomic tally, e.g. the buffer pool) into the
+  /// registry. The source is monotonic, so the mirror stays a counter.
+  void Set(uint64_t v) { value_.store(v, std::memory_order_relaxed); }
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+/// A point-in-time level (entries resident, bytes live). Set/read only.
+class Gauge {
+ public:
+  void Set(double v) { value_.store(v, std::memory_order_relaxed); }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0};
+};
+
+/// A fixed-boundary histogram: `bounds` are inclusive upper edges of the
+/// first N buckets; everything past the last edge lands in an overflow
+/// bucket. Observe() is a short linear scan plus relaxed atomic adds (no
+/// locks), so it can sit on the per-statement path. Percentiles are
+/// estimated by linear interpolation inside the winning bucket; the
+/// overflow bucket reports the true maximum observed.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> bounds);
+
+  void Observe(double v);
+
+  uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  double sum() const { return sum_.load(std::memory_order_relaxed); }
+  double max() const { return max_.load(std::memory_order_relaxed); }
+  /// `q` in (0, 1]; returns 0 with no observations.
+  double Quantile(double q) const;
+
+  const std::vector<double>& bounds() const { return bounds_; }
+  /// Per-bucket counts (bounds().size() + 1 entries, overflow last).
+  std::vector<uint64_t> BucketCounts() const;
+
+ private:
+  std::vector<double> bounds_;  // sorted ascending
+  std::vector<std::atomic<uint64_t>> buckets_;  // bounds_.size() + 1
+  std::atomic<uint64_t> count_{0};
+  std::atomic<double> sum_{0};
+  std::atomic<double> max_{0};
+};
+
+/// Engine-wide registry of named metrics. Registration (the first lookup
+/// of a name) takes a mutex; the returned pointers are stable for the
+/// registry's lifetime, so instrumented code resolves each metric once
+/// and thereafter touches only its atomics.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  Counter* counter(const std::string& name);
+  Gauge* gauge(const std::string& name);
+  /// Creates with `bounds` on first use; later calls return the existing
+  /// histogram regardless of bounds.
+  Histogram* histogram(const std::string& name, std::vector<double> bounds);
+
+  /// Default microsecond latency edges: 100us .. 10s, roughly 1-2.5-5
+  /// per decade.
+  static std::vector<double> LatencyBoundsUs();
+
+  /// One flattened row per metric value — counters and gauges directly,
+  /// histograms expanded to <name>_count/_sum/_p50/_p95/_p99 — the exact
+  /// relation `sys.metrics` serves.
+  struct Sample {
+    std::string name;
+    std::string kind;  // "counter" | "gauge" | "histogram"
+    double value = 0;
+  };
+  std::vector<Sample> Snapshot() const;
+
+  /// Prometheus-style text exposition: `# TYPE` lines, counters and
+  /// gauges as plain samples, histograms as summaries with quantile
+  /// labels.
+  std::string RenderText() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace starburst::obs
+
+#endif  // STARBURST_OBS_METRICS_H_

@@ -1,0 +1,54 @@
+#include "obs/query_log.h"
+
+namespace starburst::obs {
+
+void QueryLog::Append(QueryLogEntry entry) {
+  std::lock_guard<std::mutex> lock(mu_);
+  entry.id = next_id_++;
+  if (entry.sql.size() > kMaxSqlLength) {
+    entry.sql.resize(kMaxSqlLength - 3);
+    entry.sql += "...";
+  }
+  ring_.push_back(std::move(entry));
+  while (ring_.size() > capacity_) {
+    ring_.pop_front();
+    ++dropped_;
+  }
+}
+
+std::vector<QueryLogEntry> QueryLog::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return std::vector<QueryLogEntry>(ring_.begin(), ring_.end());
+}
+
+void QueryLog::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  dropped_ += ring_.size();
+  ring_.clear();
+}
+
+size_t QueryLog::capacity() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return capacity_;
+}
+
+void QueryLog::set_capacity(size_t n) {
+  std::lock_guard<std::mutex> lock(mu_);
+  capacity_ = n;
+  while (ring_.size() > capacity_) {
+    ring_.pop_front();
+    ++dropped_;
+  }
+}
+
+uint64_t QueryLog::total() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return next_id_ - 1;
+}
+
+uint64_t QueryLog::dropped() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return dropped_;
+}
+
+}  // namespace starburst::obs

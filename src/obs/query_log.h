@@ -1,0 +1,69 @@
+#ifndef STARBURST_OBS_QUERY_LOG_H_
+#define STARBURST_OBS_QUERY_LOG_H_
+
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace starburst::obs {
+
+/// One finished statement's history record — the row shape served by
+/// `sys.query_log`.
+struct QueryLogEntry {
+  uint64_t id = 0;          // monotonic statement number
+  int64_t ts_us = 0;        // wall-clock completion time (µs since epoch)
+  std::string sql;          // normalized, truncated to the log's limit
+  std::string status;       // "ok" | "error"
+  std::string error;        // empty when ok
+  uint64_t rows = 0;        // rows returned (queries) or affected (DML)
+  uint64_t parse_us = 0;
+  uint64_t bind_us = 0;
+  uint64_t rewrite_us = 0;
+  uint64_t optimize_us = 0;
+  uint64_t refine_us = 0;
+  uint64_t execute_us = 0;
+  uint64_t total_us = 0;
+  bool plan_cache_hit = false;
+  uint64_t spill_bytes = 0;        // bytes spilled by this statement
+  uint64_t peak_memory_bytes = 0;  // query memory high-water mark
+  int parallelism = 1;
+  bool slow = false;  // crossed the SLOW_QUERY_US threshold
+};
+
+/// Ring-buffered per-query history. Append is a short critical section
+/// (one deque push + possible pop); snapshots copy the ring so readers
+/// never block writers for long. The capacity bounds memory, and
+/// total()/dropped() account for everything that ever passed through.
+class QueryLog {
+ public:
+  explicit QueryLog(size_t capacity = 256) : capacity_(capacity) {}
+
+  /// Stamps `entry.id` and appends, evicting the oldest past capacity.
+  void Append(QueryLogEntry entry);
+
+  std::vector<QueryLogEntry> Snapshot() const;
+  void Clear();
+
+  size_t capacity() const;
+  void set_capacity(size_t n);
+
+  /// Statements ever logged / evicted from the ring.
+  uint64_t total() const;
+  uint64_t dropped() const;
+
+  /// SQL longer than this is truncated with a trailing ellipsis.
+  static constexpr size_t kMaxSqlLength = 512;
+
+ private:
+  mutable std::mutex mu_;
+  size_t capacity_;
+  std::deque<QueryLogEntry> ring_;
+  uint64_t next_id_ = 1;
+  uint64_t dropped_ = 0;
+};
+
+}  // namespace starburst::obs
+
+#endif  // STARBURST_OBS_QUERY_LOG_H_

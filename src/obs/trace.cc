@@ -35,7 +35,11 @@ void Tracer::Push(TraceEvent event) {
   if (ring_.size() < capacity_) {
     ring_.push_back(std::move(event));
   } else if (capacity_ > 0) {
-    ring_[next_seq_ % capacity_] = std::move(event);
+    ring_[head_] = std::move(event);
+    head_ = (head_ + 1) % capacity_;
+    ++dropped_;
+  } else {
+    ++dropped_;
   }
   ++next_seq_;
 }
@@ -73,9 +77,8 @@ std::vector<TraceEvent> Tracer::Snapshot() const {
   if (ring_.size() < capacity_ || capacity_ == 0) {
     out = ring_;
   } else {
-    size_t oldest = next_seq_ % capacity_;
-    for (size_t i = 0; i < capacity_; ++i) {
-      out.push_back(ring_[(oldest + i) % capacity_]);
+    for (size_t i = 0; i < ring_.size(); ++i) {
+      out.push_back(ring_[(head_ + i) % ring_.size()]);
     }
   }
   return out;
@@ -84,12 +87,42 @@ std::vector<TraceEvent> Tracer::Snapshot() const {
 void Tracer::Clear() {
   std::lock_guard<std::mutex> lock(mu_);
   ring_.clear();
+  head_ = 0;
   next_seq_ = 0;
+  dropped_ = 0;
 }
 
 uint64_t Tracer::dropped() const {
   std::lock_guard<std::mutex> lock(mu_);
-  return next_seq_ > ring_.size() ? next_seq_ - ring_.size() : 0;
+  return dropped_;
+}
+
+size_t Tracer::capacity() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return capacity_;
+}
+
+void Tracer::set_capacity(size_t n) {
+  std::lock_guard<std::mutex> lock(mu_);
+  // Linearize oldest-first, drop the overflow, and restart the ring flat
+  // (head_ = 0) at the new capacity.
+  std::vector<TraceEvent> ordered;
+  ordered.reserve(ring_.size());
+  if (ring_.size() < capacity_ || capacity_ == 0) {
+    ordered = std::move(ring_);
+  } else {
+    for (size_t i = 0; i < ring_.size(); ++i) {
+      ordered.push_back(std::move(ring_[(head_ + i) % ring_.size()]));
+    }
+  }
+  if (ordered.size() > n) {
+    dropped_ += ordered.size() - n;
+    ordered.erase(ordered.begin(),
+                  ordered.begin() + static_cast<ptrdiff_t>(ordered.size() - n));
+  }
+  ring_ = std::move(ordered);
+  head_ = 0;
+  capacity_ = n;
 }
 
 std::string Tracer::ToChromeJson() const {

@@ -37,7 +37,9 @@ struct TraceEvent {
 /// so instrumentation can stay compiled in on hot paths.
 class Tracer {
  public:
-  explicit Tracer(size_t capacity = 8192) : capacity_(capacity) {}
+  static constexpr size_t kDefaultCapacity = 8192;
+
+  explicit Tracer(size_t capacity = kDefaultCapacity) : capacity_(capacity) {}
 
   bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
   void set_enabled(bool on) { enabled_.store(on, std::memory_order_relaxed); }
@@ -54,7 +56,11 @@ class Tracer {
   std::vector<TraceEvent> Snapshot() const;
   void Clear();
   uint64_t dropped() const;
-  size_t capacity() const { return capacity_; }
+  size_t capacity() const;
+  /// Resizes the ring at runtime (`SET TRACE_BUFFER = N`). Shrinking
+  /// discards the oldest events, which count as dropped; recording
+  /// continues seamlessly either way.
+  void set_capacity(size_t n);
 
   /// Chrome trace event format (chrome://tracing, Perfetto: ui.perfetto.dev).
   std::string ToChromeJson() const;
@@ -65,11 +71,13 @@ class Tracer {
  private:
   void Push(TraceEvent event);
 
-  const size_t capacity_;
+  size_t capacity_;  // mutable at runtime via set_capacity
   std::atomic<bool> enabled_{false};
   mutable std::mutex mu_;
-  std::vector<TraceEvent> ring_;  // ring_[next_ % capacity_] is oldest
+  std::vector<TraceEvent> ring_;  // circular once full; ring_[head_] is oldest
+  size_t head_ = 0;               // index of the oldest event when full
   uint64_t next_seq_ = 0;         // total events ever recorded
+  uint64_t dropped_ = 0;          // events overwritten or rejected
 };
 
 /// RAII span: stamps the clock on construction, records on End() or

@@ -120,6 +120,16 @@ Result<std::string> Parser::ExpectIdentifier(const char* what) {
   return t.text;
 }
 
+Result<std::string> Parser::ParseQualifiedTableName(const char* what) {
+  STARBURST_ASSIGN_OR_RETURN(std::string name, ExpectIdentifier(what));
+  while (Check(TokenKind::kDot) && Peek(1).kind == TokenKind::kIdentifier) {
+    Advance();  // '.'
+    name += '.';
+    name += Advance().text;
+  }
+  return name;
+}
+
 Status Parser::ErrorHere(const std::string& message) const {
   return Status::SyntaxError(message + " (found " + Peek().Describe() +
                              " at line " + std::to_string(Peek().line) + ")");
@@ -220,7 +230,8 @@ Result<ast::StatementPtr> Parser::ParseStatementInner() {
   if (MatchKeyword("ANALYZE")) {
     auto stmt = std::make_unique<ast::AnalyzeStatement>();
     if (Check(TokenKind::kIdentifier)) {
-      stmt->table = Advance().text;
+      STARBURST_ASSIGN_OR_RETURN(stmt->table,
+                                 ParseQualifiedTableName("table name"));
     }
     return ast::StatementPtr(std::move(stmt));
   }
@@ -241,7 +252,7 @@ Result<ast::StatementPtr> Parser::ParseCreate() {
 
 Result<ast::StatementPtr> Parser::ParseCreateTable() {
   auto stmt = std::make_unique<ast::CreateTableStatement>();
-  STARBURST_ASSIGN_OR_RETURN(stmt->name, ExpectIdentifier("table name"));
+  STARBURST_ASSIGN_OR_RETURN(stmt->name, ParseQualifiedTableName("table name"));
   STARBURST_RETURN_IF_ERROR(Expect(TokenKind::kLParen, "'('").status());
 
   std::vector<std::string> pk;
@@ -323,7 +334,7 @@ Result<ast::StatementPtr> Parser::ParseCreateIndex(bool unique) {
   stmt->unique = unique;
   STARBURST_ASSIGN_OR_RETURN(stmt->name, ExpectIdentifier("index name"));
   STARBURST_RETURN_IF_ERROR(ExpectKeyword("ON"));
-  STARBURST_ASSIGN_OR_RETURN(stmt->table, ExpectIdentifier("table name"));
+  STARBURST_ASSIGN_OR_RETURN(stmt->table, ParseQualifiedTableName("table name"));
   STARBURST_RETURN_IF_ERROR(Expect(TokenKind::kLParen, "'('").status());
   do {
     STARBURST_ASSIGN_OR_RETURN(std::string col, ExpectIdentifier("column name"));
@@ -339,7 +350,7 @@ Result<ast::StatementPtr> Parser::ParseCreateIndex(bool unique) {
 
 Result<ast::StatementPtr> Parser::ParseCreateView() {
   auto stmt = std::make_unique<ast::CreateViewStatement>();
-  STARBURST_ASSIGN_OR_RETURN(stmt->name, ExpectIdentifier("view name"));
+  STARBURST_ASSIGN_OR_RETURN(stmt->name, ParseQualifiedTableName("view name"));
   if (MatchToken(TokenKind::kLParen)) {
     do {
       STARBURST_ASSIGN_OR_RETURN(std::string col, ExpectIdentifier("column name"));
@@ -360,12 +371,13 @@ Result<ast::StatementPtr> Parser::ParseDrop() {
   STARBURST_RETURN_IF_ERROR(ExpectKeyword("DROP"));
   if (MatchKeyword("TABLE")) {
     auto stmt = std::make_unique<ast::DropTableStatement>();
-    STARBURST_ASSIGN_OR_RETURN(stmt->name, ExpectIdentifier("table name"));
+    STARBURST_ASSIGN_OR_RETURN(stmt->name,
+                               ParseQualifiedTableName("table name"));
     return ast::StatementPtr(std::move(stmt));
   }
   if (MatchKeyword("VIEW")) {
     auto stmt = std::make_unique<ast::DropViewStatement>();
-    STARBURST_ASSIGN_OR_RETURN(stmt->name, ExpectIdentifier("view name"));
+    STARBURST_ASSIGN_OR_RETURN(stmt->name, ParseQualifiedTableName("view name"));
     return ast::StatementPtr(std::move(stmt));
   }
   if (MatchKeyword("INDEX")) {
@@ -380,7 +392,7 @@ Result<ast::StatementPtr> Parser::ParseInsert() {
   STARBURST_RETURN_IF_ERROR(ExpectKeyword("INSERT"));
   STARBURST_RETURN_IF_ERROR(ExpectKeyword("INTO"));
   auto stmt = std::make_unique<ast::InsertStatement>();
-  STARBURST_ASSIGN_OR_RETURN(stmt->table, ExpectIdentifier("table name"));
+  STARBURST_ASSIGN_OR_RETURN(stmt->table, ParseQualifiedTableName("table name"));
   if (Check(TokenKind::kLParen) && !AtQueryStart(1)) {
     Advance();
     do {
@@ -405,7 +417,7 @@ Result<ast::StatementPtr> Parser::ParseInsert() {
 Result<ast::StatementPtr> Parser::ParseUpdate() {
   STARBURST_RETURN_IF_ERROR(ExpectKeyword("UPDATE"));
   auto stmt = std::make_unique<ast::UpdateStatement>();
-  STARBURST_ASSIGN_OR_RETURN(stmt->table, ExpectIdentifier("table name"));
+  STARBURST_ASSIGN_OR_RETURN(stmt->table, ParseQualifiedTableName("table name"));
   STARBURST_RETURN_IF_ERROR(ExpectKeyword("SET"));
   do {
     STARBURST_ASSIGN_OR_RETURN(std::string col, ExpectIdentifier("column name"));
@@ -423,7 +435,7 @@ Result<ast::StatementPtr> Parser::ParseDelete() {
   STARBURST_RETURN_IF_ERROR(ExpectKeyword("DELETE"));
   STARBURST_RETURN_IF_ERROR(ExpectKeyword("FROM"));
   auto stmt = std::make_unique<ast::DeleteStatement>();
-  STARBURST_ASSIGN_OR_RETURN(stmt->table, ExpectIdentifier("table name"));
+  STARBURST_ASSIGN_OR_RETURN(stmt->table, ParseQualifiedTableName("table name"));
   if (MatchKeyword("WHERE")) {
     STARBURST_ASSIGN_OR_RETURN(stmt->where, ParseExpr());
   }
@@ -641,6 +653,20 @@ Result<std::unique_ptr<ast::TableRef>> Parser::ParseTablePrimary() {
   }
 
   STARBURST_ASSIGN_OR_RETURN(std::string name, ExpectIdentifier("table name"));
+
+  if (Check(TokenKind::kDot) && Peek(1).kind == TokenKind::kIdentifier) {
+    // Schema-qualified reference (sys.metrics): join into one name; the
+    // binder defaults the alias to the last component.
+    while (Check(TokenKind::kDot) && Peek(1).kind == TokenKind::kIdentifier) {
+      Advance();  // '.'
+      name += '.';
+      name += Advance().text;
+    }
+    ref->kind = ast::TableRef::Kind::kNamed;
+    ref->name = std::move(name);
+    STARBURST_ASSIGN_OR_RETURN(ref->alias, ParseOptionalAlias());
+    return ref;
+  }
 
   if (Check(TokenKind::kLParen)) {
     // Table function: NAME(arg, ...). Args are queries, bare table names,

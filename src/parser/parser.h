@@ -57,6 +57,10 @@ class Parser {
   Result<Token> Expect(TokenKind kind, const char* what);
   Status ExpectKeyword(const char* kw);
   Result<std::string> ExpectIdentifier(const char* what);
+  /// `ident` or a dotted chain `ident.ident...`, joined verbatim — how
+  /// schema-qualified names like `sys.metrics` reach the engine as one
+  /// table name.
+  Result<std::string> ParseQualifiedTableName(const char* what);
   Status ErrorHere(const std::string& message) const;
 
   // -- statements --

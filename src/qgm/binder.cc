@@ -615,7 +615,12 @@ Status Binder::BindTableRef(const ast::TableRef& ref, Box* box, Scope* scope,
       STARBURST_ASSIGN_OR_RETURN(Box * input, ResolveNamedTable(ref.name, env));
       Quantifier* q = box->AddQuantifier(
           graph_->NewQuantifier(QuantifierType::kForEach, input));
-      q->alias = ref.alias.empty() ? ref.name : ref.alias;
+      // Default alias for a qualified name (sys.metrics) is its last
+      // component, so `metrics.name` resolves the way SQL users expect.
+      std::string default_alias = ref.name;
+      size_t dot = default_alias.rfind('.');
+      if (dot != std::string::npos) default_alias = default_alias.substr(dot + 1);
+      q->alias = ref.alias.empty() ? default_alias : ref.alias;
       vars->push_back(RangeVar{q->alias, q, 0, input->head.size()});
       return Status::OK();
     }

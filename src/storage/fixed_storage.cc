@@ -222,9 +222,9 @@ class FixedStorageManager : public StorageManager {
   }
 
   Result<std::unique_ptr<TableStorage>> CreateTable(
-      const TableSchema& schema, BufferPool* pool) override {
+      const TableDef& def, BufferPool* pool) override {
     STARBURST_ASSIGN_OR_RETURN(FixedRecordCodec codec,
-                               FixedRecordCodec::ForSchema(schema));
+                               FixedRecordCodec::ForSchema(def.schema));
     FileId file = pool->pager()->CreateFile();
     return std::unique_ptr<TableStorage>(
         new FixedTableStorage(pool, file, std::move(codec)));

@@ -230,8 +230,8 @@ class HeapStorageManager : public StorageManager {
   }
 
   Result<std::unique_ptr<TableStorage>> CreateTable(
-      const TableSchema& schema, BufferPool* pool) override {
-    STARBURST_RETURN_IF_ERROR(ValidateSchema(schema));
+      const TableDef& def, BufferPool* pool) override {
+    STARBURST_RETURN_IF_ERROR(ValidateSchema(def.schema));
     FileId file = pool->pager()->CreateFile();
     return std::unique_ptr<TableStorage>(new HeapTableStorage(pool, file));
   }

@@ -14,6 +14,8 @@ namespace {
 
 std::atomic<uint64_t> g_live_count{0};
 std::atomic<uint64_t> g_live_bytes{0};
+std::atomic<uint64_t> g_total_count{0};
+std::atomic<uint64_t> g_total_bytes{0};
 
 std::string SpillDir() {
   const char* dir = std::getenv("STARBURST_SPILL_DIR");
@@ -42,6 +44,7 @@ Result<std::unique_ptr<SpillFile>> SpillFile::Create() {
                             std::string(std::strerror(errno)));
   }
   g_live_count.fetch_add(1, std::memory_order_relaxed);
+  g_total_count.fetch_add(1, std::memory_order_relaxed);
   return std::unique_ptr<SpillFile>(new SpillFile(std::move(path), f));
 }
 
@@ -60,6 +63,14 @@ uint64_t SpillFile::live_bytes() {
   return g_live_bytes.load(std::memory_order_relaxed);
 }
 
+uint64_t SpillFile::total_count() {
+  return g_total_count.load(std::memory_order_relaxed);
+}
+
+uint64_t SpillFile::total_bytes() {
+  return g_total_bytes.load(std::memory_order_relaxed);
+}
+
 Status SpillFile::AppendRow(const Row& row) {
   encode_scratch_.clear();
   VarRecordCodec::EncodeTo(row, &encode_scratch_);
@@ -72,6 +83,7 @@ Status SpillFile::AppendRow(const Row& row) {
   ++rows_written_;
   bytes_written_ += sizeof(len) + len;
   g_live_bytes.fetch_add(sizeof(len) + len, std::memory_order_relaxed);
+  g_total_bytes.fetch_add(sizeof(len) + len, std::memory_order_relaxed);
   return Status::OK();
 }
 

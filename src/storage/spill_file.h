@@ -37,6 +37,11 @@ class SpillFile {
   static uint64_t live_count();
   /// Bytes written to files currently alive.
   static uint64_t live_bytes();
+  /// Spill files ever created process-wide (monotonic; feeds metrics).
+  static uint64_t total_count();
+  /// Bytes ever spilled process-wide (monotonic). Deltas around a
+  /// statement give that statement's spill volume.
+  static uint64_t total_bytes();
 
   Status AppendRow(const Row& row);
   /// Appends every active row of `batch` (the batch-at-a-time write path).

@@ -10,7 +10,7 @@ Status StorageEngine::CreateTable(const TableDef& def) {
   STARBURST_ASSIGN_OR_RETURN(StorageManager * manager,
                              managers_.Lookup(def.storage_manager));
   STARBURST_ASSIGN_OR_RETURN(std::unique_ptr<TableStorage> storage,
-                             manager->CreateTable(def.schema, &pool_));
+                             manager->CreateTable(def, &pool_));
   tables_.emplace(key, std::move(storage));
   return Status::OK();
 }

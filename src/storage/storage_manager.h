@@ -5,6 +5,7 @@
 #include <memory>
 #include <string>
 
+#include "catalog/catalog.h"
 #include "catalog/schema.h"
 #include "common/result.h"
 #include "common/row.h"
@@ -60,8 +61,12 @@ class StorageManager {
   virtual const std::string& name() const = 0;
   /// Rejects schemas the manager cannot store (e.g. FIXED vs. strings).
   virtual Status ValidateSchema(const TableSchema& schema) const = 0;
+  /// Instantiates storage for `def`. The full TableDef (not just the
+  /// schema) flows in so managers that key behavior off the table's
+  /// identity — e.g. the SYSTEM manager choosing a row provider by table
+  /// name — can do so.
   virtual Result<std::unique_ptr<TableStorage>> CreateTable(
-      const TableSchema& schema, BufferPool* pool) = 0;
+      const TableDef& def, BufferPool* pool) = 0;
 };
 
 /// Registry of storage managers available to CREATE TABLE ... USING <sm>.

@@ -1,0 +1,110 @@
+#include "storage/system_storage.h"
+
+#include <utility>
+
+namespace starburst {
+
+namespace {
+
+/// Iterator over one materialized snapshot of a system table. Rids are
+/// synthesized as (0, position) — stable within the snapshot, meaningless
+/// across snapshots, which is fine because nothing can mutate through them.
+class SystemScanIterator : public TableScanIterator {
+ public:
+  explicit SystemScanIterator(std::vector<Row> rows) : rows_(std::move(rows)) {}
+
+  Result<bool> Next(Row* row, Rid* rid) override {
+    if (pos_ >= rows_.size()) return false;
+    *row = rows_[pos_];
+    rid->page = 0;
+    rid->slot = static_cast<uint16_t>(pos_ & 0xffff);
+    ++pos_;
+    return true;
+  }
+
+ private:
+  std::vector<Row> rows_;
+  size_t pos_ = 0;
+};
+
+class SystemTableStorage : public TableStorage {
+ public:
+  SystemTableStorage(std::string name, SystemRowProvider provider)
+      : name_(std::move(name)), provider_(std::move(provider)) {}
+
+  Result<Rid> Insert(const Row&) override { return ReadOnly(); }
+  Status Delete(Rid) override { return ReadOnly(); }
+  Result<Rid> Update(Rid, const Row&) override { return ReadOnly(); }
+
+  Result<Row> Fetch(Rid rid) override {
+    std::vector<Row> rows = provider_();
+    if (rid.page != 0 || rid.slot >= rows.size()) {
+      return Status::NotFound("no such row in system table '" + name_ + "'");
+    }
+    return rows[rid.slot];
+  }
+
+  std::unique_ptr<TableScanIterator> NewScan() override {
+    return std::make_unique<SystemScanIterator>(provider_());
+  }
+
+  /// System tables report one page, so under parallel execution exactly
+  /// the morsel holding page 0 materializes the whole table and every
+  /// other morsel is empty — each row still surfaces exactly once.
+  std::unique_ptr<TableScanIterator> NewRangeScan(PageNo begin_page,
+                                                  PageNo end_page) override {
+    if (begin_page == 0 && end_page > 0) return NewScan();
+    return std::make_unique<SystemScanIterator>(std::vector<Row>());
+  }
+
+  uint64_t row_count() const override { return provider_().size(); }
+  uint64_t page_count() const override { return 1; }
+
+ private:
+  Status ReadOnly() const {
+    return Status::InvalidArgument("system table '" + name_ +
+                                   "' is read-only");
+  }
+
+  std::string name_;
+  SystemRowProvider provider_;
+};
+
+}  // namespace
+
+const std::string& SystemStorageManager::name() const {
+  static const std::string kName = "SYSTEM";
+  return kName;
+}
+
+Status SystemStorageManager::ValidateSchema(const TableSchema&) const {
+  return Status::InvalidArgument(
+      "storage manager SYSTEM is reserved for engine-defined sys.* tables");
+}
+
+Result<std::unique_ptr<TableStorage>> SystemStorageManager::CreateTable(
+    const TableDef& def, BufferPool*) {
+  auto it = providers_.find(IdentUpper(def.name));
+  if (it == providers_.end()) {
+    return Status::NotFound("no system row provider registered for table '" +
+                            def.name + "'");
+  }
+  return std::unique_ptr<TableStorage>(
+      new SystemTableStorage(def.name, it->second));
+}
+
+void SystemStorageManager::RegisterTable(const std::string& table_name,
+                                         SystemRowProvider provider) {
+  providers_[IdentUpper(table_name)] = std::move(provider);
+}
+
+std::unique_ptr<SystemStorageManager> MakeSystemStorageManager() {
+  return std::make_unique<SystemStorageManager>();
+}
+
+bool IsSystemTableName(const std::string& name) {
+  const std::string upper = IdentUpper(name);
+  return upper.rfind("SYS.", 0) == 0;
+}
+
+}  // namespace starburst

@@ -1,0 +1,51 @@
+#ifndef STARBURST_STORAGE_SYSTEM_STORAGE_H_
+#define STARBURST_STORAGE_SYSTEM_STORAGE_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "storage/storage_manager.h"
+
+namespace starburst {
+
+/// Materializes the current rows of one system table. Called on every
+/// NewScan(), so repeated queries over `sys.*` always see live state.
+using SystemRowProvider = std::function<std::vector<Row>()>;
+
+/// The read-only storage manager behind the reserved `sys` schema —
+/// the paper's "a DBC could define a new storage manager" claim applied
+/// to the engine's own observability state (§1). Tables under it are
+/// virtual: NewScan() materializes rows from a registered provider, so
+/// ordinary scans, filters, joins, and aggregates work unchanged, while
+/// every mutation entry point fails with a clear read-only error.
+///
+/// ValidateSchema always fails: that is the hook `CREATE TABLE ... USING
+/// SYSTEM` goes through, so users cannot claim the manager. The engine
+/// registers its own tables via RegisterTable + StorageEngine::CreateTable,
+/// which bypasses validation by design.
+class SystemStorageManager : public StorageManager {
+ public:
+  const std::string& name() const override;
+  Status ValidateSchema(const TableSchema& schema) const override;
+  Result<std::unique_ptr<TableStorage>> CreateTable(const TableDef& def,
+                                                    BufferPool* pool) override;
+
+  /// Binds `table_name` (case-insensitive) to `provider`. Must happen
+  /// before the table's storage is created.
+  void RegisterTable(const std::string& table_name, SystemRowProvider provider);
+
+ private:
+  std::map<std::string, SystemRowProvider> providers_;  // IdentUpper keys
+};
+
+std::unique_ptr<SystemStorageManager> MakeSystemStorageManager();
+
+/// True for names inside the reserved system schema ("sys.", any case).
+bool IsSystemTableName(const std::string& name);
+
+}  // namespace starburst
+
+#endif  // STARBURST_STORAGE_SYSTEM_STORAGE_H_

@@ -125,6 +125,14 @@ TEST(FixedRecordCodecTest, RejectsVariableWidthColumns) {
 // Storage managers
 // ---------------------------------------------------------------------------
 
+// Wraps a bare schema in the TableDef the manager interface takes.
+TableDef DefFor(TableSchema schema) {
+  TableDef def;
+  def.name = "t";
+  def.schema = std::move(schema);
+  return def;
+}
+
 class StorageManagerTest : public ::testing::TestWithParam<const char*> {
  protected:
   TableSchema IntSchema() {
@@ -140,7 +148,7 @@ TEST_P(StorageManagerTest, InsertFetchScanDeleteUpdate) {
   Result<StorageManager*> manager = registry.Lookup(GetParam());
   ASSERT_TRUE(manager.ok());
   Result<std::unique_ptr<TableStorage>> table =
-      (*manager)->CreateTable(IntSchema(), &pool);
+      (*manager)->CreateTable(DefFor(IntSchema()), &pool);
   ASSERT_TRUE(table.ok());
   TableStorage& t = **table;
 
@@ -190,9 +198,10 @@ TEST(HeapStorageTest, VariableLengthGrowthRelocates) {
   Pager pager;
   BufferPool pool(&pager, 64);
   StorageManagerRegistry registry;
-  auto table = (*registry.Lookup("HEAP"))
-                   ->CreateTable(TableSchema({{"s", DataType::String(), true}}),
-                                 &pool);
+  auto table =
+      (*registry.Lookup("HEAP"))
+          ->CreateTable(DefFor(TableSchema({{"s", DataType::String(), true}})),
+                        &pool);
   ASSERT_TRUE(table.ok());
   Result<Rid> rid = (*table)->Insert(Row({Value::String("short")}));
   ASSERT_TRUE(rid.ok());
@@ -212,9 +221,10 @@ TEST(HeapStorageTest, OversizeRecordRejected) {
   Pager pager;
   BufferPool pool(&pager, 64);
   StorageManagerRegistry registry;
-  auto table = (*registry.Lookup("HEAP"))
-                   ->CreateTable(TableSchema({{"s", DataType::String(), true}}),
-                                 &pool);
+  auto table =
+      (*registry.Lookup("HEAP"))
+          ->CreateTable(DefFor(TableSchema({{"s", DataType::String(), true}})),
+                        &pool);
   EXPECT_FALSE(
       (*table)->Insert(Row({Value::String(std::string(5000, 'z'))})).ok());
 }
@@ -457,9 +467,10 @@ TEST(FixedStorageTest, SlotsReusedAfterDelete) {
   Pager pager;
   BufferPool pool(&pager, 64);
   StorageManagerRegistry registry;
-  auto table = (*registry.Lookup("FIXED"))
-                   ->CreateTable(TableSchema({{"a", DataType::Int(), true}}),
-                                 &pool);
+  auto table =
+      (*registry.Lookup("FIXED"))
+          ->CreateTable(DefFor(TableSchema({{"a", DataType::Int(), true}})),
+                        &pool);
   ASSERT_TRUE(table.ok());
   std::vector<Rid> rids;
   for (int i = 0; i < 1000; ++i) {
