@@ -140,10 +140,11 @@ bool RunMetaCommand(const std::string& cmd, Database* db, bool* timing,
   if (word == "querylog") {
     std::vector<starburst::obs::QueryLogEntry> entries =
         db->query_log().Snapshot();
-    std::printf("query log: %llu total, %llu dropped "
+    std::printf("query log: %llu total, %llu dropped, %llu cleared "
                 "(SET SLOW_QUERY_US = <n> flags slow statements)\n",
                 static_cast<unsigned long long>(db->query_log().total()),
-                static_cast<unsigned long long>(db->query_log().dropped()));
+                static_cast<unsigned long long>(db->query_log().dropped()),
+                static_cast<unsigned long long>(db->query_log().cleared()));
     for (const starburst::obs::QueryLogEntry& e : entries) {
       std::printf("#%llu [%s]%s%s %llu rows, %llu us%s: %s\n",
                   static_cast<unsigned long long>(e.id), e.status.c_str(),
@@ -228,7 +229,11 @@ int main() {
       "sys.metrics),\n"
       "      \\querylog shows recent statements (also: sys.query_log), \\q "
       "quits\n"
-      "SET PLAN_CACHE_SIZE = <n> bounds the plan cache (0 disables)\n");
+      "SET PLAN_CACHE_SIZE = <n> bounds the plan cache (0 disables)\n"
+      "SET STATEMENT_TIMEOUT_MS / ADMISSION_MEMORY / ADMISSION_WAIT_MS "
+      "govern statements;\n"
+      "      KILL <id> cancels a live statement (ids: SELECT * FROM "
+      "sys.statements)\n");
 
   std::string buffer;
   std::string line;

@@ -1,0 +1,103 @@
+#ifndef STARBURST_COMMON_CANCEL_H_
+#define STARBURST_COMMON_CANCEL_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+
+#include "common/status.h"
+
+namespace starburst {
+
+/// Per-statement cooperative cancellation token. One of these is owned by
+/// the engine for every in-flight statement; the executor checks it at
+/// batch boundaries (never per row), so a KILL or an expired deadline is
+/// observed within one batch of work.
+///
+/// Two independent triggers share the token:
+///   - Kill(): another session flips the flag (KILL <statement_id>)
+///   - a deadline: SET STATEMENT_TIMEOUT_MS arms an absolute steady-clock
+///     deadline; the token itself notices expiry on the next Check()
+///
+/// Check() is the only thing on the hot path. With nothing armed it is a
+/// single relaxed atomic load plus an integer compare; reading the clock
+/// happens only when a deadline exists. Once tripped, the reason latches
+/// so every subsequent Check() reports the same distinct status
+/// (Cancelled vs Timeout) all the way up the unwind.
+class CancelToken {
+ public:
+  enum class Reason : int { kNone = 0, kKilled = 1, kDeadline = 2 };
+
+  CancelToken() = default;
+  CancelToken(const CancelToken&) = delete;
+  CancelToken& operator=(const CancelToken&) = delete;
+
+  /// Arms an absolute deadline `timeout_ms` from now. 0 disarms.
+  void SetTimeoutMs(std::int64_t timeout_ms) {
+    if (timeout_ms <= 0) {
+      deadline_us_.store(0, std::memory_order_relaxed);
+      return;
+    }
+    deadline_us_.store(NowUs() + timeout_ms * 1000, std::memory_order_relaxed);
+  }
+
+  /// Requests cancellation (KILL path). Thread-safe; a deadline that
+  /// already fired wins — the first latched reason sticks.
+  void Kill() {
+    int expected = static_cast<int>(Reason::kNone);
+    reason_.compare_exchange_strong(expected,
+                                    static_cast<int>(Reason::kKilled),
+                                    std::memory_order_relaxed);
+  }
+
+  bool cancelled() const {
+    return reason_.load(std::memory_order_relaxed) !=
+           static_cast<int>(Reason::kNone);
+  }
+
+  Reason reason() const {
+    return static_cast<Reason>(reason_.load(std::memory_order_relaxed));
+  }
+
+  /// The cooperative check. OK while neither trigger has fired; after
+  /// that, a stable Cancelled or Timeout status.
+  Status Check() {
+    int r = reason_.load(std::memory_order_relaxed);
+    if (r == static_cast<int>(Reason::kKilled)) {
+      return Status::Cancelled("statement killed");
+    }
+    if (r == static_cast<int>(Reason::kDeadline)) {
+      return Status::Timeout("statement timeout exceeded");
+    }
+    std::int64_t deadline = deadline_us_.load(std::memory_order_relaxed);
+    if (deadline != 0 && NowUs() >= deadline) {
+      int expected = static_cast<int>(Reason::kNone);
+      reason_.compare_exchange_strong(expected,
+                                      static_cast<int>(Reason::kDeadline),
+                                      std::memory_order_relaxed);
+      return Check();
+    }
+    return Status::OK();
+  }
+
+  /// Returns the token to its initial state (for reuse across statements
+  /// in a single session; never while the statement is running).
+  void Reset() {
+    reason_.store(static_cast<int>(Reason::kNone), std::memory_order_relaxed);
+    deadline_us_.store(0, std::memory_order_relaxed);
+  }
+
+  static std::int64_t NowUs() {
+    return std::chrono::duration_cast<std::chrono::microseconds>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+  }
+
+ private:
+  std::atomic<int> reason_{static_cast<int>(Reason::kNone)};
+  std::atomic<std::int64_t> deadline_us_{0};
+};
+
+}  // namespace starburst
+
+#endif  // STARBURST_COMMON_CANCEL_H_

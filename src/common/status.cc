@@ -15,6 +15,8 @@ const char* StatusCodeName(StatusCode code) {
     case StatusCode::kOutOfRange: return "OutOfRange";
     case StatusCode::kAborted: return "Aborted";
     case StatusCode::kInternal: return "Internal";
+    case StatusCode::kCancelled: return "Cancelled";
+    case StatusCode::kTimeout: return "Timeout";
   }
   return "Unknown";
 }

@@ -20,6 +20,8 @@ enum class StatusCode {
   kOutOfRange,
   kAborted,
   kInternal,
+  kCancelled,
+  kTimeout,
 };
 
 /// Returns a human-readable name for `code` ("Ok", "SyntaxError", ...).
@@ -63,6 +65,12 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
+  }
+  static Status Timeout(std::string msg) {
+    return Status(StatusCode::kTimeout, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -1,0 +1,118 @@
+#include "engine/admission.h"
+
+#include <algorithm>
+#include <chrono>
+#include <string>
+
+namespace starburst {
+
+void AdmissionGrant::Release() {
+  if (controller_ != nullptr && bytes_ > 0) controller_->Release(bytes_);
+  controller_ = nullptr;
+  bytes_ = 0;
+}
+
+void AdmissionController::SetBudget(uint64_t bytes) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    budget_ = bytes;
+  }
+  cv_.notify_all();
+}
+
+void AdmissionController::SetMaxWaitMs(int64_t ms) {
+  std::lock_guard<std::mutex> lock(mu_);
+  max_wait_ms_ = ms < 0 ? 0 : ms;
+}
+
+uint64_t AdmissionController::budget() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return budget_;
+}
+
+int64_t AdmissionController::max_wait_ms() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return max_wait_ms_;
+}
+
+Result<AdmissionGrant> AdmissionController::Admit(uint64_t requested_bytes,
+                                                  CancelToken* cancel,
+                                                  bool* queued) {
+  if (queued != nullptr) *queued = false;
+  std::unique_lock<std::mutex> lock(mu_);
+  if (budget_ == 0) return AdmissionGrant();  // admission off
+  uint64_t bytes =
+      requested_bytes > 0 ? requested_bytes : kDefaultReservation;
+  if (bytes > budget_) {
+    ++rejected_total_;
+    return Status::Aborted(
+        "admission rejected: statement memory reservation " +
+        std::to_string(bytes) + " bytes exceeds ADMISSION_MEMORY " +
+        std::to_string(budget_) + " bytes");
+  }
+  if (in_use_ + bytes > budget_) {
+    if (max_wait_ms_ == 0) {
+      ++rejected_total_;
+      return Status::Aborted(
+          "admission rejected: " + std::to_string(in_use_) + " of " +
+          std::to_string(budget_) +
+          " budget bytes in use and ADMISSION_WAIT_MS is 0");
+    }
+    ++queued_total_;
+    if (queued != nullptr) *queued = true;
+    auto deadline = std::chrono::steady_clock::now() +
+                    std::chrono::milliseconds(max_wait_ms_);
+    // Wake-up slices stay short so a KILL or statement deadline lands
+    // promptly even while the statement is still queued.
+    const auto slice = std::chrono::milliseconds(10);
+    while (budget_ != 0 && in_use_ + bytes > budget_) {
+      if (cancel != nullptr) {
+        Status c = cancel->Check();
+        if (!c.ok()) return c;
+      }
+      auto now = std::chrono::steady_clock::now();
+      if (now >= deadline) {
+        ++timeout_total_;
+        return Status::Timeout(
+            "admission wait exceeded ADMISSION_WAIT_MS = " +
+            std::to_string(max_wait_ms_) + " ms");
+      }
+      cv_.wait_until(lock, std::min(now + slice, deadline));
+    }
+    if (budget_ == 0) return AdmissionGrant();  // turned off while queued
+    // A shrunk budget can strand an already-queued oversized request;
+    // re-apply the fail-fast rule under the new budget.
+    if (bytes > budget_) {
+      ++rejected_total_;
+      return Status::Aborted(
+          "admission rejected: statement memory reservation " +
+          std::to_string(bytes) + " bytes exceeds ADMISSION_MEMORY " +
+          std::to_string(budget_) + " bytes");
+    }
+  }
+  in_use_ += bytes;
+  ++admitted_total_;
+  return AdmissionGrant(this, bytes);
+}
+
+void AdmissionController::Release(uint64_t bytes) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    in_use_ = in_use_ >= bytes ? in_use_ - bytes : 0;
+  }
+  cv_.notify_all();
+}
+
+AdmissionController::Stats AdmissionController::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Stats s;
+  s.admitted_total = admitted_total_;
+  s.queued_total = queued_total_;
+  s.rejected_total = rejected_total_;
+  s.timeout_total = timeout_total_;
+  s.in_use_bytes = in_use_;
+  s.budget_bytes = budget_;
+  return s;
+}
+
+}  // namespace starburst

@@ -1,0 +1,113 @@
+#ifndef STARBURST_ENGINE_ADMISSION_H_
+#define STARBURST_ENGINE_ADMISSION_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+
+#include "common/cancel.h"
+#include "common/result.h"
+#include "common/status.h"
+
+namespace starburst {
+
+class AdmissionController;
+
+/// RAII admission reservation: releases its bytes back to the global
+/// ledger on destruction. A default-constructed grant holds nothing
+/// (admission disabled or not yet admitted).
+class AdmissionGrant {
+ public:
+  AdmissionGrant() = default;
+  AdmissionGrant(AdmissionController* controller, uint64_t bytes)
+      : controller_(controller), bytes_(bytes) {}
+  ~AdmissionGrant() { Release(); }
+
+  AdmissionGrant(AdmissionGrant&& o) noexcept
+      : controller_(o.controller_), bytes_(o.bytes_) {
+    o.controller_ = nullptr;
+    o.bytes_ = 0;
+  }
+  AdmissionGrant& operator=(AdmissionGrant&& o) noexcept {
+    if (this != &o) {
+      Release();
+      controller_ = o.controller_;
+      bytes_ = o.bytes_;
+      o.controller_ = nullptr;
+      o.bytes_ = 0;
+    }
+    return *this;
+  }
+  AdmissionGrant(const AdmissionGrant&) = delete;
+  AdmissionGrant& operator=(const AdmissionGrant&) = delete;
+
+  void Release();
+  uint64_t bytes() const { return bytes_; }
+
+ private:
+  AdmissionController* controller_ = nullptr;
+  uint64_t bytes_ = 0;
+};
+
+/// Admission control against one global engine memory budget, modeled on
+/// qserv's MemMan file-set reservations: a statement reserves its
+/// query-level memory budget from the shared ledger before executing.
+/// A reservation larger than the whole budget fails fast with a clear
+/// error (it could never run); a reservation that merely doesn't fit
+/// *right now* queues for a bounded wait, then times out. Budget 0
+/// disables admission entirely (every Admit returns an empty grant).
+class AdmissionController {
+ public:
+  /// Reservation charged when the statement has no query-memory budget of
+  /// its own (`SET QUERY_MEMORY` unset): an ungoverned statement may use
+  /// any amount of memory, so it is charged a conservative default slice
+  /// rather than zero.
+  static constexpr uint64_t kDefaultReservation = 64ull << 20;  // 64 MB
+
+  struct Stats {
+    uint64_t admitted_total = 0;  // grants handed out (queued ones included)
+    uint64_t queued_total = 0;    // grants that had to wait first
+    uint64_t rejected_total = 0;  // fail-fast: reservation > whole budget
+    uint64_t timeout_total = 0;   // queued, then the wait expired
+    uint64_t in_use_bytes = 0;    // currently reserved
+    uint64_t budget_bytes = 0;    // 0 = admission off
+  };
+
+  /// `SET ADMISSION_MEMORY`: 0 turns admission off. Raising the budget
+  /// wakes queued statements.
+  void SetBudget(uint64_t bytes);
+  /// `SET ADMISSION_WAIT_MS`: how long a statement may queue before its
+  /// admission times out. 0 = fail fast (no queueing).
+  void SetMaxWaitMs(int64_t ms);
+
+  uint64_t budget() const;
+  int64_t max_wait_ms() const;
+
+  /// Reserves `requested_bytes` (0 = the default slice) from the ledger,
+  /// queueing up to the configured wait. `cancel` (optional) aborts the
+  /// wait when the statement is killed or its deadline fires — a queued
+  /// statement must stay killable. `queued` (optional) reports whether
+  /// the grant had to wait.
+  Result<AdmissionGrant> Admit(uint64_t requested_bytes, CancelToken* cancel,
+                               bool* queued = nullptr);
+
+  Stats stats() const;
+
+ private:
+  friend class AdmissionGrant;
+  void Release(uint64_t bytes);
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  uint64_t budget_ = 0;  // 0 = admission off
+  uint64_t in_use_ = 0;
+  int64_t max_wait_ms_ = 0;
+  uint64_t admitted_total_ = 0;
+  uint64_t queued_total_ = 0;
+  uint64_t rejected_total_ = 0;
+  uint64_t timeout_total_ = 0;
+};
+
+}  // namespace starburst
+
+#endif  // STARBURST_ENGINE_ADMISSION_H_

@@ -67,6 +67,17 @@ Database::Database(size_t buffer_pool_pages)
   em_.scheduler_workers_spawned = r.counter("scheduler_workers_spawned_total");
   em_.memory_query_peak_bytes = r.gauge("memory_query_peak_bytes");
   em_.memory_query_peak_max_bytes = r.gauge("memory_query_peak_max_bytes");
+  em_.statements_killed_total = r.counter("statements_killed_total");
+  em_.statements_cancelled_total = r.counter("statements_cancelled_total");
+  em_.statements_timed_out_total = r.counter("statements_timed_out_total");
+  em_.admission_queued_total = r.counter("admission_queued_total");
+  em_.admission_rejected_total = r.counter("admission_rejected_total");
+  em_.admission_timeouts_total = r.counter("admission_timeouts_total");
+  em_.admission_in_use_bytes = r.gauge("admission_in_use_bytes");
+  em_.admission_budget_bytes = r.gauge("admission_budget_bytes");
+  em_.statements_live = r.gauge("statements_live");
+  em_.query_log_dropped_total = r.counter("query_log_dropped_total");
+  em_.query_log_cleared_total = r.counter("query_log_cleared_total");
   RegisterSystemTables();
 }
 
@@ -102,13 +113,36 @@ const char* StatementKindLabel(ast::StatementKind kind) {
     case ast::StatementKind::kUpdate: return "<script UPDATE>";
     case ast::StatementKind::kSet: return "<script SET>";
     case ast::StatementKind::kAnalyze: return "<script ANALYZE>";
+    case ast::StatementKind::kKill: return "<script KILL>";
   }
   return "<script statement>";
 }
 
 }  // namespace
 
+Database::StatementState& Database::stmt_state() {
+  thread_local StatementState state;
+  return state;
+}
+
+void Database::BeginStatement(const std::string& sql) {
+  StatementState& s = stmt_state();
+  s.metrics = QueryMetrics{};
+  s.cancel.Reset();
+  if (statement_timeout_ms_ > 0) s.cancel.SetTimeoutMs(statement_timeout_ms_);
+  s.id = static_cast<int64_t>(++statement_seq_);
+  s.start_ts_us = std::chrono::duration_cast<std::chrono::microseconds>(
+                      std::chrono::system_clock::now().time_since_epoch())
+                      .count();
+  s.parallelism = options_.exec.parallelism == 0
+                      ? 1
+                      : static_cast<int>(options_.exec.parallelism);
+  s.admission_rejected = false;
+  statements_.Register(s.id, NormalizeSql(sql), s.start_ts_us, &s.cancel);
+}
+
 Result<ResultSet> Database::Execute(const std::string& sql) {
+  BeginStatement(sql);
   Timer total_timer;
   Result<ResultSet> result = ExecuteInternal(sql);
   FinishStatement(sql, result.status(), LoggedRowCount(result),
@@ -117,7 +151,6 @@ Result<ResultSet> Database::Execute(const std::string& sql) {
 }
 
 Result<ResultSet> Database::ExecuteInternal(const std::string& sql) {
-  metrics_ = QueryMetrics{};
   obs::Span statement_span(&tracer_, "statement", "query");
   statement_span.AddArg("sql",
                         sql.size() > 120 ? sql.substr(0, 117) + "..." : sql);
@@ -133,7 +166,7 @@ Result<ResultSet> Database::ExecuteInternal(const std::string& sql) {
             "statement contains ? parameters; supply values through "
             "ExecutePrepared");
       }
-      metrics_.plan_cache_hit = true;
+      stmt_state().metrics.plan_cache_hit = true;
       STARBURST_ASSIGN_OR_RETURN(QueryOutput out,
                                  ExecuteCompiled(*hit, nullptr));
       SnapshotPlanCacheMetrics();
@@ -144,7 +177,7 @@ Result<ResultSet> Database::ExecuteInternal(const std::string& sql) {
   Timer parse_timer;
   Parser parser(sql);
   STARBURST_ASSIGN_OR_RETURN(ast::StatementPtr stmt, parser.ParseStatement());
-  metrics_.parse_us = parse_timer.ElapsedUs();
+  stmt_state().metrics.parse_us = parse_timer.ElapsedUs();
   parse_span.End();
   return ExecuteStatement(*stmt, cache_key);
 }
@@ -156,16 +189,16 @@ Result<ResultSet> Database::ExecuteScript(const std::string& sql) {
   const std::vector<double>& parse_us = parser.statement_parse_us();
   ResultSet last = ResultSet::Message("empty script");
   for (size_t i = 0; i < stmts.size(); ++i) {
-    // Each statement reports its own metrics: without the reset, phase
-    // timings and exec stats of earlier statements bleed into the
-    // metrics of the last one.
-    metrics_ = QueryMetrics{};
-    metrics_.parse_us = i < parse_us.size() ? parse_us[i] : 0;
+    // Each statement begins fresh: without the reset, phase timings and
+    // exec stats of earlier statements bleed into the metrics of the
+    // last one.
+    const char* label = StatementKindLabel(stmts[i]->kind);
+    BeginStatement(label);
+    stmt_state().metrics.parse_us = i < parse_us.size() ? parse_us[i] : 0;
     Timer stmt_timer;
     Result<ResultSet> r = ExecuteStatement(*stmts[i]);
-    FinishStatement(StatementKindLabel(stmts[i]->kind), r.status(),
-                    LoggedRowCount(r),
-                    metrics_.parse_us + stmt_timer.ElapsedUs());
+    FinishStatement(label, r.status(), LoggedRowCount(r),
+                    stmt_state().metrics.parse_us + stmt_timer.ElapsedUs());
     if (!r.ok()) return r.status();
     last = r.TakeValue();
   }
@@ -173,13 +206,28 @@ Result<ResultSet> Database::ExecuteScript(const std::string& sql) {
 }
 
 Result<Database::PreparedHandle> Database::Prepare(const std::string& sql) {
-  metrics_ = QueryMetrics{};
+  // Prepare is not a registered statement (there is nothing to KILL):
+  // reset the thread's statement state without admitting it.
+  StatementState& s = stmt_state();
+  s.metrics = QueryMetrics{};
+  s.cancel.Reset();
+  s.id = 0;
+  s.admission_rejected = false;
+  // No FinishStatement runs for a Prepare; publish its compile metrics
+  // to last_metrics() on every exit path ourselves.
+  struct MetricsGuard {
+    Database* db;
+    ~MetricsGuard() {
+      std::lock_guard<std::mutex> lock(db->last_metrics_mu_);
+      db->last_metrics_ = stmt_state().metrics;
+    }
+  } metrics_guard{this};
   obs::Span statement_span(&tracer_, "prepare", "query");
   std::string cache_key;
   if (plan_cache_.capacity() > 0) {
     cache_key = PlanCacheKey(sql);
     if (PreparedStatementPtr hit = plan_cache_.Lookup(cache_key, catalog_)) {
-      metrics_.plan_cache_hit = true;
+      stmt_state().metrics.plan_cache_hit = true;
       SnapshotPlanCacheMetrics();
       return hit;
     }
@@ -188,7 +236,7 @@ Result<Database::PreparedHandle> Database::Prepare(const std::string& sql) {
   Timer parse_timer;
   Parser parser(sql);
   STARBURST_ASSIGN_OR_RETURN(ast::StatementPtr stmt, parser.ParseStatement());
-  metrics_.parse_us = parse_timer.ElapsedUs();
+  stmt_state().metrics.parse_us = parse_timer.ElapsedUs();
   parse_span.End();
   if (stmt->kind != ast::StatementKind::kSelect) {
     return Status::InvalidArgument("only SELECT statements can be prepared");
@@ -228,6 +276,7 @@ void ReplaceCompiled(PreparedStatement& dst, PreparedStatement&& src) {
   dst.hidden_order_columns = src.hidden_order_columns;
   dst.batch_size = src.batch_size;
   dst.reserve_hint = src.reserve_hint;
+  dst.parallelism = src.parallelism;
   dst.plan_cost = src.plan_cost;
   dst.plan_cardinality = src.plan_cardinality;
   dst.catalog_version = src.catalog_version;
@@ -241,9 +290,9 @@ Result<ResultSet> Database::ExecutePrepared(const PreparedHandle& handle,
   if (handle == nullptr) {
     return Status::InvalidArgument("null prepared statement handle");
   }
+  BeginStatement(handle->sql);
   Timer total_timer;
   Result<ResultSet> result = [&]() -> Result<ResultSet> {
-  metrics_ = QueryMetrics{};
   obs::Span statement_span(&tracer_, "statement", "query");
   PreparedStatement& ps = *handle;
   if (!ps.FreshAgainst(catalog_)) {
@@ -255,7 +304,7 @@ Result<ResultSet> Database::ExecutePrepared(const PreparedHandle& handle,
     Timer parse_timer;
     Parser parser(ps.sql);
     STARBURST_ASSIGN_OR_RETURN(ast::StatementPtr stmt, parser.ParseStatement());
-    metrics_.parse_us = parse_timer.ElapsedUs();
+    stmt_state().metrics.parse_us = parse_timer.ElapsedUs();
     parse_span.End();
     if (stmt->kind != ast::StatementKind::kSelect) {
       return Status::Internal("prepared statement is not a SELECT");
@@ -266,7 +315,7 @@ Result<ResultSet> Database::ExecutePrepared(const PreparedHandle& handle,
                                CompileSelect(query, nullptr));
     ReplaceCompiled(ps, std::move(*fresh));
   } else {
-    metrics_.plan_cache_hit = true;
+    stmt_state().metrics.plan_cache_hit = true;
     plan_cache_.CountHit();
   }
   STARBURST_ASSIGN_OR_RETURN(QueryOutput out, ExecuteCompiled(ps, &params));
@@ -279,8 +328,8 @@ Result<ResultSet> Database::ExecutePrepared(const PreparedHandle& handle,
 }
 
 void Database::SnapshotPlanCacheMetrics() {
-  metrics_.plan_cache = plan_cache_.stats();
-  metrics_.plan_cache_entries = plan_cache_.size();
+  stmt_state().metrics.plan_cache = plan_cache_.stats();
+  stmt_state().metrics.plan_cache_entries = plan_cache_.size();
 }
 
 std::string Database::KnobFingerprint() const {
@@ -346,6 +395,8 @@ Result<ResultSet> Database::ExecuteStatement(const ast::Statement& stmt,
       return RunUpdate(static_cast<const ast::UpdateStatement&>(stmt));
     case ast::StatementKind::kSet:
       return RunSet(static_cast<const ast::SetStatement&>(stmt));
+    case ast::StatementKind::kKill:
+      return RunKill(static_cast<const ast::KillStatement&>(stmt));
     case ast::StatementKind::kAnalyze: {
       const auto& analyze = static_cast<const ast::AnalyzeStatement&>(stmt);
       if (analyze.table.empty()) {
@@ -448,7 +499,47 @@ Result<ResultSet> Database::RunSet(const ast::SetStatement& stmt) {
     tracer_.set_capacity(n);
     return ResultSet::Message("SET TRACE_BUFFER = " + std::to_string(n));
   }
+  // Governance knobs. None affects what compilation produces, so none
+  // participates in KnobFingerprint().
+  if (stmt.name == "STATEMENT_TIMEOUT_MS") {
+    // Deadline armed for every subsequent statement; 0 and DEFAULT both
+    // disable it.
+    if (!stmt.is_default && stmt.value < 0) {
+      return Status::SemanticError("STATEMENT_TIMEOUT_MS must be >= 0");
+    }
+    statement_timeout_ms_ = stmt.is_default ? 0 : stmt.value;
+    return ResultSet::Message("SET STATEMENT_TIMEOUT_MS = " +
+                              std::to_string(statement_timeout_ms_));
+  }
+  if (stmt.name == "ADMISSION_MEMORY") {
+    // Global admission budget (bytes; KB/MB/GB suffixes accepted). 0 and
+    // DEFAULT both turn admission off.
+    if (!stmt.is_default && stmt.value < 0) {
+      return Status::SemanticError("ADMISSION_MEMORY must be >= 0");
+    }
+    uint64_t bytes = stmt.is_default ? 0 : static_cast<uint64_t>(stmt.value);
+    admission_.SetBudget(bytes);
+    return ResultSet::Message("SET ADMISSION_MEMORY = " +
+                              std::to_string(bytes));
+  }
+  if (stmt.name == "ADMISSION_WAIT_MS") {
+    // How long a statement may queue for admission; 0 and DEFAULT both
+    // mean fail fast.
+    if (!stmt.is_default && stmt.value < 0) {
+      return Status::SemanticError("ADMISSION_WAIT_MS must be >= 0");
+    }
+    int64_t ms = stmt.is_default ? 0 : stmt.value;
+    admission_.SetMaxWaitMs(ms);
+    return ResultSet::Message("SET ADMISSION_WAIT_MS = " +
+                              std::to_string(ms));
+  }
   return Status::SemanticError("unknown session option '" + stmt.name + "'");
+}
+
+Result<ResultSet> Database::RunKill(const ast::KillStatement& stmt) {
+  STARBURST_RETURN_IF_ERROR(statements_.Kill(stmt.statement_id));
+  em_.statements_killed_total->Increment();
+  return ResultSet::Message("KILL " + std::to_string(stmt.statement_id));
 }
 
 // ---------------------------------------------------------------------------
@@ -466,6 +557,7 @@ Result<Database::QueryOutput> Database::RunQueryPipeline(
 Result<PreparedStatementPtr> Database::CompileSelect(const ast::Query& query,
                                                      PipelineCapture* capture) {
   auto ps = std::make_shared<PreparedStatement>();
+  statements_.SetPhase(stmt_state().id, "compile");
 
   obs::Span bind_span(&tracer_, "bind", "phase");
   Timer bind_timer;
@@ -477,7 +569,7 @@ Result<PreparedStatementPtr> Database::CompileSelect(const ast::Query& query,
     ps->dependencies.emplace_back(dep, catalog_.ObjectVersion(dep));
   }
   ps->catalog_version = catalog_.version();
-  metrics_.bind_us = bind_timer.ElapsedUs();
+  stmt_state().metrics.bind_us = bind_timer.ElapsedUs();
   bind_span.End();
 
   qgm::Graph* graph = ps->graph.get();
@@ -487,15 +579,15 @@ Result<PreparedStatementPtr> Database::CompileSelect(const ast::Query& query,
     obs::Span rewrite_span(&tracer_, "rewrite", "phase");
     Timer rewrite_timer;
     STARBURST_ASSIGN_OR_RETURN(
-        metrics_.rewrite_stats,
+        stmt_state().metrics.rewrite_stats,
         rule_engine_.Run(graph, &catalog_, options_.rewrite));
-    metrics_.rewrite_us = rewrite_timer.ElapsedUs();
+    stmt_state().metrics.rewrite_us = rewrite_timer.ElapsedUs();
     rewrite_span.End();
     // Replay the rule firings into the trace: one provenance log, two
     // consumers (EXPLAIN below, timeline here).
     if (tracer_.enabled()) {
       for (const rewrite::RuleEngine::Stats::Firing& f :
-           metrics_.rewrite_stats.firings) {
+           stmt_state().metrics.rewrite_stats.firings) {
         tracer_.RecordInstant(
             "rule " + f.rule, "rewrite", f.at_us,
             "\"box\":\"" + obs::JsonEscape(f.box_label) +
@@ -518,10 +610,10 @@ Result<PreparedStatementPtr> Database::CompileSelect(const ast::Query& query,
   }
   STARBURST_ASSIGN_OR_RETURN(ps->plan, opt.Optimize(*graph));
   const optimizer::PlanPtr& plan = ps->plan;
-  metrics_.optimize_us = optimize_timer.ElapsedUs();
-  metrics_.optimizer_stats = opt.stats();
-  metrics_.plan_cost = plan->props.cost;
-  metrics_.plan_cardinality = plan->props.cardinality;
+  stmt_state().metrics.optimize_us = optimize_timer.ElapsedUs();
+  stmt_state().metrics.optimizer_stats = opt.stats();
+  stmt_state().metrics.plan_cost = plan->props.cost;
+  stmt_state().metrics.plan_cardinality = plan->props.cardinality;
   ps->plan_cost = plan->props.cost;
   ps->plan_cardinality = plan->props.cardinality;
   optimize_span.End();
@@ -558,11 +650,12 @@ Result<PreparedStatementPtr> Database::CompileSelect(const ast::Query& query,
       ps->root->set_stats(&limit_node->actual);
     }
   }
-  metrics_.refine_us = refine_timer.ElapsedUs();
+  stmt_state().metrics.refine_us = refine_timer.ElapsedUs();
   refine_span.End();
-  metrics_.op_stats = ps->stats_tree;
+  stmt_state().metrics.op_stats = ps->stats_tree;
 
   ps->batch_size = refine_options.batch_size;
+  ps->parallelism = static_cast<int>(refine_options.parallelism);
   ps->reserve_hint = plan->props.cardinality > 0
                          ? static_cast<size_t>(plan->props.cardinality)
                          : 0;
@@ -593,6 +686,37 @@ Result<Database::QueryOutput> Database::ExecuteCompiled(
   exec::ExecContext ctx(&storage_, &catalog_);
   ctx.set_batch_size(ps.batch_size);
   ctx.set_query_memory_budget(options_.exec.query_memory_bytes);
+
+  // Governance: wire the statement's cancel token into the execution
+  // context (operators poll it at batch boundaries), reserve the query's
+  // memory from the global admission ledger, and expose the live tracker
+  // through the statement registry.
+  StatementState& s = stmt_state();
+  s.parallelism = ps.parallelism;
+  ctx.set_cancel_token(&s.cancel);
+  statements_.SetPhase(s.id, "queued");
+  Result<AdmissionGrant> admitted =
+      admission_.Admit(options_.exec.query_memory_bytes, &s.cancel);
+  if (!admitted.ok()) {
+    if (admitted.status().code() == StatusCode::kAborted) {
+      s.admission_rejected = true;
+    }
+    return admitted.status();
+  }
+  AdmissionGrant grant = admitted.TakeValue();
+  statements_.SetPhase(s.id, "execute");
+  statements_.SetMemoryTracker(s.id, ctx.query_memory());
+  // Declared after `ctx` so the registry stops pointing at the tracker
+  // before it dies.
+  struct TrackerGuard {
+    StatementRegistry* registry;
+    int64_t id;
+    ~TrackerGuard() { registry->SetMemoryTracker(id, nullptr); }
+  } tracker_guard{&statements_, s.id};
+  // A KILL or deadline that landed during compile/queue stops the
+  // statement before any operator opens.
+  STARBURST_RETURN_IF_ERROR(ctx.CheckCancel());
+
   // Parameter values ride the correlation-parameter machinery: one frame
   // under the sentinel quantifier, visible to every operator and
   // subquery in the tree.
@@ -612,20 +736,21 @@ Result<Database::QueryOutput> Database::ExecuteCompiled(
     return opened;
   }
   Result<std::vector<Row>> rows =
-      exec::DrainOperator(ps.root.get(), ctx.batch_size(), ps.reserve_hint);
+      exec::DrainOperator(ps.root.get(), ctx.batch_size(), ps.reserve_hint,
+                          &ctx);
   ps.root->Close();
-  metrics_.execute_us = exec_timer.ElapsedUs();
-  metrics_.exec_stats = ctx.stats();
+  stmt_state().metrics.execute_us = exec_timer.ElapsedUs();
+  stmt_state().metrics.exec_stats = ctx.stats();
   StorageEngine::Stats storage_after = storage_.GatherStats();
-  metrics_.buffer_pool =
+  stmt_state().metrics.buffer_pool =
       storage_after.buffer_pool.Since(storage_before.buffer_pool);
-  metrics_.index_node_visits =
+  stmt_state().metrics.index_node_visits =
       storage_after.index_node_visits - storage_before.index_node_visits;
-  metrics_.spill_bytes = SpillFile::total_bytes() - spill_before;
-  metrics_.peak_memory_bytes = ctx.query_memory()->peak();
-  metrics_.op_stats = ps.stats_tree;
-  metrics_.plan_cost = ps.plan_cost;
-  metrics_.plan_cardinality = ps.plan_cardinality;
+  stmt_state().metrics.spill_bytes = SpillFile::total_bytes() - spill_before;
+  stmt_state().metrics.peak_memory_bytes = ctx.query_memory()->peak();
+  stmt_state().metrics.op_stats = ps.stats_tree;
+  stmt_state().metrics.plan_cost = ps.plan_cost;
+  stmt_state().metrics.plan_cardinality = ps.plan_cardinality;
   exec_span.End();
   if (!rows.ok()) return rows.status();
 
@@ -728,11 +853,11 @@ Result<ResultSet> Database::RunExplainReport(const ast::ExplainStatement& stmt) 
   line("== Rewrite rule firings ==");
   if (!options_.rewrite_enabled) {
     line("(rewrite disabled)");
-  } else if (metrics_.rewrite_stats.firings.empty()) {
+  } else if (stmt_state().metrics.rewrite_stats.firings.empty()) {
     line("(no rules fired)");
   } else {
     for (const rewrite::RuleEngine::Stats::Firing& f :
-         metrics_.rewrite_stats.firings) {
+         stmt_state().metrics.rewrite_stats.firings) {
       std::snprintf(buf, sizeof(buf), "pass %d: %s box=%s [id=%d]", f.pass,
                     f.rule.c_str(), f.box_label.c_str(), f.box_id);
       line(buf);
@@ -741,10 +866,10 @@ Result<ResultSet> Database::RunExplainReport(const ast::ExplainStatement& stmt) 
 
   line("== Plan ==");
   std::snprintf(buf, sizeof(buf), "estimated cost=%.6g cardinality=%.6g",
-                metrics_.plan_cost, metrics_.plan_cardinality);
+                stmt_state().metrics.plan_cost, stmt_state().metrics.plan_cardinality);
   line(buf);
-  if (stmt.analyze && metrics_.op_stats != nullptr) {
-    AppendLines(metrics_.op_stats->Render(/*with_actuals=*/true), &rows);
+  if (stmt.analyze && stmt_state().metrics.op_stats != nullptr) {
+    AppendLines(stmt_state().metrics.op_stats->Render(/*with_actuals=*/true), &rows);
   } else {
     AppendLines(capture.plan_text, &rows);
   }
@@ -756,29 +881,29 @@ Result<ResultSet> Database::RunExplainReport(const ast::ExplainStatement& stmt) 
     std::snprintf(buf, sizeof(buf),
                   "phases (us): parse=%.0f bind=%.0f rewrite=%.0f "
                   "optimize=%.0f refine=%.0f execute=%.0f",
-                  metrics_.parse_us, metrics_.bind_us, metrics_.rewrite_us,
-                  metrics_.optimize_us, metrics_.refine_us,
-                  metrics_.execute_us);
+                  stmt_state().metrics.parse_us, stmt_state().metrics.bind_us, stmt_state().metrics.rewrite_us,
+                  stmt_state().metrics.optimize_us, stmt_state().metrics.refine_us,
+                  stmt_state().metrics.execute_us);
     line(buf);
     std::snprintf(buf, sizeof(buf),
                   "subqueries: %llu evaluations, %llu cache hits",
                   static_cast<unsigned long long>(
-                      metrics_.exec_stats.subquery_evaluations),
+                      stmt_state().metrics.exec_stats.subquery_evaluations),
                   static_cast<unsigned long long>(
-                      metrics_.exec_stats.subquery_cache_hits));
+                      stmt_state().metrics.exec_stats.subquery_cache_hits));
     line(buf);
     std::snprintf(
         buf, sizeof(buf),
         "buffer pool: %llu logical reads, %llu hits, %llu misses, "
         "%llu writes (hit rate %.1f%%)",
-        static_cast<unsigned long long>(metrics_.buffer_pool.logical_reads),
-        static_cast<unsigned long long>(metrics_.buffer_pool.cache_hits),
-        static_cast<unsigned long long>(metrics_.buffer_pool.disk_reads),
-        static_cast<unsigned long long>(metrics_.buffer_pool.disk_writes),
-        metrics_.buffer_pool.HitRate() * 100.0);
+        static_cast<unsigned long long>(stmt_state().metrics.buffer_pool.logical_reads),
+        static_cast<unsigned long long>(stmt_state().metrics.buffer_pool.cache_hits),
+        static_cast<unsigned long long>(stmt_state().metrics.buffer_pool.disk_reads),
+        static_cast<unsigned long long>(stmt_state().metrics.buffer_pool.disk_writes),
+        stmt_state().metrics.buffer_pool.HitRate() * 100.0);
     line(buf);
     std::snprintf(buf, sizeof(buf), "index node visits: %llu",
-                  static_cast<unsigned long long>(metrics_.index_node_visits));
+                  static_cast<unsigned long long>(stmt_state().metrics.index_node_visits));
     line(buf);
     // EXPLAIN itself always compiles fresh; the counters are the
     // session's cumulative plan-cache activity.
@@ -787,11 +912,24 @@ Result<ResultSet> Database::RunExplainReport(const ast::ExplainStatement& stmt) 
         buf, sizeof(buf),
         "plan cache: %llu entries; session hits=%llu misses=%llu "
         "invalidations=%llu evictions=%llu",
-        static_cast<unsigned long long>(metrics_.plan_cache_entries),
-        static_cast<unsigned long long>(metrics_.plan_cache.hits),
-        static_cast<unsigned long long>(metrics_.plan_cache.misses),
-        static_cast<unsigned long long>(metrics_.plan_cache.invalidations),
-        static_cast<unsigned long long>(metrics_.plan_cache.evictions));
+        static_cast<unsigned long long>(stmt_state().metrics.plan_cache_entries),
+        static_cast<unsigned long long>(stmt_state().metrics.plan_cache.hits),
+        static_cast<unsigned long long>(stmt_state().metrics.plan_cache.misses),
+        static_cast<unsigned long long>(stmt_state().metrics.plan_cache.invalidations),
+        static_cast<unsigned long long>(stmt_state().metrics.plan_cache.evictions));
+    line(buf);
+    AdmissionController::Stats adm = admission_.stats();
+    std::snprintf(
+        buf, sizeof(buf),
+        "governance: timeout_ms=%lld admission budget=%llu bytes "
+        "in_use=%llu admitted=%llu queued=%llu rejected=%llu timeouts=%llu",
+        static_cast<long long>(statement_timeout_ms_),
+        static_cast<unsigned long long>(adm.budget_bytes),
+        static_cast<unsigned long long>(adm.in_use_bytes),
+        static_cast<unsigned long long>(adm.admitted_total),
+        static_cast<unsigned long long>(adm.queued_total),
+        static_cast<unsigned long long>(adm.rejected_total),
+        static_cast<unsigned long long>(adm.timeout_total));
     line(buf);
   }
   return ResultSet({"EXPLAIN"}, std::move(rows));
@@ -1420,41 +1558,65 @@ Status Database::AnalyzeAll() {
 
 void Database::FinishStatement(const std::string& sql, const Status& status,
                                uint64_t rows, double total_us) {
-  ++statement_seq_;
+  StatementState& s = stmt_state();
+  // Governance outcomes get their own labels so an operator can tell a
+  // killed statement from a genuinely failed one.
+  const char* label = "ok";
+  if (!status.ok()) {
+    switch (status.code()) {
+      case StatusCode::kCancelled: label = "cancelled"; break;
+      case StatusCode::kTimeout: label = "timeout"; break;
+      default: label = s.admission_rejected ? "rejected" : "error"; break;
+    }
+  }
+  // The registry retirement happens even with metrics off: the live
+  // entry was registered unconditionally (KILL must always work).
+  statements_.Finish(s.id, label, s.metrics.peak_memory_bytes,
+                     static_cast<int64_t>(total_us));
+  {
+    std::lock_guard<std::mutex> lock(last_metrics_mu_);
+    last_metrics_ = s.metrics;
+  }
   if (!metrics_enabled_) return;
 
   em_.queries_total->Increment();
   if (!status.ok()) em_.query_errors_total->Increment();
+  if (status.code() == StatusCode::kCancelled) {
+    em_.statements_cancelled_total->Increment();
+  } else if (status.code() == StatusCode::kTimeout) {
+    em_.statements_timed_out_total->Increment();
+  }
   em_.query_latency_us->Observe(total_us);
   em_.memory_query_peak_bytes->Set(
-      static_cast<double>(metrics_.peak_memory_bytes));
-  if (static_cast<double>(metrics_.peak_memory_bytes) >
+      static_cast<double>(s.metrics.peak_memory_bytes));
+  if (static_cast<double>(s.metrics.peak_memory_bytes) >
       em_.memory_query_peak_max_bytes->value()) {
     em_.memory_query_peak_max_bytes->Set(
-        static_cast<double>(metrics_.peak_memory_bytes));
+        static_cast<double>(s.metrics.peak_memory_bytes));
   }
 
   obs::QueryLogEntry entry;
-  entry.ts_us = std::chrono::duration_cast<std::chrono::microseconds>(
-                    std::chrono::system_clock::now().time_since_epoch())
-                    .count();
+  // The statement's start instant (not its completion): `ts_us +
+  // total_us` reconstructs the end, and concurrent logs sort by when
+  // work actually began.
+  entry.ts_us = s.start_ts_us;
   entry.sql = NormalizeSql(sql);
-  entry.status = status.ok() ? "ok" : "error";
+  entry.status = label;
   if (!status.ok()) entry.error = status.message();
   entry.rows = rows;
-  entry.parse_us = static_cast<uint64_t>(metrics_.parse_us);
-  entry.bind_us = static_cast<uint64_t>(metrics_.bind_us);
-  entry.rewrite_us = static_cast<uint64_t>(metrics_.rewrite_us);
-  entry.optimize_us = static_cast<uint64_t>(metrics_.optimize_us);
-  entry.refine_us = static_cast<uint64_t>(metrics_.refine_us);
-  entry.execute_us = static_cast<uint64_t>(metrics_.execute_us);
+  entry.parse_us = static_cast<uint64_t>(stmt_state().metrics.parse_us);
+  entry.bind_us = static_cast<uint64_t>(stmt_state().metrics.bind_us);
+  entry.rewrite_us = static_cast<uint64_t>(stmt_state().metrics.rewrite_us);
+  entry.optimize_us = static_cast<uint64_t>(stmt_state().metrics.optimize_us);
+  entry.refine_us = static_cast<uint64_t>(stmt_state().metrics.refine_us);
+  entry.execute_us = static_cast<uint64_t>(stmt_state().metrics.execute_us);
   entry.total_us = static_cast<uint64_t>(total_us);
-  entry.plan_cache_hit = metrics_.plan_cache_hit;
-  entry.spill_bytes = metrics_.spill_bytes;
-  entry.peak_memory_bytes = metrics_.peak_memory_bytes;
-  entry.parallelism = options_.exec.parallelism == 0
-                          ? 1
-                          : static_cast<int>(options_.exec.parallelism);
+  entry.plan_cache_hit = stmt_state().metrics.plan_cache_hit;
+  entry.spill_bytes = stmt_state().metrics.spill_bytes;
+  entry.peak_memory_bytes = stmt_state().metrics.peak_memory_bytes;
+  // The parallelism the statement actually ran with (stamped from the
+  // executed plan), not whatever the session knob says now.
+  entry.parallelism = s.parallelism;
   entry.slow = slow_query_us_ > 0 &&
                total_us >= static_cast<double>(slow_query_us_);
   if (entry.slow) {
@@ -1491,6 +1653,16 @@ void Database::RefreshMetricsMirrors() {
   em_.scheduler_tasks_run->Set(exec::parallel::TaskScheduler::total_tasks_run());
   em_.scheduler_workers_spawned->Set(
       exec::parallel::TaskScheduler::total_workers_spawned());
+
+  AdmissionController::Stats adm = admission_.stats();
+  em_.admission_queued_total->Set(static_cast<double>(adm.queued_total));
+  em_.admission_rejected_total->Set(static_cast<double>(adm.rejected_total));
+  em_.admission_timeouts_total->Set(static_cast<double>(adm.timeout_total));
+  em_.admission_in_use_bytes->Set(static_cast<double>(adm.in_use_bytes));
+  em_.admission_budget_bytes->Set(static_cast<double>(adm.budget_bytes));
+  em_.statements_live->Set(static_cast<double>(statements_.live_count()));
+  em_.query_log_dropped_total->Set(static_cast<double>(query_log_.dropped()));
+  em_.query_log_cleared_total->Set(static_cast<double>(query_log_.cleared()));
 }
 
 void Database::RegisterSystemTables() {
@@ -1498,6 +1670,7 @@ void Database::RegisterSystemTables() {
   manager->RegisterTable("sys.metrics", [this] { return MetricsRows(); });
   manager->RegisterTable("sys.query_log", [this] { return QueryLogRows(); });
   manager->RegisterTable("sys.plan_cache", [this] { return PlanCacheRows(); });
+  manager->RegisterTable("sys.statements", [this] { return StatementRows(); });
   Status registered = storage_.storage_managers().Register(std::move(manager));
   (void)registered;  // fresh registry: "SYSTEM" cannot collide
 
@@ -1542,6 +1715,16 @@ void Database::RegisterSystemTables() {
   qlog.AddColumn(ColumnDef{"slow", DataType::Int(), false});
   define("sys.query_log", std::move(qlog));
 
+  TableSchema stmts;
+  stmts.AddColumn(ColumnDef{"id", DataType::Int(), false});
+  stmts.AddColumn(ColumnDef{"sql", DataType::String(), false});
+  stmts.AddColumn(ColumnDef{"status", DataType::String(), false});
+  stmts.AddColumn(ColumnDef{"phase", DataType::String(), false});
+  stmts.AddColumn(ColumnDef{"start_ts_us", DataType::Int(), false});
+  stmts.AddColumn(ColumnDef{"total_us", DataType::Int(), false});
+  stmts.AddColumn(ColumnDef{"peak_memory_bytes", DataType::Int(), false});
+  define("sys.statements", std::move(stmts));
+
   TableSchema pcache;
   pcache.AddColumn(ColumnDef{"position", DataType::Int(), false});
   pcache.AddColumn(ColumnDef{"sql", DataType::String(), false});
@@ -1577,6 +1760,18 @@ std::vector<Row> Database::QueryLogRows() const {
                         Value::Int(e.plan_cache_hit ? 1 : 0), u(e.spill_bytes),
                         u(e.peak_memory_bytes), Value::Int(e.parallelism),
                         Value::Int(e.slow ? 1 : 0)}));
+  }
+  return rows;
+}
+
+std::vector<Row> Database::StatementRows() const {
+  std::vector<Row> rows;
+  for (const StatementSnapshot& s : statements_.Snapshot()) {
+    rows.push_back(
+        Row({Value::Int(s.id), Value::String(s.sql), Value::String(s.status),
+             Value::String(s.phase), Value::Int(s.start_ts_us),
+             Value::Int(s.total_us),
+             Value::Int(static_cast<int64_t>(s.peak_memory_bytes))}));
   }
   return rows;
 }

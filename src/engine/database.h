@@ -1,12 +1,18 @@
 #ifndef STARBURST_ENGINE_DATABASE_H_
 #define STARBURST_ENGINE_DATABASE_H_
 
+#include <atomic>
+#include <cstdint>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
 #include "catalog/catalog.h"
+#include "common/cancel.h"
+#include "engine/admission.h"
 #include "engine/plan_cache.h"
+#include "engine/statement_registry.h"
 #include "engine/result_set.h"
 #include "exec/executor.h"
 #include "obs/metrics.h"
@@ -118,8 +124,22 @@ class Database {
   /// Adds a DBC STAR to every future query's optimizer.
   Status RegisterStar(optimizer::Star star);
 
-  /// Metrics of the most recent statement.
-  const QueryMetrics& last_metrics() const { return metrics_; }
+  /// Metrics of the most recent statement. Not synchronized with
+  /// concurrent Execute calls — read it from a quiesced session.
+  const QueryMetrics& last_metrics() const { return last_metrics_; }
+
+  /// Live + recently finished statements — the registry behind
+  /// `sys.statements` and the resolver for `KILL <id>`.
+  StatementRegistry& statement_registry() { return statements_; }
+  const StatementRegistry& statement_registry() const { return statements_; }
+
+  /// Global memory-admission ledger (`SET ADMISSION_MEMORY`).
+  AdmissionController& admission() { return admission_; }
+  const AdmissionController& admission() const { return admission_; }
+
+  /// STATEMENT_TIMEOUT_MS deadline applied to every new statement;
+  /// 0 (the default) disables the deadline.
+  int64_t statement_timeout_ms() const { return statement_timeout_ms_; }
 
   /// The session's span recorder. Disabled by default; once enabled,
   /// every statement records Figure-1 phase spans and rewrite-rule
@@ -154,6 +174,25 @@ class Database {
   void RefreshMetricsMirrors();
 
  private:
+  /// Everything a statement accumulates while it runs. Thread-local so
+  /// concurrent sessions sharing one Database (the governance stress
+  /// tests, a future server front end) never race on phase timings or
+  /// the cancel token; FinishStatement copies the metrics into
+  /// `last_metrics_` for the single-session accessor.
+  struct StatementState {
+    QueryMetrics metrics;
+    CancelToken cancel;
+    int64_t id = 0;          // registry id; 0 = not registered (Prepare)
+    int64_t start_ts_us = 0; // wall-clock statement start
+    int parallelism = 1;     // what the executed plan was refined with
+    bool admission_rejected = false;  // fail-fast path, for "rejected"
+  };
+  static StatementState& stmt_state();
+
+  /// Statement prologue: resets the thread's statement state, assigns
+  /// the registry id, arms the deadline, and registers the statement as
+  /// live (so KILL can find it from another thread).
+  void BeginStatement(const std::string& sql);
   /// Execute minus the statement bookkeeping wrapper.
   Result<ResultSet> ExecuteInternal(const std::string& sql);
   /// Statement epilogue: appends the query-log entry, advances the
@@ -168,6 +207,7 @@ class Database {
   std::vector<Row> MetricsRows();
   std::vector<Row> QueryLogRows() const;
   std::vector<Row> PlanCacheRows() const;
+  std::vector<Row> StatementRows() const;
   /// Clear error for any DDL/DML aimed at the reserved sys schema.
   Status RejectSystemTarget(const std::string& name, const char* verb) const;
 
@@ -188,6 +228,7 @@ class Database {
   Result<ResultSet> RunCreateIndex(const ast::CreateIndexStatement& stmt);
   Result<ResultSet> RunCreateView(const ast::CreateViewStatement& stmt);
   Result<ResultSet> RunSet(const ast::SetStatement& stmt);
+  Result<ResultSet> RunKill(const ast::KillStatement& stmt);
   Result<ResultSet> RunInsert(const ast::InsertStatement& stmt);
   Result<ResultSet> RunDelete(const ast::DeleteStatement& stmt);
   Result<ResultSet> RunUpdate(const ast::UpdateStatement& stmt);
@@ -258,15 +299,24 @@ class Database {
   rewrite::RuleEngine rule_engine_;
   std::vector<optimizer::Star> extra_stars_;
   SessionOptions options_;
-  QueryMetrics metrics_;
+  /// Snapshot of the most recently finished statement's metrics (see
+  /// last_metrics()); guarded against concurrent finishers.
+  QueryMetrics last_metrics_;
+  mutable std::mutex last_metrics_mu_;
   obs::Tracer tracer_;
   PlanCache plan_cache_;
+
+  StatementRegistry statements_;
+  AdmissionController admission_;
+  int64_t statement_timeout_ms_ = 0;  // 0 = no deadline
 
   obs::MetricsRegistry metrics_registry_;
   obs::QueryLog query_log_;
   bool metrics_enabled_ = true;
   uint64_t slow_query_us_ = 0;  // 0 = off
-  uint64_t statement_seq_ = 0;  // statements finished (metrics on or off)
+  /// Statement ids (metrics on or off); atomic so concurrent sessions
+  /// never share an id.
+  std::atomic<uint64_t> statement_seq_{0};
 
   /// Registry pointers resolved once at construction; statement-end
   /// bookkeeping then touches only their atomics.
@@ -292,6 +342,17 @@ class Database {
     obs::Counter* scheduler_workers_spawned = nullptr;
     obs::Gauge* memory_query_peak_bytes = nullptr;
     obs::Gauge* memory_query_peak_max_bytes = nullptr;
+    obs::Counter* statements_killed_total = nullptr;
+    obs::Counter* statements_cancelled_total = nullptr;
+    obs::Counter* statements_timed_out_total = nullptr;
+    obs::Counter* admission_queued_total = nullptr;
+    obs::Counter* admission_rejected_total = nullptr;
+    obs::Counter* admission_timeouts_total = nullptr;
+    obs::Gauge* admission_in_use_bytes = nullptr;
+    obs::Gauge* admission_budget_bytes = nullptr;
+    obs::Gauge* statements_live = nullptr;
+    obs::Counter* query_log_dropped_total = nullptr;
+    obs::Counter* query_log_cleared_total = nullptr;
   };
   EngineMetrics em_;
 };

@@ -13,9 +13,11 @@ bool PreparedStatement::FreshAgainst(const Catalog& catalog) const {
 }
 
 void PlanCache::set_capacity(size_t n) {
+  std::lock_guard<std::mutex> lock(mu_);
   capacity_ = n;
   if (n == 0) {
-    Clear();
+    lru_.clear();
+    entries_.clear();
     return;
   }
   while (lru_.size() > capacity_) {
@@ -26,12 +28,14 @@ void PlanCache::set_capacity(size_t n) {
 }
 
 void PlanCache::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
   lru_.clear();
   entries_.clear();
 }
 
 PreparedStatementPtr PlanCache::Lookup(const std::string& key,
                                        const Catalog& catalog) {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = entries_.find(key);
   if (it == entries_.end()) return nullptr;
   PreparedStatementPtr stmt = it->second->stmt;
@@ -50,6 +54,7 @@ PreparedStatementPtr PlanCache::Lookup(const std::string& key,
 }
 
 void PlanCache::Insert(const std::string& key, PreparedStatementPtr stmt) {
+  std::lock_guard<std::mutex> lock(mu_);
   if (capacity_ == 0) return;
   auto it = entries_.find(key);
   if (it != entries_.end()) {
@@ -68,6 +73,7 @@ void PlanCache::Insert(const std::string& key, PreparedStatementPtr stmt) {
 
 std::vector<std::pair<std::string, PreparedStatementPtr>> PlanCache::Entries()
     const {
+  std::lock_guard<std::mutex> lock(mu_);
   std::vector<std::pair<std::string, PreparedStatementPtr>> out;
   out.reserve(lru_.size());
   for (const Entry& e : lru_) out.emplace_back(e.key, e.stmt);

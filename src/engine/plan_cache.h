@@ -3,6 +3,7 @@
 
 #include <list>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <utility>
@@ -46,6 +47,10 @@ struct PreparedStatement {
   size_t hidden_order_columns = 0;
   size_t batch_size = 1;
   size_t reserve_hint = 0;
+  /// Worker parallelism this plan was refined with — what an execution of
+  /// this tree actually runs at, regardless of the session knob's current
+  /// value (prepared handles survive knob changes uncompiled).
+  int parallelism = 1;
 
   // -- optimizer annotations (metrics on cached executions) --
   double plan_cost = 0;
@@ -72,6 +77,11 @@ using PreparedStatementPtr = std::shared_ptr<PreparedStatement>;
 /// invalidate: two parallelism settings hold two entries side by side.
 /// DDL and ANALYZE invalidate through the catalog version check at
 /// lookup time — stale entries are dropped, never served.
+///
+/// All operations are internally serialized: concurrent sessions share
+/// one cache, and lookups mutate LRU order. (The compiled trees handed
+/// out are NOT made concurrently executable by this — two sessions must
+/// not execute the same PreparedStatement at once.)
 class PlanCache {
  public:
   static constexpr size_t kDefaultCapacity = 64;
@@ -86,10 +96,16 @@ class PlanCache {
   explicit PlanCache(size_t capacity = kDefaultCapacity)
       : capacity_(capacity) {}
 
-  size_t capacity() const { return capacity_; }
+  size_t capacity() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return capacity_;
+  }
   /// 0 disables caching and clears existing entries.
   void set_capacity(size_t n);
-  size_t size() const { return entries_.size(); }
+  size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return entries_.size();
+  }
   void Clear();
 
   /// The fresh entry under `key`, moved to the front of the LRU, or null.
@@ -108,12 +124,25 @@ class PlanCache {
   /// (cache key, statement) pairs. Powers `sys.plan_cache`.
   std::vector<std::pair<std::string, PreparedStatementPtr>> Entries() const;
 
-  void CountMiss() { ++stats_.misses; }
+  void CountMiss() {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.misses;
+  }
   /// A plan reuse that bypassed Lookup (ExecutePrepared on a live
   /// handle); Lookup counts its own hits.
-  void CountHit() { ++stats_.hits; }
-  void CountInvalidation() { ++stats_.invalidations; }
-  const Stats& stats() const { return stats_; }
+  void CountHit() {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.hits;
+  }
+  void CountInvalidation() {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.invalidations;
+  }
+  /// Snapshot by value: counters move concurrently.
+  Stats stats() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return stats_;
+  }
 
  private:
   struct Entry {
@@ -121,6 +150,7 @@ class PlanCache {
     PreparedStatementPtr stmt;
   };
 
+  mutable std::mutex mu_;
   size_t capacity_;
   std::list<Entry> lru_;  // front = most recently used
   std::unordered_map<std::string, std::list<Entry>::iterator> entries_;

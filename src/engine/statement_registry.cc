@@ -1,0 +1,94 @@
+#include "engine/statement_registry.h"
+
+#include <utility>
+
+namespace starburst {
+
+void StatementRegistry::Register(int64_t id, std::string sql,
+                                 int64_t start_ts_us, CancelToken* token) {
+  if (sql.size() > kMaxSqlLength) {
+    sql.resize(kMaxSqlLength - 3);
+    sql += "...";
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  Live& live = live_[id];
+  live.sql = std::move(sql);
+  live.start_ts_us = start_ts_us;
+  live.phase = "parse";
+  live.token = token;
+  live.memory = nullptr;
+}
+
+void StatementRegistry::SetPhase(int64_t id, const char* phase) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = live_.find(id);
+  if (it != live_.end()) it->second.phase = phase;
+}
+
+void StatementRegistry::SetMemoryTracker(int64_t id,
+                                         const MemoryTracker* tracker) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = live_.find(id);
+  if (it != live_.end()) it->second.memory = tracker;
+}
+
+void StatementRegistry::Finish(int64_t id, const std::string& status,
+                               uint64_t peak_memory_bytes, int64_t total_us) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = live_.find(id);
+  if (it == live_.end()) return;
+  StatementSnapshot snap;
+  snap.id = id;
+  snap.sql = std::move(it->second.sql);
+  snap.status = status;
+  snap.phase = it->second.phase;
+  snap.start_ts_us = it->second.start_ts_us;
+  snap.total_us = total_us;
+  snap.peak_memory_bytes = peak_memory_bytes;
+  live_.erase(it);
+  history_.push_back(std::move(snap));
+  while (history_.size() > history_capacity_) history_.pop_front();
+}
+
+Status StatementRegistry::Kill(int64_t id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = live_.find(id);
+  if (it == live_.end()) {
+    return Status::NotFound("no running statement with id " +
+                            std::to_string(id));
+  }
+  it->second.token->Kill();
+  return Status::OK();
+}
+
+std::vector<StatementSnapshot> StatementRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<StatementSnapshot> out;
+  out.reserve(live_.size() + history_.size());
+  for (const auto& [id, live] : live_) {
+    StatementSnapshot snap;
+    snap.id = id;
+    snap.sql = live.sql;
+    snap.status = "running";
+    snap.phase = live.phase;
+    snap.start_ts_us = live.start_ts_us;
+    snap.total_us = 0;
+    snap.peak_memory_bytes = live.memory != nullptr ? live.memory->peak() : 0;
+    out.push_back(std::move(snap));
+  }
+  for (const StatementSnapshot& snap : history_) out.push_back(snap);
+  return out;
+}
+
+size_t StatementRegistry::live_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return live_.size();
+}
+
+void StatementRegistry::set_history_capacity(size_t n) {
+  std::lock_guard<std::mutex> lock(mu_);
+  history_capacity_ = n;
+  while (history_.size() > history_capacity_) history_.pop_front();
+}
+
+}  // namespace starburst

@@ -201,6 +201,7 @@ class GroupAggOp : public Operator {
   Status BuildFromInput() {
     RowBatch batch(batch_size_);
     while (true) {
+      STARBURST_RETURN_IF_ERROR(ctx_->CheckCancel());
       STARBURST_ASSIGN_OR_RETURN(bool more, input_->NextBatch(&batch));
       if (!more) return Status::OK();
       ScopedParamFold fold;
@@ -300,6 +301,7 @@ class GroupAggOp : public Operator {
   /// Correlation params cannot change within one Open, so re-folding and
   /// re-evaluating the key/arg exprs over spilled rows is sound.
   Status ProcessNextPartition() {
+    STARBURST_RETURN_IF_ERROR(ctx_->CheckCancel());
     Pending part = std::move(pending_.front());
     pending_.pop_front();
     STARBURST_ASSIGN_OR_RETURN(std::unique_ptr<SpillFile::Reader> reader,

@@ -48,7 +48,7 @@ Result<std::vector<Row>> Executor::Execute(const optimizer::PlanPtr& plan,
   double est = plan->props.cardinality;
   size_t reserve_hint = est > 0 ? static_cast<size_t>(est) : 0;
   Result<std::vector<Row>> rows =
-      DrainOperator(root.get(), ctx.batch_size(), reserve_hint);
+      DrainOperator(root.get(), ctx.batch_size(), reserve_hint, &ctx);
   root->Close();
   last_stats_ = ctx.stats();
   if (!rows.ok()) return rows.status();

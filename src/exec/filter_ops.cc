@@ -216,7 +216,7 @@ class TempOp : public Operator {
     }
     STARBURST_RETURN_IF_ERROR(input_->Open(ctx));
     Result<std::vector<Row>> rows =
-        DrainOperator(input_.get(), ctx->batch_size());
+        DrainOperator(input_.get(), ctx->batch_size(), 0, ctx);
     input_->Close();
     if (!rows.ok()) return rows.status();
     if (shared_key_ != nullptr) {

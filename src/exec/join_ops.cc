@@ -487,7 +487,7 @@ class MergeJoinOp : public Operator {
     }
     STARBURST_RETURN_IF_ERROR(inner_->Open(ctx));
     Result<std::vector<Row>> rows =
-        DrainOperator(inner_.get(), ctx->batch_size());
+        DrainOperator(inner_.get(), ctx->batch_size(), 0, ctx);
     inner_->Close();
     if (!rows.ok()) return rows.status();
     inner_rows_ = rows.TakeValue();

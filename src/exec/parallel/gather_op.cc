@@ -9,12 +9,17 @@ namespace {
 /// Drains `op` (already open) batch-at-a-time, calling `sink(batch)` for
 /// every non-empty batch, then closes it — whole batches move through the
 /// exchange instead of single rows. The first error still closes the
-/// operator so clones are quiesced.
+/// operator so clones are quiesced. Clones share the coordinator's
+/// ExecContext, so the per-batch cancel check here stops every worker
+/// within one batch of a KILL or deadline.
 template <typename BatchSink>
-Status DrainBatchesInto(Operator* op, size_t batch_size, BatchSink&& sink) {
+Status DrainBatchesInto(Operator* op, ExecContext* ctx, size_t batch_size,
+                        BatchSink&& sink) {
   RowBatch batch(batch_size);
   Status status;
   while (true) {
+    status = ctx->CheckCancel();
+    if (!status.ok()) break;
     Result<bool> more = op->NextBatch(&batch);
     if (!more.ok()) {
       status = more.status();
@@ -113,7 +118,7 @@ class GatherOp : public Operator {
           Operator* clone = jb->build_clones[w].get();
           STARBURST_RETURN_IF_ERROR(clone->Open(ctx));
           return DrainBatchesInto(
-              clone, ctx->batch_size(), [jb, w](RowBatch& batch) {
+              clone, ctx, ctx->batch_size(), [jb, w](RowBatch& batch) {
                 size_t n = batch.size();
                 for (size_t i = 0; i < n; ++i) {
                   Row& row = batch.row(i);
@@ -133,7 +138,8 @@ class GatherOp : public Operator {
               });
         });
       }
-      STARBURST_RETURN_IF_ERROR(pctx_->scheduler.RunParallel(std::move(tasks)));
+      STARBURST_RETURN_IF_ERROR(
+          pctx_->scheduler.RunParallel(std::move(tasks), ctx->cancel_token()));
       std::vector<std::function<Status()>> merges;
       for (size_t p = 0; p < jb->table.num_partitions(); ++p) {
         merges.push_back([jb, p] {
@@ -142,7 +148,7 @@ class GatherOp : public Operator {
         });
       }
       STARBURST_RETURN_IF_ERROR(
-          pctx_->scheduler.RunParallel(std::move(merges)));
+          pctx_->scheduler.RunParallel(std::move(merges), ctx->cancel_token()));
     }
     return Status::OK();
   }
@@ -154,13 +160,14 @@ class GatherOp : public Operator {
         Operator* clone = pipelines_[w].get();
         STARBURST_RETURN_IF_ERROR(clone->Open(ctx));
         return DrainBatchesInto(
-            clone, ctx->batch_size(), [this, w](RowBatch& batch) {
+            clone, ctx, ctx->batch_size(), [this, w](RowBatch& batch) {
               batch.MoveRowsTo(&buffers_[w]);
               return Status::OK();
             });
       });
     }
-    return pctx_->scheduler.RunParallel(std::move(tasks));
+    return pctx_->scheduler.RunParallel(std::move(tasks),
+                                        ctx->cancel_token());
   }
 
   Status RunExchangePhase(ExecContext* ctx) {
@@ -174,7 +181,7 @@ class GatherOp : public Operator {
         auto& staged = pctx_->exchange.staged[w];
         const auto& keys = partition_keys_[w];
         return DrainBatchesInto(
-            clone, ctx->batch_size(), [&, ctx](RowBatch& batch) -> Status {
+            clone, ctx, ctx->batch_size(), [&, ctx](RowBatch& batch) -> Status {
               size_t n = batch.size();
               for (size_t i = 0; i < n; ++i) {
                 Row& row = batch.row(i);
@@ -194,7 +201,8 @@ class GatherOp : public Operator {
             });
       });
     }
-    return pctx_->scheduler.RunParallel(std::move(tasks));
+    return pctx_->scheduler.RunParallel(std::move(tasks),
+                                        ctx->cancel_token());
   }
 
   Status RunAggPhase(ExecContext* ctx) {
@@ -204,13 +212,14 @@ class GatherOp : public Operator {
         Operator* clone = agg_clones_[p].get();
         STARBURST_RETURN_IF_ERROR(clone->Open(ctx));
         return DrainBatchesInto(
-            clone, ctx->batch_size(), [this, p](RowBatch& batch) {
+            clone, ctx, ctx->batch_size(), [this, p](RowBatch& batch) {
               batch.MoveRowsTo(&buffers_[p]);
               return Status::OK();
             });
       });
     }
-    return pctx_->scheduler.RunParallel(std::move(tasks));
+    return pctx_->scheduler.RunParallel(std::move(tasks),
+                                        ctx->cancel_token());
   }
 
   std::unique_ptr<ParallelPlanContext> pctx_;

@@ -27,12 +27,21 @@ TaskScheduler::~TaskScheduler() {
   for (std::thread& t : threads_) t.join();
 }
 
-Status TaskScheduler::RunParallel(std::vector<std::function<Status()>> tasks) {
+Status TaskScheduler::RunParallel(std::vector<std::function<Status()>> tasks,
+                                  CancelToken* cancel) {
   if (tasks.empty()) return Status::OK();
   if (target_workers_ == 0 || tasks.size() == 1) {
     // Serial fast path: no threads, no locking.
     Status first;
+    size_t ran = 0;
     for (auto& task : tasks) {
+      if (cancel != nullptr) {
+        Status c = cancel->Check();
+        if (!c.ok()) {
+          g_tasks_run.fetch_add(ran, std::memory_order_relaxed);
+          return c;
+        }
+      }
       Status s;
       try {
         s = task();
@@ -42,13 +51,15 @@ Status TaskScheduler::RunParallel(std::vector<std::function<Status()>> tasks) {
         s = Status::Internal("parallel task threw");
       }
       if (!s.ok() && first.ok()) first = s;
+      ++ran;
     }
-    g_tasks_run.fetch_add(tasks.size(), std::memory_order_relaxed);
+    g_tasks_run.fetch_add(ran, std::memory_order_relaxed);
     return first;
   }
 
   Batch batch;
   batch.tasks = &tasks;
+  batch.cancel = cancel;
   {
     std::lock_guard<std::mutex> lock(mu_);
     if (!spawned_) {
@@ -72,6 +83,14 @@ Status TaskScheduler::RunParallel(std::vector<std::function<Status()>> tasks) {
       return batch.done == tasks.size() && batch.active == 0;
     });
     current_ = nullptr;
+    if (cancel != nullptr) {
+      // A tripped token outranks secondary task failures: the clones that
+      // observed the cancellation return Cancelled/Timeout themselves, but
+      // first-error-wins could otherwise surface an unrelated error from a
+      // clone that failed for a different reason mid-unwind.
+      Status c = cancel->Check();
+      if (!c.ok()) return c;
+    }
     return error_;
   }
 }
@@ -82,6 +101,14 @@ size_t TaskScheduler::DrainBatch(Batch* batch) {
   while (true) {
     size_t i = batch->next.fetch_add(1, std::memory_order_relaxed);
     if (i >= n) break;
+    if (batch->cancel != nullptr && batch->cancel->cancelled()) {
+      // Unstarted tasks are abandoned: count them done so the coordinator
+      // unblocks, but never launch them. RunParallel reports the token's
+      // status after the drain.
+      std::lock_guard<std::mutex> lock(mu_);
+      if (++batch->done == n) done_cv_.notify_all();
+      continue;
+    }
     Status s;
     try {
       s = (*batch->tasks)[i]();

@@ -8,6 +8,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/cancel.h"
 #include "common/status.h"
 
 namespace starburst::exec::parallel {
@@ -41,12 +42,19 @@ class TaskScheduler {
   /// Runs every task, concurrently when workers are available. Returns
   /// the first non-OK status (remaining tasks still run to completion so
   /// shared state is quiesced when this returns). Exceptions escaping a
-  /// task are converted to an internal error status.
-  Status RunParallel(std::vector<std::function<Status()>> tasks);
+  /// task are converted to an internal error status. When `cancel` is
+  /// supplied, it is checked before each task claim: a tripped token
+  /// stops *unstarted* tasks from launching (already-running clones stop
+  /// at their own operator-level check sites) and its status wins over
+  /// task errors so the statement reports Cancelled/Timeout, not a
+  /// secondary failure.
+  Status RunParallel(std::vector<std::function<Status()>> tasks,
+                     CancelToken* cancel = nullptr);
 
  private:
   struct Batch {
     std::vector<std::function<Status()>>* tasks = nullptr;
+    CancelToken* cancel = nullptr;
     std::atomic<size_t> next{0};
     size_t done = 0;    // tasks finished; guarded by TaskScheduler::mu_
     size_t active = 0;  // workers inside DrainBatch; guarded by mu_

@@ -102,6 +102,7 @@ class ScanOp : public Operator {
     size_t emitted = 0;
     while (!batch->full()) {
       if (block_pos_ >= block_n_) {
+        STARBURST_RETURN_IF_ERROR(ctx_->CheckCancel());
         if (scan_ == nullptr) {
           PageNo begin, end;
           if (morsels_ == nullptr || !morsels_->Claim(&begin, &end)) break;
@@ -160,6 +161,7 @@ class ScanOp : public Operator {
     }
     while (true) {
       bool exhausted = false;
+      STARBURST_RETURN_IF_ERROR(ctx_->CheckCancel());
       while (!batch->full()) {
         if (scan_ == nullptr) {
           PageNo begin, end;

@@ -20,12 +20,12 @@ class SetOpOp : public Operator {
       // UNION ALL streams both sides without bookkeeping.
       STARBURST_RETURN_IF_ERROR(left_->Open(ctx));
       STARBURST_ASSIGN_OR_RETURN(results_,
-                                 DrainOperator(left_.get(), ctx->batch_size()));
+                                 DrainOperator(left_.get(), ctx->batch_size(), 0, ctx));
       left_->Close();
       STARBURST_RETURN_IF_ERROR(right_->Open(ctx));
       STARBURST_ASSIGN_OR_RETURN(
           std::vector<Row> rest,
-          DrainOperator(right_.get(), ctx->batch_size()));
+          DrainOperator(right_.get(), ctx->batch_size(), 0, ctx));
       right_->Close();
       for (Row& r : rest) results_.push_back(std::move(r));
       return Status::OK();
@@ -124,7 +124,7 @@ class TableFuncOp : public Operator {
       STARBURST_RETURN_IF_ERROR(input->Open(ctx));
       STARBURST_ASSIGN_OR_RETURN(
           std::vector<Row> rows,
-          DrainOperator(input.get(), ctx->batch_size()));
+          DrainOperator(input.get(), ctx->batch_size(), 0, ctx));
       input->Close();
       tables.push_back(std::move(rows));
     }

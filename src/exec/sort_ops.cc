@@ -127,6 +127,7 @@ class SortOp : public Operator {
 
   Status OpenSort(ExecContext* ctx) {
     DropState();
+    ctx_ = ctx;
     tracker_.Configure(budget_, ctx->query_memory());
     batch_size_ = ctx->batch_size();
     STARBURST_RETURN_IF_ERROR(input_->Open(ctx));
@@ -184,6 +185,7 @@ class SortOp : public Operator {
   Status BuildRuns(ExecContext* ctx) {
     RowBatch batch(batch_size_);
     while (true) {
+      STARBURST_RETURN_IF_ERROR(ctx->CheckCancel());
       STARBURST_ASSIGN_OR_RETURN(bool more, input_->NextBatch(&batch));
       if (!more) return Status::OK();
       uint64_t bytes = 0;
@@ -206,6 +208,7 @@ class SortOp : public Operator {
 
   /// Sorts the build buffer and writes it out as one run, batch-at-a-time.
   Status SpillRun() {
+    if (ctx_ != nullptr) STARBURST_RETURN_IF_ERROR(ctx_->CheckCancel());
     SortBuffer();
     STARBURST_ASSIGN_OR_RETURN(std::unique_ptr<SpillFile> file,
                                SpillFile::Create());
@@ -232,6 +235,7 @@ class SortOp : public Operator {
   Status MergePass() {
     std::vector<std::unique_ptr<SpillFile>> next;
     for (size_t i = 0; i < runs_.size(); i += kMergeFanIn) {
+      if (ctx_ != nullptr) STARBURST_RETURN_IF_ERROR(ctx_->CheckCancel());
       size_t end = std::min(runs_.size(), i + kMergeFanIn);
       if (end - i == 1) {
         next.push_back(std::move(runs_[i]));
@@ -267,6 +271,7 @@ class SortOp : public Operator {
   OperatorPtr input_;
   SortKeys keys_;
   uint64_t budget_;
+  ExecContext* ctx_ = nullptr;
   MemoryTracker tracker_;
   size_t batch_size_ = RowBatch::kDefaultCapacity;
   std::vector<Row> rows_;
@@ -295,6 +300,7 @@ class DistinctOp : public Operator {
 
   Status OpenImpl(ExecContext* ctx) override {
     DropState();
+    ctx_ = ctx;
     tracker_.Configure(budget_, ctx->query_memory());
     batch_size_ = ctx->batch_size();
     scratch_.Reset(batch_size_);
@@ -315,6 +321,7 @@ class DistinctOp : public Operator {
 
   Result<bool> NextBatchImpl(RowBatch* batch) override {
     while (input_phase_) {
+      STARBURST_RETURN_IF_ERROR(ctx_->CheckCancel());
       STARBURST_ASSIGN_OR_RETURN(bool more, input_->NextBatch(batch));
       if (!more) {
         STARBURST_RETURN_IF_ERROR(FinishInputPhase());
@@ -396,6 +403,7 @@ class DistinctOp : public Operator {
   /// Dedups one spilled partition into the emit buffer; overflow rows
   /// re-partition at the next depth and requeue.
   Status ProcessNextPartition() {
+    STARBURST_RETURN_IF_ERROR(ctx_->CheckCancel());
     Pending part = std::move(pending_.front());
     pending_.pop_front();
     STARBURST_ASSIGN_OR_RETURN(std::unique_ptr<SpillFile::Reader> reader,
@@ -434,6 +442,7 @@ class DistinctOp : public Operator {
 
   OperatorPtr input_;
   uint64_t budget_;
+  ExecContext* ctx_ = nullptr;
   MemoryTracker tracker_;
   size_t batch_size_ = RowBatch::kDefaultCapacity;
   std::unordered_set<Row, RowHash> seen_;

@@ -69,8 +69,9 @@ Result<Value> ExecContext::LookupParam(const qgm::Quantifier* q,
 }
 
 Status DrainOperatorInto(Operator* op, RowBatch* scratch,
-                         std::vector<Row>* out) {
+                         std::vector<Row>* out, ExecContext* ctx) {
   while (true) {
+    if (ctx != nullptr) STARBURST_RETURN_IF_ERROR(ctx->CheckCancel());
     STARBURST_ASSIGN_OR_RETURN(bool more, op->NextBatch(scratch));
     if (!more) return Status::OK();
     scratch->MoveRowsTo(out);
@@ -78,14 +79,14 @@ Status DrainOperatorInto(Operator* op, RowBatch* scratch,
 }
 
 Result<std::vector<Row>> DrainOperator(Operator* op, size_t batch_size,
-                                       size_t reserve_hint) {
+                                       size_t reserve_hint, ExecContext* ctx) {
   std::vector<Row> rows;
   // Cap the reserve: cardinality estimates can be wildly wrong, and an
   // over-reserve is pure wasted RSS.
   constexpr size_t kMaxReserve = size_t{1} << 20;
   if (reserve_hint > 0) rows.reserve(std::min(reserve_hint, kMaxReserve));
   RowBatch batch(batch_size);
-  STARBURST_RETURN_IF_ERROR(DrainOperatorInto(op, &batch, &rows));
+  STARBURST_RETURN_IF_ERROR(DrainOperatorInto(op, &batch, &rows, ctx));
   return rows;
 }
 

@@ -7,6 +7,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/cancel.h"
 #include "common/memory_tracker.h"
 #include "common/result.h"
 #include "common/row.h"
@@ -78,6 +79,17 @@ class ExecContext {
     query_memory_.Configure(bytes, nullptr);
   }
 
+  /// Cooperative cancellation. The engine attaches the statement's token
+  /// before Open; operators call CheckCancel() at batch boundaries (block
+  /// refills, spill waves, merge passes — never per row). Ungoverned
+  /// contexts (no token) pay one null compare.
+  void set_cancel_token(CancelToken* token) { cancel_ = token; }
+  CancelToken* cancel_token() const { return cancel_; }
+  Status CheckCancel() {
+    if (cancel_ == nullptr) return Status::OK();
+    return cancel_->Check();
+  }
+
   /// Correlation frames. A dependent join or subquery invocation pushes a
   /// frame of (quantifier, column) -> value before (re)opening the inner
   /// stream; frames nest for multi-level correlation. A frame holds the
@@ -143,6 +155,7 @@ class ExecContext {
 
   StorageEngine* storage_;
   const Catalog* catalog_;
+  CancelToken* cancel_ = nullptr;
   uint64_t run_id_ = 0;
   size_t batch_size_ = RowBatch::kDefaultCapacity;
   std::vector<const ParamFrame*> param_stack_;
@@ -271,15 +284,20 @@ inline bool FillBatchFromRows(const std::vector<Row>& rows, size_t* pos,
 /// `reserve_hint` (the plan's estimated cardinality, when known)
 /// pre-reserves the output — clamped, so a wild misestimate cannot
 /// balloon memory.
+/// When `ctx` is supplied, the statement's cancel token (if any) is
+/// checked before each NextBatch pull, so a KILL or deadline lands
+/// within one batch boundary even while the operator itself is between
+/// check sites.
 Result<std::vector<Row>> DrainOperator(Operator* op, size_t batch_size,
-                                       size_t reserve_hint = 0);
+                                       size_t reserve_hint = 0,
+                                       ExecContext* ctx = nullptr);
 /// Convenience overload: default batch size, no reserve hint.
 Result<std::vector<Row>> DrainOperator(Operator* op);
 /// Core drain loop: appends into `out`, staging through caller-owned
 /// `scratch` (reused across calls by per-row drains like the subquery
 /// runtime, which would otherwise rebuild a batch per outer row).
 Status DrainOperatorInto(Operator* op, RowBatch* scratch,
-                         std::vector<Row>* out);
+                         std::vector<Row>* out, ExecContext* ctx = nullptr);
 
 }  // namespace starburst::exec
 

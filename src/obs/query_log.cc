@@ -5,9 +5,19 @@ namespace starburst::obs {
 void QueryLog::Append(QueryLogEntry entry) {
   std::lock_guard<std::mutex> lock(mu_);
   entry.id = next_id_++;
+  // Capacity 0 means logging is disabled: the statement still gets an id
+  // (total() keeps counting), but nothing is retained and nothing is
+  // counted as dropped — an empty ring never evicted anything.
+  if (capacity_ == 0) return;
   if (entry.sql.size() > kMaxSqlLength) {
-    entry.sql.resize(kMaxSqlLength - 3);
-    entry.sql += "...";
+    // The ellipsis needs three characters of room; below that, truncate
+    // plainly rather than resizing past the limit.
+    if (kMaxSqlLength > 3) {
+      entry.sql.resize(kMaxSqlLength - 3);
+      entry.sql += "...";
+    } else {
+      entry.sql.resize(kMaxSqlLength);
+    }
   }
   ring_.push_back(std::move(entry));
   while (ring_.size() > capacity_) {
@@ -23,7 +33,9 @@ std::vector<QueryLogEntry> QueryLog::Snapshot() const {
 
 void QueryLog::Clear() {
   std::lock_guard<std::mutex> lock(mu_);
-  dropped_ += ring_.size();
+  // An operator-requested clear is not ring overflow: it lands in
+  // cleared(), keeping dropped() an honest eviction count.
+  cleared_ += ring_.size();
   ring_.clear();
 }
 
@@ -49,6 +61,11 @@ uint64_t QueryLog::total() const {
 uint64_t QueryLog::dropped() const {
   std::lock_guard<std::mutex> lock(mu_);
   return dropped_;
+}
+
+uint64_t QueryLog::cleared() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return cleared_;
 }
 
 }  // namespace starburst::obs

@@ -13,9 +13,10 @@ namespace starburst::obs {
 /// `sys.query_log`.
 struct QueryLogEntry {
   uint64_t id = 0;          // monotonic statement number
-  int64_t ts_us = 0;        // wall-clock completion time (µs since epoch)
+  int64_t ts_us = 0;        // wall-clock statement start (µs since epoch)
   std::string sql;          // normalized, truncated to the log's limit
-  std::string status;       // "ok" | "error"
+  std::string status;       // "ok" | "error" | "cancelled" | "timeout" |
+                            // "rejected"
   std::string error;        // empty when ok
   uint64_t rows = 0;        // rows returned (queries) or affected (DML)
   uint64_t parse_us = 0;
@@ -34,13 +35,16 @@ struct QueryLogEntry {
 
 /// Ring-buffered per-query history. Append is a short critical section
 /// (one deque push + possible pop); snapshots copy the ring so readers
-/// never block writers for long. The capacity bounds memory, and
-/// total()/dropped() account for everything that ever passed through.
+/// never block writers for long. The capacity bounds memory (0 disables
+/// logging entirely), and total()/dropped()/cleared() account for
+/// everything that ever passed through.
 class QueryLog {
  public:
   explicit QueryLog(size_t capacity = 256) : capacity_(capacity) {}
 
   /// Stamps `entry.id` and appends, evicting the oldest past capacity.
+  /// With capacity 0 the entry is id-stamped but not retained (and not
+  /// counted as dropped — nothing was evicted).
   void Append(QueryLogEntry entry);
 
   std::vector<QueryLogEntry> Snapshot() const;
@@ -49,9 +53,12 @@ class QueryLog {
   size_t capacity() const;
   void set_capacity(size_t n);
 
-  /// Statements ever logged / evicted from the ring.
+  /// Statements ever logged / evicted by ring overflow / discarded by an
+  /// explicit Clear(). Overflow and operator-requested clears are
+  /// tracked separately so dropped() stays an honest eviction count.
   uint64_t total() const;
   uint64_t dropped() const;
+  uint64_t cleared() const;
 
   /// SQL longer than this is truncated with a trailing ellipsis.
   static constexpr size_t kMaxSqlLength = 512;
@@ -62,6 +69,7 @@ class QueryLog {
   std::deque<QueryLogEntry> ring_;
   uint64_t next_id_ = 1;
   uint64_t dropped_ = 0;
+  uint64_t cleared_ = 0;
 };
 
 }  // namespace starburst::obs

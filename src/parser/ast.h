@@ -308,6 +308,7 @@ enum class StatementKind {
   kExplain,
   kAnalyze,
   kSet,
+  kKill,
 };
 
 struct Statement {
@@ -410,6 +411,14 @@ struct SetStatement : Statement {
   std::string name;       // upper-cased option name
   int64_t value = 0;
   bool is_default = false;  // SET <name> = DEFAULT
+};
+
+/// KILL <statement_id>: trips the cancel token of a live statement (as
+/// listed in sys.statements), making it unwind with a Cancelled status
+/// at its next batch boundary.
+struct KillStatement : Statement {
+  KillStatement() : Statement(StatementKind::kKill) {}
+  int64_t statement_id = 0;
 };
 
 /// EXPLAIN [QGM [BEFORE] | PLAN | [ANALYZE] [VERBOSE]] <select>:

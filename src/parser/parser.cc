@@ -227,6 +227,13 @@ Result<ast::StatementPtr> Parser::ParseStatementInner() {
     }
     return ast::StatementPtr(std::move(stmt));
   }
+  if (MatchKeyword("KILL")) {
+    auto stmt = std::make_unique<ast::KillStatement>();
+    STARBURST_ASSIGN_OR_RETURN(Token value,
+                               Expect(TokenKind::kIntLiteral, "statement id"));
+    stmt->statement_id = value.int_value;
+    return ast::StatementPtr(std::move(stmt));
+  }
   if (MatchKeyword("ANALYZE")) {
     auto stmt = std::make_unique<ast::AnalyzeStatement>();
     if (Check(TokenKind::kIdentifier)) {
